@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Host-side simulator throughput, measured with google-benchmark:
+ * guest instructions per second of real time for bare execution,
+ * virtualized execution, and the MiniVMS boot.  These numbers gauge
+ * the harness itself (how long the paper's experiments take to run),
+ * not the simulated machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "vasm/code_builder.h"
+
+using namespace vvax;
+using namespace vvax::bench;
+
+namespace {
+
+CodeBuilder
+spinLoop(Longword iterations)
+{
+    CodeBuilder b(0x200);
+    Label loop = b.newLabel();
+    b.movl(Op::imm(iterations), Op::reg(R6));
+    b.bind(loop);
+    b.addl2(Op::lit(1), Op::reg(R0));
+    b.xorl2(Op::reg(R0), Op::reg(R1));
+    b.movl(Op::reg(R1), Op::abs(0x1000));
+    b.sobgtr(Op::reg(R6), loop);
+    b.halt();
+    return b;
+}
+
+void
+BM_BareExecution(benchmark::State &state)
+{
+    const Longword iters = 20000;
+    for (auto _ : state) {
+        RealMachine m;
+        CodeBuilder b = spinLoop(iters);
+        auto image = b.finish();
+        m.loadImage(b.origin(), image);
+        m.cpu().setPc(b.origin());
+        m.cpu().psl().setIpl(31);
+        m.cpu().setReg(SP, 0x1800);
+        m.run(UINT64_MAX);
+        benchmark::DoNotOptimize(m.cpu().reg(R1));
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<std::int64_t>(
+                                    m.stats().instructions));
+    }
+}
+BENCHMARK(BM_BareExecution)->Unit(benchmark::kMillisecond);
+
+void
+BM_VirtualizedExecution(benchmark::State &state)
+{
+    const Longword iters = 20000;
+    for (auto _ : state) {
+        MachineConfig mc;
+        mc.ramBytes = 16 * 1024 * 1024;
+        mc.level = MicrocodeLevel::Modified;
+        RealMachine m(mc);
+        Hypervisor hv(m);
+        VirtualMachine &vm = hv.createVm(VmConfig{});
+        CodeBuilder b = spinLoop(iters);
+        auto image = b.finish();
+        hv.loadVmImage(vm, b.origin(), image);
+        hv.startVm(vm, b.origin());
+        hv.run(UINT64_MAX);
+        benchmark::DoNotOptimize(vm.stats.vmEntries);
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<std::int64_t>(
+                                    m.stats().instructions));
+    }
+}
+BENCHMARK(BM_VirtualizedExecution)->Unit(benchmark::kMillisecond);
+
+void
+BM_MiniVmsBootToCompletion(benchmark::State &state)
+{
+    MiniVmsConfig cfg;
+    cfg.numProcesses = 3;
+    cfg.workloads = {Workload::Edit, Workload::Transaction,
+                     Workload::Compute};
+    cfg.iterations = 8;
+    cfg.dataPagesPerProcess = 8;
+    for (auto _ : state) {
+        const VmOutcome out = runVirtual(cfg, MachineModel::Vax8800);
+        if (out.magic != MiniVmsImage::kResultMagic)
+            state.SkipWithError("guest failed");
+        state.SetItemsProcessed(
+            state.items_processed() +
+            static_cast<std::int64_t>(out.machineStats.instructions));
+    }
+}
+BENCHMARK(BM_MiniVmsBootToCompletion)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness: run a MiniVMS workload on
+ * a bare machine or inside a VM and collect the cycle accounting.
+ * Every bench binary prints the paper row(s) it regenerates plus the
+ * measured values (see EXPERIMENTS.md).
+ */
+
+#ifndef VVAX_BENCH_COMMON_H
+#define VVAX_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+
+#include "core/machine.h"
+#include "guest/minivms.h"
+#include "vmm/hypervisor.h"
+
+namespace vvax::bench {
+
+/** The Section 7.3 benchmark mix: interactive editing + transaction
+ *  processing (plus a compute process for background load). */
+inline MiniVmsConfig
+paperMix(Longword iterations = 64)
+{
+    MiniVmsConfig cfg;
+    cfg.numProcesses = 4;
+    cfg.workloads = {Workload::Edit, Workload::Transaction,
+                     Workload::Edit, Workload::Transaction};
+    cfg.iterations = iterations;
+    cfg.dataPagesPerProcess = 16;
+    cfg.quantumCycles = 12000;
+    return cfg;
+}
+
+struct BareOutcome
+{
+    Stats stats;
+    Longword magic = 0;
+    Longword guestTicks = 0;
+    std::uint64_t busyCycles = 0;
+};
+
+inline BareOutcome
+runBare(const MiniVmsConfig &guest_cfg, MachineModel model,
+        MicrocodeLevel level = MicrocodeLevel::Modified,
+        std::uint64_t budget = 400000000)
+{
+    MachineConfig mc;
+    mc.ramBytes = guest_cfg.memBytes;
+    mc.model = model;
+    mc.level = level;
+    RealMachine m(mc);
+
+    MiniVmsConfig cfg = guest_cfg;
+    cfg.diskCsrPfn = mc.diskCsrBase >> kPageShift;
+    MiniVmsImage img = buildMiniVms(cfg);
+    m.loadImage(0, img.image);
+    m.cpu().setPc(img.entry);
+    m.cpu().psl().setIpl(31);
+    m.run(budget);
+
+    BareOutcome out;
+    out.stats = m.stats();
+    out.magic = m.memory().read32(img.resultBase);
+    out.guestTicks = m.memory().read32(img.resultBase + 4);
+    out.busyCycles = m.stats().busyCycles();
+    return out;
+}
+
+struct VmOutcome
+{
+    Stats machineStats;
+    VmStats vmStats;
+    Longword magic = 0;
+    std::uint64_t busyCycles = 0;
+};
+
+inline VmOutcome
+runVirtual(const MiniVmsConfig &guest_cfg, MachineModel model,
+           const HypervisorConfig &hc = {}, VmIoMode io = VmIoMode::Kcall,
+           std::uint64_t budget = 400000000)
+{
+    MachineConfig mc;
+    mc.ramBytes = 4 * guest_cfg.memBytes + 12 * 1024 * 1024;
+    mc.model = model;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    Hypervisor hv(m, hc);
+
+    VmConfig vc;
+    vc.memBytes = guest_cfg.memBytes;
+    vc.ioMode = io;
+    VirtualMachine &vm = hv.createVm(vc);
+
+    MiniVmsConfig cfg = guest_cfg;
+    if (io == VmIoMode::Mmio)
+        cfg.diskCsrPfn = static_cast<Pfn>(vm.memPages);
+    MiniVmsImage img = buildMiniVms(cfg);
+    hv.loadVmImage(vm, 0, img.image);
+    hv.startVm(vm, img.entry);
+    hv.run(budget);
+
+    VmOutcome out;
+    out.machineStats = m.stats();
+    out.vmStats = vm.stats;
+    out.magic = m.memory().read32(vm.vmPhysToReal(img.resultBase));
+    out.busyCycles = m.stats().busyCycles();
+    return out;
+}
+
+inline void
+header(const char *title, const char *paper_ref)
+{
+    std::printf("==========================================================="
+                "=====\n");
+    std::printf("%s\n", title);
+    std::printf("paper reference: %s\n", paper_ref);
+    std::printf("==========================================================="
+                "=====\n");
+}
+
+inline void
+checkCompleted(Longword magic, const char *what)
+{
+    if (magic != MiniVmsImage::kResultMagic) {
+        std::printf("!! %s did not complete (magic=%08X)\n", what,
+                    magic);
+    }
+}
+
+} // namespace vvax::bench
+
+#endif // VVAX_BENCH_COMMON_H

@@ -1,0 +1,14 @@
+; fibonacci.s - compute fib(20) into r0 and store the sequence at 0x1000.
+        clrl    r0              ; fib(0)
+        movl    #1, r1          ; fib(1)
+        movl    #0x1000, r5
+        movl    r0, (r5)+
+        movl    r1, (r5)+
+        movl    #19, r6
+loop:   addl3   r0, r1, r2
+        movl    r1, r0
+        movl    r2, r1
+        movl    r1, (r5)+
+        sobgtr  r6, loop
+        movl    r1, r0          ; r0 = fib(20) = 6765
+        halt

@@ -1,0 +1,10 @@
+; hello.s - print a message through the console transmit register.
+;   ./build/tools/vvax_run examples/asm/hello.s
+;   ./build/tools/vvax_run --vm examples/asm/hello.s
+        moval   msg, r1
+        movl    #13, r2
+loop:   movzbl  (r1)+, r0
+        mtpr    r0, #0x23       ; TXDB
+        sobgtr  r2, loop
+        halt
+msg:    .ascii  "hello, VAX!\r\n"

@@ -1,0 +1,14 @@
+; queue.s - the VMS queue instructions: build a work queue, drain it.
+;   A queue header and three entries; r0 counts the drained entries.
+        movl    #0x1800, r6     ; header
+        movl    r6, (r6)        ; self-linked = empty
+        movl    r6, 4(r6)
+        insque  @#0x1880, (r6)  ; push three entries at the head
+        insque  @#0x18c0, (r6)
+        insque  @#0x1900, (r6)
+        clrl    r0
+drain:  remque  @(r6), r1       ; remove the entry at the head
+        bvs     empty           ; V set: the queue was empty
+        incl    r0
+        brb     drain
+empty:  halt                    ; r0 = 3

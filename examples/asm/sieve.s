@@ -1,0 +1,27 @@
+; sieve.s - sieve of Eratosthenes over 2..255; prime count in r0,
+; the flags live at 0x2000 (1 = composite).
+        movl    #0x2000, r7
+        movl    #2, r1          ; candidate
+outer:  cmpl    r1, #256
+        bgequ   count
+        movzbl  (r7)[r1], r0    ; flag for candidate
+        bneq    next            ; already marked composite
+        ; mark multiples starting at 2*candidate
+        addl3   r1, r1, r2
+mark:   cmpl    r2, #256
+        bgequ   next
+        movb    #1, (r7)[r2]
+        addl2   r1, r2
+        brb     mark
+next:   incl    r1
+        brb     outer
+count:  clrl    r0
+        movl    #2, r1
+cloop:  cmpl    r1, #256
+        bgequ   done
+        movzbl  (r7)[r1], r2
+        bneq    skip
+        incl    r0
+skip:   incl    r1
+        brb     cloop
+done:   halt                    ; r0 = 54 primes below 256

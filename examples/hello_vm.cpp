@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Hello, virtual machine: boot the VMM on a modified VAX, create one
+ * virtual machine, and run a guest that discovers it is virtual (via
+ * the MEMSIZE register), prints through its virtual console, and does
+ * a disk transfer with the KCALL start-I/O hypercall - the virtual
+ * VAX programming interface of Section 5 of the paper.
+ *
+ *   $ ./examples/hello_vm
+ */
+
+#include <cstdio>
+
+#include "vasm/code_builder.h"
+#include "vmm/hypervisor.h"
+#include "vmm/kcall.h"
+
+using namespace vvax;
+
+int
+main()
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified; // the VMM requires it
+    RealMachine machine(mc);
+    Hypervisor hv(machine);
+
+    VmConfig vc;
+    vc.name = "hello";
+    vc.memBytes = 512 * 1024;
+    vc.diskBlocks = 64;
+    VirtualMachine &vm = hv.createVm(vc);
+
+    // The guest: read MEMSIZE (only exists on a virtual VAX), print a
+    // banner, read disk block 7 into memory and print its contents.
+    CodeBuilder b(0x200);
+    Label banner = b.newLabel();
+    Label loop = b.newLabel();
+    b.mfpr(Ipr::MEMSIZE, Op::reg(R7)); // virtual VAX's memory size
+    b.moval(Op::ref(banner), Op::reg(R1));
+    b.movl(Op::imm(22), Op::reg(R2));
+    b.mtpr(Op::imm(kcallabi::kConsoleWrite), Ipr::KCALL);
+    // Disk read: block 7, 1 block, to VM-physical 0x2000.
+    b.movl(Op::lit(7), Op::reg(R1));
+    b.movl(Op::lit(1), Op::reg(R2));
+    b.movl(Op::imm(0x2000), Op::reg(R3));
+    b.mtpr(Op::imm(kcallabi::kDiskRead), Ipr::KCALL);
+    // Print the 16 characters the host wrote to that disk block.
+    b.movl(Op::imm(0x2000), Op::reg(R6));
+    b.movl(Op::imm(16), Op::reg(R8));
+    b.bind(loop);
+    b.movzbl(Op::autoInc(R6), Op::reg(R0));
+    b.mtpr(Op::reg(R0), Ipr::TXDB);
+    b.sobgtr(Op::reg(R8), loop);
+    b.halt();
+    b.bind(banner);
+    b.ascii("hello from the VM\r\n...");
+
+    // Put a message on the virtual disk for the guest to find.
+    std::vector<Byte> block(512, ' ');
+    const char *msg = "DISK SAYS HI!\r\n";
+    std::copy(msg, msg + 15, block.begin());
+    hv.loadVmDisk(vm, 7, block);
+
+    auto image = b.finish();
+    hv.loadVmImage(vm, b.origin(), image);
+    hv.startVm(vm, b.origin());
+    hv.run(1000000);
+
+    std::printf("--- virtual console of '%s' ---\n%s\n",
+                vm.name().c_str(), vm.console.output().c_str());
+    std::printf("guest read MEMSIZE = %u bytes\n",
+                machine.cpu().reg(R7));
+    std::printf("VM halt reason: %d (1 = orderly HALT)\n",
+                static_cast<int>(vm.haltReason));
+    std::printf("virtualization events: %llu emulation traps, "
+                "%llu shadow fills, %llu KCALL I/Os\n",
+                static_cast<unsigned long long>(
+                    vm.stats.emulationTraps),
+                static_cast<unsigned long long>(vm.stats.shadowFills),
+                static_cast<unsigned long long>(vm.stats.kcallIos));
+    return vm.haltReason == VmHaltReason::HaltInstruction ? 0 : 1;
+}

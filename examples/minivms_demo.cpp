@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The full stack: MiniVMS - a four-mode, paging, multiprocess guest
+ * operating system - booted three ways from the same image:
+ *
+ *   1. on a bare standard VAX,
+ *   2. on a bare modified VAX (it services its own modify faults),
+ *   3. inside a virtual machine on the VMM,
+ *
+ * demonstrating the paper's compatibility goals: the modified real
+ * machine and the virtual machine both still look like a VAX to an
+ * unmodified operating system.
+ *
+ *   $ ./examples/minivms_demo
+ */
+
+#include <cstdio>
+
+#include "guest/minivms.h"
+#include "vmm/hypervisor.h"
+
+using namespace vvax;
+
+int
+main()
+{
+    MiniVmsConfig cfg;
+    cfg.numProcesses = 4;
+    cfg.workloads = {Workload::Edit, Workload::Transaction,
+                     Workload::Compute, Workload::PageStress};
+    cfg.iterations = 12;
+    cfg.dataPagesPerProcess = 8;
+
+    // --- 1 & 2: bare machines ---
+    for (MicrocodeLevel level :
+         {MicrocodeLevel::Standard, MicrocodeLevel::Modified}) {
+        MachineConfig mc;
+        mc.ramBytes = cfg.memBytes;
+        mc.level = level;
+        RealMachine m(mc);
+        MiniVmsConfig guest = cfg;
+        guest.diskCsrPfn = mc.diskCsrBase >> kPageShift;
+        MiniVmsImage img = buildMiniVms(guest);
+        m.loadImage(0, img.image);
+        m.cpu().setPc(img.entry);
+        m.cpu().psl().setIpl(31);
+        m.run(100000000);
+        std::printf("=== bare %s VAX ===\n",
+                    level == MicrocodeLevel::Standard ? "standard"
+                                                      : "modified");
+        std::printf("  completed: %s, system services: %u, "
+                    "modify faults serviced by guest: %llu\n",
+                    m.memory().read32(img.resultBase) ==
+                            MiniVmsImage::kResultMagic
+                        ? "yes"
+                        : "NO",
+                    m.memory().read32(img.resultBase + 12),
+                    static_cast<unsigned long long>(
+                        m.stats().modifyFaults));
+        std::printf("  console tail: ...%s\n",
+                    m.console()
+                        .output()
+                        .substr(m.console().output().size() > 24
+                                    ? m.console().output().size() - 24
+                                    : 0)
+                        .c_str());
+    }
+
+    // --- 3: inside a VM ---
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    Hypervisor hv(m);
+    VmConfig vc;
+    vc.name = "minivms";
+    vc.memBytes = cfg.memBytes;
+    VirtualMachine &vm = hv.createVm(vc);
+    MiniVmsImage img = buildMiniVms(cfg);
+    hv.loadVmImage(vm, 0, img.image);
+    hv.startVm(vm, img.entry);
+    hv.run(100000000);
+
+    std::printf("=== inside a virtual machine ===\n");
+    std::printf("  completed: %s, system services: %u\n",
+                m.memory().read32(vm.vmPhysToReal(img.resultBase)) ==
+                        MiniVmsImage::kResultMagic
+                    ? "yes"
+                    : "NO",
+                m.memory().read32(vm.vmPhysToReal(img.resultBase + 12)));
+    const VmStats &s = vm.stats;
+    std::printf("  the guest never noticed, but the VMM performed:\n");
+    std::printf("    %llu CHM emulations, %llu REI emulations, "
+                "%llu LDPCTX context switches,\n",
+                static_cast<unsigned long long>(s.chmEmulations),
+                static_cast<unsigned long long>(s.reiEmulations),
+                static_cast<unsigned long long>(s.ldpctxEmulations));
+    std::printf("    %llu shadow PTE fills, %llu modify faults, "
+                "%llu virtual interrupts,\n",
+                static_cast<unsigned long long>(s.shadowFills),
+                static_cast<unsigned long long>(s.modifyFaults),
+                static_cast<unsigned long long>(s.virtualInterrupts));
+    std::printf("    %llu start-I/O hypercalls, %llu console "
+                "characters.\n",
+                static_cast<unsigned long long>(s.kcallIos),
+                static_cast<unsigned long long>(s.consoleChars));
+    return 0;
+}

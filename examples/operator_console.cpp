@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The virtual VAX operator console (paper Section 5: a command subset
+ * "adequate for booting and debugging a VM"): hand-deposit a program
+ * into a VM through the console, start it, halt it mid-flight,
+ * examine its memory, patch it, and continue it.
+ *
+ *   $ ./examples/operator_console
+ */
+
+#include <cstdio>
+
+#include "vasm/assembler.h"
+#include "vmm/vm_monitor.h"
+
+using namespace vvax;
+
+int
+main()
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine machine(mc);
+    Hypervisor hv(machine);
+    VirtualMachine &vm = hv.createVm(VmConfig{.name = "console-demo"});
+    VmMonitor console(hv, vm);
+
+    auto say = [&](const char *cmd) {
+        std::printf(">>> %s\n%s\n", cmd,
+                    console.command(cmd).c_str());
+    };
+
+    // Assemble a counting loop and deposit it longword by longword,
+    // the way a 1980s operator would toggle in a bootstrap.
+    AssemblyResult prog = assemble(R"(
+loop:   incl    @#0x1000
+        brb     loop
+)",
+                                   0x200);
+    std::printf("depositing a %zu-byte program through the console\n",
+                prog.image.size());
+    for (std::size_t i = 0; i < prog.image.size(); i += 4) {
+        Longword w = 0;
+        for (std::size_t b = 0; b < 4 && i + b < prog.image.size(); ++b)
+            w |= static_cast<Longword>(prog.image[i + b]) << (8 * b);
+        char cmd[64];
+        std::snprintf(cmd, sizeof cmd, "DEPOSIT %zX %X", 0x200 + i, w);
+        say(cmd);
+    }
+
+    say("START 200");
+    hv.run(20000);
+    say("HALT");
+    say("EXAMINE 1000");
+    say("SHOW");
+
+    // Patch the counter while halted, then let it keep going.
+    say("DEPOSIT 1000 100000");
+    say("CONTINUE");
+    hv.run(20000);
+    say("HALT");
+    say("EXAMINE 1000");
+
+    std::printf("\nthe counter resumed from the patched value: the "
+                "console subset is enough to\nboot, stop, inspect, "
+                "patch and continue a virtual machine.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Quickstart: assemble a small VAX program with CodeBuilder, run it
+ * on a bare simulated machine, and read the results.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/machine.h"
+#include "vasm/code_builder.h"
+
+using namespace vvax;
+
+int
+main()
+{
+    // 1. A machine: VAX 8800, modified (virtualizable) microcode,
+    //    4 MB of memory.  Memory management starts disabled, so the
+    //    program below runs at physical addresses in kernel mode.
+    RealMachine machine;
+
+    // 2. A program: sum the integers 1..100, print the low byte of
+    //    the result as a character ('*' = 42... no, 5050 & 0xFF),
+    //    then write the full result to memory and halt.
+    CodeBuilder b(0x200);
+    Label loop = b.newLabel();
+    b.clrl(Op::reg(R0));              // sum = 0
+    b.movl(Op::imm(100), Op::reg(R1)); // i = 100
+    b.bind(loop);
+    b.addl2(Op::reg(R1), Op::reg(R0));
+    b.sobgtr(Op::reg(R1), loop);      // while (--i > 0)
+    b.movl(Op::reg(R0), Op::abs(0x1000));
+    // Say hello through the console transmit register.
+    for (char c : std::string_view("sum = stored at 0x1000\n"))
+        b.mtpr(Op::imm(static_cast<Byte>(c)), Ipr::TXDB);
+    b.halt();
+
+    // 3. Load and run.
+    auto image = b.finish();
+    machine.loadImage(b.origin(), image);
+    machine.cpu().setPc(b.origin());
+    machine.cpu().psl().setIpl(31);
+    machine.cpu().setReg(SP, 0x1000);
+    machine.run(10000);
+
+    // 4. Inspect the results.
+    std::printf("console said: %s", machine.console().output().c_str());
+    std::printf("memory[0x1000] = %u (expected 5050)\n",
+                machine.memory().read32(0x1000));
+    std::printf("executed %llu instructions in %llu simulated cycles\n",
+                static_cast<unsigned long long>(
+                    machine.stats().instructions),
+                static_cast<unsigned long long>(
+                    machine.stats().totalCycles()));
+    return machine.memory().read32(0x1000) == 5050 ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Two virtual machines sharing one real VAX: isolation, round-robin
+ * scheduling on the real interval timer, and the WAIT handshake
+ * (paper Section 5: an idle VMOS tells the VMM to run someone else).
+ *
+ *   $ ./examples/two_vms
+ */
+
+#include <cstdio>
+
+#include "vasm/code_builder.h"
+#include "vmm/hypervisor.h"
+
+using namespace vvax;
+
+namespace {
+
+/** A chatty guest: prints its tag in a loop, yielding now and then. */
+CodeBuilder
+chattyGuest(char tag, int lines)
+{
+    CodeBuilder b(0x200);
+    Label outer = b.newLabel();
+    b.movl(Op::imm(static_cast<Longword>(lines)), Op::reg(R9));
+    b.bind(outer);
+    b.mtpr(Op::imm(static_cast<Byte>(tag)), Ipr::TXDB);
+    b.mtpr(Op::imm('\n'), Ipr::TXDB);
+    // Burn some cycles so the scheduler gets to interleave us.
+    Label spin = b.newLabel();
+    b.movl(Op::imm(400), Op::reg(R8));
+    b.bind(spin);
+    b.sobgtr(Op::reg(R8), spin);
+    b.wait(); // "I'm idle" - the VMM runs the other VM
+    b.sobgtr(Op::reg(R9), outer);
+    b.halt();
+    return b;
+}
+
+} // namespace
+
+int
+main()
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine machine(mc);
+
+    HypervisorConfig hc;
+    hc.tickCycles = 4000; // brisk scheduling so the interleave shows
+    Hypervisor hv(machine, hc);
+
+    VmConfig vc;
+    vc.memBytes = 256 * 1024;
+    vc.waitTimeoutQuanta = 2;
+    vc.name = "alpha";
+    VirtualMachine &alpha = hv.createVm(vc);
+    vc.name = "beta";
+    VirtualMachine &beta = hv.createVm(vc);
+
+    CodeBuilder a = chattyGuest('A', 6);
+    CodeBuilder c = chattyGuest('B', 6);
+    auto ia = a.finish();
+    auto ib = c.finish();
+    hv.loadVmImage(alpha, 0x200, ia);
+    hv.loadVmImage(beta, 0x200, ib);
+    hv.startVm(alpha, 0x200);
+    hv.startVm(beta, 0x200);
+    hv.run(10000000);
+
+    std::printf("alpha's console: %s\n", alpha.console.output().c_str());
+    std::printf("beta's console : %s\n", beta.console.output().c_str());
+    std::printf("\nscheduling: alpha ran %llu times, beta %llu times; "
+                "WAIT handshakes: %llu + %llu\n",
+                static_cast<unsigned long long>(alpha.stats.vmEntries),
+                static_cast<unsigned long long>(beta.stats.vmEntries),
+                static_cast<unsigned long long>(alpha.stats.waits),
+                static_cast<unsigned long long>(beta.stats.waits));
+    std::printf("both halted cleanly: %s\n",
+                (alpha.haltReason == VmHaltReason::HaltInstruction &&
+                 beta.haltReason == VmHaltReason::HaltInstruction)
+                    ? "yes"
+                    : "no");
+    return 0;
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Build, test, and regenerate every experiment (see EXPERIMENTS.md).
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+{
+  for b in build/bench/*; do
+    [ -x "$b" ] || continue
+    echo "================================================================"
+    echo "### $(basename "$b")"
+    case "$(basename "$b")" in
+      bench_sim_throughput) "$b" --benchmark_min_time=0.2 ;;
+      *) "$b" ;;
+    esac
+    echo
+  done
+} 2>&1 | tee bench_output.txt

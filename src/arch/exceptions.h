@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Exception descriptors exchanged between the CPU core and handlers.
+ *
+ * A VAX exception pushes, on the destination stack: the parameters
+ * (innermost), then the PC, then the PSL.  The handler's SP therefore
+ * points at the first parameter.  REI after popping the parameters
+ * dismisses the exception.
+ */
+
+#ifndef VVAX_ARCH_EXCEPTIONS_H
+#define VVAX_ARCH_EXCEPTIONS_H
+
+#include <array>
+
+#include "arch/scb.h"
+#include "arch/types.h"
+
+namespace vvax {
+
+/** Memory-management fault parameter longword bits. */
+namespace mmparam {
+constexpr Longword kLengthViolation = 1u << 0;
+constexpr Longword kPteReference = 1u << 1; //!< fault on the PTE fetch
+constexpr Longword kWriteIntent = 1u << 2;
+} // namespace mmparam
+
+/** Arithmetic exception type codes (pushed as the single parameter). */
+namespace arithcode {
+constexpr Longword kIntegerOverflow = 1;
+constexpr Longword kIntegerDivideByZero = 2;
+} // namespace arithcode
+
+/**
+ * A guest fault raised during instruction execution.  Thrown inside
+ * the CPU's execute path and converted into an SCB dispatch by the
+ * step loop.  This models the microcode's internal abort path; it is
+ * never visible to users of the library.
+ */
+struct GuestFault
+{
+    ScbVector vector;
+    Byte nParams = 0;
+    std::array<Longword, 2> params{};
+    /**
+     * Faults that abort the instruction restart it after the handler
+     * REIs (pushed PC = start of instruction); traps complete first
+     * (pushed PC = next instruction).
+     */
+    bool isAbort = true;
+
+    static GuestFault
+    simple(ScbVector vector, bool abort = true)
+    {
+        return GuestFault{vector, 0, {0, 0}, abort};
+    }
+
+    static GuestFault
+    withParam(ScbVector vector, Longword p0, bool abort = true)
+    {
+        return GuestFault{vector, 1, {p0, 0}, abort};
+    }
+
+    static GuestFault
+    memoryManagement(ScbVector vector, Longword param, VirtAddr va)
+    {
+        return GuestFault{vector, 2, {param, va}, true};
+    }
+};
+
+/**
+ * Raised when the processor halts (HALT in kernel mode, double
+ * exception, or an explicit external halt request).
+ */
+enum class HaltReason : Byte {
+    None = 0,
+    HaltInstruction,
+    KernelStackNotValid, //!< double fault during exception delivery
+    ExternalRequest,
+    InstructionLimit,
+};
+
+} // namespace vvax
+
+#endif // VVAX_ARCH_EXCEPTIONS_H

@@ -1,0 +1,46 @@
+#include "arch/ipr.h"
+
+namespace vvax {
+
+std::string_view
+iprName(Ipr ipr)
+{
+    switch (ipr) {
+      case Ipr::KSP: return "KSP";
+      case Ipr::ESP: return "ESP";
+      case Ipr::SSP: return "SSP";
+      case Ipr::USP: return "USP";
+      case Ipr::ISP: return "ISP";
+      case Ipr::P0BR: return "P0BR";
+      case Ipr::P0LR: return "P0LR";
+      case Ipr::P1BR: return "P1BR";
+      case Ipr::P1LR: return "P1LR";
+      case Ipr::SBR: return "SBR";
+      case Ipr::SLR: return "SLR";
+      case Ipr::PCBB: return "PCBB";
+      case Ipr::SCBB: return "SCBB";
+      case Ipr::IPL: return "IPL";
+      case Ipr::ASTLVL: return "ASTLVL";
+      case Ipr::SIRR: return "SIRR";
+      case Ipr::SISR: return "SISR";
+      case Ipr::ICCS: return "ICCS";
+      case Ipr::NICR: return "NICR";
+      case Ipr::ICR: return "ICR";
+      case Ipr::TODR: return "TODR";
+      case Ipr::RXCS: return "RXCS";
+      case Ipr::RXDB: return "RXDB";
+      case Ipr::TXCS: return "TXCS";
+      case Ipr::TXDB: return "TXDB";
+      case Ipr::MAPEN: return "MAPEN";
+      case Ipr::TBIA: return "TBIA";
+      case Ipr::TBIS: return "TBIS";
+      case Ipr::SID: return "SID";
+      case Ipr::MEMSIZE: return "MEMSIZE";
+      case Ipr::KCALL: return "KCALL";
+      case Ipr::IORESET: return "IORESET";
+      case Ipr::VMPSL: return "VMPSL";
+    }
+    return "?";
+}
+
+} // namespace vvax

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Internal processor register (IPR) numbers for MTPR/MFPR.
+ *
+ * Registers 0x40 and above are the modified-VAX extensions from the
+ * paper: MEMSIZE, KCALL and IORESET exist on the *virtual* VAX
+ * processor (Section 5), and VMPSL exists on the modified real VAX
+ * (Section 4.2).
+ */
+
+#ifndef VVAX_ARCH_IPR_H
+#define VVAX_ARCH_IPR_H
+
+#include <string_view>
+
+#include "arch/types.h"
+
+namespace vvax {
+
+enum class Ipr : Byte {
+    KSP = 0x00,    //!< kernel stack pointer
+    ESP = 0x01,    //!< executive stack pointer
+    SSP = 0x02,    //!< supervisor stack pointer
+    USP = 0x03,    //!< user stack pointer
+    ISP = 0x04,    //!< interrupt stack pointer
+
+    P0BR = 0x08,   //!< P0 page table base (virtual, in S space)
+    P0LR = 0x09,   //!< P0 page table length (in PTEs)
+    P1BR = 0x0A,   //!< P1 page table base (biased virtual address)
+    P1LR = 0x0B,   //!< P1 page table length
+    SBR = 0x0C,    //!< system page table base (physical)
+    SLR = 0x0D,    //!< system page table length
+
+    PCBB = 0x10,   //!< process control block base (physical)
+    SCBB = 0x11,   //!< system control block base (physical)
+    IPL = 0x12,    //!< interrupt priority level
+    ASTLVL = 0x13, //!< AST delivery level
+    SIRR = 0x14,   //!< software interrupt request (write only)
+    SISR = 0x15,   //!< software interrupt summary
+
+    ICCS = 0x18,   //!< interval clock control/status
+    NICR = 0x19,   //!< next interval count
+    ICR = 0x1A,    //!< interval count
+    TODR = 0x1B,   //!< time of day
+
+    RXCS = 0x20,   //!< console receive control/status
+    RXDB = 0x21,   //!< console receive data buffer
+    TXCS = 0x22,   //!< console transmit control/status
+    TXDB = 0x23,   //!< console transmit data buffer
+
+    MAPEN = 0x38,  //!< memory mapping enable
+    TBIA = 0x39,   //!< translation buffer invalidate all
+    TBIS = 0x3A,   //!< translation buffer invalidate single
+    SID = 0x3E,    //!< system identification (read only)
+
+    // --- Modified/virtual VAX extensions (paper Sections 4 and 5) ---
+    MEMSIZE = 0x40, //!< total VM-physical memory in bytes (virtual VAX)
+    KCALL = 0x41,   //!< VMM service request, e.g. start-I/O (virtual VAX)
+    IORESET = 0x42, //!< reset virtual I/O system (virtual VAX)
+    VMPSL = 0x44,   //!< the VM's emulated PSL fields (modified VAX)
+};
+
+/** Highest IPR number that names an implemented register. */
+constexpr Byte kMaxIpr = 0x44;
+
+/** Mnemonic for an IPR, or "?" when unimplemented. */
+std::string_view iprName(Ipr ipr);
+
+/** Interval clock control/status bits (subset). */
+namespace iccs {
+constexpr Longword kRun = 1u << 0;       //!< counter running
+constexpr Longword kTransfer = 1u << 4;  //!< load NICR into ICR
+constexpr Longword kInterruptEnable = 1u << 6;
+constexpr Longword kInterrupt = 1u << 7; //!< interrupt pending/ack
+} // namespace iccs
+
+/** Console control/status bits (RXCS/TXCS). */
+namespace consolecsr {
+constexpr Longword kInterruptEnable = 1u << 6;
+constexpr Longword kReady = 1u << 7; //!< done (TX) / data available (RX)
+} // namespace consolecsr
+
+} // namespace vvax
+
+#endif // VVAX_ARCH_IPR_H

@@ -1,0 +1,191 @@
+#include "arch/opcodes.h"
+
+#include <array>
+
+namespace vvax {
+
+namespace {
+
+constexpr OperandSpec rb{OpAccess::Read, OpSize::B};
+constexpr OperandSpec rw{OpAccess::Read, OpSize::W};
+constexpr OperandSpec rl{OpAccess::Read, OpSize::L};
+constexpr OperandSpec wb{OpAccess::Write, OpSize::B};
+constexpr OperandSpec ww{OpAccess::Write, OpSize::W};
+constexpr OperandSpec wl{OpAccess::Write, OpSize::L};
+constexpr OperandSpec mb [[maybe_unused]]{OpAccess::Modify, OpSize::B};
+constexpr OperandSpec ml{OpAccess::Modify, OpSize::L};
+constexpr OperandSpec ab{OpAccess::Address, OpSize::B};
+constexpr OperandSpec al{OpAccess::Address, OpSize::L};
+constexpr OperandSpec bb{OpAccess::Branch, OpSize::B};
+constexpr OperandSpec bw{OpAccess::Branch, OpSize::W};
+constexpr OperandSpec vb{OpAccess::VField, OpSize::B};
+constexpr OperandSpec rq{OpAccess::Read, OpSize::Q};
+constexpr OperandSpec wq{OpAccess::Write, OpSize::Q};
+constexpr OperandSpec xx{OpAccess::Read, OpSize::B}; // filler
+
+/** One table row.  Unused operand slots are filled with @c xx. */
+constexpr InstrInfo
+row(Word op, std::string_view name, Byte cycles,
+    std::initializer_list<OperandSpec> ops)
+{
+    InstrInfo info{op, name, static_cast<Byte>(ops.size()),
+                   {xx, xx, xx, xx, xx, xx}, cycles};
+    int i = 0;
+    for (const auto &spec : ops)
+        info.operands[i++] = spec;
+    return info;
+}
+
+constexpr auto kInstrTable = std::to_array<InstrInfo>({
+    row(0x00, "HALT", 2, {}),
+    row(0x01, "NOP", 1, {}),
+    row(0x02, "REI", 12, {}),
+    row(0x03, "BPT", 4, {}),
+    row(0x04, "RET", 14, {}),
+    row(0x05, "RSB", 4, {}),
+    row(0x06, "LDPCTX", 30, {}),
+    row(0x07, "SVPCTX", 24, {}),
+    row(0x0C, "PROBER", 8, {rb, rw, ab}),
+    row(0x0E, "INSQUE", 8, {ab, ab}),
+    row(0x0F, "REMQUE", 8, {ab, wl}),
+    row(0x0D, "PROBEW", 8, {rb, rw, ab}),
+    row(0x10, "BSBB", 4, {bb}),
+    row(0x11, "BRB", 3, {bb}),
+    row(0x12, "BNEQ", 3, {bb}),
+    row(0x13, "BEQL", 3, {bb}),
+    row(0x14, "BGTR", 3, {bb}),
+    row(0x15, "BLEQ", 3, {bb}),
+    row(0x16, "JSB", 5, {ab}),
+    row(0x17, "JMP", 4, {ab}),
+    row(0x18, "BGEQ", 3, {bb}),
+    row(0x19, "BLSS", 3, {bb}),
+    row(0x1A, "BGTRU", 3, {bb}),
+    row(0x1B, "BLEQU", 3, {bb}),
+    row(0x1C, "BVC", 3, {bb}),
+    row(0x1D, "BVS", 3, {bb}),
+    row(0x1E, "BCC", 3, {bb}),
+    row(0x1F, "BCS", 3, {bb}),
+    row(0x28, "MOVC3", 20, {rw, ab, ab}),
+    row(0x30, "BSBW", 4, {bw}),
+    row(0x31, "BRW", 3, {bw}),
+    row(0x32, "CVTWL", 3, {rw, wl}),
+    row(0x3C, "MOVZWL", 3, {rw, wl}),
+    row(0x78, "ASHL", 6, {rb, rl, wl}),
+    row(0x7A, "EMUL", 14, {rl, rl, rl, wq}),
+    row(0x7B, "EDIV", 20, {rl, rq, wl, wl}),
+    row(0x7C, "CLRQ", 3, {wq}),
+    row(0x7D, "MOVQ", 3, {rq, wq}),
+    row(0x8F, "CASEB", 8, {rb, rb, rb}),
+    row(0x90, "MOVB", 2, {rb, wb}),
+    row(0x91, "CMPB", 3, {rb, rb}),
+    row(0x94, "CLRB", 2, {wb}),
+    row(0x95, "TSTB", 2, {rb}),
+    row(0x98, "CVTBL", 3, {rb, wl}),
+    row(0x9A, "MOVZBL", 3, {rb, wl}),
+    row(0x9C, "ROTL", 5, {rb, rl, wl}),
+    row(0x9E, "MOVAB", 3, {ab, wl}),
+    row(0xAF, "CASEW", 8, {rw, rw, rw}),
+    row(0xB0, "MOVW", 2, {rw, ww}),
+    row(0xB1, "CMPW", 3, {rw, rw}),
+    row(0xB4, "CLRW", 2, {ww}),
+    row(0xB5, "TSTW", 2, {rw}),
+    row(0xB8, "BISPSW", 4, {rw}),
+    row(0xB9, "BICPSW", 4, {rw}),
+    row(0xBA, "PUSHR", 8, {rw}),
+    row(0xBB, "POPR", 8, {rw}),
+    row(0xBC, "CHMK", 16, {rw}),
+    row(0xBD, "CHME", 16, {rw}),
+    row(0xBE, "CHMS", 16, {rw}),
+    row(0xBF, "CHMU", 16, {rw}),
+    row(0xC0, "ADDL2", 2, {rl, ml}),
+    row(0xC1, "ADDL3", 3, {rl, rl, wl}),
+    row(0xC2, "SUBL2", 2, {rl, ml}),
+    row(0xC3, "SUBL3", 3, {rl, rl, wl}),
+    row(0xC4, "MULL2", 12, {rl, ml}),
+    row(0xC5, "MULL3", 13, {rl, rl, wl}),
+    row(0xC6, "DIVL2", 18, {rl, ml}),
+    row(0xC7, "DIVL3", 19, {rl, rl, wl}),
+    row(0xC8, "BISL2", 2, {rl, ml}),
+    row(0xC9, "BISL3", 3, {rl, rl, wl}),
+    row(0xCA, "BICL2", 2, {rl, ml}),
+    row(0xCB, "BICL3", 3, {rl, rl, wl}),
+    row(0xCC, "XORL2", 2, {rl, ml}),
+    row(0xCD, "XORL3", 3, {rl, rl, wl}),
+    row(0xCE, "MNEGL", 3, {rl, wl}),
+    row(0xCF, "CASEL", 8, {rl, rl, rl}),
+    row(0xD0, "MOVL", 2, {rl, wl}),
+    row(0xD1, "CMPL", 3, {rl, rl}),
+    row(0xD2, "MCOML", 3, {rl, wl}),
+    row(0xD4, "CLRL", 2, {wl}),
+    row(0xD5, "TSTL", 2, {rl}),
+    row(0xD6, "INCL", 2, {ml}),
+    row(0xD7, "DECL", 2, {ml}),
+    row(0xD8, "ADWC", 3, {rl, ml}),
+    row(0xD9, "SBWC", 3, {rl, ml}),
+    row(0xDA, "MTPR", 6, {rl, rl}),
+    row(0xDB, "MFPR", 6, {rl, wl}),
+    row(0xDC, "MOVPSL", 3, {wl}),
+    row(0xDD, "PUSHL", 3, {rl}),
+    row(0xDE, "MOVAL", 3, {al, wl}),
+    row(0xDF, "PUSHAL", 4, {al}),
+    row(0xE0, "BBS", 5, {rl, vb, bb}),
+    row(0xE1, "BBC", 5, {rl, vb, bb}),
+    row(0xE2, "BBSS", 6, {rl, vb, bb}),
+    row(0xE3, "BBCS", 6, {rl, vb, bb}),
+    row(0xE4, "BBSC", 6, {rl, vb, bb}),
+    row(0xE5, "BBCC", 6, {rl, vb, bb}),
+    row(0xE8, "BLBS", 3, {rl, bb}),
+    row(0xE9, "BLBC", 3, {rl, bb}),
+    row(0xF2, "AOBLSS", 4, {rl, ml, bb}),
+    row(0xF3, "AOBLEQ", 4, {rl, ml, bb}),
+    row(0xF4, "SOBGEQ", 4, {ml, bb}),
+    row(0xF5, "SOBGTR", 4, {ml, bb}),
+    row(0xFA, "CALLG", 20, {ab, ab}),
+    row(0xFB, "CALLS", 20, {rl, ab}),
+    row(0xFD31, "WAIT", 4, {}),
+    row(0xFD32, "PROBEVMR", 8, {rb, ab}),
+    row(0xFD33, "PROBEVMW", 8, {rb, ab}),
+});
+
+/** Dense lookup: index 0..255 one-byte page, 256..511 the 0xFD page. */
+constexpr std::array<const InstrInfo *, 512>
+buildIndex()
+{
+    std::array<const InstrInfo *, 512> index{};
+    for (const auto &info : kInstrTable) {
+        if ((info.opcode & 0xFF00) == 0xFD00)
+            index[256 + (info.opcode & 0xFF)] = &info;
+        else
+            index[info.opcode & 0xFF] = &info;
+    }
+    return index;
+}
+
+const std::array<const InstrInfo *, 512> kIndex = buildIndex();
+
+} // namespace
+
+const InstrInfo *
+instrInfo(Word opcode)
+{
+    if ((opcode & 0xFF00) == 0xFD00)
+        return kIndex[256 + (opcode & 0xFF)];
+    if (opcode > 0xFF)
+        return nullptr;
+    return kIndex[opcode];
+}
+
+std::span<const InstrInfo>
+allInstructions()
+{
+    return kInstrTable;
+}
+
+std::string_view
+opcodeName(Word opcode)
+{
+    const InstrInfo *info = instrInfo(opcode);
+    return info ? info->mnemonic : "???";
+}
+
+} // namespace vvax

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Opcode values and per-instruction operand specifications.
+ *
+ * The implemented subset covers the integer/move/branch/procedure-call
+ * core of the VAX instruction set plus every instruction the paper
+ * discusses: CHMx, REI, MOVPSL, PROBER/PROBEW, MTPR/MFPR,
+ * LDPCTX/SVPCTX, HALT, and the modified-architecture additions WAIT
+ * and PROBEVMR/PROBEVMW (two-byte opcodes on the 0xFD page).
+ *
+ * Each instruction's operand list drives the generic operand decoder
+ * in the CPU: access kind (read/write/modify/address/branch
+ * displacement/variable bit field) and size.
+ */
+
+#ifndef VVAX_ARCH_OPCODES_H
+#define VVAX_ARCH_OPCODES_H
+
+#include <array>
+#include <span>
+#include <string_view>
+
+#include "arch/types.h"
+
+namespace vvax {
+
+/** Two-byte opcodes are encoded as 0xFD00 | second byte. */
+enum class Opcode : Word {
+    HALT = 0x00,
+    NOP = 0x01,
+    REI = 0x02,
+    BPT = 0x03,
+    RET = 0x04,
+    RSB = 0x05,
+    LDPCTX = 0x06,
+    SVPCTX = 0x07,
+    PROBER = 0x0C,
+    PROBEW = 0x0D,
+    INSQUE = 0x0E,
+    REMQUE = 0x0F,
+    BSBB = 0x10,
+    BRB = 0x11,
+    BNEQ = 0x12,
+    BEQL = 0x13,
+    BGTR = 0x14,
+    BLEQ = 0x15,
+    JSB = 0x16,
+    JMP = 0x17,
+    BGEQ = 0x18,
+    BLSS = 0x19,
+    BGTRU = 0x1A,
+    BLEQU = 0x1B,
+    BVC = 0x1C,
+    BVS = 0x1D,
+    BCC = 0x1E,
+    BCS = 0x1F,
+    MOVC3 = 0x28,
+    BSBW = 0x30,
+    BRW = 0x31,
+    CVTWL = 0x32,
+    MOVZWL = 0x3C,
+    ASHL = 0x78,
+    EMUL = 0x7A,
+    EDIV = 0x7B,
+    CLRQ = 0x7C,
+    MOVQ = 0x7D,
+    CASEB = 0x8F,
+    MOVB = 0x90,
+    CMPB = 0x91,
+    CLRB = 0x94,
+    TSTB = 0x95,
+    CVTBL = 0x98,
+    MOVZBL = 0x9A,
+    ROTL = 0x9C,
+    MOVAB = 0x9E,
+    CASEW = 0xAF,
+    MOVW = 0xB0,
+    CMPW = 0xB1,
+    CLRW = 0xB4,
+    TSTW = 0xB5,
+    BISPSW = 0xB8,
+    BICPSW = 0xB9,
+    PUSHR = 0xBA,
+    POPR = 0xBB,
+    CHMK = 0xBC,
+    CHME = 0xBD,
+    CHMS = 0xBE,
+    CHMU = 0xBF,
+    ADDL2 = 0xC0,
+    ADDL3 = 0xC1,
+    SUBL2 = 0xC2,
+    SUBL3 = 0xC3,
+    MULL2 = 0xC4,
+    MULL3 = 0xC5,
+    DIVL2 = 0xC6,
+    DIVL3 = 0xC7,
+    BISL2 = 0xC8,
+    BISL3 = 0xC9,
+    BICL2 = 0xCA,
+    BICL3 = 0xCB,
+    XORL2 = 0xCC,
+    XORL3 = 0xCD,
+    MNEGL = 0xCE,
+    CASEL = 0xCF,
+    MOVL = 0xD0,
+    CMPL = 0xD1,
+    MCOML = 0xD2,
+    CLRL = 0xD4,
+    TSTL = 0xD5,
+    INCL = 0xD6,
+    DECL = 0xD7,
+    ADWC = 0xD8,
+    SBWC = 0xD9,
+    MTPR = 0xDA,
+    MFPR = 0xDB,
+    MOVPSL = 0xDC,
+    PUSHL = 0xDD,
+    MOVAL = 0xDE,
+    PUSHAL = 0xDF,
+    BBS = 0xE0,
+    BBC = 0xE1,
+    BBSS = 0xE2,
+    BBCS = 0xE3,
+    BBSC = 0xE4,
+    BBCC = 0xE5,
+    BLBS = 0xE8,
+    BLBC = 0xE9,
+    AOBLSS = 0xF2,
+    AOBLEQ = 0xF3,
+    SOBGEQ = 0xF4,
+    SOBGTR = 0xF5,
+    CALLG = 0xFA,
+    CALLS = 0xFB,
+    // Modified-VAX extensions (0xFD page).
+    WAIT = 0xFD31,
+    PROBEVMR = 0xFD32,
+    PROBEVMW = 0xFD33,
+};
+
+/** How an instruction uses an operand. */
+enum class OpAccess : Byte {
+    Read,    //!< value fetched
+    Write,   //!< value stored
+    Modify,  //!< fetched then stored back
+    Address, //!< effective address only (register mode is a fault)
+    Branch,  //!< PC-relative displacement embedded in the stream
+    VField,  //!< variable bit field base (address, or register)
+};
+
+/** Operand size in bytes (branch displacements: size of displacement). */
+enum class OpSize : Byte { B = 1, W = 2, L = 4, Q = 8 };
+
+struct OperandSpec
+{
+    OpAccess access;
+    OpSize size;
+};
+
+constexpr int kMaxOperands = 6;
+
+/** Static description of one instruction. */
+struct InstrInfo
+{
+    Word opcode;
+    std::string_view mnemonic;
+    Byte nOperands;
+    std::array<OperandSpec, kMaxOperands> operands;
+    /** Base execution cost in cycles (model-independent relative cost). */
+    Byte baseCycles;
+};
+
+/**
+ * Look up the instruction description for @p opcode (one-byte value,
+ * or 0xFD00|b for two-byte opcodes).
+ *
+ * @return nullptr if the opcode is not implemented (reserved
+ * instruction fault).
+ */
+const InstrInfo *instrInfo(Word opcode);
+
+/** Mnemonic for @p opcode, or "???" when unimplemented. */
+std::string_view opcodeName(Word opcode);
+
+/** The full instruction table (for assemblers and tooling). */
+std::span<const InstrInfo> allInstructions();
+
+} // namespace vvax
+
+#endif // VVAX_ARCH_OPCODES_H

@@ -1,0 +1,80 @@
+#include "arch/protection.h"
+
+#include <array>
+
+namespace vvax {
+
+namespace {
+
+/**
+ * For each protection code: the least privileged mode that may write
+ * and the least privileged mode that may read.  -1 means no mode.
+ * Modes are 0 (kernel) .. 3 (user); a mode m has access when
+ * m <= entry.
+ */
+struct ProtRow
+{
+    int write; //!< least privileged writer, -1 if none
+    int read;  //!< least privileged reader, -1 if none
+};
+
+constexpr std::array<ProtRow, kNumProtectionCodes> kProtTable = {{
+    /* NA       */ {-1, -1},
+    /* Reserved */ {-1, -1},
+    /* KW       */ {0, 0},
+    /* KR       */ {-1, 0},
+    /* UW       */ {3, 3},
+    /* EW       */ {1, 1},
+    /* ERKW     */ {0, 1},
+    /* ER       */ {-1, 1},
+    /* SW       */ {2, 2},
+    /* SREW     */ {1, 2},
+    /* SRKW     */ {0, 2},
+    /* SR       */ {-1, 2},
+    /* URSW     */ {2, 3},
+    /* UREW     */ {1, 3},
+    /* URKW     */ {0, 3},
+    /* UR       */ {-1, 3},
+}};
+
+constexpr std::array<std::string_view, kNumProtectionCodes> kProtNames = {
+    "NA", "Reserved", "KW", "KR", "UW", "EW", "ERKW", "ER",
+    "SW", "SREW", "SRKW", "SR", "URSW", "UREW", "URKW", "UR",
+};
+
+} // namespace
+
+bool
+protectionPermits(Protection prot, AccessMode mode, AccessType type)
+{
+    const ProtRow &row = kProtTable[static_cast<Byte>(prot) & 0xF];
+    const int allowed = type == AccessType::Write ? row.write : row.read;
+    return allowed >= 0 && static_cast<int>(mode) <= allowed;
+}
+
+int
+leastPrivilegedAllowed(Protection prot, AccessType type)
+{
+    const ProtRow &row = kProtTable[static_cast<Byte>(prot) & 0xF];
+    return type == AccessType::Write ? row.write : row.read;
+}
+
+std::string_view
+protectionName(Protection prot)
+{
+    return kProtNames[static_cast<Byte>(prot) & 0xF];
+}
+
+std::string_view
+accessModeName(AccessMode mode)
+{
+    switch (mode) {
+      case AccessMode::Kernel: return "kernel";
+      case AccessMode::Executive: return "executive";
+      case AccessMode::Supervisor: return "supervisor";
+      case AccessMode::User: return "user";
+    }
+    return "?";
+}
+
+} // namespace vvax

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Processor Status Longword (PSL) layout and accessors.
+ *
+ * The PSL combines the user-visible PSW (condition codes and trap
+ * enables, bits <7:0>) with privileged processor state (IPL, current
+ * and previous access modes, interrupt-stack flag, ...).
+ *
+ * Bit 29 is the VM mode bit defined by the paper's modified VAX
+ * architecture (standard VAX reserves it as must-be-zero).  PSL<VM> is
+ * set only by software (via REI of a saved PSL image from real kernel
+ * mode) and cleared only by microcode when an exception or interrupt
+ * occurs; MOVPSL never exposes it.
+ */
+
+#ifndef VVAX_ARCH_PSL_H
+#define VVAX_ARCH_PSL_H
+
+#include "arch/types.h"
+
+namespace vvax {
+
+/** Value-type wrapper around the 32-bit PSL. */
+class Psl
+{
+  public:
+    // Bit positions.
+    static constexpr Longword kC = 1u << 0;   //!< carry
+    static constexpr Longword kV = 1u << 1;   //!< overflow
+    static constexpr Longword kZ = 1u << 2;   //!< zero
+    static constexpr Longword kN = 1u << 3;   //!< negative
+    static constexpr Longword kT = 1u << 4;   //!< trace enable
+    static constexpr Longword kIv = 1u << 5;  //!< integer overflow enable
+    static constexpr Longword kFu = 1u << 6;  //!< floating underflow enable
+    static constexpr Longword kDv = 1u << 7;  //!< decimal overflow enable
+
+    static constexpr int kIplShift = 16;
+    static constexpr Longword kIplMask = 0x1Fu << kIplShift;
+    static constexpr int kPrvModShift = 22;
+    static constexpr Longword kPrvModMask = 0x3u << kPrvModShift;
+    static constexpr int kCurModShift = 24;
+    static constexpr Longword kCurModMask = 0x3u << kCurModShift;
+    static constexpr Longword kIs = 1u << 26;  //!< on interrupt stack
+    static constexpr Longword kFpd = 1u << 27; //!< first part done
+    static constexpr Longword kVm = 1u << 29;  //!< VM mode (modified VAX)
+    static constexpr Longword kTp = 1u << 30;  //!< trace pending
+    static constexpr Longword kCm = 1u << 31;  //!< compatibility mode
+
+    /** Condition-code bits, PSW<3:0>. */
+    static constexpr Longword kCcMask = kC | kV | kZ | kN;
+    /** The user-writable PSW bits, PSL<7:0>. */
+    static constexpr Longword kPswMask = 0xFFu;
+
+    /**
+     * Bits that must be zero in any PSL image loaded by REI on a
+     * standard VAX.  (The VM bit is additionally allowed from real
+     * kernel mode on a modified VAX; the CPU checks that separately.)
+     */
+    static constexpr Longword kMbzMask =
+        0x0000FF00u | (1u << 21) | (1u << 28) | kVm;
+
+    constexpr Psl() = default;
+    constexpr explicit Psl(Longword raw) : raw_(raw) {}
+
+    constexpr Longword raw() const { return raw_; }
+    constexpr void setRaw(Longword raw) { raw_ = raw; }
+
+    constexpr bool c() const { return raw_ & kC; }
+    constexpr bool v() const { return raw_ & kV; }
+    constexpr bool z() const { return raw_ & kZ; }
+    constexpr bool n() const { return raw_ & kN; }
+
+    constexpr void
+    setFlag(Longword bit, bool value)
+    {
+        raw_ = value ? (raw_ | bit) : (raw_ & ~bit);
+    }
+
+    constexpr bool flag(Longword bit) const { return raw_ & bit; }
+
+    /** Set N, Z, V, C in one call (the common ALU epilogue). */
+    constexpr void
+    setNzvc(bool n, bool z, bool v, bool c)
+    {
+        raw_ = (raw_ & ~kCcMask) | (n ? kN : 0) | (z ? kZ : 0) |
+               (v ? kV : 0) | (c ? kC : 0);
+    }
+
+    constexpr Byte ipl() const { return (raw_ & kIplMask) >> kIplShift; }
+
+    constexpr void
+    setIpl(Byte ipl)
+    {
+        raw_ = (raw_ & ~kIplMask) |
+               (static_cast<Longword>(ipl & 0x1F) << kIplShift);
+    }
+
+    constexpr AccessMode
+    currentMode() const
+    {
+        return static_cast<AccessMode>((raw_ & kCurModMask) >> kCurModShift);
+    }
+
+    constexpr void
+    setCurrentMode(AccessMode mode)
+    {
+        raw_ = (raw_ & ~kCurModMask) |
+               (static_cast<Longword>(mode) << kCurModShift);
+    }
+
+    constexpr AccessMode
+    previousMode() const
+    {
+        return static_cast<AccessMode>((raw_ & kPrvModMask) >> kPrvModShift);
+    }
+
+    constexpr void
+    setPreviousMode(AccessMode mode)
+    {
+        raw_ = (raw_ & ~kPrvModMask) |
+               (static_cast<Longword>(mode) << kPrvModShift);
+    }
+
+    constexpr bool interruptStack() const { return raw_ & kIs; }
+    constexpr void setInterruptStack(bool on) { setFlag(kIs, on); }
+
+    constexpr bool vm() const { return raw_ & kVm; }
+    constexpr void setVm(bool on) { setFlag(kVm, on); }
+
+    constexpr bool
+    operator==(const Psl &other) const
+    {
+        return raw_ == other.raw_;
+    }
+
+  private:
+    Longword raw_ = 0;
+};
+
+} // namespace vvax
+
+#endif // VVAX_ARCH_PSL_H

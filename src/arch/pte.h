@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Page table entry (PTE) format.
+ *
+ * Layout (VAX Architecture Reference Manual):
+ *
+ *   31    30..27  26  25  24..21  20..0
+ *   V     PROT    M   Z   OWN     PFN
+ *
+ * V is the valid bit; hardware may use and cache the PTE only when it
+ * is set, but the protection field is checked even when it is clear
+ * (the property the paper's null-PTE shadow fill discipline exploits).
+ * M is the modify bit.  OWN is a software field ignored by hardware.
+ */
+
+#ifndef VVAX_ARCH_PTE_H
+#define VVAX_ARCH_PTE_H
+
+#include "arch/protection.h"
+#include "arch/types.h"
+
+namespace vvax {
+
+/** Value-type wrapper around the 32-bit PTE. */
+class Pte
+{
+  public:
+    static constexpr Longword kValid = 1u << 31;
+    static constexpr int kProtShift = 27;
+    static constexpr Longword kProtMask = 0xFu << kProtShift;
+    static constexpr Longword kModify = 1u << 26;
+    static constexpr Longword kPfnMask = 0x001FFFFFu;
+
+    constexpr Pte() = default;
+    constexpr explicit Pte(Longword raw) : raw_(raw) {}
+
+    /** Compose a PTE from fields. */
+    static constexpr Pte
+    make(bool valid, Protection prot, bool modify, Pfn pfn)
+    {
+        Longword raw = (valid ? kValid : 0) |
+                       (static_cast<Longword>(prot) << kProtShift) |
+                       (modify ? kModify : 0) | (pfn & kPfnMask);
+        return Pte(raw);
+    }
+
+    /**
+     * The null PTE used to initialise shadow page tables (paper
+     * Section 4.3.1): read/write for all modes so the protection check
+     * always succeeds, but invalid so the reference faults to the VMM.
+     */
+    static constexpr Pte
+    null()
+    {
+        return make(false, Protection::UW, false, 0);
+    }
+
+    constexpr Longword raw() const { return raw_; }
+
+    constexpr bool valid() const { return raw_ & kValid; }
+    constexpr void setValid(bool on)
+    {
+        raw_ = on ? (raw_ | kValid) : (raw_ & ~kValid);
+    }
+
+    constexpr Protection
+    protection() const
+    {
+        return static_cast<Protection>((raw_ & kProtMask) >> kProtShift);
+    }
+
+    constexpr void
+    setProtection(Protection prot)
+    {
+        raw_ = (raw_ & ~kProtMask) |
+               (static_cast<Longword>(prot) << kProtShift);
+    }
+
+    constexpr bool modify() const { return raw_ & kModify; }
+    constexpr void setModify(bool on)
+    {
+        raw_ = on ? (raw_ | kModify) : (raw_ & ~kModify);
+    }
+
+    constexpr Pfn pfn() const { return raw_ & kPfnMask; }
+    constexpr void
+    setPfn(Pfn pfn)
+    {
+        raw_ = (raw_ & ~kPfnMask) | (pfn & kPfnMask);
+    }
+
+    constexpr bool operator==(const Pte &other) const
+    {
+        return raw_ == other.raw_;
+    }
+
+  private:
+    Longword raw_ = 0;
+};
+
+} // namespace vvax
+
+#endif // VVAX_ARCH_PTE_H

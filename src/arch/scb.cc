@@ -1,0 +1,41 @@
+#include "arch/scb.h"
+
+namespace vvax {
+
+std::string_view
+scbVectorName(Word offset)
+{
+    switch (static_cast<ScbVector>(offset)) {
+      case ScbVector::MachineCheck: return "machine check";
+      case ScbVector::KernelStackNotValid: return "kernel stack not valid";
+      case ScbVector::PowerFail: return "power fail";
+      case ScbVector::ReservedInstruction:
+        return "reserved/privileged instruction";
+      case ScbVector::CustomerReserved: return "customer reserved";
+      case ScbVector::ReservedOperand: return "reserved operand";
+      case ScbVector::ReservedAddressingMode:
+        return "reserved addressing mode";
+      case ScbVector::AccessViolation: return "access violation";
+      case ScbVector::TranslationNotValid: return "translation not valid";
+      case ScbVector::TracePending: return "trace pending";
+      case ScbVector::Breakpoint: return "breakpoint";
+      case ScbVector::ModifyFault: return "modify fault";
+      case ScbVector::Arithmetic: return "arithmetic";
+      case ScbVector::Chmk: return "CHMK";
+      case ScbVector::Chme: return "CHME";
+      case ScbVector::Chms: return "CHMS";
+      case ScbVector::Chmu: return "CHMU";
+      case ScbVector::VmEmulation: return "VM emulation";
+      case ScbVector::IntervalTimer: return "interval timer";
+      case ScbVector::ConsoleReceive: return "console receive";
+      case ScbVector::ConsoleTransmit: return "console transmit";
+      default: break;
+    }
+    if (offset >= 0x84 && offset <= 0xBC)
+        return "software interrupt";
+    if (offset >= static_cast<Word>(ScbVector::DeviceBase))
+        return "device interrupt";
+    return "?";
+}
+
+} // namespace vvax

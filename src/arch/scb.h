@@ -1,0 +1,86 @@
+/**
+ * @file
+ * System Control Block (SCB) layout: exception and interrupt vectors.
+ *
+ * The SCB is one page of longword vectors located by the physical
+ * address in the SCBB register.  Each vector's low two bits select how
+ * the event is serviced:
+ *
+ *   00 - service on the current (kernel) stack
+ *   01 - service on the interrupt stack
+ *   10 - (real VAX: service in WCS) unused here, reserved fault
+ *   11 - host hook: dispatch to a registered host-native handler.
+ *        This is the repository's stand-in for "service in writable
+ *        control store", and is how the C++ VMM is attached to the
+ *        machine; see DESIGN.md Section 3.
+ *
+ * Vectors 0x30 (modify fault) and 0x58 (VM-emulation trap) are the
+ * paper's modified-VAX extensions.
+ */
+
+#ifndef VVAX_ARCH_SCB_H
+#define VVAX_ARCH_SCB_H
+
+#include <string_view>
+
+#include "arch/types.h"
+
+namespace vvax {
+
+enum class ScbVector : Word {
+    MachineCheck = 0x04,
+    KernelStackNotValid = 0x08,
+    PowerFail = 0x0C,
+    ReservedInstruction = 0x10, //!< reserved/privileged instruction fault
+    CustomerReserved = 0x14,    //!< XFC
+    ReservedOperand = 0x18,
+    ReservedAddressingMode = 0x1C,
+    AccessViolation = 0x20,
+    TranslationNotValid = 0x24,
+    TracePending = 0x28,
+    Breakpoint = 0x2C,
+    ModifyFault = 0x30, //!< modified VAX (paper Section 4.4.2)
+    Arithmetic = 0x34,
+    Chmk = 0x40,
+    Chme = 0x44,
+    Chms = 0x48,
+    Chmu = 0x4C,
+    VmEmulation = 0x58, //!< modified VAX (paper Section 4.2)
+    SoftwareLevel1 = 0x84, //!< software interrupt level N at 0x80 + 4N
+    IntervalTimer = 0xC0,
+    ConsoleReceive = 0xF8,
+    ConsoleTransmit = 0xFC,
+    DeviceBase = 0x100, //!< device vectors from here up
+};
+
+constexpr Word kScbSize = 512;
+
+/** @return the SCB offset for software interrupt level @p level (1..15). */
+constexpr Word
+softwareInterruptVector(Byte level)
+{
+    return 0x80 + 4 * static_cast<Word>(level);
+}
+
+/** Low-bit codes of an SCB vector longword. */
+enum class ScbDispatch : Byte {
+    KernelStack = 0,
+    InterruptStack = 1,
+    Reserved = 2,
+    HostHook = 3,
+};
+
+/** Human-readable name of an SCB vector offset. */
+std::string_view scbVectorName(Word offset);
+
+// Interrupt priority levels used by this implementation.
+constexpr Byte kIplSoftwareMax = 15;
+constexpr Byte kIplConsole = 20;
+constexpr Byte kIplDisk = 21;
+constexpr Byte kIplTimer = 24;
+constexpr Byte kIplPowerFail = 30;
+constexpr Byte kIplMax = 31;
+
+} // namespace vvax
+
+#endif // VVAX_ARCH_SCB_H

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fundamental VAX architecture data types and constants.
+ *
+ * Naming follows the VAX Architecture Reference Manual: a byte is 8
+ * bits, a word 16 bits and a longword 32 bits.  Virtual and physical
+ * addresses are 32 bits; pages are 512 bytes.
+ */
+
+#ifndef VVAX_ARCH_TYPES_H
+#define VVAX_ARCH_TYPES_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace vvax {
+
+using Byte = std::uint8_t;
+using Word = std::uint16_t;
+using Longword = std::uint32_t;
+using Quadword = std::uint64_t;
+
+using VirtAddr = std::uint32_t;
+using PhysAddr = std::uint32_t;
+
+/** Page frame number: physical address >> 9. */
+using Pfn = std::uint32_t;
+/** Virtual page number within a region: virtual address bits <29:9>. */
+using Vpn = std::uint32_t;
+
+/** Simulated machine cycles. */
+using Cycles = std::uint64_t;
+
+constexpr Longword kPageSize = 512;
+constexpr Longword kPageShift = 9;
+constexpr Longword kPageOffsetMask = kPageSize - 1;
+
+/** Number of bytes in a longword. */
+constexpr Longword kLongwordSize = 4;
+
+/** The four VAX access modes (protection rings), most privileged first. */
+enum class AccessMode : Byte {
+    Kernel = 0,
+    Executive = 1,
+    Supervisor = 2,
+    User = 3,
+};
+
+constexpr int kNumAccessModes = 4;
+
+/** @return true if mode @p a is at least as privileged as mode @p b. */
+constexpr bool
+atLeastAsPrivileged(AccessMode a, AccessMode b)
+{
+    return static_cast<Byte>(a) <= static_cast<Byte>(b);
+}
+
+/** @return the less privileged (numerically larger) of two access modes. */
+constexpr AccessMode
+lessPrivileged(AccessMode a, AccessMode b)
+{
+    return static_cast<Byte>(a) >= static_cast<Byte>(b) ? a : b;
+}
+
+/** @return the more privileged (numerically smaller) of two access modes. */
+constexpr AccessMode
+morePrivileged(AccessMode a, AccessMode b)
+{
+    return static_cast<Byte>(a) <= static_cast<Byte>(b) ? a : b;
+}
+
+/** Human-readable access mode name ("kernel", "executive", ...). */
+std::string_view accessModeName(AccessMode mode);
+
+/** The three virtual address space regions plus the reserved region. */
+enum class Region : Byte {
+    P0 = 0,     //!< 0x00000000..0x3FFFFFFF, program region, grows up
+    P1 = 1,     //!< 0x40000000..0x7FFFFFFF, control region, grows down
+    System = 2, //!< 0x80000000..0xBFFFFFFF, shared system region
+    Reserved = 3, //!< 0xC0000000..0xFFFFFFFF, architecturally reserved
+};
+
+constexpr VirtAddr kP0Base = 0x00000000;
+constexpr VirtAddr kP1Base = 0x40000000;
+constexpr VirtAddr kSystemBase = 0x80000000;
+constexpr VirtAddr kReservedBase = 0xC0000000;
+
+/** @return the region containing virtual address @p va. */
+constexpr Region
+regionOf(VirtAddr va)
+{
+    return static_cast<Region>(va >> 30);
+}
+
+/** @return the virtual page number of @p va within its region. */
+constexpr Vpn
+vpnOf(VirtAddr va)
+{
+    return (va & 0x3FFFFFFF) >> kPageShift;
+}
+
+/** General register numbers.  R12..R15 have architectural roles. */
+enum Reg : Byte {
+    R0 = 0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, R11,
+    AP = 12, //!< argument pointer
+    FP = 13, //!< frame pointer
+    SP = 14, //!< stack pointer (banked by access mode)
+    PC = 15, //!< program counter
+};
+
+constexpr int kNumRegs = 16;
+
+/** Reading or writing memory, as seen by the protection check. */
+enum class AccessType : Byte { Read = 0, Write = 1 };
+
+} // namespace vvax
+
+#endif // VVAX_ARCH_TYPES_H

@@ -1,0 +1,31 @@
+#include "core/machine.h"
+
+namespace vvax {
+
+RealMachine::RealMachine(const MachineConfig &config)
+    : config_(config), cost_(CostModel::forModel(config.model))
+{
+    memory_ = std::make_unique<PhysicalMemory>(config.ramBytes);
+    mmu_ = std::make_unique<Mmu>(*memory_, cost_, stats_);
+    cpu_ = std::make_unique<Cpu>(*mmu_, cost_, stats_, config.level);
+    console_ = std::make_unique<ConsoleDevice>(*cpu_);
+    cpu_->attachConsole(console_.get());
+    disk_ = std::make_unique<DiskDevice>(*memory_, config.diskBlocks,
+                                         cpu_.get(), config.diskVector);
+    memory_->addMmioWindow(config.diskCsrBase, DiskDevice::kWindowSize,
+                           disk_.get());
+}
+
+void
+RealMachine::loadImage(PhysAddr pa, std::span<const Byte> image)
+{
+    memory_->writeBlock(pa, image);
+}
+
+RunState
+RealMachine::run(std::uint64_t max_instructions)
+{
+    return cpu_->run(max_instructions);
+}
+
+} // namespace vvax

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * RealMachine: a complete simulated VAX system - CPU, memory, MMU,
+ * console and disk - at a chosen machine model and microcode level.
+ *
+ * This is the library's primary entry point for running code on the
+ * bare machine; the Hypervisor (vmm/hypervisor.h) builds on it to run
+ * virtual machines.
+ */
+
+#ifndef VVAX_CORE_MACHINE_H
+#define VVAX_CORE_MACHINE_H
+
+#include <memory>
+#include <span>
+
+#include "cpu/cpu.h"
+#include "dev/console.h"
+#include "dev/disk.h"
+#include "memory/mmu.h"
+#include "memory/physical_memory.h"
+#include "metrics/cost_model.h"
+#include "metrics/stats.h"
+
+namespace vvax {
+
+struct MachineConfig
+{
+    Longword ramBytes = 4 * 1024 * 1024;
+    MachineModel model = MachineModel::Vax8800;
+    MicrocodeLevel level = MicrocodeLevel::Modified;
+    Longword diskBlocks = 2048;
+    /** Physical address of the disk's register window. */
+    PhysAddr diskCsrBase = 0x3FFFFE00;
+    Word diskVector = static_cast<Word>(ScbVector::DeviceBase);
+};
+
+class RealMachine
+{
+  public:
+    explicit RealMachine(const MachineConfig &config = {});
+
+    Cpu &cpu() { return *cpu_; }
+    Mmu &mmu() { return *mmu_; }
+    PhysicalMemory &memory() { return *memory_; }
+    ConsoleDevice &console() { return *console_; }
+    DiskDevice &disk() { return *disk_; }
+    Stats &stats() { return stats_; }
+    const CostModel &costModel() const { return cost_; }
+    const MachineConfig &config() const { return config_; }
+
+    /** Copy @p image into physical memory at @p pa. */
+    void loadImage(PhysAddr pa, std::span<const Byte> image);
+
+    /** Run until halt or @p max_instructions. */
+    RunState run(std::uint64_t max_instructions = UINT64_MAX);
+
+  private:
+    MachineConfig config_;
+    CostModel cost_;
+    Stats stats_;
+    std::unique_ptr<PhysicalMemory> memory_;
+    std::unique_ptr<Mmu> mmu_;
+    std::unique_ptr<Cpu> cpu_;
+    std::unique_ptr<ConsoleDevice> console_;
+    std::unique_ptr<DiskDevice> disk_;
+};
+
+} // namespace vvax
+
+#endif // VVAX_CORE_MACHINE_H

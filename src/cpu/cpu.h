@@ -1,0 +1,339 @@
+/**
+ * @file
+ * The VAX-subset processor core.
+ *
+ * Implements fetch/decode/execute for the instruction subset listed in
+ * arch/opcodes.h, exception and interrupt dispatch through the SCB,
+ * IPL arbitration, the interval timer, and the internal processor
+ * registers.
+ *
+ * The paper's microcode modifications are selected by MicrocodeLevel:
+ *
+ *  - Standard: a plain VAX.  PSL<VM> does not exist, PROBEVM/WAIT are
+ *    reserved instructions, memory writes set PTE<M> in hardware.
+ *  - Modified: the paper's virtualizable VAX.  PSL<VM> and the VMPSL
+ *    register exist; sensitive instructions executed with PSL<VM>=1
+ *    take the VM-emulation trap with fully decoded operands; writes to
+ *    unmodified pages raise the modify fault; PROBE has the
+ *    shadow-valid microcode fast path; MOVPSL merges VMPSL.
+ *
+ * An SCB vector whose low two bits are 11 dispatches to a registered
+ * host hook - the stand-in for "service in writable control store"
+ * that attaches the C++ VMM to the machine (DESIGN.md Section 3).
+ */
+
+#ifndef VVAX_CPU_CPU_H
+#define VVAX_CPU_CPU_H
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "arch/exceptions.h"
+#include "arch/ipr.h"
+#include "arch/opcodes.h"
+#include "arch/psl.h"
+#include "arch/scb.h"
+#include "arch/types.h"
+#include "memory/mmu.h"
+#include "metrics/cost_model.h"
+#include "metrics/stats.h"
+
+namespace vvax {
+
+enum class MicrocodeLevel : Byte { Standard, Modified };
+
+enum class RunState : Byte { Running, Waiting, Halted };
+
+/** One decoded operand, as supplied to the VM-emulation trap. */
+struct DecodedOperand
+{
+    OpAccess access = OpAccess::Read;
+    OpSize size = OpSize::L;
+    bool isRegister = false;
+    bool isLiteral = false;
+    Byte reg = 0;        //!< register number when isRegister
+    VirtAddr addr = 0;   //!< effective address otherwise
+    Longword value = 0;  //!< fetched value (Read/Modify/literal),
+                         //!< or target PC for Branch operands
+    Longword value2 = 0; //!< high half for quadword operands
+};
+
+/**
+ * Information supplied with a VM-emulation trap: the paper specifies
+ * that microcode hands the VMM the instruction, its decoded operands,
+ * and the VM's composite PSL, so the VMM never parses the instruction
+ * stream (Section 4.2).
+ */
+struct VmTrapFrame
+{
+    Word opcode = 0;
+    VirtAddr pc = 0;     //!< address of the trapping instruction
+    VirtAddr nextPc = 0; //!< address of the following instruction
+    Psl vmPsl;           //!< composite VM PSL (current/previous mode etc.)
+    Byte nOperands = 0;
+    std::array<DecodedOperand, kMaxOperands> operands{};
+};
+
+/** Frame passed to a host hook when its SCB vector is dispatched. */
+struct HostFrame
+{
+    Word vector = 0;       //!< SCB offset
+    Byte nParams = 0;
+    std::array<Longword, 2> params{};
+    VirtAddr pc = 0;       //!< PC that would be saved on the stack
+    Psl savedPsl;          //!< PSL at the event, including PSL<VM>
+    const VmTrapFrame *vmFrame = nullptr; //!< set for VM-emulation traps
+};
+
+/** Devices that service the console IPRs (RXCS/RXDB/TXCS/TXDB). */
+class ConsolePort
+{
+  public:
+    virtual ~ConsolePort() = default;
+    virtual Longword readIpr(Ipr which) = 0;
+    virtual void writeIpr(Ipr which, Longword value) = 0;
+};
+
+class Cpu
+{
+  public:
+    using HostHook = std::function<void(const HostFrame &)>;
+
+    Cpu(Mmu &mmu, const CostModel &cost, Stats &stats,
+        MicrocodeLevel level);
+
+    MicrocodeLevel level() const { return level_; }
+    const CostModel &costModel() const { return cost_; }
+    Stats &stats() { return stats_; }
+    Mmu &mmu() { return mmu_; }
+
+    // ----- Architectural state ------------------------------------------
+    Longword reg(int n) const { return regs_[n]; }
+    void setReg(int n, Longword value) { regs_[n] = value; }
+    VirtAddr pc() const { return regs_[PC]; }
+    void setPc(VirtAddr pc) { regs_[PC] = pc; }
+
+    Psl &psl() { return psl_; }
+    const Psl &psl() const { return psl_; }
+
+    /**
+     * Stack pointer for @p mode.  The SP register is banked per access
+     * mode; the bank slot for the current mode shadows regs[SP].
+     */
+    Longword stackPointer(AccessMode mode) const;
+    void setStackPointer(AccessMode mode, Longword value);
+    Longword interruptStackPointer() const;
+    void setInterruptStackPointer(Longword value);
+
+    Longword vmpsl() const { return vmpsl_; }
+    void setVmpsl(Longword value) { vmpsl_ = value; }
+
+    /**
+     * Hint the VMM maintains for the VAX-11/730's microcode IPL
+     * assist: the IPL of the highest pending *virtual* interrupt.
+     * MTPR-to-IPL in a VM completes in microcode unless the new IPL
+     * would make that interrupt deliverable (Section 7.3).
+     */
+    void setVmPendingIplHint(Byte ipl) { vm_pending_ipl_hint_ = ipl; }
+    Byte vmPendingIplHint() const { return vm_pending_ipl_hint_; }
+
+    Longword scbb() const { return scbb_; }
+    void setScbb(Longword value) { scbb_ = value & ~kPageOffsetMask; }
+    Longword pcbb() const { return pcbb_; }
+
+    // ----- Devices and hooks --------------------------------------------
+    void attachConsole(ConsolePort *port) { console_ = port; }
+
+    /**
+     * Register @p hook as host hook number @p index; an SCB entry of
+     * value (index << 2) | 3 dispatches to it.
+     */
+    void setHostHook(int index, HostHook hook);
+    /** SCB entry encoding for host hook @p index. */
+    static Longword hostHookScbEntry(int index)
+    {
+        return (static_cast<Longword>(index) << 2) | 3;
+    }
+
+    /**
+     * Assert (or deassert) an interrupt request line at @p ipl with
+     * SCB @p vector.  Level-triggered: the line stays pending until
+     * deasserted.
+     */
+    void requestInterrupt(Byte ipl, Word vector);
+    void clearInterrupt(Byte ipl, Word vector);
+    /** @return the IPL of the highest pending request (0 if none). */
+    Byte highestPendingIpl() const;
+
+    // ----- Execution ----------------------------------------------------
+    /** Execute one instruction (or deliver one interrupt). */
+    RunState step();
+
+    /**
+     * Run until the machine halts, @p max_instructions have executed,
+     * or (optionally) a predicate says stop.
+     */
+    RunState run(std::uint64_t max_instructions);
+
+    RunState runState() const { return run_state_; }
+    HaltReason haltReason() const { return halt_reason_; }
+    /** Leave the halted state (used by VM restart and tests). */
+    void clearHalt();
+    /** Halt from outside (console, fatal VMM decision). */
+    void externalHalt(HaltReason reason);
+    /** Wake from WAIT (the VMM's virtual-interrupt path uses this). */
+    void wakeFromWait();
+    /** Put the processor into the idle (waiting) state (VMM idle). */
+    void enterIdleWait() { run_state_ = RunState::Waiting; }
+
+    void chargeCycles(CycleCategory cat, Cycles n);
+
+    // ----- Services used by the VMM host hooks --------------------------
+    /**
+     * Resume execution at @p pc with PSL @p new_psl, performing the
+     * microcode REI side effects (stack bank switch; PSL<VM> may be
+     * set - only the VMM, conceptually in kernel mode, calls this).
+     */
+    void resumeWith(VirtAddr pc, Psl new_psl);
+
+    /**
+     * Read/write an IPR as the microcode would (no privilege check).
+     * @return false if the register does not exist at this level.
+     */
+    bool readIprInternal(Ipr which, Longword &value);
+    bool writeIprInternal(Ipr which, Longword value);
+
+    /** For tracing: disassembly hook receives (pc, opcode). */
+    using TraceFn = std::function<void(VirtAddr, Word)>;
+    void setTrace(TraceFn fn) { trace_ = std::move(fn); }
+
+    std::uint64_t instructionsExecuted() const
+    {
+        return stats_.instructions;
+    }
+
+  private:
+    friend class DecodeContext;
+
+    // dispatch.cc
+    void deliverInterrupt(Byte ipl, Word vector);
+    void dispatchFault(const GuestFault &fault, VirtAddr instr_pc,
+                       VirtAddr next_pc);
+    /**
+     * Common SCB dispatch.  @p new_mode is the destination mode
+     * (kernel except for CHM).  @p set_ipl when >= 0 raises the IPL.
+     */
+    void dispatchThroughScb(Word vector, AccessMode new_mode,
+                            int set_ipl, const Longword *params,
+                            int n_params, VirtAddr saved_pc,
+                            bool use_interrupt_stack_bit,
+                            const VmTrapFrame *vm_frame);
+    void raiseVmEmulationTrap(const VmTrapFrame &frame);
+    bool checkPendingInterrupts();
+    void advanceTimer(Cycles cycles);
+
+    // decode.cc
+    struct Decoded
+    {
+        Word opcode = 0;
+        const InstrInfo *info = nullptr;
+        VirtAddr nextPc = 0;
+        std::array<DecodedOperand, kMaxOperands> operands{};
+        std::array<Longword, kNumRegs> regsAfter{}; //!< committed regs
+        Cycles extraCharge = 0;   //!< instruction-specific extra cycles
+        bool suppressBase = false; //!< cost fully replaced by extraCharge
+    };
+    /** Decode the instruction at regs_[PC]; may throw GuestFault. */
+    Decoded decode();
+
+    // execute.cc / exec_system.cc
+    void execute(Decoded &d);
+    Longword operandRead(const Decoded &d, int i);
+    void operandWrite(Decoded &d, int i, Longword value,
+                      Longword value2 = 0);
+    /** Push/pop on the working stack pointer in @p d (pre-commit). */
+    void pushLong(Decoded &d, Longword value);
+    Longword popLong(Decoded &d);
+    void setCcLogical(Longword result, OpSize size);
+
+    void execChm(Decoded &d, AccessMode target);
+    void execRei();
+    void execMovpsl(Decoded &d);
+    void execProbe(Decoded &d, AccessType type);
+    void execProbeVm(Decoded &d, AccessType type);
+    void execMtpr(Decoded &d);
+    void execMfpr(Decoded &d);
+    void execLdpctx();
+    void execSvpctx();
+    void execCalls(Decoded &d);
+    void execCallg(Decoded &d);
+    void execRet();
+    void execPushr(Decoded &d);
+    void execPopr(Decoded &d);
+    void execMovc3(Decoded &d);
+    void execWait();
+    /** BBS/BBC and the set/clear variants: @p write_new is -1 for
+     *  test-only, else the bit value written back. */
+    void execBbx(Decoded &d, bool branch_on_set, int write_new = -1);
+    void execCase(Decoded &d, OpSize size);
+    void execInsque(Decoded &d);
+    void execRemque(Decoded &d);
+
+    /** Composite VM PSL from the real PSL and VMPSL (Section 4.2). */
+    Psl compositeVmPsl() const;
+    bool inVmMode() const
+    {
+        return level_ == MicrocodeLevel::Modified && psl_.vm();
+    }
+    /** The VM's notion of its current mode, from VMPSL. */
+    AccessMode vmCurrentMode() const
+    {
+        return Psl(vmpsl_).currentMode();
+    }
+    /** Raise a privileged-instruction or VM-emulation event. */
+    void privilegedCheck(Decoded &d);
+
+    Mmu &mmu_;
+    const CostModel &cost_;
+    Stats &stats_;
+    MicrocodeLevel level_;
+
+    std::array<Longword, kNumRegs> regs_{};
+    Psl psl_{0x001F0000}; // IPL 31, kernel mode, not interrupt stack
+    std::array<Longword, kNumAccessModes> sp_banks_{};
+    Longword isp_ = 0;
+    Longword vmpsl_ = 0;
+    Byte vm_pending_ipl_hint_ = 0;
+
+    Longword scbb_ = 0;
+    Longword pcbb_ = 0;
+    Longword sisr_ = 0;
+    Longword astlvl_ = 4;
+    Longword sid_;
+    Longword todr_ = 0;
+
+    // Interval timer.
+    Longword iccs_ = 0;
+    Longword nicr_ = 0;
+    std::int64_t icr_ = 0;
+    Cycles timer_residue_ = 0;
+
+    ConsolePort *console_ = nullptr;
+    std::array<HostHook, 128> host_hooks_{};
+
+    struct IntRequest
+    {
+        Byte ipl;
+        Word vector;
+    };
+    std::vector<IntRequest> int_requests_;
+
+    RunState run_state_ = RunState::Running;
+    HaltReason halt_reason_ = HaltReason::None;
+    TraceFn trace_;
+};
+
+} // namespace vvax
+
+#endif // VVAX_CPU_CPU_H

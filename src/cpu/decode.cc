@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Generic operand decoder for all 16 VAX addressing modes.
+ *
+ * The decoder is side-effect free with respect to architectural
+ * registers: addressing side effects (autoincrement/autodecrement)
+ * are applied to a working copy committed only after the whole
+ * instruction has decoded and executed, which makes every fault
+ * restartable.  Write and modify operands are access-validated during
+ * decode so the execute phase's stores cannot fault.
+ */
+
+#include "cpu/cpu.h"
+
+namespace vvax {
+
+namespace {
+
+constexpr Longword
+sext8(Byte b)
+{
+    return static_cast<Longword>(static_cast<std::int32_t>(
+        static_cast<std::int8_t>(b)));
+}
+
+constexpr Longword
+sext16(Word w)
+{
+    return static_cast<Longword>(static_cast<std::int32_t>(
+        static_cast<std::int16_t>(w)));
+}
+
+} // namespace
+
+Cpu::Decoded
+Cpu::decode()
+{
+    Decoded d;
+    d.regsAfter = regs_;
+    VirtAddr cursor = regs_[PC];
+    const AccessMode mode = psl_.currentMode();
+
+    auto fetch8 = [&]() -> Byte {
+        const Byte b = mmu_.readV8(cursor, mode);
+        cursor += 1;
+        return b;
+    };
+    auto fetch16 = [&]() -> Word {
+        const Word w = mmu_.readV16(cursor, mode);
+        cursor += 2;
+        return w;
+    };
+    auto fetch32 = [&]() -> Longword {
+        const Longword l = mmu_.readV32(cursor, mode);
+        cursor += 4;
+        return l;
+    };
+
+    Word opcode = fetch8();
+    if (opcode == 0xFD)
+        opcode = 0xFD00 | fetch8();
+    d.opcode = opcode;
+    d.info = instrInfo(opcode);
+    if (!d.info)
+        throw GuestFault::simple(ScbVector::ReservedInstruction);
+
+    auto sizeBytes = [](OpSize s) { return static_cast<Longword>(s); };
+
+    auto fetchValue = [&](VirtAddr addr, OpSize size) -> Longword {
+        switch (size) {
+          case OpSize::B: return mmu_.readV8(addr, mode);
+          case OpSize::W: return mmu_.readV16(addr, mode);
+          case OpSize::L:
+          case OpSize::Q: return mmu_.readV32(addr, mode);
+        }
+        return 0;
+    };
+
+    auto validateWrite = [&](VirtAddr addr, OpSize size) {
+        mmu_.translate(addr, AccessType::Write, mode);
+        const Longword last = addr + sizeBytes(size) - 1;
+        if ((addr >> kPageShift) != (last >> kPageShift))
+            mmu_.translate(last, AccessType::Write, mode);
+    };
+
+    /**
+     * Decode one operand specifier into @p op.  @p allow_index guards
+     * against index-mode recursion ([Rx] base must itself be a
+     * memory-addressing specifier).
+     */
+    std::function<void(DecodedOperand &, bool)> decodeSpecifier =
+        [&](DecodedOperand &op, bool allow_index) -> void {
+        const OpSize size = op.size;
+        const Byte spec = fetch8();
+        const Byte rn = spec & 0xF;
+        const Byte m = spec >> 4;
+
+        switch (m) {
+          case 0x0: case 0x1: case 0x2: case 0x3: // short literal
+            if (op.access != OpAccess::Read)
+                throw GuestFault::simple(
+                    ScbVector::ReservedAddressingMode);
+            op.isLiteral = true;
+            op.value = spec & 0x3F;
+            return;
+
+          case 0x4: { // index [Rx]
+            if (!allow_index || rn == PC)
+                throw GuestFault::simple(
+                    ScbVector::ReservedAddressingMode);
+            DecodedOperand base;
+            base.access = OpAccess::Address; // EA only for the base
+            base.size = size;
+            decodeSpecifier(base, /*allow_index=*/false);
+            if (base.isRegister || base.isLiteral)
+                throw GuestFault::simple(
+                    ScbVector::ReservedAddressingMode);
+            op.addr = base.addr + d.regsAfter[rn] * sizeBytes(size);
+            break;
+          }
+
+          case 0x5: // register
+            if (rn == PC || op.access == OpAccess::Address ||
+                (size == OpSize::Q && rn >= SP)) {
+                throw GuestFault::simple(
+                    ScbVector::ReservedAddressingMode);
+            }
+            op.isRegister = true;
+            op.reg = rn;
+            if (op.access == OpAccess::Read ||
+                op.access == OpAccess::Modify ||
+                op.access == OpAccess::VField) {
+                Longword v = d.regsAfter[rn];
+                if (size == OpSize::B)
+                    v &= 0xFF;
+                else if (size == OpSize::W)
+                    v &= 0xFFFF;
+                op.value = v;
+                if (size == OpSize::Q)
+                    op.value2 = d.regsAfter[rn + 1];
+            }
+            return;
+
+          case 0x6: // register deferred (Rn)
+            if (rn == PC)
+                throw GuestFault::simple(
+                    ScbVector::ReservedAddressingMode);
+            op.addr = d.regsAfter[rn];
+            break;
+
+          case 0x7: // autodecrement -(Rn)
+            if (rn == PC)
+                throw GuestFault::simple(
+                    ScbVector::ReservedAddressingMode);
+            d.regsAfter[rn] -= sizeBytes(size);
+            op.addr = d.regsAfter[rn];
+            break;
+
+          case 0x8: // autoincrement (Rn)+ / immediate
+            if (rn == PC) {
+                if (op.access == OpAccess::Write ||
+                    op.access == OpAccess::Modify) {
+                    throw GuestFault::simple(
+                        ScbVector::ReservedAddressingMode);
+                }
+                op.isLiteral = true;
+                op.addr = cursor;
+                switch (size) {
+                  case OpSize::B: op.value = fetch8(); break;
+                  case OpSize::W: op.value = fetch16(); break;
+                  case OpSize::L: op.value = fetch32(); break;
+                  case OpSize::Q:
+                    op.value = fetch32();
+                    op.value2 = fetch32();
+                    break;
+                }
+                return;
+            }
+            op.addr = d.regsAfter[rn];
+            d.regsAfter[rn] += sizeBytes(size);
+            break;
+
+          case 0x9: // autoincrement deferred @(Rn)+ / absolute
+            if (rn == PC) {
+                op.addr = fetch32();
+            } else {
+                const VirtAddr ptr = d.regsAfter[rn];
+                d.regsAfter[rn] += 4;
+                op.addr = mmu_.readV32(ptr, mode);
+            }
+            break;
+
+          case 0xA: case 0xB: { // byte displacement (deferred)
+            const Longword disp = sext8(fetch8());
+            const Longword base = rn == PC ? cursor : d.regsAfter[rn];
+            op.addr = base + disp;
+            if (m == 0xB)
+                op.addr = mmu_.readV32(op.addr, mode);
+            break;
+          }
+          case 0xC: case 0xD: { // word displacement (deferred)
+            const Longword disp = sext16(fetch16());
+            const Longword base = rn == PC ? cursor : d.regsAfter[rn];
+            op.addr = base + disp;
+            if (m == 0xD)
+                op.addr = mmu_.readV32(op.addr, mode);
+            break;
+          }
+          case 0xE: case 0xF: { // long displacement (deferred)
+            const Longword disp = fetch32();
+            const Longword base = rn == PC ? cursor : d.regsAfter[rn];
+            op.addr = base + disp;
+            if (m == 0xF)
+                op.addr = mmu_.readV32(op.addr, mode);
+            break;
+          }
+        }
+
+        // Memory operand: fetch and/or validate now so execution
+        // cannot fault after state has been committed.
+        switch (op.access) {
+          case OpAccess::Read:
+            op.value = fetchValue(op.addr, size);
+            if (size == OpSize::Q)
+                op.value2 = mmu_.readV32(op.addr + 4, mode);
+            break;
+          case OpAccess::Modify:
+            op.value = fetchValue(op.addr, size);
+            if (size == OpSize::Q)
+                op.value2 = mmu_.readV32(op.addr + 4, mode);
+            validateWrite(op.addr, size);
+            break;
+          case OpAccess::Write:
+            validateWrite(op.addr, size);
+            break;
+          case OpAccess::Address:
+          case OpAccess::VField:
+            break;
+          case OpAccess::Branch:
+            break; // handled by the caller
+        }
+    };
+
+    for (int i = 0; i < d.info->nOperands; ++i) {
+        DecodedOperand &op = d.operands[i];
+        op.access = d.info->operands[i].access;
+        op.size = d.info->operands[i].size;
+        if (op.access == OpAccess::Branch) {
+            Longword disp;
+            if (op.size == OpSize::B)
+                disp = sext8(fetch8());
+            else
+                disp = sext16(fetch16());
+            op.value = cursor + disp; // branch target
+        } else {
+            decodeSpecifier(op, /*allow_index=*/true);
+        }
+    }
+
+    d.nextPc = cursor;
+    return d;
+}
+
+Longword
+Cpu::operandRead(const Decoded &d, int i)
+{
+    return d.operands[i].value;
+}
+
+void
+Cpu::operandWrite(Decoded &d, int i, Longword value, Longword value2)
+{
+    DecodedOperand &op = d.operands[i];
+    if (op.isRegister) {
+        Longword &r = d.regsAfter[op.reg];
+        switch (op.size) {
+          case OpSize::B: r = (r & 0xFFFFFF00u) | (value & 0xFF); break;
+          case OpSize::W: r = (r & 0xFFFF0000u) | (value & 0xFFFF); break;
+          case OpSize::L: r = value; break;
+          case OpSize::Q:
+            r = value;
+            d.regsAfter[op.reg + 1] = value2;
+            break;
+        }
+        return;
+    }
+    const AccessMode mode = psl_.currentMode();
+    switch (op.size) {
+      case OpSize::B:
+        mmu_.writeV8(op.addr, static_cast<Byte>(value), mode);
+        break;
+      case OpSize::W:
+        mmu_.writeV16(op.addr, static_cast<Word>(value), mode);
+        break;
+      case OpSize::L:
+        mmu_.writeV32(op.addr, value, mode);
+        break;
+      case OpSize::Q:
+        mmu_.writeV32(op.addr, value, mode);
+        mmu_.writeV32(op.addr + 4, value2, mode);
+        break;
+    }
+}
+
+} // namespace vvax

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Step loop, exception/interrupt dispatch through the SCB, interval
+ * timer, and the host-hook mechanism.
+ */
+
+#include <cassert>
+
+#include "cpu/cpu.h"
+
+namespace vvax {
+
+void
+Cpu::advanceTimer(Cycles cycles)
+{
+    todr_ += static_cast<Longword>(cycles);
+    if (!(iccs_ & iccs::kRun))
+        return;
+    icr_ += static_cast<std::int64_t>(cycles);
+    if (icr_ >= 0) {
+        iccs_ |= iccs::kInterrupt;
+        if (iccs_ & iccs::kInterruptEnable) {
+            requestInterrupt(kIplTimer,
+                             static_cast<Word>(ScbVector::IntervalTimer));
+        }
+        const std::int64_t reload = static_cast<std::int32_t>(nicr_);
+        // A zero NICR would re-fire every cycle; treat as stopped.
+        icr_ = reload < 0 ? reload : INT64_MIN / 2;
+    }
+}
+
+bool
+Cpu::checkPendingInterrupts()
+{
+    const Byte cur_ipl = psl_.ipl();
+
+    // Device lines first (they sit above the software levels).
+    Byte best_ipl = 0;
+    Word best_vector = 0;
+    for (const IntRequest &r : int_requests_) {
+        if (r.ipl > best_ipl) {
+            best_ipl = r.ipl;
+            best_vector = r.vector;
+        }
+    }
+    if (best_ipl > cur_ipl) {
+        deliverInterrupt(best_ipl, best_vector);
+        return true;
+    }
+
+    // Software interrupts (SISR), levels 15..1.
+    for (int level = kIplSoftwareMax; level >= 1; --level) {
+        if (!(sisr_ & (1u << level)))
+            continue;
+        if (level <= cur_ipl)
+            break;
+        sisr_ &= ~(1u << level);
+        deliverInterrupt(static_cast<Byte>(level),
+                         softwareInterruptVector(static_cast<Byte>(level)));
+        return true;
+    }
+    return false;
+}
+
+void
+Cpu::deliverInterrupt(Byte ipl, Word vector)
+{
+    stats_.interruptsTaken++;
+    chargeCycles(CycleCategory::ExceptionDispatch, cost_.interruptDispatch);
+    dispatchThroughScb(vector, AccessMode::Kernel, ipl, nullptr, 0,
+                       regs_[PC], /*use_interrupt_stack_bit=*/true,
+                       nullptr);
+}
+
+void
+Cpu::dispatchFault(const GuestFault &fault, VirtAddr instr_pc,
+                   VirtAddr next_pc)
+{
+    const VirtAddr saved_pc = fault.isAbort ? instr_pc : next_pc;
+    int set_ipl = -1;
+    bool use_is = false;
+    if (fault.vector == ScbVector::MachineCheck) {
+        set_ipl = kIplMax;
+        use_is = true;
+    }
+    chargeCycles(CycleCategory::ExceptionDispatch, cost_.exceptionDispatch);
+    dispatchThroughScb(static_cast<Word>(fault.vector), AccessMode::Kernel,
+                       set_ipl, fault.params.data(), fault.nParams,
+                       saved_pc, use_is, nullptr);
+}
+
+void
+Cpu::raiseVmEmulationTrap(const VmTrapFrame &frame)
+{
+    stats_.vmEmulationTraps++;
+    chargeCycles(CycleCategory::ExceptionDispatch, cost_.exceptionDispatch);
+    dispatchThroughScb(static_cast<Word>(ScbVector::VmEmulation),
+                       AccessMode::Kernel, -1, nullptr, 0, frame.pc,
+                       false, &frame);
+}
+
+void
+Cpu::dispatchThroughScb(Word vector, AccessMode new_mode, int set_ipl,
+                        const Longword *params, int n_params,
+                        VirtAddr saved_pc, bool use_interrupt_stack_bit,
+                        const VmTrapFrame *vm_frame)
+{
+    stats_.dispatches[(vector / 4) & 127]++;
+
+    const PhysAddr entry_pa = scbb_ + vector;
+    if (!mmu_.memory().exists(entry_pa)) {
+        externalHalt(HaltReason::KernelStackNotValid);
+        return;
+    }
+    const Longword entry = mmu_.memory().read32(entry_pa);
+    const auto code = static_cast<ScbDispatch>(entry & 3);
+
+    const Psl saved_psl = psl_;
+
+    if (code == ScbDispatch::HostHook) {
+        const HostHook &hook = host_hooks_[(entry >> 2) & 127];
+        if (!hook) {
+            externalHalt(HaltReason::KernelStackNotValid);
+            return;
+        }
+        HostFrame frame;
+        frame.vector = vector;
+        frame.nParams = static_cast<Byte>(n_params);
+        for (int i = 0; i < n_params; ++i)
+            frame.params[i] = params[i];
+        frame.pc = saved_pc;
+        frame.savedPsl = saved_psl;
+        frame.vmFrame = vm_frame;
+        // Microcode clears PSL<VM> on any exception or interrupt
+        // (paper Section 4.2); the saved image keeps it.
+        psl_.setVm(false);
+        hook(frame);
+        return;
+    }
+
+    if (code == ScbDispatch::Reserved) {
+        externalHalt(HaltReason::KernelStackNotValid);
+        return;
+    }
+
+    // Guest dispatch: select the destination stack and push the frame.
+    const AccessMode old_mode = psl_.currentMode();
+    const bool old_is = psl_.interruptStack();
+    const bool new_is =
+        old_is ||
+        (use_interrupt_stack_bit && code == ScbDispatch::InterruptStack);
+
+    // Bank the outgoing stack pointer.
+    if (old_is)
+        isp_ = regs_[SP];
+    else
+        sp_banks_[static_cast<int>(old_mode)] = regs_[SP];
+
+    Longword sp = new_is ? isp_ : sp_banks_[static_cast<int>(new_mode)];
+
+    try {
+        sp -= 4;
+        mmu_.writeV32(sp, saved_psl.raw(), new_mode);
+        sp -= 4;
+        mmu_.writeV32(sp, saved_pc, new_mode);
+        for (int i = n_params - 1; i >= 0; --i) {
+            sp -= 4;
+            mmu_.writeV32(sp, params[i], new_mode);
+        }
+    } catch (const GuestFault &) {
+        // A fault while pushing the exception frame: the destination
+        // (kernel) stack is not valid.  The architecture takes the
+        // kernel-stack-not-valid abort; we halt the machine with that
+        // reason (the VMM halts the offending VM instead).
+        externalHalt(HaltReason::KernelStackNotValid);
+        return;
+    }
+
+    Psl new_psl = saved_psl;
+    new_psl.setRaw(new_psl.raw() & ~Psl::kPswMask); // clear PSW
+    new_psl.setFlag(Psl::kFpd, false);
+    new_psl.setFlag(Psl::kTp, false);
+    new_psl.setVm(false);
+    new_psl.setCurrentMode(new_mode);
+    new_psl.setPreviousMode(old_mode);
+    new_psl.setInterruptStack(new_is);
+    if (set_ipl >= 0)
+        new_psl.setIpl(static_cast<Byte>(set_ipl));
+
+    psl_ = new_psl;
+    regs_[SP] = sp;
+    regs_[PC] = entry & ~3u;
+}
+
+RunState
+Cpu::step()
+{
+    if (run_state_ == RunState::Halted)
+        return run_state_;
+
+    if (checkPendingInterrupts())
+        return run_state_;
+
+    if (run_state_ == RunState::Waiting) {
+        // Idle: burn cycles until the timer (or an external event)
+        // produces an interrupt.
+        chargeCycles(CycleCategory::Idle, 16);
+        stats_.addCycles(CycleCategory::Idle, 0);
+        return run_state_;
+    }
+
+    const VirtAddr instr_pc = regs_[PC];
+    try {
+        Decoded d = decode();
+        if (trace_)
+            trace_(instr_pc, d.opcode);
+        execute(d);
+        stats_.instructions++;
+        if (run_state_ != RunState::Halted) {
+            Cycles charge = d.extraCharge;
+            if (!d.suppressBase) {
+                charge +=
+                    d.info->baseCycles * cost_.instructionScalePct / 100;
+            }
+            chargeCycles(CycleCategory::GuestExec, charge);
+        }
+    } catch (const GuestFault &fault) {
+        dispatchFault(fault, instr_pc, regs_[PC]);
+    }
+    return run_state_;
+}
+
+RunState
+Cpu::run(std::uint64_t max_instructions)
+{
+    const std::uint64_t limit = stats_.instructions + max_instructions;
+    std::uint64_t idle_steps = 0;
+    while (run_state_ != RunState::Halted && stats_.instructions < limit) {
+        step();
+        if (run_state_ == RunState::Waiting) {
+            // Avoid spinning forever when nothing can ever wake us.
+            if (!(iccs_ & iccs::kRun) && highestPendingIpl() == 0) {
+                if (++idle_steps > 4)
+                    return RunState::Waiting;
+            }
+        } else {
+            idle_steps = 0;
+        }
+    }
+    return run_state_;
+}
+
+} // namespace vvax

@@ -1,0 +1,91 @@
+#include "dev/console.h"
+
+namespace vvax {
+
+Longword
+ConsoleDevice::readIpr(Ipr which)
+{
+    switch (which) {
+      case Ipr::RXCS: {
+        Longword csr = rx_ie_ ? consolecsr::kInterruptEnable : 0;
+        if (!input_.empty())
+            csr |= consolecsr::kReady;
+        return csr;
+      }
+      case Ipr::RXDB: {
+        if (input_.empty())
+            return 0;
+        const Byte c = input_.front();
+        input_.pop_front();
+        updateRxInterrupt();
+        return c;
+      }
+      case Ipr::TXCS: {
+        // Transmit completes instantly: always ready.
+        Longword csr = consolecsr::kReady;
+        if (tx_ie_)
+            csr |= consolecsr::kInterruptEnable;
+        return csr;
+      }
+      case Ipr::TXDB:
+        return 0;
+      default:
+        return 0;
+    }
+}
+
+void
+ConsoleDevice::writeIpr(Ipr which, Longword value)
+{
+    switch (which) {
+      case Ipr::RXCS:
+        rx_ie_ = (value & consolecsr::kInterruptEnable) != 0;
+        updateRxInterrupt();
+        break;
+      case Ipr::TXCS:
+        tx_ie_ = (value & consolecsr::kInterruptEnable) != 0;
+        if (cpu_) {
+            if (tx_ie_) {
+                // Transmitter is always ready, so enabling its
+                // interrupt asserts it immediately.
+                cpu_->requestInterrupt(
+                    kIplConsole,
+                    static_cast<Word>(ScbVector::ConsoleTransmit));
+            } else {
+                cpu_->clearInterrupt(
+                    kIplConsole,
+                    static_cast<Word>(ScbVector::ConsoleTransmit));
+            }
+        }
+        break;
+      case Ipr::TXDB:
+        output_.push_back(static_cast<char>(value & 0xFF));
+        break;
+      default:
+        break;
+    }
+}
+
+void
+ConsoleDevice::injectInput(std::string_view text)
+{
+    for (char c : text)
+        input_.push_back(static_cast<Byte>(c));
+    updateRxInterrupt();
+}
+
+void
+ConsoleDevice::updateRxInterrupt()
+{
+    if (!cpu_)
+        return;
+    if (rx_ie_ && !input_.empty()) {
+        cpu_->requestInterrupt(
+            kIplConsole, static_cast<Word>(ScbVector::ConsoleReceive));
+    } else {
+        cpu_->clearInterrupt(
+            kIplConsole, static_cast<Word>(ScbVector::ConsoleReceive));
+    }
+}
+
+} // namespace vvax

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Console terminal serviced through the RXCS/RXDB/TXCS/TXDB internal
+ * processor registers, as on real VAX processors.  Transmit output is
+ * collected into a host-side buffer; receive input is queued by the
+ * host (tests, examples) and delivered with optional interrupts.
+ */
+
+#ifndef VVAX_DEV_CONSOLE_H
+#define VVAX_DEV_CONSOLE_H
+
+#include <deque>
+#include <string>
+
+#include "cpu/cpu.h"
+
+namespace vvax {
+
+class ConsoleDevice : public ConsolePort
+{
+  public:
+    explicit ConsoleDevice(Cpu &cpu) : cpu_(&cpu) {}
+    /** Detached constructor for VM virtual consoles (no interrupts). */
+    ConsoleDevice() = default;
+
+    // ConsolePort
+    Longword readIpr(Ipr which) override;
+    void writeIpr(Ipr which, Longword value) override;
+
+    /** Everything the guest has transmitted so far. */
+    const std::string &output() const { return output_; }
+    void clearOutput() { output_.clear(); }
+
+    /** Queue input characters for the guest to receive. */
+    void injectInput(std::string_view text);
+    bool inputPending() const { return !input_.empty(); }
+
+  private:
+    void updateRxInterrupt();
+
+    Cpu *cpu_ = nullptr;
+    std::string output_;
+    std::deque<Byte> input_;
+    bool rx_ie_ = false;
+    bool tx_ie_ = false;
+};
+
+} // namespace vvax
+
+#endif // VVAX_DEV_CONSOLE_H

@@ -1,0 +1,79 @@
+#include "dev/disk.h"
+
+#include <cstring>
+
+namespace vvax {
+
+DiskDevice::DiskDevice(PhysicalMemory &memory, Longword blocks, Cpu *cpu,
+                       Word vector)
+    : memory_(memory), data_(blocks * kBlockSize, 0), cpu_(cpu),
+      vector_(vector)
+{
+}
+
+Longword
+DiskDevice::mmioRead(PhysAddr offset, int size)
+{
+    (void)size;
+    switch (offset & ~3u) {
+      case kCsr: return csr_;
+      case kBlock: return block_;
+      case kCount: return count_;
+      case kAddr: return addr_;
+      default: return 0;
+    }
+}
+
+void
+DiskDevice::mmioWrite(PhysAddr offset, Longword value, int size)
+{
+    (void)size;
+    switch (offset & ~3u) {
+      case kCsr: {
+        csr_ = (csr_ & (kCsrReady | kCsrError)) |
+               (value & (kCsrIe | kCsrFuncWrite));
+        if (value & kCsrGo) {
+            const bool ok = startTransfer((csr_ & kCsrFuncWrite) != 0,
+                                          block_, count_, addr_);
+            csr_ = (csr_ & (kCsrIe | kCsrFuncWrite)) | kCsrReady |
+                   (ok ? 0 : kCsrError);
+            if ((csr_ & kCsrIe) && cpu_)
+                cpu_->requestInterrupt(kIplDisk, vector_);
+        }
+        if (!(value & kCsrIe) && cpu_)
+            cpu_->clearInterrupt(kIplDisk, vector_);
+        break;
+      }
+      case kBlock: block_ = value; break;
+      case kCount: count_ = value; break;
+      case kAddr: addr_ = value; break;
+      default: break;
+    }
+}
+
+void
+DiskDevice::acknowledge()
+{
+    if (cpu_)
+        cpu_->clearInterrupt(kIplDisk, vector_);
+}
+
+bool
+DiskDevice::startTransfer(bool write, Longword block, Longword count,
+                          PhysAddr addr)
+{
+    const Longword bytes = count * kBlockSize;
+    if (block + count > blocks() || block + count < block)
+        return false;
+    if (addr + bytes > memory_.ramSize() || addr + bytes < addr)
+        return false;
+    Byte *disk = data_.data() + block * kBlockSize;
+    if (write)
+        memory_.readBlock(addr, {disk, bytes});
+    else
+        memory_.writeBlock(addr, {disk, bytes});
+    transfers_++;
+    return true;
+}
+
+} // namespace vvax

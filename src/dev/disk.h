@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Block disk with memory-mapped control/status registers.
+ *
+ * The typical VAX I/O mechanism manipulates device registers in a
+ * reserved region of physical address space with ordinary
+ * memory-reference instructions (paper Section 4.4.3).  This device
+ * models that style: the driver programs BLOCK/COUNT/ADDR and sets GO
+ * in the CSR; the transfer DMAs to/from physical memory and completes
+ * with an optional interrupt.
+ *
+ * Register window layout (longwords):
+ *   +0  CSR    bit0 GO (write 1 to start), bit6 IE, bit7 READY,
+ *              bits 9:8 FUNC (0 = read from disk, 1 = write to disk),
+ *              bit15 ERROR
+ *   +4  BLOCK  starting block number
+ *   +8  COUNT  number of 512-byte blocks
+ *   +12 ADDR   physical memory address for the DMA
+ */
+
+#ifndef VVAX_DEV_DISK_H
+#define VVAX_DEV_DISK_H
+
+#include <vector>
+
+#include "cpu/cpu.h"
+#include "memory/physical_memory.h"
+
+namespace vvax {
+
+class DiskDevice : public MmioHandler
+{
+  public:
+    static constexpr Longword kBlockSize = 512;
+    static constexpr Longword kCsr = 0;
+    static constexpr Longword kBlock = 4;
+    static constexpr Longword kCount = 8;
+    static constexpr Longword kAddr = 12;
+    static constexpr Longword kWindowSize = 16;
+
+    static constexpr Longword kCsrGo = 1u << 0;
+    static constexpr Longword kCsrIe = 1u << 6;
+    static constexpr Longword kCsrReady = 1u << 7;
+    static constexpr Longword kCsrFuncWrite = 1u << 8;
+    static constexpr Longword kCsrError = 1u << 15;
+
+    DiskDevice(PhysicalMemory &memory, Longword blocks, Cpu *cpu,
+               Word vector);
+
+    Longword mmioRead(PhysAddr offset, int size) override;
+    void mmioWrite(PhysAddr offset, Longword value, int size) override;
+
+    /** Host-side access to the backing store (loaders, tests). */
+    std::vector<Byte> &data() { return data_; }
+    Longword blocks() const
+    {
+        return static_cast<Longword>(data_.size() / kBlockSize);
+    }
+
+    /** Performed transfers (for the I/O virtualization benchmarks). */
+    std::uint64_t transfersCompleted() const { return transfers_; }
+
+    /** Acknowledge (deassert) a completion interrupt. */
+    void acknowledge();
+
+    /** Start a transfer directly (used by the VMM's KCALL service). */
+    bool startTransfer(bool write, Longword block, Longword count,
+                       PhysAddr addr);
+
+  private:
+    PhysicalMemory &memory_;
+    std::vector<Byte> data_;
+    Cpu *cpu_;
+    Word vector_;
+
+    Longword csr_ = kCsrReady;
+    Longword block_ = 0;
+    Longword count_ = 0;
+    Longword addr_ = 0;
+    std::uint64_t transfers_ = 0;
+};
+
+} // namespace vvax
+
+#endif // VVAX_DEV_DISK_H

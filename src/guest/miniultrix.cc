@@ -1,0 +1,431 @@
+/**
+ * @file
+ * MiniUltrix builder: a deliberately small two-mode (kernel/user)
+ * guest.  Same construction style as MiniVMS - fully static layout,
+ * kernel assembled with CodeBuilder, tables poked into the image.
+ */
+
+#include "guest/miniultrix.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "arch/ipr.h"
+#include "arch/protection.h"
+#include "arch/psl.h"
+#include "arch/pte.h"
+#include "arch/scb.h"
+#include "vasm/code_builder.h"
+
+namespace vvax {
+
+namespace {
+
+constexpr Longword kS = kSystemBase;
+constexpr VirtAddr kUserCodeVa = 0x1000;
+constexpr Longword kUserCodePages = 4;
+constexpr VirtAddr kUserDataVa = 0x8000;
+constexpr Longword kP1Vpns = 0x200000;
+constexpr Longword kUserStackPages = 4;
+constexpr Longword kKernStackPages = 2;
+
+void
+pokeL(std::vector<Byte> &image, PhysAddr pa, Longword value)
+{
+    assert(pa + 4 <= image.size());
+    std::memcpy(&image[pa], &value, 4);
+}
+
+// System call numbers.
+constexpr Byte kSysExit = 0;
+constexpr Byte kSysPutc = 1;
+constexpr Byte kSysGetPid = 2;
+
+std::vector<Byte>
+buildUserProgram(const MiniUltrixConfig &cfg)
+{
+    CodeBuilder b(kUserCodeVa);
+    Label outer = b.newLabel();
+    Label touch = b.newLabel();
+    b.chmk(Op::lit(kSysGetPid)); // R0 = pid
+    b.addl3(Op::imm('a'), Op::reg(R0), Op::reg(R9)); // tag character
+    b.movl(Op::imm(cfg.iterations), Op::reg(R11));
+    b.bind(outer);
+    // Some computation.
+    b.movl(Op::reg(R11), Op::reg(R7));
+    b.mull2(Op::lit(17), Op::reg(R7));
+    b.xorl2(Op::imm(0x5A5A), Op::reg(R7));
+    // Touch the data pages (writes: modify faults / shadow fills).
+    b.movl(Op::imm(cfg.dataPagesPerProcess), Op::reg(R6));
+    b.movl(Op::imm(kUserDataVa), Op::reg(R8));
+    b.bind(touch);
+    b.movl(Op::reg(R7), Op::deferred(R8));
+    b.addl2(Op::imm(kPageSize), Op::reg(R8));
+    b.sobgtr(Op::reg(R6), touch);
+    // Say something.
+    b.movl(Op::reg(R9), Op::reg(R2));
+    b.chmk(Op::lit(kSysPutc));
+    b.sobgtr(Op::reg(R11), outer);
+    b.chmk(Op::lit(kSysExit));
+    auto image = b.finish();
+    if (image.size() > kUserCodePages * kPageSize)
+        throw std::logic_error("MiniUltrix user program too large");
+    return image;
+}
+
+} // namespace
+
+MiniUltrixImage
+buildMiniUltrix(const MiniUltrixConfig &cfg)
+{
+    const Longword mem_pages = (cfg.memBytes + kPageSize - 1) / kPageSize;
+    const int nproc = cfg.numProcesses;
+    if (nproc < 1 || nproc > 16)
+        throw std::invalid_argument("numProcesses out of range");
+
+    // --- Page plan ---
+    constexpr Longword kKernelTextPages = 40;
+    Longword cursor = kKernelTextPages;
+    auto alloc = [&](Longword pages) {
+        const Longword start = cursor;
+        cursor += pages;
+        return static_cast<PhysAddr>(start * kPageSize);
+    };
+    const PhysAddr boot_p0 = alloc(1);
+    const PhysAddr boot_stack = alloc(1);
+    const PhysAddr int_stack = alloc(1);
+    const Longword spt_pages = (mem_pages * 4 + kPageSize - 1) / kPageSize;
+    const PhysAddr spt = alloc(spt_pages);
+    const PhysAddr user_prog = alloc(kUserCodePages);
+
+    struct Proc
+    {
+        PhysAddr pcb, p0Table, p1Table, data, stacks;
+    };
+    const Longword p0_ptes =
+        (kUserDataVa >> kPageShift) + cfg.dataPagesPerProcess;
+    const Longword p0_table_pages =
+        (p0_ptes * 4 + kPageSize - 1) / kPageSize;
+    std::vector<Proc> procs(nproc);
+    for (auto &p : procs) {
+        p.pcb = alloc(1);
+        p.p0Table = alloc(p0_table_pages);
+        p.p1Table = alloc(2); // 256 PTEs
+        p.data = alloc(cfg.dataPagesPerProcess);
+        p.stacks = alloc(kUserStackPages + kKernStackPages);
+    }
+    if (cursor > mem_pages)
+        throw std::invalid_argument("MiniUltrix does not fit");
+
+    // --- Kernel ---
+    CodeBuilder b(0);
+    const Label entry = b.newLabel();
+    const Label in_s = b.newLabel();
+    const Label h_chmk = b.newLabel();
+    const Label h_timer = b.newLabel();
+    const Label h_resched = b.newLabel();
+    const Label h_modify = b.newLabel();
+    const Label h_panic = b.newLabel();
+    const Label h_ignore = b.newLabel();
+    const Label pick_next = b.newLabel();
+    const Label finale = b.newLabel();
+    const Label d_ticks = b.newLabel();
+    const Label d_live = b.newLabel();
+    const Label d_cur = b.newLabel();
+    const Label d_sys = b.newLabel();
+    const Label d_result = b.newLabel();
+    const Label d_pcbs = b.newLabel();
+    const Label d_done = b.newLabel();
+
+    auto cell = [&](Label l) { return Op::absRef(l, kS); };
+    auto beqlFar = [&](Label target) {
+        Label skip = b.newLabel();
+        b.bneq(skip);
+        b.brw(target);
+        b.bind(skip);
+    };
+    auto bneqFar = [&](Label target) {
+        Label skip = b.newLabel();
+        b.beql(skip);
+        b.brw(target);
+        b.bind(skip);
+    };
+
+    // SCB.
+    for (Word v = 0; v < kScbSize; v += 4) {
+        if (v == static_cast<Word>(ScbVector::Chmk))
+            b.longwordAbs(h_chmk, kS);
+        else if (v == static_cast<Word>(ScbVector::IntervalTimer))
+            b.longwordAbs(h_timer, kS + 1); // interrupt stack
+        else if (v == softwareInterruptVector(3))
+            b.longwordAbs(h_resched, kS);
+        else if (v == static_cast<Word>(ScbVector::ModifyFault))
+            b.longwordAbs(h_modify, kS);
+        else if (v == static_cast<Word>(ScbVector::ConsoleReceive) ||
+                 v == static_cast<Word>(ScbVector::ConsoleTransmit) ||
+                 v == static_cast<Word>(ScbVector::DeviceBase))
+            b.longwordAbs(h_ignore, kS + 1);
+        else
+            b.longwordAbs(h_panic, kS);
+    }
+    assert(b.here() == 0x200);
+
+    // Boot.
+    b.bind(entry);
+    b.movl(Op::imm(boot_stack + kPageSize), Op::reg(SP));
+    b.mtpr(Op::lit(0), Ipr::SCBB);
+    b.mtpr(Op::imm(spt), Ipr::SBR);
+    b.mtpr(Op::imm(mem_pages), Ipr::SLR);
+    b.mtpr(Op::imm(kS + boot_p0), Ipr::P0BR);
+    b.mtpr(Op::imm(kKernelTextPages), Ipr::P0LR);
+    b.mtpr(Op::imm(kP1Vpns), Ipr::P1LR);
+    b.mtpr(Op::lit(0), Ipr::P1BR);
+    b.mtpr(Op::lit(1), Ipr::MAPEN);
+    b.jmp(Op::absRef(in_s, kS));
+    b.bind(in_s);
+    b.mtpr(Op::imm(kS + int_stack + kPageSize), Ipr::ISP);
+    b.movl(Op::imm(kS + boot_stack + kPageSize), Op::reg(SP));
+    b.mtpr(Op::imm(static_cast<Longword>(
+               -static_cast<std::int32_t>(cfg.quantumCycles))),
+           Ipr::NICR);
+    b.mtpr(Op::imm(iccs::kTransfer | iccs::kRun |
+                   iccs::kInterruptEnable),
+           Ipr::ICCS);
+    b.clrl(cell(d_cur));
+    b.movl(cell(d_pcbs), Op::reg(R0));
+    b.mtpr(Op::reg(R0), Ipr::PCBB);
+    b.ldpctx();
+    b.rei();
+
+    // Timer (interrupt stack).
+    b.align(4);
+    b.bind(h_timer);
+    b.mtpr(Op::imm(iccs::kInterrupt | iccs::kRun |
+                   iccs::kInterruptEnable),
+           Ipr::ICCS);
+    b.incl(cell(d_ticks));
+    b.mtpr(Op::lit(3), Ipr::SIRR);
+    b.rei();
+
+    // Reschedule (kernel stack, IPL 3).
+    b.align(4);
+    b.bind(h_resched);
+    b.svpctx();
+    b.bind(pick_next);
+    b.movl(cell(d_cur), Op::reg(R0));
+    {
+        Label scan = b.bindHere();
+        Label ok = b.newLabel();
+        b.incl(Op::reg(R0));
+        b.cmpl(Op::reg(R0), Op::imm(static_cast<Longword>(nproc)));
+        b.blss(ok);
+        b.clrl(Op::reg(R0));
+        b.bind(ok);
+        b.tstl(cell(d_done).idx(R0));
+        b.bneq(scan);
+    }
+    b.movl(Op::reg(R0), cell(d_cur));
+    b.movl(cell(d_pcbs).idx(R0), Op::reg(R1));
+    b.mtpr(Op::reg(R1), Ipr::PCBB);
+    b.ldpctx();
+    b.rei();
+
+    // CHMK system calls: (SP)=code, R2.. = args.
+    b.align(4);
+    b.bind(h_chmk);
+    b.incl(cell(d_sys));
+    b.movl(Op::deferred(SP), Op::reg(R0));
+    {
+        Label putc = b.newLabel(), getpid = b.newLabel();
+        Label epilogue = b.newLabel();
+        b.tstl(Op::reg(R0));
+        bneqFar(putc);
+        // EXIT.
+        b.addl2(Op::lit(4), Op::reg(SP));
+        b.movl(cell(d_cur), Op::reg(R1));
+        b.movl(Op::lit(1), cell(d_done).idx(R1));
+        b.decl_(cell(d_live));
+        beqlFar(finale);
+        b.svpctx();
+        b.brw(pick_next);
+
+        b.bind(putc);
+        b.cmpl(Op::reg(R0), Op::lit(kSysPutc));
+        b.bneq(getpid);
+        b.mtpr(Op::reg(R2), Ipr::TXDB);
+        b.clrl(Op::reg(R0));
+        b.brb(epilogue);
+
+        b.bind(getpid);
+        b.cmpl(Op::reg(R0), Op::lit(kSysGetPid));
+        {
+            Label unknown = b.newLabel();
+            b.bneq(unknown);
+            b.movl(cell(d_cur), Op::reg(R0));
+            b.brb(epilogue);
+            b.bind(unknown);
+            b.mnegl(Op::lit(1), Op::reg(R0));
+        }
+        b.bind(epilogue);
+        b.addl2(Op::lit(4), Op::reg(SP));
+        b.rei();
+    }
+
+    // Finale.
+    b.bind(finale);
+    b.movl(Op::imm(MiniUltrixImage::kResultMagic), cell(d_result));
+    b.movl(cell(d_sys), Op::absRef(d_result, kS + 4));
+    b.movl(Op::imm(static_cast<Longword>(nproc)),
+           Op::absRef(d_result, kS + 8));
+    b.mtpr(Op::imm('u'), Ipr::TXDB);
+    b.mtpr(Op::imm('!'), Ipr::TXDB);
+    b.mtpr(Op::imm('\n'), Ipr::TXDB);
+    b.halt();
+
+    // Modify fault (bare modified VAX only): set PTE<M>.
+    b.align(4);
+    b.bind(h_modify);
+    b.pushr(Op::imm(0x07));
+    b.movl(Op::disp(16, SP), Op::reg(R0));
+    b.bicl3(Op::imm(0xC0000000), Op::reg(R0), Op::reg(R2));
+    b.ashl(Op::imm(static_cast<Longword>(-7)), Op::reg(R2),
+           Op::reg(R2));
+    b.bicl2(Op::lit(3), Op::reg(R2));
+    {
+        Label is_p0 = b.newLabel(), is_p1 = b.newLabel(),
+              have = b.newLabel();
+        b.ashl(Op::imm(static_cast<Longword>(-30)), Op::reg(R0),
+               Op::reg(R1));
+        b.bicl2(Op::imm(0xFFFFFFFC), Op::reg(R1));
+        b.tstl(Op::reg(R1));
+        b.beql(is_p0);
+        b.cmpl(Op::reg(R1), Op::lit(1));
+        b.beql(is_p1);
+        b.movl(Op::imm(kS + spt), Op::reg(R1));
+        b.brb(have);
+        b.bind(is_p0);
+        b.mfpr(Ipr::P0BR, Op::reg(R1));
+        b.brb(have);
+        b.bind(is_p1);
+        b.mfpr(Ipr::P1BR, Op::reg(R1));
+        b.bind(have);
+        b.addl2(Op::reg(R1), Op::reg(R2));
+    }
+    b.bisl2(Op::imm(Pte::kModify), Op::deferred(R2));
+    b.mtpr(Op::reg(R0), Ipr::TBIS);
+    b.popr(Op::imm(0x07));
+    b.addl2(Op::lit(8), Op::reg(SP));
+    b.rei();
+
+    b.align(4);
+    b.bind(h_ignore);
+    b.rei();
+
+    b.align(4);
+    b.bind(h_panic);
+    b.mtpr(Op::imm('?'), Ipr::TXDB);
+    b.halt();
+
+    // Data.
+    b.align(4);
+    b.bind(d_ticks);
+    b.longword(0);
+    b.bind(d_live);
+    b.longword(static_cast<Longword>(nproc));
+    b.bind(d_cur);
+    b.longword(0);
+    b.bind(d_sys);
+    b.longword(0);
+    b.bind(d_result);
+    b.longword(0);
+    b.longword(0);
+    b.longword(0);
+    const PhysAddr result_pa = b.labelAddress(d_result);
+    b.bind(d_pcbs);
+    for (const auto &p : procs)
+        b.longword(p.pcb);
+    b.bind(d_done);
+    for (int i = 0; i < nproc; ++i)
+        b.longword(0);
+
+    auto kernel = b.finish();
+    if (kernel.size() > kKernelTextPages * kPageSize)
+        throw std::logic_error("MiniUltrix kernel too large");
+
+    // --- Assemble the image ---
+    MiniUltrixImage out;
+    out.image.assign(cursor * kPageSize, 0);
+    out.entry = b.labelAddress(entry);
+    out.resultBase = result_pa;
+    std::memcpy(out.image.data(), kernel.data(), kernel.size());
+
+    auto prog = buildUserProgram(cfg);
+    std::memcpy(&out.image[user_prog], prog.data(), prog.size());
+
+    for (Longword i = 0; i < mem_pages; ++i) {
+        pokeL(out.image, spt + 4 * i,
+              Pte::make(true, Protection::KW, true, i).raw());
+    }
+    for (Longword i = 0; i < kKernelTextPages; ++i) {
+        pokeL(out.image, boot_p0 + 4 * i,
+              Pte::make(true, Protection::KW, true, i).raw());
+    }
+
+    const Longword p1lr =
+        kP1Vpns - (kUserStackPages + kKernStackPages);
+    const Longword p1_first = kP1Vpns - 256;
+    const VirtAddr user_stack_top = 0x80000000;
+    const VirtAddr kern_stack_top =
+        user_stack_top - kUserStackPages * kPageSize;
+
+    for (int i = 0; i < nproc; ++i) {
+        const Proc &p = procs[i];
+        // P0: shared user code (read-only), private data (M=0).
+        for (Longword j = 0; j < kUserCodePages; ++j) {
+            pokeL(out.image,
+                  p.p0Table + 4 * ((kUserCodeVa >> kPageShift) + j),
+                  Pte::make(true, Protection::UR, true,
+                            (user_prog >> kPageShift) + j)
+                      .raw());
+        }
+        for (Longword j = 0; j < cfg.dataPagesPerProcess; ++j) {
+            pokeL(out.image,
+                  p.p0Table + 4 * ((kUserDataVa >> kPageShift) + j),
+                  Pte::make(true, Protection::UW, false,
+                            (p.data >> kPageShift) + j)
+                      .raw());
+        }
+        // P1: kernel stack below user stack.
+        Pfn frame = p.stacks >> kPageShift;
+        Vpn vpn = p1lr;
+        for (Longword j = 0; j < kKernStackPages; ++j, ++vpn, ++frame) {
+            pokeL(out.image, p.p1Table + 4 * (vpn - p1_first),
+                  Pte::make(true, Protection::KW, true, frame).raw());
+        }
+        for (Longword j = 0; j < kUserStackPages; ++j, ++vpn, ++frame) {
+            pokeL(out.image, p.p1Table + 4 * (vpn - p1_first),
+                  Pte::make(true, Protection::UW, true, frame).raw());
+        }
+
+        Psl user_psl;
+        user_psl.setCurrentMode(AccessMode::User);
+        user_psl.setPreviousMode(AccessMode::User);
+        pokeL(out.image, p.pcb + 0, kern_stack_top);  // KSP
+        pokeL(out.image, p.pcb + 4, kern_stack_top);  // ESP (unused)
+        pokeL(out.image, p.pcb + 8, kern_stack_top);  // SSP (unused)
+        pokeL(out.image, p.pcb + 12, user_stack_top); // USP
+        pokeL(out.image, p.pcb + 64, user_stack_top); // AP
+        pokeL(out.image, p.pcb + 68, user_stack_top); // FP
+        pokeL(out.image, p.pcb + 72, kUserCodeVa);
+        pokeL(out.image, p.pcb + 76, user_psl.raw());
+        pokeL(out.image, p.pcb + 80, kS + p.p0Table);
+        pokeL(out.image, p.pcb + 84, p0_ptes | (4u << 24));
+        pokeL(out.image, p.pcb + 88,
+              (kS + p.p1Table) - 4 * p1_first);
+        pokeL(out.image, p.pcb + 92, p1lr);
+    }
+    return out;
+}
+
+} // namespace vvax

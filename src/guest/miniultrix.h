@@ -1,0 +1,47 @@
+/**
+ * @file
+ * MiniUltrix: a Unix-like two-mode guest operating system.
+ *
+ * The paper notes (Section 4, footnote) that "VMS uses all four VAX
+ * access modes, while ULTRIX-32 uses only two; therefore VMS imposes
+ * the more stringent requirement."  MiniUltrix is the two-mode
+ * counterpart to MiniVMS: kernel and user only, CHMK system calls, a
+ * timer-driven round-robin scheduler, per-process P0 spaces - and no
+ * executive or supervisor ring usage at all.
+ *
+ * Like MiniVMS it boots unchanged on a bare standard VAX, a bare
+ * modified VAX, and inside a virtual machine.
+ */
+
+#ifndef VVAX_GUEST_MINIULTRIX_H
+#define VVAX_GUEST_MINIULTRIX_H
+
+#include <vector>
+
+#include "arch/types.h"
+
+namespace vvax {
+
+struct MiniUltrixConfig
+{
+    Longword memBytes = 512 * 1024;
+    int numProcesses = 2;
+    Longword iterations = 16;     //!< loop count per process
+    Longword quantumCycles = 20000;
+    Longword dataPagesPerProcess = 8;
+};
+
+struct MiniUltrixImage
+{
+    std::vector<Byte> image; //!< load at (VM-)physical 0
+    VirtAddr entry = 0;
+    /** +0 magic, +4 total syscalls, +8 completed processes. */
+    PhysAddr resultBase = 0;
+    static constexpr Longword kResultMagic = 0x0UL + 0x0BADC0DE;
+};
+
+MiniUltrixImage buildMiniUltrix(const MiniUltrixConfig &config);
+
+} // namespace vvax
+
+#endif // VVAX_GUEST_MINIULTRIX_H

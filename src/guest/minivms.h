@@ -1,0 +1,99 @@
+/**
+ * @file
+ * MiniVMS: a VMS-like guest operating system for the simulated VAX,
+ * written in VAX machine code via the repository's CodeBuilder.
+ *
+ * MiniVMS exists to exercise everything the paper's analysis is
+ * about, the way VMS does (Section 1's goal that standard VAX
+ * operating systems run unchanged):
+ *
+ *  - it uses all four access modes: user programs, a supervisor-mode
+ *    CLI service (CHMS), an executive-mode record service (CHME) and
+ *    kernel-mode system services (CHMK);
+ *  - it runs with memory management enabled: an SPT, per-process
+ *    P0/P1 page tables, per-mode stacks in P1;
+ *  - it context-switches with SVPCTX/LDPCTX off a timer interrupt and
+ *    a rescheduling software interrupt, raising and lowering IPL with
+ *    MTPR-to-IPL on every system service (the Section 7.3 hot path);
+ *  - it validates user buffers with PROBER/PROBEW before touching
+ *    them from privileged modes;
+ *  - it detects whether it is running on a virtual VAX (MFPR from
+ *    MEMSIZE succeeds there and takes a reserved operand fault on the
+ *    bare machine) and then uses the virtual VAX's facilities: KCALL
+ *    start-I/O, the VMM-maintained uptime cell, and WAIT when idle -
+ *    exactly the small set of adaptations Section 5 expects of a
+ *    VMOS on a new VAX family member.
+ *
+ * The same image boots on a bare standard VAX, a bare modified VAX
+ * (where it services modify faults itself) and inside a virtual
+ * machine.
+ */
+
+#ifndef VVAX_GUEST_MINIVMS_H
+#define VVAX_GUEST_MINIVMS_H
+
+#include <vector>
+
+#include "arch/types.h"
+
+namespace vvax {
+
+/** Per-process workload programs (the Section 7.3 benchmark mix). */
+enum class Workload : Byte {
+    Compute,     //!< register/ALU loop, light memory traffic
+    Edit,        //!< interactive editing: string moves, console output
+    Transaction, //!< record service + disk I/O + index updates
+    PageStress,  //!< touches many pages per quantum (shadow-fill heavy)
+    Idle,        //!< hibernates (WAIT handshake on a virtual VAX)
+};
+
+struct MiniVmsConfig
+{
+    Longword memBytes = 1024 * 1024;
+    int numProcesses = 4;
+    /** Workload per process; cycled when shorter than numProcesses;
+     *  an empty list means every process runs Compute. */
+    std::vector<Workload> workloads = defaultWorkloads();
+
+    static std::vector<Workload>
+    defaultWorkloads()
+    {
+        return {Workload::Edit, Workload::Transaction};
+    }
+    /** Iterations each process performs before exiting. */
+    Longword iterations = 16;
+    /** Guest scheduling quantum in cycles (interval timer period). */
+    Longword quantumCycles = 30000;
+    /** Pages of private data per process (working set size). */
+    Longword dataPagesPerProcess = 20;
+    /**
+     * Disk access method: 0 means use KCALL start-I/O when running
+     * virtual (and the machine's memory-mapped controller when bare);
+     * a non-zero PFN forces the memory-mapped driver at that frame
+     * (used for the Section 4.4.3 ablation inside a VM).
+     */
+    Pfn diskCsrPfn = 0;
+    /** Emit per-iteration console output (noisy but realistic). */
+    bool chattyConsole = false;
+};
+
+/** Built boot image plus the addresses the host needs. */
+struct MiniVmsImage
+{
+    std::vector<Byte> image; //!< load at (VM-)physical address 0
+    VirtAddr entry = 0;      //!< boot entry point (physical)
+    /**
+     * Result area (physical): +0 magic 0x600D600D when all processes
+     * exited, +4 clock ticks observed, +8 completed process count,
+     * +12 total system service calls.
+     */
+    PhysAddr resultBase = 0;
+    static constexpr Longword kResultMagic = 0x600D600D;
+};
+
+/** Assemble a MiniVMS system for @p config. */
+MiniVmsImage buildMiniVms(const MiniVmsConfig &config);
+
+} // namespace vvax
+
+#endif // VVAX_GUEST_MINIVMS_H

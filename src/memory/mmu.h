@@ -1,0 +1,131 @@
+/**
+ * @file
+ * VAX memory management unit: translation, protection, modify bit.
+ *
+ * Implements the three-region translation of the VAX architecture:
+ * the System Page Table is located by a *physical* base (SBR), while
+ * the per-process P0/P1 tables live at *virtual* S-space addresses
+ * (P0BR/P1BR), so a process translation nests through the SPT.
+ *
+ * Two modify-bit disciplines are selectable (paper Section 4.4.2):
+ * the standard VAX sets PTE<M> in memory on the first legal write to
+ * a page; the modified VAX instead raises a *modify fault* so the
+ * operating system (or VMM) sets the bit explicitly.
+ *
+ * Protection is checked even when PTE<V> is clear - the property the
+ * paper's null-PTE shadow discipline relies on (Section 4.3.1).
+ */
+
+#ifndef VVAX_MEMORY_MMU_H
+#define VVAX_MEMORY_MMU_H
+
+#include "arch/exceptions.h"
+#include "arch/pte.h"
+#include "arch/types.h"
+#include "memory/physical_memory.h"
+#include "memory/tlb.h"
+#include "metrics/cost_model.h"
+#include "metrics/stats.h"
+
+namespace vvax {
+
+/** Non-faulting classification of a reference, for PROBE/PROBEVM. */
+enum class MmStatus : Byte {
+    Ok = 0,
+    LengthViolation,     //!< beyond the page table (an access violation)
+    AccessViolation,     //!< protection denies the access
+    TranslationNotValid, //!< PTE<V> = 0
+    ModifyClear,         //!< writable and valid but PTE<M> = 0
+    PteFetchLength,      //!< process PTE address beyond the SPT
+    PteFetchNotValid,    //!< SPT entry for the process PTE invalid
+    PteNonExistent,      //!< PTE physical address is non-existent memory
+};
+
+/** Memory management registers (loaded via MTPR). */
+struct MmuRegisters
+{
+    bool mapen = false;
+    Longword sbr = 0;  //!< physical
+    Longword slr = 0;  //!< longwords (PTEs)
+    Longword p0br = 0; //!< virtual, S space
+    Longword p0lr = 0;
+    Longword p1br = 0; //!< virtual, biased: PTE va = p1br + 4*vpn
+    Longword p1lr = 0;
+};
+
+class Mmu
+{
+  public:
+    Mmu(PhysicalMemory &memory, const CostModel &cost, Stats &stats);
+
+    MmuRegisters &regs() { return regs_; }
+    const MmuRegisters &regs() const { return regs_; }
+
+    /** Enable the modified-VAX modify fault (Section 4.4.2). */
+    void setModifyFaultMode(bool on) { modify_fault_mode_ = on; }
+    bool modifyFaultMode() const { return modify_fault_mode_; }
+
+    /**
+     * Translate @p va for an access of @p type from @p mode.
+     * @throws GuestFault for ACV, TNV, modify fault, machine check.
+     */
+    PhysAddr translate(VirtAddr va, AccessType type, AccessMode mode);
+
+    /** Result of a non-faulting walk. */
+    struct ProbeResult
+    {
+        MmStatus status = MmStatus::Ok;
+        Pte pte;          //!< the leaf PTE (valid if status got that far)
+        PhysAddr ptePa = 0;
+        PhysAddr pa = 0;  //!< final physical address when Ok/ModifyClear
+    };
+
+    /**
+     * Classify the reference without faulting and without side
+     * effects (no TLB fill, no M-bit update).  Used by PROBE,
+     * PROBEVM and the VMM.  The probe itself never raises a fault;
+     * failures along the nested PTE fetch are reported as statuses.
+     */
+    ProbeResult probe(VirtAddr va, AccessType type, AccessMode mode);
+
+    // Translation buffer maintenance.
+    void tbia() { tlb_.invalidateAll(); }
+    void tbis(VirtAddr va) { tlb_.invalidateSingle(va); }
+    void tbiaProcess() { tlb_.invalidateProcess(); }
+
+    // Virtual-address convenience accessors used by the CPU core.
+    // Unaligned accesses that cross a page boundary translate each
+    // page separately (as real VAX hardware does).
+    Byte readV8(VirtAddr va, AccessMode mode);
+    Word readV16(VirtAddr va, AccessMode mode);
+    Longword readV32(VirtAddr va, AccessMode mode);
+    void writeV8(VirtAddr va, Byte value, AccessMode mode);
+    void writeV16(VirtAddr va, Word value, AccessMode mode);
+    void writeV32(VirtAddr va, Longword value, AccessMode mode);
+
+    PhysicalMemory &memory() { return memory_; }
+
+  private:
+    /**
+     * Walk the page tables for @p va.  Shared machinery beneath both
+     * translate() and probe().  Never faults; returns a status.
+     * @param fill_tlb true to install the result in the TLB.
+     */
+    ProbeResult walk(VirtAddr va, AccessType type, AccessMode mode,
+                     bool fill_tlb);
+
+    /** Raise the GuestFault corresponding to a walk failure. */
+    [[noreturn]] void raiseFault(const ProbeResult &result, VirtAddr va,
+                                 AccessType type);
+
+    PhysicalMemory &memory_;
+    const CostModel &cost_;
+    Stats &stats_;
+    MmuRegisters regs_;
+    Tlb tlb_;
+    bool modify_fault_mode_ = false;
+};
+
+} // namespace vvax
+
+#endif // VVAX_MEMORY_MMU_H

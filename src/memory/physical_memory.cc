@@ -1,0 +1,130 @@
+#include "memory/physical_memory.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace vvax {
+
+PhysicalMemory::PhysicalMemory(Longword bytes)
+{
+    const Longword rounded = (bytes + kPageSize - 1) & ~kPageOffsetMask;
+    ram_.resize(rounded, 0);
+}
+
+void
+PhysicalMemory::addMmioWindow(PhysAddr base, Longword length,
+                              MmioHandler *handler)
+{
+    assert(handler != nullptr);
+    if (base < ramSize())
+        throw std::invalid_argument("MMIO window overlaps RAM");
+    for (const Window &w : windows_) {
+        if (base < w.base + w.length && w.base < base + length)
+            throw std::invalid_argument("MMIO windows overlap");
+    }
+    windows_.push_back(Window{base, length, handler});
+}
+
+const PhysicalMemory::Window *
+PhysicalMemory::findWindow(PhysAddr pa) const
+{
+    for (const Window &w : windows_) {
+        if (pa >= w.base && pa < w.base + w.length)
+            return &w;
+    }
+    return nullptr;
+}
+
+bool
+PhysicalMemory::exists(PhysAddr pa) const
+{
+    return pa < ramSize() || findWindow(pa) != nullptr;
+}
+
+Byte
+PhysicalMemory::read8(PhysAddr pa)
+{
+    if (pa < ramSize())
+        return ram_[pa];
+    const Window *w = findWindow(pa);
+    assert(w);
+    return static_cast<Byte>(w->handler->mmioRead(pa - w->base, 1));
+}
+
+Word
+PhysicalMemory::read16(PhysAddr pa)
+{
+    if (pa + 1 < ramSize()) {
+        Word value;
+        std::memcpy(&value, &ram_[pa], 2);
+        return value;
+    }
+    const Window *w = findWindow(pa);
+    assert(w);
+    return static_cast<Word>(w->handler->mmioRead(pa - w->base, 2));
+}
+
+Longword
+PhysicalMemory::read32(PhysAddr pa)
+{
+    if (pa + 3 < ramSize() && pa + 3 > pa) {
+        Longword value;
+        std::memcpy(&value, &ram_[pa], 4);
+        return value;
+    }
+    const Window *w = findWindow(pa);
+    assert(w);
+    return w->handler->mmioRead(pa - w->base, 4);
+}
+
+void
+PhysicalMemory::write8(PhysAddr pa, Byte value)
+{
+    if (pa < ramSize()) {
+        ram_[pa] = value;
+        return;
+    }
+    const Window *w = findWindow(pa);
+    assert(w);
+    w->handler->mmioWrite(pa - w->base, value, 1);
+}
+
+void
+PhysicalMemory::write16(PhysAddr pa, Word value)
+{
+    if (pa + 1 < ramSize()) {
+        std::memcpy(&ram_[pa], &value, 2);
+        return;
+    }
+    const Window *w = findWindow(pa);
+    assert(w);
+    w->handler->mmioWrite(pa - w->base, value, 2);
+}
+
+void
+PhysicalMemory::write32(PhysAddr pa, Longword value)
+{
+    if (pa + 3 < ramSize() && pa + 3 > pa) {
+        std::memcpy(&ram_[pa], &value, 4);
+        return;
+    }
+    const Window *w = findWindow(pa);
+    assert(w);
+    w->handler->mmioWrite(pa - w->base, value, 4);
+}
+
+void
+PhysicalMemory::writeBlock(PhysAddr pa, std::span<const Byte> data)
+{
+    assert(pa + data.size() <= ramSize());
+    std::memcpy(&ram_[pa], data.data(), data.size());
+}
+
+void
+PhysicalMemory::readBlock(PhysAddr pa, std::span<Byte> data)
+{
+    assert(pa + data.size() <= ramSize());
+    std::memcpy(data.data(), &ram_[pa], data.size());
+}
+
+} // namespace vvax

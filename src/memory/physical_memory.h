@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Physical address space: RAM plus memory-mapped I/O windows.
+ *
+ * RAM occupies physical addresses [0, size).  Devices may claim
+ * aligned windows anywhere above RAM (the typical VAX arrangement puts
+ * I/O space at the top of the physical address space).  References to
+ * addresses backed by neither RAM nor a device window report
+ * non-existent memory, which the CPU turns into a machine check (and
+ * which the VMM turns into a VM halt, Section 5 of the paper).
+ */
+
+#ifndef VVAX_MEMORY_PHYSICAL_MEMORY_H
+#define VVAX_MEMORY_PHYSICAL_MEMORY_H
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace vvax {
+
+/** Interface for memory-mapped device registers. */
+class MmioHandler
+{
+  public:
+    virtual ~MmioHandler() = default;
+    /** Read @p size (1/2/4) bytes at @p offset within the window. */
+    virtual Longword mmioRead(PhysAddr offset, int size) = 0;
+    /** Write @p size (1/2/4) bytes at @p offset within the window. */
+    virtual void mmioWrite(PhysAddr offset, Longword value, int size) = 0;
+};
+
+class PhysicalMemory
+{
+  public:
+    /** @param bytes RAM size; rounded up to a whole page. */
+    explicit PhysicalMemory(Longword bytes);
+
+    Longword ramSize() const { return static_cast<Longword>(ram_.size()); }
+    Longword ramPages() const { return ramSize() / kPageSize; }
+
+    /** Claim [base, base+length) for @p handler.  Must not overlap RAM. */
+    void addMmioWindow(PhysAddr base, Longword length, MmioHandler *handler);
+
+    /** @return true if @p pa is backed by RAM or a device window. */
+    bool exists(PhysAddr pa) const;
+    /** @return true if the whole page containing @p pa is RAM. */
+    bool isRam(PhysAddr pa) const { return pa < ramSize(); }
+
+    // Accessors.  Out-of-range RAM access with no window is reported
+    // by exists(); callers (the MMU) check first.  These assert.
+    Byte read8(PhysAddr pa);
+    Word read16(PhysAddr pa);
+    Longword read32(PhysAddr pa);
+    void write8(PhysAddr pa, Byte value);
+    void write16(PhysAddr pa, Word value);
+    void write32(PhysAddr pa, Longword value);
+
+    /** Bulk copy helpers for loaders and DMA. */
+    void writeBlock(PhysAddr pa, std::span<const Byte> data);
+    void readBlock(PhysAddr pa, std::span<Byte> data);
+
+    /** Direct RAM view (loaders, the VMM's VM-physical map). */
+    std::span<Byte> ram() { return ram_; }
+
+  private:
+    struct Window
+    {
+        PhysAddr base;
+        Longword length;
+        MmioHandler *handler;
+    };
+
+    const Window *findWindow(PhysAddr pa) const;
+
+    std::vector<Byte> ram_;
+    std::vector<Window> windows_;
+};
+
+} // namespace vvax
+
+#endif // VVAX_MEMORY_PHYSICAL_MEMORY_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Translation lookaside buffer.
+ *
+ * Mirrors the VAX arrangement of separate system-space and
+ * process-space halves so that a process context switch (LDPCTX)
+ * invalidates only process entries.  Direct-mapped within each half.
+ *
+ * An entry caches the PTE and the physical address the PTE was read
+ * from, so the hardware modify-bit path (standard VAX) can update
+ * memory without re-walking.
+ */
+
+#ifndef VVAX_MEMORY_TLB_H
+#define VVAX_MEMORY_TLB_H
+
+#include <array>
+
+#include "arch/pte.h"
+#include "arch/types.h"
+
+namespace vvax {
+
+class Tlb
+{
+  public:
+    struct Entry
+    {
+        bool valid = false;
+        Longword tag = 0; //!< va >> 9
+        Pte pte;
+        PhysAddr ptePa = 0; //!< where the PTE lives (for M-bit update)
+    };
+
+    static constexpr int kEntriesPerHalf = 256;
+
+    /** @return the cached entry for @p va, or nullptr on miss. */
+    Entry *
+    lookup(VirtAddr va)
+    {
+        Entry &entry = slot(va);
+        if (entry.valid && entry.tag == (va >> kPageShift))
+            return &entry;
+        return nullptr;
+    }
+
+    void
+    insert(VirtAddr va, Pte pte, PhysAddr pte_pa)
+    {
+        Entry &entry = slot(va);
+        entry.valid = true;
+        entry.tag = va >> kPageShift;
+        entry.pte = pte;
+        entry.ptePa = pte_pa;
+    }
+
+    /** Invalidate everything (TBIA). */
+    void
+    invalidateAll()
+    {
+        for (auto &e : system_)
+            e.valid = false;
+        invalidateProcess();
+    }
+
+    /** Invalidate process-space entries only (LDPCTX). */
+    void
+    invalidateProcess()
+    {
+        for (auto &e : process_)
+            e.valid = false;
+    }
+
+    /** Invalidate the single page containing @p va (TBIS). */
+    void
+    invalidateSingle(VirtAddr va)
+    {
+        Entry &entry = slot(va);
+        if (entry.valid && entry.tag == (va >> kPageShift))
+            entry.valid = false;
+    }
+
+  private:
+    Entry &
+    slot(VirtAddr va)
+    {
+        const Longword vpn_global = va >> kPageShift;
+        const int index = vpn_global & (kEntriesPerHalf - 1);
+        return regionOf(va) == Region::System ? system_[index]
+                                              : process_[index];
+    }
+
+    std::array<Entry, kEntriesPerHalf> system_{};
+    std::array<Entry, kEntriesPerHalf> process_{};
+};
+
+} // namespace vvax
+
+#endif // VVAX_MEMORY_TLB_H

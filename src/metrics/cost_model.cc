@@ -1,0 +1,52 @@
+#include "metrics/cost_model.h"
+
+namespace vvax {
+
+std::string_view
+machineModelName(MachineModel model)
+{
+    switch (model) {
+      case MachineModel::Vax730: return "VAX-11/730";
+      case MachineModel::Vax785: return "VAX-11/785";
+      case MachineModel::Vax8800: return "VAX 8800";
+    }
+    return "?";
+}
+
+CostModel
+CostModel::forModel(MachineModel model)
+{
+    CostModel cost;
+    cost.model = model;
+    switch (model) {
+      case MachineModel::Vax730:
+        // Slow vertical-microcode machine: everything costs more, but
+        // there is WCS space for the VM IPL assist, and the bare
+        // MTPR-to-IPL path was never specially optimized.
+        cost.instructionScalePct = 300;
+        cost.exceptionDispatch = 90;
+        cost.interruptDispatch = 100;
+        cost.tlbMiss = 20;
+        cost.tlbMissProcess = 40;
+        cost.mtprIplBare = 36;
+        cost.vmIplMicrocodeAssist = true;
+        cost.mtprIplAssisted = 54;
+        break;
+      case MachineModel::Vax785:
+        cost.instructionScalePct = 160;
+        cost.exceptionDispatch = 48;
+        cost.interruptDispatch = 52;
+        cost.tlbMiss = 12;
+        cost.tlbMissProcess = 24;
+        cost.mtprIplBare = 16;
+        cost.vmIplMicrocodeAssist = false;
+        break;
+      case MachineModel::Vax8800:
+        // Defaults in the struct describe the 8800: fast pipeline and
+        // a heavily optimized bare MTPR-to-IPL (Section 7.3).
+        break;
+    }
+    return cost;
+}
+
+} // namespace vvax

@@ -1,0 +1,79 @@
+#include "metrics/stats.h"
+
+#include <iomanip>
+#include <ostream>
+
+#include "arch/scb.h"
+
+namespace vvax {
+
+std::string_view
+cycleCategoryName(CycleCategory cat)
+{
+    switch (cat) {
+      case CycleCategory::GuestExec: return "guest-exec";
+      case CycleCategory::ExceptionDispatch: return "exception-dispatch";
+      case CycleCategory::MemoryManagement: return "memory-management";
+      case CycleCategory::VmmEmulation: return "vmm-emulation";
+      case CycleCategory::VmmShadow: return "vmm-shadow";
+      case CycleCategory::VmmIo: return "vmm-io";
+      case CycleCategory::VmmInterrupt: return "vmm-interrupt";
+      case CycleCategory::Idle: return "idle";
+      case CycleCategory::NumCategories: break;
+    }
+    return "?";
+}
+
+std::uint64_t
+Stats::totalCycles() const
+{
+    std::uint64_t total = 0;
+    for (auto c : cycles)
+        total += c;
+    return total;
+}
+
+std::uint64_t
+Stats::busyCycles() const
+{
+    return totalCycles() - cycles[static_cast<int>(CycleCategory::Idle)];
+}
+
+std::uint64_t
+Stats::dispatchCount(Word scb_offset) const
+{
+    return dispatches[(scb_offset / 4) & 127];
+}
+
+void
+Stats::clear()
+{
+    *this = Stats{};
+}
+
+void
+Stats::print(std::ostream &os) const
+{
+    os << "instructions: " << instructions << "\n";
+    os << "cycles:\n";
+    for (int i = 0; i < kNumCycleCategories; ++i) {
+        if (cycles[i] == 0)
+            continue;
+        os << "  " << std::setw(20) << std::left
+           << cycleCategoryName(static_cast<CycleCategory>(i)) << " "
+           << cycles[i] << "\n";
+    }
+    os << "  " << std::setw(20) << std::left << "total" << totalCycles()
+       << "\n";
+    os << "tlb: " << tlbHits << " hits, " << tlbMisses << " misses\n";
+    os << "dispatches:\n";
+    for (int i = 0; i < 128; ++i) {
+        if (dispatches[i] == 0)
+            continue;
+        const Word offset = static_cast<Word>(i * 4);
+        os << "  " << std::setw(20) << std::left << scbVectorName(offset)
+           << " " << dispatches[i] << "\n";
+    }
+}
+
+} // namespace vvax

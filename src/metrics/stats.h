@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Machine-level statistics: cycle accounting by category and event
+ * counters.  The VMM keeps its own higher-level counters in
+ * vmm/vmm_stats.h; this struct counts what the hardware sees.
+ */
+
+#ifndef VVAX_METRICS_STATS_H
+#define VVAX_METRICS_STATS_H
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+#include "arch/types.h"
+
+namespace vvax {
+
+/** Where cycles were spent. */
+enum class CycleCategory : Byte {
+    GuestExec = 0,     //!< instructions executed directly
+    ExceptionDispatch, //!< microcode trap/interrupt delivery
+    MemoryManagement,  //!< TLB misses, PTE fetches, hardware M-bit sets
+    VmmEmulation,      //!< VMM sensitive-instruction emulation
+    VmmShadow,         //!< VMM shadow page table maintenance
+    VmmIo,             //!< VMM virtual I/O service
+    VmmInterrupt,      //!< VMM virtual interrupt delivery
+    Idle,              //!< WAIT / no runnable VM
+    NumCategories,
+};
+
+constexpr int kNumCycleCategories =
+    static_cast<int>(CycleCategory::NumCategories);
+
+std::string_view cycleCategoryName(CycleCategory cat);
+
+/** Counters maintained by the machine as it runs. */
+struct Stats
+{
+    std::uint64_t instructions = 0;
+    std::array<std::uint64_t, kNumCycleCategories> cycles{};
+
+    /** Exception/interrupt dispatches indexed by SCB offset / 4. */
+    std::array<std::uint64_t, 128> dispatches{};
+
+    std::uint64_t tlbHits = 0;
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t hardwareModifySets = 0; //!< standard VAX M-bit writes
+    std::uint64_t modifyFaults = 0;
+    std::uint64_t translationFaults = 0;
+    std::uint64_t accessViolations = 0;
+    std::uint64_t vmEmulationTraps = 0;
+    std::uint64_t interruptsTaken = 0;
+    std::uint64_t waitInstructions = 0;
+
+    void
+    addCycles(CycleCategory cat, Cycles n)
+    {
+        cycles[static_cast<int>(cat)] += n;
+    }
+
+    std::uint64_t totalCycles() const;
+    /** Cycles excluding Idle (useful for utilization ratios). */
+    std::uint64_t busyCycles() const;
+    std::uint64_t dispatchCount(Word scb_offset) const;
+
+    /** Reset every counter to zero. */
+    void clear();
+
+    /** Pretty-print a summary table. */
+    void print(std::ostream &os) const;
+};
+
+} // namespace vvax
+
+#endif // VVAX_METRICS_STATS_H

@@ -1,0 +1,552 @@
+#include "vasm/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "arch/opcodes.h"
+#include "vasm/code_builder.h"
+
+namespace vvax {
+
+namespace {
+
+std::string
+lower(std::string_view s)
+{
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(
+                             s.front())))
+        s.remove_prefix(1);
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.back())))
+        s.remove_suffix(1);
+    return s;
+}
+
+/** Parse a register name ("r0".."r11", "ap", "fp", "sp", "pc"). */
+std::optional<Byte>
+parseReg(std::string_view token)
+{
+    const std::string t = lower(trim(token));
+    if (t == "ap")
+        return AP;
+    if (t == "fp")
+        return FP;
+    if (t == "sp")
+        return SP;
+    if (t == "pc")
+        return PC;
+    if (t.size() >= 2 && t[0] == 'r') {
+        int n = 0;
+        for (std::size_t i = 1; i < t.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(t[i])))
+                return std::nullopt;
+            n = n * 10 + (t[i] - '0');
+        }
+        if (n <= 15)
+            return static_cast<Byte>(n);
+    }
+    return std::nullopt;
+}
+
+std::optional<Longword>
+parseNumber(std::string_view token)
+{
+    std::string t(trim(token));
+    if (t.empty())
+        return std::nullopt;
+    bool negative = false;
+    std::size_t i = 0;
+    if (t[0] == '-') {
+        negative = true;
+        i = 1;
+    }
+    int base = 10;
+    if (t.size() > i + 1 && t[i] == '0' &&
+        (t[i + 1] == 'x' || t[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+    } else if (t.size() > i + 1 && t[i] == '0' &&
+               (t[i + 1] == 'o' || t[i + 1] == 'O')) {
+        base = 8;
+        i += 2;
+    } else if (t.size() > i + 1 && t[i] == '^' &&
+               (t[i + 1] == 'x' || t[i + 1] == 'X')) {
+        base = 16; // MACRO-style ^X hex
+        i += 2;
+    } else if (t.size() == i + 3 && t[i] == '\'' && t[i + 2] == '\'') {
+        // Character literal 'c'.
+        const Longword v = static_cast<Byte>(t[i + 1]);
+        return negative ? 0 - v : v;
+    }
+    if (i >= t.size())
+        return std::nullopt;
+    Longword value = 0;
+    for (; i < t.size(); ++i) {
+        const char c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(t[i])));
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = 10 + (c - 'a');
+        else
+            return std::nullopt;
+        if (digit >= base)
+            return std::nullopt;
+        value = value * static_cast<Longword>(base) +
+                static_cast<Longword>(digit);
+    }
+    return negative ? 0 - value : value;
+}
+
+bool
+isIdentifier(std::string_view t)
+{
+    if (t.empty())
+        return false;
+    if (!std::isalpha(static_cast<unsigned char>(t[0])) && t[0] != '_' &&
+        t[0] != '.' && t[0] != '$')
+        return false;
+    for (char c : t) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+            c != '.' && c != '$')
+            return false;
+    }
+    return true;
+}
+
+/** Split a comma-separated operand field, respecting quotes. */
+std::vector<std::string>
+splitOperands(std::string_view field)
+{
+    std::vector<std::string> out;
+    std::string current;
+    bool in_quote = false;
+    for (char c : field) {
+        if (c == '"')
+            in_quote = !in_quote;
+        if (c == ',' && !in_quote) {
+            out.emplace_back(trim(current));
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    const std::string_view tail = trim(current);
+    if (!tail.empty())
+        out.emplace_back(tail);
+    return out;
+}
+
+class Assembler
+{
+  public:
+    Assembler(std::string_view source, VirtAddr origin)
+        : source_(source), builder_(origin)
+    {
+        for (const InstrInfo &info : allInstructions())
+            mnemonics_[lower(info.mnemonic)] = &info;
+        // VAX MACRO branch aliases.
+        mnemonics_["bgequ"] = mnemonics_["bcc"];
+        mnemonics_["blssu"] = mnemonics_["bcs"];
+        mnemonics_["jbr"] = mnemonics_["brw"];
+    }
+
+    AssemblyResult
+    run()
+    {
+        std::istringstream stream{std::string(source_)};
+        std::string line;
+        int line_no = 0;
+        while (std::getline(stream, line)) {
+            ++line_no;
+            processLine(line, line_no);
+        }
+
+        AssemblyResult result;
+        result.origin = builder_.origin();
+        if (errors_.empty()) {
+            try {
+                result.image = builder_.finish();
+            } catch (const std::exception &e) {
+                errors_.push_back(std::string("link: ") + e.what());
+            }
+        }
+        for (const auto &[name, label] : labels_) {
+            if (bound_.count(name))
+                result.symbols[name] = builder_.labelAddress(label);
+        }
+        result.errors = errors_;
+        result.ok = errors_.empty();
+        return result;
+    }
+
+  private:
+    void
+    error(int line_no, const std::string &message)
+    {
+        errors_.push_back("line " + std::to_string(line_no) + ": " +
+                          message);
+    }
+
+    Label
+    labelFor(const std::string &name)
+    {
+        auto it = labels_.find(name);
+        if (it != labels_.end())
+            return it->second;
+        const Label l = builder_.newLabel();
+        labels_[name] = l;
+        return l;
+    }
+
+    void
+    processLine(std::string_view raw, int line_no)
+    {
+        // Strip comments (';' outside quotes).
+        std::string text;
+        bool in_quote = false;
+        for (char c : raw) {
+            if (c == '"')
+                in_quote = !in_quote;
+            if (c == ';' && !in_quote)
+                break;
+            text.push_back(c);
+        }
+        std::string_view rest = trim(text);
+        if (rest.empty())
+            return;
+
+        // Labels: "name:" prefixes (possibly several).
+        while (true) {
+            const std::size_t colon = rest.find(':');
+            if (colon == std::string_view::npos)
+                break;
+            const std::string_view candidate = trim(rest.substr(0, colon));
+            if (!isIdentifier(candidate))
+                break;
+            const std::string name(candidate);
+            if (bound_.count(name)) {
+                error(line_no, "label '" + name + "' redefined");
+                return;
+            }
+            builder_.bind(labelFor(name));
+            bound_.insert(name);
+            rest = trim(rest.substr(colon + 1));
+        }
+        if (rest.empty())
+            return;
+
+        // Mnemonic or directive plus operand field.
+        std::size_t space = rest.find_first_of(" \t");
+        const std::string word =
+            lower(rest.substr(0, space == std::string_view::npos
+                                     ? rest.size()
+                                     : space));
+        const std::string_view operands_field =
+            space == std::string_view::npos
+                ? std::string_view{}
+                : trim(rest.substr(space));
+
+        if (!word.empty() && word[0] == '.') {
+            directive(word, operands_field, line_no);
+            return;
+        }
+        instruction(word, operands_field, line_no);
+    }
+
+    void
+    directive(const std::string &word, std::string_view field,
+              int line_no)
+    {
+        if (word == ".ascii" || word == ".asciz") {
+            const std::string_view f = trim(field);
+            if (f.size() < 2 || f.front() != '"' || f.back() != '"') {
+                error(line_no, "expected quoted string");
+                return;
+            }
+            std::string_view body = f.substr(1, f.size() - 2);
+            for (std::size_t i = 0; i < body.size(); ++i) {
+                char c = body[i];
+                if (c == '\\' && i + 1 < body.size()) {
+                    ++i;
+                    switch (body[i]) {
+                      case 'n': c = '\n'; break;
+                      case 'r': c = '\r'; break;
+                      case 't': c = '\t'; break;
+                      case '0': c = '\0'; break;
+                      default: c = body[i]; break;
+                    }
+                }
+                builder_.byte(static_cast<Byte>(c));
+            }
+            if (word == ".asciz")
+                builder_.byte(0);
+            return;
+        }
+        const auto items = splitOperands(field);
+        if (word == ".byte" || word == ".word" || word == ".long") {
+            for (const std::string &item : items) {
+                if (auto n = parseNumber(item)) {
+                    if (word == ".byte")
+                        builder_.byte(static_cast<Byte>(*n));
+                    else if (word == ".word")
+                        builder_.word(static_cast<Word>(*n));
+                    else
+                        builder_.longword(*n);
+                } else if (word == ".long" && isIdentifier(trim(item))) {
+                    builder_.longwordAbs(
+                        labelFor(std::string(trim(item))));
+                } else {
+                    error(line_no, "bad value '" + item + "'");
+                }
+            }
+            return;
+        }
+        if (word == ".align") {
+            if (items.size() == 1) {
+                if (auto n = parseNumber(items[0])) {
+                    builder_.align(*n);
+                    return;
+                }
+            }
+            error(line_no, ".align takes one numeric operand");
+            return;
+        }
+        if (word == ".space" || word == ".blkb") {
+            if (items.size() >= 1) {
+                if (auto n = parseNumber(items[0])) {
+                    builder_.space(*n);
+                    return;
+                }
+            }
+            error(line_no, ".space takes a numeric size");
+            return;
+        }
+        error(line_no, "unknown directive '" + word + "'");
+    }
+
+    /** Parse one operand into an Op descriptor. */
+    std::optional<Op>
+    parseOperand(std::string_view raw, int line_no)
+    {
+        std::string t(trim(raw));
+        if (t.empty()) {
+            error(line_no, "empty operand");
+            return std::nullopt;
+        }
+
+        // Index suffix: base[rX].
+        std::optional<Byte> index_reg;
+        if (t.back() == ']') {
+            const std::size_t open = t.rfind('[');
+            if (open == std::string::npos) {
+                error(line_no, "unbalanced ']'");
+                return std::nullopt;
+            }
+            index_reg =
+                parseReg(std::string_view(t).substr(
+                    open + 1, t.size() - open - 2));
+            if (!index_reg) {
+                error(line_no, "bad index register");
+                return std::nullopt;
+            }
+            t = std::string(trim(std::string_view(t).substr(0, open)));
+        }
+        auto withIndex = [&](Op op) -> std::optional<Op> {
+            if (index_reg)
+                return op.idx(*index_reg);
+            return op;
+        };
+
+        // Immediate / literal: #value or #label.
+        if (t[0] == '#') {
+            const std::string_view body = trim(std::string_view(t).substr(1));
+            if (auto n = parseNumber(body)) {
+                if (*n <= 63)
+                    return Op::lit(static_cast<Byte>(*n));
+                return Op::imm(*n);
+            }
+            if (isIdentifier(body))
+                return Op::immLabel(labelFor(std::string(body)));
+            error(line_no, "bad immediate '" + t + "'");
+            return std::nullopt;
+        }
+
+        // Absolute: @#addr or @#label.
+        if (t.size() > 2 && t[0] == '@' && t[1] == '#') {
+            const std::string_view body = trim(std::string_view(t).substr(2));
+            if (auto n = parseNumber(body))
+                return withIndex(Op::abs(*n));
+            if (isIdentifier(body))
+                return withIndex(Op::absRef(labelFor(std::string(body))));
+            error(line_no, "bad absolute operand '" + t + "'");
+            return std::nullopt;
+        }
+
+        const bool deferred = t[0] == '@';
+        std::string_view body(t);
+        if (deferred)
+            body = trim(body.substr(1));
+
+        // -(Rn)
+        if (!deferred && body.size() > 3 && body[0] == '-' &&
+            body[1] == '(') {
+            if (body.back() != ')') {
+                error(line_no, "bad autodecrement");
+                return std::nullopt;
+            }
+            if (auto r = parseReg(body.substr(2, body.size() - 3)))
+                return withIndex(Op::autoDec(*r));
+            error(line_no, "bad register in autodecrement");
+            return std::nullopt;
+        }
+
+        // (Rn)+ and @(Rn)+ and (Rn)
+        if (!body.empty() && body[0] == '(') {
+            const std::size_t close = body.find(')');
+            if (close == std::string_view::npos) {
+                error(line_no, "unbalanced '('");
+                return std::nullopt;
+            }
+            const auto r = parseReg(body.substr(1, close - 1));
+            if (!r) {
+                error(line_no, "bad register");
+                return std::nullopt;
+            }
+            const std::string_view tail = trim(body.substr(close + 1));
+            if (tail == "+") {
+                return withIndex(deferred ? Op::autoIncDeferred(*r)
+                                          : Op::autoInc(*r));
+            }
+            if (!tail.empty()) {
+                error(line_no, "trailing junk after ')'");
+                return std::nullopt;
+            }
+            if (deferred) {
+                // @(Rn) == @0(Rn)
+                return withIndex(Op::dispDef(0, *r));
+            }
+            return withIndex(Op::deferred(*r));
+        }
+
+        // disp(Rn) and @disp(Rn)
+        const std::size_t open = body.find('(');
+        if (open != std::string_view::npos && body.back() == ')') {
+            const auto disp = parseNumber(body.substr(0, open));
+            const auto r =
+                parseReg(body.substr(open + 1,
+                                     body.size() - open - 2));
+            if (disp && r) {
+                const auto d = static_cast<std::int32_t>(*disp);
+                return withIndex(deferred ? Op::dispDef(d, *r)
+                                          : Op::disp(d, *r));
+            }
+            error(line_no, "bad displacement operand '" + t + "'");
+            return std::nullopt;
+        }
+
+        // Plain register.
+        if (!deferred) {
+            if (auto r = parseReg(body))
+                return Op::reg(*r);
+        }
+
+        // Bare identifier: PC-relative reference (or deferred ref).
+        if (isIdentifier(body)) {
+            if (deferred) {
+                error(line_no,
+                      "deferred label operands are not supported");
+                return std::nullopt;
+            }
+            return withIndex(Op::ref(labelFor(std::string(body))));
+        }
+        // Bare number: treat as absolute address.
+        if (auto n = parseNumber(body))
+            return withIndex(Op::abs(*n));
+
+        error(line_no, "cannot parse operand '" + t + "'");
+        return std::nullopt;
+    }
+
+    void
+    instruction(const std::string &word, std::string_view field,
+                int line_no)
+    {
+        auto it = mnemonics_.find(word);
+        if (it == mnemonics_.end()) {
+            error(line_no, "unknown mnemonic '" + word + "'");
+            return;
+        }
+        const InstrInfo &info = *it->second;
+        const auto operands = splitOperands(field);
+        if (static_cast<int>(operands.size()) != info.nOperands) {
+            error(line_no, word + " expects " +
+                               std::to_string(info.nOperands) +
+                               " operands, got " +
+                               std::to_string(operands.size()));
+            return;
+        }
+
+        // Branch-displacement operands must be labels; everything
+        // else goes through the generic operand parser.  Because
+        // CodeBuilder's generic emit() cannot take branch operands we
+        // emit the opcode and operands by hand here.
+        const Word opc = info.opcode;
+        if (opc & 0xFF00)
+            builder_.byte(static_cast<Byte>(opc >> 8));
+        builder_.byte(static_cast<Byte>(opc));
+        for (int i = 0; i < info.nOperands; ++i) {
+            const OperandSpec &spec = info.operands[i];
+            if (spec.access == OpAccess::Branch) {
+                const std::string_view target = trim(operands[i]);
+                if (!isIdentifier(target)) {
+                    error(line_no, "branch target must be a label");
+                    return;
+                }
+                emitBranchDisp(labelFor(std::string(target)),
+                               spec.size);
+                continue;
+            }
+            auto op = parseOperand(operands[i], line_no);
+            if (!op)
+                return;
+            builder_.emitOperand(*op, spec);
+        }
+    }
+
+    void
+    emitBranchDisp(Label target, OpSize size)
+    {
+        builder_.emitBranchDisplacement(target, size);
+    }
+
+    std::string_view source_;
+    CodeBuilder builder_;
+    std::map<std::string, const InstrInfo *> mnemonics_;
+    std::map<std::string, Label> labels_;
+    std::set<std::string> bound_;
+    std::vector<std::string> errors_;
+};
+
+} // namespace
+
+AssemblyResult
+assemble(std::string_view source, VirtAddr origin)
+{
+    return Assembler(source, origin).run();
+}
+
+} // namespace vvax

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Text assembler for the VAX subset.
+ *
+ * Accepts a MACRO-flavoured syntax with the full set of addressing
+ * modes the CPU implements:
+ *
+ * @code
+ *   ; sum 1..10
+ *           movl    #10, r1
+ *           clrl    r0
+ *   loop:   addl2   r1, r0
+ *           sobgtr  r1, loop
+ *           movl    r0, @#0x1000     ; absolute
+ *           movl    (r2)+, -(r3)     ; autoincrement/autodecrement
+ *           movl    @8(r4), 12(r5)[r6] ; deferred, indexed
+ *           mtpr    r0, #18          ; IPL
+ *           chmk    #4
+ *           halt
+ *   msg:    .ascii  "hi"
+ *           .byte   0x0D, 10
+ *           .long   0xDEADBEEF, loop
+ *           .align  4
+ * @endcode
+ *
+ * Numbers are decimal, 0x-hex or 0o-octal; `^X1234` MACRO-style hex is
+ * also accepted.  Labels are case-sensitive; mnemonics and registers
+ * are not.  `.long label` emits the label's absolute address.
+ */
+
+#ifndef VVAX_VASM_ASSEMBLER_H
+#define VVAX_VASM_ASSEMBLER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace vvax {
+
+struct AssemblyResult
+{
+    bool ok = false;
+    std::vector<Byte> image;
+    VirtAddr origin = 0;
+    std::map<std::string, VirtAddr> symbols;
+    /** One "line N: message" entry per problem (empty on success). */
+    std::vector<std::string> errors;
+};
+
+/** Assemble @p source at @p origin. */
+AssemblyResult assemble(std::string_view source, VirtAddr origin);
+
+} // namespace vvax
+
+#endif // VVAX_VASM_ASSEMBLER_H

@@ -1,0 +1,509 @@
+#include "vasm/code_builder.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace vvax {
+
+// ----- Op factories --------------------------------------------------------
+
+Op
+Op::lit(Byte v)
+{
+    assert(v <= 63);
+    Op op;
+    op.kind = Kind::Literal;
+    op.value = v;
+    return op;
+}
+
+Op
+Op::imm(Longword v)
+{
+    Op op;
+    op.kind = Kind::Immediate;
+    op.value = v;
+    return op;
+}
+
+Op
+Op::reg(Byte r)
+{
+    Op op;
+    op.kind = Kind::Register;
+    op.reg_ = r;
+    return op;
+}
+
+Op
+Op::deferred(Byte r)
+{
+    Op op;
+    op.kind = Kind::RegDeferred;
+    op.reg_ = r;
+    return op;
+}
+
+Op
+Op::autoInc(Byte r)
+{
+    Op op;
+    op.kind = Kind::AutoInc;
+    op.reg_ = r;
+    return op;
+}
+
+Op
+Op::autoDec(Byte r)
+{
+    Op op;
+    op.kind = Kind::AutoDec;
+    op.reg_ = r;
+    return op;
+}
+
+Op
+Op::autoIncDeferred(Byte r)
+{
+    Op op;
+    op.kind = Kind::AutoIncDeferred;
+    op.reg_ = r;
+    return op;
+}
+
+Op
+Op::disp(std::int32_t d, Byte r)
+{
+    Op op;
+    op.kind = Kind::Displacement;
+    op.disp_ = d;
+    op.reg_ = r;
+    return op;
+}
+
+Op
+Op::dispDef(std::int32_t d, Byte r)
+{
+    Op op;
+    op.kind = Kind::DispDeferred;
+    op.disp_ = d;
+    op.reg_ = r;
+    return op;
+}
+
+Op
+Op::abs(Longword va)
+{
+    Op op;
+    op.kind = Kind::Absolute;
+    op.value = va;
+    return op;
+}
+
+Op
+Op::ref(Label l)
+{
+    Op op;
+    op.kind = Kind::LabelRef;
+    op.label = l;
+    return op;
+}
+
+Op
+Op::absRef(Label l, Longword addend)
+{
+    Op op;
+    op.kind = Kind::AbsLabel;
+    op.label = l;
+    op.value = addend;
+    return op;
+}
+
+Op
+Op::immLabel(Label l, Longword addend)
+{
+    Op op;
+    op.kind = Kind::ImmLabel;
+    op.label = l;
+    op.value = addend;
+    return op;
+}
+
+Op
+Op::idx(Byte rx) const
+{
+    Op op = *this;
+    assert(op.kind != Kind::Literal && op.kind != Kind::Immediate &&
+           op.kind != Kind::Register && !op.indexed);
+    op.indexed = true;
+    op.indexReg = rx;
+    return op;
+}
+
+// ----- CodeBuilder ---------------------------------------------------------
+
+CodeBuilder::CodeBuilder(VirtAddr origin) : origin_(origin) {}
+
+Label
+CodeBuilder::newLabel()
+{
+    labels_.push_back(-1);
+    return static_cast<Label>(labels_.size() - 1);
+}
+
+Label
+CodeBuilder::bindHere()
+{
+    const Label l = newLabel();
+    bind(l);
+    return l;
+}
+
+void
+CodeBuilder::bind(Label label)
+{
+    assert(label < labels_.size());
+    assert(labels_[label] < 0 && "label bound twice");
+    labels_[label] = here();
+}
+
+VirtAddr
+CodeBuilder::labelAddress(Label label) const
+{
+    assert(label < labels_.size() && labels_[label] >= 0);
+    return static_cast<VirtAddr>(labels_[label]);
+}
+
+void
+CodeBuilder::byte(Byte value)
+{
+    assert(!finished_);
+    image_.push_back(value);
+}
+
+void
+CodeBuilder::word(Word value)
+{
+    byte(static_cast<Byte>(value));
+    byte(static_cast<Byte>(value >> 8));
+}
+
+void
+CodeBuilder::longword(Longword value)
+{
+    word(static_cast<Word>(value));
+    word(static_cast<Word>(value >> 16));
+}
+
+void
+CodeBuilder::longwordAbs(Label label, Longword addend)
+{
+    fixups_.push_back(
+        Fixup{Fixup::Kind::Abs32, image_.size(), label, addend});
+    longword(0);
+}
+
+void
+CodeBuilder::ascii(std::string_view text)
+{
+    for (char c : text)
+        byte(static_cast<Byte>(c));
+}
+
+void
+CodeBuilder::space(Longword bytes, Byte fill)
+{
+    for (Longword i = 0; i < bytes; ++i)
+        byte(fill);
+}
+
+void
+CodeBuilder::align(Longword boundary)
+{
+    while (here() % boundary != 0)
+        byte(0);
+}
+
+void
+CodeBuilder::emitSpecifier(const Op &op, const OperandSpec &spec)
+{
+    if (op.indexed) {
+        byte(static_cast<Byte>(0x40 | op.indexReg));
+        Op base = op;
+        base.indexed = false;
+        emitSpecifier(base, spec);
+        return;
+    }
+
+    const int data_size = static_cast<int>(spec.size);
+    switch (op.kind) {
+      case Op::Kind::Literal:
+        byte(static_cast<Byte>(op.value & 0x3F));
+        return;
+      case Op::Kind::Immediate:
+        byte(0x8F);
+        for (int i = 0; i < data_size; ++i)
+            byte(static_cast<Byte>(op.value >> (8 * i)));
+        return;
+      case Op::Kind::Register:
+        byte(static_cast<Byte>(0x50 | op.reg_));
+        return;
+      case Op::Kind::RegDeferred:
+        byte(static_cast<Byte>(0x60 | op.reg_));
+        return;
+      case Op::Kind::AutoDec:
+        byte(static_cast<Byte>(0x70 | op.reg_));
+        return;
+      case Op::Kind::AutoInc:
+        byte(static_cast<Byte>(0x80 | op.reg_));
+        return;
+      case Op::Kind::AutoIncDeferred:
+        byte(static_cast<Byte>(0x90 | op.reg_));
+        return;
+      case Op::Kind::Displacement:
+      case Op::Kind::DispDeferred: {
+        const Byte deferred = op.kind == Op::Kind::DispDeferred ? 0x10 : 0;
+        if (op.disp_ >= -128 && op.disp_ <= 127) {
+            byte(static_cast<Byte>(0xA0 | deferred | op.reg_));
+            byte(static_cast<Byte>(op.disp_));
+        } else if (op.disp_ >= -32768 && op.disp_ <= 32767) {
+            byte(static_cast<Byte>(0xC0 | deferred | op.reg_));
+            word(static_cast<Word>(op.disp_));
+        } else {
+            byte(static_cast<Byte>(0xE0 | deferred | op.reg_));
+            longword(static_cast<Longword>(op.disp_));
+        }
+        return;
+      }
+      case Op::Kind::Absolute:
+        byte(0x9F); // @(PC)+
+        longword(op.value);
+        return;
+      case Op::Kind::LabelRef:
+      case Op::Kind::LabelAddr: {
+        byte(0xEF); // L^disp(PC)
+        fixups_.push_back(Fixup{Fixup::Kind::Long32, image_.size(),
+                                op.label, here() + 4});
+        longword(0);
+        return;
+      }
+      case Op::Kind::AbsLabel:
+        byte(0x9F); // @#
+        fixups_.push_back(Fixup{Fixup::Kind::Abs32, image_.size(),
+                                op.label, op.value});
+        longword(0);
+        return;
+      case Op::Kind::ImmLabel:
+        byte(0x8F); // immediate (longword-sized operands only)
+        fixups_.push_back(Fixup{Fixup::Kind::Abs32, image_.size(),
+                                op.label, op.value});
+        longword(0);
+        return;
+      case Op::Kind::Indexed:
+        throw std::logic_error("indexed handled above");
+    }
+}
+
+void
+CodeBuilder::emitOperand(const Op &op, const OperandSpec &spec)
+{
+    assert(spec.access != OpAccess::Branch &&
+           "use emitBranch for branch operands");
+    emitSpecifier(op, spec);
+}
+
+void
+CodeBuilder::emit(Opcode opcode, std::initializer_list<Op> operands)
+{
+    const Word opc = static_cast<Word>(opcode);
+    const InstrInfo *info = instrInfo(opc);
+    assert(info != nullptr);
+    assert(static_cast<int>(operands.size()) == info->nOperands);
+
+    if (opc & 0xFF00)
+        byte(static_cast<Byte>(opc >> 8));
+    byte(static_cast<Byte>(opc));
+    int i = 0;
+    for (const Op &op : operands)
+        emitOperand(op, info->operands[i++]);
+}
+
+void
+CodeBuilder::emitBranchDisplacement(Label target, OpSize size)
+{
+    if (size == OpSize::B) {
+        fixups_.push_back(
+            Fixup{Fixup::Kind::Byte8, image_.size(), target, here() + 1});
+        byte(0);
+    } else {
+        fixups_.push_back(
+            Fixup{Fixup::Kind::Word16, image_.size(), target, here() + 2});
+        word(0);
+    }
+}
+
+void
+CodeBuilder::emitBranch(Opcode opcode, Label target)
+{
+    const Word opc = static_cast<Word>(opcode);
+    const InstrInfo *info = instrInfo(opc);
+    assert(info && info->nOperands == 1 &&
+           info->operands[0].access == OpAccess::Branch);
+    byte(static_cast<Byte>(opc));
+    if (info->operands[0].size == OpSize::B) {
+        fixups_.push_back(
+            Fixup{Fixup::Kind::Byte8, image_.size(), target, here() + 1});
+        byte(0);
+    } else {
+        fixups_.push_back(
+            Fixup{Fixup::Kind::Word16, image_.size(), target, here() + 2});
+        word(0);
+    }
+}
+
+void
+CodeBuilder::blbs(Op src, Label l)
+{
+    byte(static_cast<Byte>(Opcode::BLBS));
+    emitOperand(src, OperandSpec{OpAccess::Read, OpSize::L});
+    fixups_.push_back(Fixup{Fixup::Kind::Byte8, image_.size(), l,
+                            here() + 1});
+    byte(0);
+}
+
+void
+CodeBuilder::blbc(Op src, Label l)
+{
+    byte(static_cast<Byte>(Opcode::BLBC));
+    emitOperand(src, OperandSpec{OpAccess::Read, OpSize::L});
+    fixups_.push_back(Fixup{Fixup::Kind::Byte8, image_.size(), l,
+                            here() + 1});
+    byte(0);
+}
+
+void
+CodeBuilder::bbs(Op pos, Op base, Label l)
+{
+    byte(static_cast<Byte>(Opcode::BBS));
+    emitOperand(pos, OperandSpec{OpAccess::Read, OpSize::L});
+    emitOperand(base, OperandSpec{OpAccess::VField, OpSize::B});
+    fixups_.push_back(Fixup{Fixup::Kind::Byte8, image_.size(), l,
+                            here() + 1});
+    byte(0);
+}
+
+void
+CodeBuilder::bbc(Op pos, Op base, Label l)
+{
+    byte(static_cast<Byte>(Opcode::BBC));
+    emitOperand(pos, OperandSpec{OpAccess::Read, OpSize::L});
+    emitOperand(base, OperandSpec{OpAccess::VField, OpSize::B});
+    fixups_.push_back(Fixup{Fixup::Kind::Byte8, image_.size(), l,
+                            here() + 1});
+    byte(0);
+}
+
+void
+CodeBuilder::aoblss(Op limit, Op index, Label l)
+{
+    byte(static_cast<Byte>(Opcode::AOBLSS));
+    emitOperand(limit, OperandSpec{OpAccess::Read, OpSize::L});
+    emitOperand(index, OperandSpec{OpAccess::Modify, OpSize::L});
+    fixups_.push_back(Fixup{Fixup::Kind::Byte8, image_.size(), l,
+                            here() + 1});
+    byte(0);
+}
+
+void
+CodeBuilder::aobleq(Op limit, Op index, Label l)
+{
+    byte(static_cast<Byte>(Opcode::AOBLEQ));
+    emitOperand(limit, OperandSpec{OpAccess::Read, OpSize::L});
+    emitOperand(index, OperandSpec{OpAccess::Modify, OpSize::L});
+    fixups_.push_back(Fixup{Fixup::Kind::Byte8, image_.size(), l,
+                            here() + 1});
+    byte(0);
+}
+
+void
+CodeBuilder::sobgtr(Op index, Label l)
+{
+    byte(static_cast<Byte>(Opcode::SOBGTR));
+    emitOperand(index, OperandSpec{OpAccess::Modify, OpSize::L});
+    fixups_.push_back(Fixup{Fixup::Kind::Byte8, image_.size(), l,
+                            here() + 1});
+    byte(0);
+}
+
+void
+CodeBuilder::sobgeq(Op index, Label l)
+{
+    byte(static_cast<Byte>(Opcode::SOBGEQ));
+    emitOperand(index, OperandSpec{OpAccess::Modify, OpSize::L});
+    fixups_.push_back(Fixup{Fixup::Kind::Byte8, image_.size(), l,
+                            here() + 1});
+    byte(0);
+}
+
+void
+CodeBuilder::mtpr(Op src, Ipr which)
+{
+    const auto n = static_cast<Longword>(which);
+    emit(Opcode::MTPR, {src, n <= 63 ? Op::lit(static_cast<Byte>(n))
+                                     : Op::imm(n)});
+}
+
+void
+CodeBuilder::mfpr(Ipr which, Op dst)
+{
+    const auto n = static_cast<Longword>(which);
+    emit(Opcode::MFPR, {n <= 63 ? Op::lit(static_cast<Byte>(n))
+                                : Op::imm(n),
+                        dst});
+}
+
+std::vector<Byte>
+CodeBuilder::finish()
+{
+    assert(!finished_);
+    finished_ = true;
+    for (const Fixup &f : fixups_) {
+        if (labels_[f.label] < 0)
+            throw std::logic_error("unbound label in CodeBuilder");
+        const auto target = static_cast<VirtAddr>(labels_[f.label]);
+        const std::int64_t disp =
+            static_cast<std::int64_t>(target) - f.base;
+        switch (f.kind) {
+          case Fixup::Kind::Byte8:
+            if (disp < -128 || disp > 127) {
+                throw std::out_of_range(
+                    "byte branch out of range at image offset " +
+                    std::to_string(f.offset) + " (disp " +
+                    std::to_string(disp) + ")");
+            }
+            image_[f.offset] = static_cast<Byte>(disp);
+            break;
+          case Fixup::Kind::Word16:
+            if (disp < -32768 || disp > 32767)
+                throw std::out_of_range("word branch out of range");
+            image_[f.offset] = static_cast<Byte>(disp);
+            image_[f.offset + 1] = static_cast<Byte>(disp >> 8);
+            break;
+          case Fixup::Kind::Long32:
+            for (int i = 0; i < 4; ++i)
+                image_[f.offset + i] = static_cast<Byte>(disp >> (8 * i));
+            break;
+          case Fixup::Kind::Abs32: {
+            const Longword value = target + f.base; // base = addend
+            for (int i = 0; i < 4; ++i) {
+                image_[f.offset + i] =
+                    static_cast<Byte>(value >> (8 * i));
+            }
+            break;
+          }
+        }
+    }
+    return image_;
+}
+
+} // namespace vvax

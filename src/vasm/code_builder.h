@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Programmatic VAX assembler.
+ *
+ * CodeBuilder emits machine code for the implemented instruction
+ * subset with full addressing-mode coverage and label fixups.  The
+ * guest operating systems and test programs in this repository are
+ * written against this API.
+ *
+ * Example:
+ * @code
+ *   CodeBuilder b(0x80000200);
+ *   Label loop = b.newLabel();
+ *   b.movl(Op::imm(10), Op::reg(R0));
+ *   b.bind(loop);
+ *   b.sobgtr(Op::reg(R0), loop);
+ *   b.halt();
+ *   std::vector<Byte> image = b.finish();
+ * @endcode
+ */
+
+#ifndef VVAX_VASM_CODE_BUILDER_H
+#define VVAX_VASM_CODE_BUILDER_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "arch/ipr.h"
+#include "arch/opcodes.h"
+#include "arch/types.h"
+
+namespace vvax {
+
+using Label = std::uint32_t;
+
+/** An operand descriptor for CodeBuilder. */
+struct Op
+{
+    enum class Kind : Byte {
+        Literal,    //!< short literal 0..63
+        Immediate,  //!< (PC)+ immediate
+        Register,
+        RegDeferred,
+        AutoInc,
+        AutoDec,
+        AutoIncDeferred,
+        Displacement,
+        DispDeferred,
+        Absolute,
+        LabelRef,   //!< PC-relative longword displacement to a label
+        LabelAddr,  //!< like LabelRef; alias for address operands
+        AbsLabel,   //!< @#(label address + addend)
+        ImmLabel,   //!< #(label address + addend)
+        Indexed,    //!< base (one of the above) indexed by a register
+    };
+
+    Kind kind = Kind::Register;
+    Byte reg_ = 0;
+    std::int32_t disp_ = 0;
+    Longword value = 0;
+    Label label = 0;
+    Byte indexReg = 0;
+    bool indexed = false;
+
+    static Op lit(Byte v);
+    static Op imm(Longword v);
+    static Op reg(Byte r);
+    static Op deferred(Byte r);       //!< (Rn)
+    static Op autoInc(Byte r);        //!< (Rn)+
+    static Op autoDec(Byte r);        //!< -(Rn)
+    static Op autoIncDeferred(Byte r); //!< @(Rn)+
+    static Op disp(std::int32_t d, Byte r);    //!< d(Rn)
+    static Op dispDef(std::int32_t d, Byte r); //!< @d(Rn)
+    static Op abs(Longword va);       //!< @#va
+    static Op ref(Label l);           //!< l (PC-relative)
+    /** Absolute reference to a label plus an addend: @#(l+addend). */
+    static Op absRef(Label l, Longword addend = 0);
+    /** Immediate whose value is a label address plus an addend. */
+    static Op immLabel(Label l, Longword addend = 0);
+    /** Index any memory operand by a register: base[Rx]. */
+    Op idx(Byte rx) const;
+};
+
+class CodeBuilder
+{
+  public:
+    explicit CodeBuilder(VirtAddr origin);
+
+    VirtAddr origin() const { return origin_; }
+    VirtAddr here() const
+    {
+        return origin_ + static_cast<VirtAddr>(image_.size());
+    }
+
+    Label newLabel();
+    /** Create and immediately bind a label at the current address. */
+    Label bindHere();
+    void bind(Label label);
+    /** Address of a bound label (only valid after bind). */
+    VirtAddr labelAddress(Label label) const;
+
+    // ----- Generic emitters ---------------------------------------------
+    void emit(Opcode opcode, std::initializer_list<Op> operands);
+    /** Emit a branch-class instruction to @p target. */
+    void emitBranch(Opcode opcode, Label target);
+    /** Emit one operand specifier (assembler backend). */
+    void emitOperand(const Op &op, const OperandSpec &spec);
+    /** Emit a raw branch displacement field targeting @p target. */
+    void emitBranchDisplacement(Label target, OpSize size);
+
+    // ----- Data ----------------------------------------------------------
+    void byte(Byte value);
+    void word(Word value);
+    void longword(Longword value);
+    /** Emit a longword holding a label's address plus an addend. */
+    void longwordAbs(Label label, Longword addend = 0);
+    void ascii(std::string_view text);
+    void space(Longword bytes, Byte fill = 0);
+    void align(Longword boundary);
+
+    // ----- Instruction conveniences --------------------------------------
+    void halt() { emit(Opcode::HALT, {}); }
+    void nop() { emit(Opcode::NOP, {}); }
+    void rei() { emit(Opcode::REI, {}); }
+    void bpt() { emit(Opcode::BPT, {}); }
+    void ret() { emit(Opcode::RET, {}); }
+    void rsb() { emit(Opcode::RSB, {}); }
+    void ldpctx() { emit(Opcode::LDPCTX, {}); }
+    void svpctx() { emit(Opcode::SVPCTX, {}); }
+    void wait() { emit(Opcode::WAIT, {}); }
+
+    void movl(Op src, Op dst) { emit(Opcode::MOVL, {src, dst}); }
+    void movb(Op src, Op dst) { emit(Opcode::MOVB, {src, dst}); }
+    void movw(Op src, Op dst) { emit(Opcode::MOVW, {src, dst}); }
+    void movzbl(Op src, Op dst) { emit(Opcode::MOVZBL, {src, dst}); }
+    void movzwl(Op src, Op dst) { emit(Opcode::MOVZWL, {src, dst}); }
+    void cvtbl(Op src, Op dst) { emit(Opcode::CVTBL, {src, dst}); }
+    void moval(Op src, Op dst) { emit(Opcode::MOVAL, {src, dst}); }
+    void movab(Op src, Op dst) { emit(Opcode::MOVAB, {src, dst}); }
+    void pushl(Op src) { emit(Opcode::PUSHL, {src}); }
+    void pushal(Op src) { emit(Opcode::PUSHAL, {src}); }
+    void clrl(Op dst) { emit(Opcode::CLRL, {dst}); }
+    void clrb(Op dst) { emit(Opcode::CLRB, {dst}); }
+    void clrw(Op dst) { emit(Opcode::CLRW, {dst}); }
+    void tstl(Op src) { emit(Opcode::TSTL, {src}); }
+    void tstb(Op src) { emit(Opcode::TSTB, {src}); }
+    void mnegl(Op src, Op dst) { emit(Opcode::MNEGL, {src, dst}); }
+    void mcoml(Op src, Op dst) { emit(Opcode::MCOML, {src, dst}); }
+    void movpsl(Op dst) { emit(Opcode::MOVPSL, {dst}); }
+
+    void addl2(Op a, Op s) { emit(Opcode::ADDL2, {a, s}); }
+    void addl3(Op a, Op b, Op s) { emit(Opcode::ADDL3, {a, b, s}); }
+    void subl2(Op a, Op s) { emit(Opcode::SUBL2, {a, s}); }
+    void subl3(Op a, Op b, Op s) { emit(Opcode::SUBL3, {a, b, s}); }
+    void mull2(Op a, Op s) { emit(Opcode::MULL2, {a, s}); }
+    void mull3(Op a, Op b, Op s) { emit(Opcode::MULL3, {a, b, s}); }
+    void divl2(Op a, Op s) { emit(Opcode::DIVL2, {a, s}); }
+    void divl3(Op a, Op b, Op s) { emit(Opcode::DIVL3, {a, b, s}); }
+    void incl(Op d) { emit(Opcode::INCL, {d}); }
+    void decl_(Op d) { emit(Opcode::DECL, {d}); }
+    void adwc(Op a, Op s) { emit(Opcode::ADWC, {a, s}); }
+    void sbwc(Op a, Op s) { emit(Opcode::SBWC, {a, s}); }
+    void ashl(Op cnt, Op src, Op dst)
+    {
+        emit(Opcode::ASHL, {cnt, src, dst});
+    }
+    void cmpl(Op a, Op b) { emit(Opcode::CMPL, {a, b}); }
+    void cmpb(Op a, Op b) { emit(Opcode::CMPB, {a, b}); }
+    void cmpw(Op a, Op b) { emit(Opcode::CMPW, {a, b}); }
+    void bisl2(Op m, Op d) { emit(Opcode::BISL2, {m, d}); }
+    void bisl3(Op m, Op s, Op d) { emit(Opcode::BISL3, {m, s, d}); }
+    void bicl2(Op m, Op d) { emit(Opcode::BICL2, {m, d}); }
+    void bicl3(Op m, Op s, Op d) { emit(Opcode::BICL3, {m, s, d}); }
+    void xorl2(Op m, Op d) { emit(Opcode::XORL2, {m, d}); }
+    void bispsw(Op m) { emit(Opcode::BISPSW, {m}); }
+    void bicpsw(Op m) { emit(Opcode::BICPSW, {m}); }
+    void pushr(Op mask) { emit(Opcode::PUSHR, {mask}); }
+    void popr(Op mask) { emit(Opcode::POPR, {mask}); }
+    void movc3(Op len, Op src, Op dst)
+    {
+        emit(Opcode::MOVC3, {len, src, dst});
+    }
+
+    void brb(Label l) { emitBranch(Opcode::BRB, l); }
+    void brw(Label l) { emitBranch(Opcode::BRW, l); }
+    void bsbw(Label l) { emitBranch(Opcode::BSBW, l); }
+    void beql(Label l) { emitBranch(Opcode::BEQL, l); }
+    void bneq(Label l) { emitBranch(Opcode::BNEQ, l); }
+    void bgtr(Label l) { emitBranch(Opcode::BGTR, l); }
+    void bleq(Label l) { emitBranch(Opcode::BLEQ, l); }
+    void bgeq(Label l) { emitBranch(Opcode::BGEQ, l); }
+    void blss(Label l) { emitBranch(Opcode::BLSS, l); }
+    void bgtru(Label l) { emitBranch(Opcode::BGTRU, l); }
+    void blequ(Label l) { emitBranch(Opcode::BLEQU, l); }
+    void bvc(Label l) { emitBranch(Opcode::BVC, l); }
+    void bvs(Label l) { emitBranch(Opcode::BVS, l); }
+    void bcc(Label l) { emitBranch(Opcode::BCC, l); }
+    void bcs(Label l) { emitBranch(Opcode::BCS, l); }
+    void blbs(Op src, Label l);
+    void blbc(Op src, Label l);
+    void bbs(Op pos, Op base, Label l);
+    void bbc(Op pos, Op base, Label l);
+    void aoblss(Op limit, Op index, Label l);
+    void aobleq(Op limit, Op index, Label l);
+    void sobgtr(Op index, Label l);
+    void sobgeq(Op index, Label l);
+
+    void jmp(Op dst) { emit(Opcode::JMP, {dst}); }
+    void jsb(Op dst) { emit(Opcode::JSB, {dst}); }
+    void calls(Op numarg, Op dst)
+    {
+        emit(Opcode::CALLS, {numarg, dst});
+    }
+    void callg(Op arglist, Op dst)
+    {
+        emit(Opcode::CALLG, {arglist, dst});
+    }
+
+    void chmk(Op code) { emit(Opcode::CHMK, {code}); }
+    void chme(Op code) { emit(Opcode::CHME, {code}); }
+    void chms(Op code) { emit(Opcode::CHMS, {code}); }
+    void chmu(Op code) { emit(Opcode::CHMU, {code}); }
+
+    void prober(Op mode, Op len, Op base)
+    {
+        emit(Opcode::PROBER, {mode, len, base});
+    }
+    void probew(Op mode, Op len, Op base)
+    {
+        emit(Opcode::PROBEW, {mode, len, base});
+    }
+    void probevmr(Op mode, Op base)
+    {
+        emit(Opcode::PROBEVMR, {mode, base});
+    }
+    void probevmw(Op mode, Op base)
+    {
+        emit(Opcode::PROBEVMW, {mode, base});
+    }
+
+    void mtpr(Op src, Ipr which);
+    void mfpr(Ipr which, Op dst);
+
+    /** Resolve all fixups and return the image. */
+    std::vector<Byte> finish();
+
+  private:
+    struct Fixup
+    {
+        enum class Kind : Byte { Byte8, Word16, Long32, Abs32 };
+        Kind kind;
+        std::size_t offset; //!< where the displacement field starts
+        Label label;
+        VirtAddr base;      //!< PC the displacement is relative to, or
+                            //!< the addend for Abs32 fixups
+    };
+
+    void emitSpecifier(const Op &op, const OperandSpec &spec);
+
+    VirtAddr origin_;
+    std::vector<Byte> image_;
+    std::vector<std::int64_t> labels_; //!< -1 while unbound
+    std::vector<Fixup> fixups_;
+    bool finished_ = false;
+};
+
+} // namespace vvax
+
+#endif // VVAX_VASM_CODE_BUILDER_H

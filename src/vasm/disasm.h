@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Disassembler for the implemented VAX subset, used by execution
+ * traces and debugging tools.  Reads bytes through a caller-supplied
+ * fetch function so it can disassemble from guest virtual memory,
+ * physical memory or a flat buffer.
+ */
+
+#ifndef VVAX_VASM_DISASM_H
+#define VVAX_VASM_DISASM_H
+
+#include <functional>
+#include <string>
+
+#include "arch/types.h"
+
+namespace vvax {
+
+struct DisasmResult
+{
+    std::string text;
+    Longword length = 0; //!< bytes consumed
+};
+
+/**
+ * Disassemble one instruction starting at @p va.
+ * @param fetch returns the byte at a given address (never throws).
+ */
+DisasmResult disassemble(VirtAddr va,
+                         const std::function<Byte(VirtAddr)> &fetch);
+
+} // namespace vvax
+
+#endif // VVAX_VASM_DISASM_H

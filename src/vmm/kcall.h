@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The KCALL hypercall ABI (paper Sections 4.4.3 and 5).
+ *
+ * The virtual VAX initiates I/O (and other VMM services) by writing a
+ * function code to the KCALL processor register with arguments in
+ * R1..R3; the VMM returns a status in R0.  This replaces the VM-side
+ * emulation of memory-mapped device registers, which the paper found
+ * "far simpler and more cost effective" (Section 8).
+ */
+
+#ifndef VVAX_VMM_KCALL_H
+#define VVAX_VMM_KCALL_H
+
+#include "arch/scb.h"
+#include "arch/types.h"
+
+namespace vvax::kcallabi {
+
+enum Function : Longword {
+    kDiskRead = 1,  //!< R1 = block, R2 = count, R3 = VM-phys address
+    kDiskWrite = 2, //!< R1 = block, R2 = count, R3 = VM-phys address
+    kConsoleWrite = 3, //!< R1 = VM-phys buffer, R2 = length
+    kSetUptimeMailbox = 4, //!< R1 = VM-phys address for uptime
+    kYield = 5,     //!< give up the processor (like WAIT)
+};
+
+/** Status returned in R0. */
+enum Status : Longword {
+    kOk = 0,
+    kError = 1,
+};
+
+/** Virtual disk completion interrupt (IPL 21). */
+constexpr Word kDiskVector = static_cast<Word>(ScbVector::DeviceBase);
+constexpr Byte kDiskIpl = kIplDisk;
+
+} // namespace vvax::kcallabi
+
+#endif // VVAX_VMM_KCALL_H

@@ -1,0 +1,26 @@
+#include "vmm/ring_compression.h"
+
+namespace vvax {
+
+Protection
+compressProtection(Protection vm_prot)
+{
+    switch (vm_prot) {
+      case Protection::KW:
+        return Protection::EW; // kernel r/w -> executive r/w
+      case Protection::KR:
+        return Protection::ER; // kernel read -> executive read
+      case Protection::ERKW:
+        // Executive read, kernel write: the compressed writer must be
+        // executive, which already implies executive read.
+        return Protection::EW;
+      case Protection::SRKW:
+        return Protection::SREW; // supervisor read, kernel write
+      case Protection::URKW:
+        return Protection::UREW; // user read, kernel write
+      default:
+        return vm_prot;
+    }
+}
+
+} // namespace vvax

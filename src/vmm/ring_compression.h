@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Ring compression (paper Section 4.1/4.3.1, Figure 3).
+ *
+ * Execution compression maps the four virtual rings onto the three
+ * real rings available to a VM (real kernel mode is reserved to the
+ * VMM): virtual user/supervisor/executive map to their real
+ * counterparts and virtual kernel maps to real executive.
+ *
+ * Memory compression rewrites a VM page protection code so that any
+ * access confined to kernel mode is extended to executive mode; this
+ * lets VM-kernel code (running in real executive mode) reach its
+ * kernel-protected pages.  The side effect - VM-executive code can
+ * also reach those pages - is the deliberate "blurred boundary" the
+ * paper analyses in Section 7.1.
+ */
+
+#ifndef VVAX_VMM_RING_COMPRESSION_H
+#define VVAX_VMM_RING_COMPRESSION_H
+
+#include "arch/protection.h"
+#include "arch/types.h"
+
+namespace vvax {
+
+/** Map a virtual machine access mode to the real mode it runs in. */
+constexpr AccessMode
+compressMode(AccessMode vm_mode)
+{
+    return vm_mode == AccessMode::Kernel ? AccessMode::Executive
+                                         : vm_mode;
+}
+
+/**
+ * Map a VM page protection code to the compressed code stored in the
+ * shadow PTE.  Kernel-only access is widened to executive access;
+ * all other codes are unchanged.
+ */
+Protection compressProtection(Protection vm_prot);
+
+} // namespace vvax
+
+#endif // VVAX_VMM_RING_COMPRESSION_H

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Per-virtual-machine state maintained by the VMM: the virtualized
+ * privileged registers, the VM's slice of real memory, shadow page
+ * table bookkeeping, pending virtual interrupts, virtual devices and
+ * per-VM statistics.
+ */
+
+#ifndef VVAX_VMM_VM_STATE_H
+#define VVAX_VMM_VM_STATE_H
+
+#include <array>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "arch/psl.h"
+#include "arch/types.h"
+#include "dev/console.h"
+
+namespace vvax {
+
+/** How the VM's disk I/O is virtualized (paper Section 4.4.3). */
+enum class VmIoMode : Byte {
+    Kcall, //!< explicit start-I/O via the KCALL register (the design)
+    Mmio,  //!< emulated memory-mapped registers (the costly baseline)
+};
+
+struct VmConfig
+{
+    std::string name = "vm";
+    Longword memBytes = 1024 * 1024; //!< VM-physical memory
+    Longword diskBlocks = 512;
+    VmIoMode ioMode = VmIoMode::Kcall;
+    /**
+     * Wait timeout in VMM quanta: a WAITing VM becomes runnable again
+     * after this many quanta even without an event (paper footnote:
+     * "WAIT times out after some seconds").
+     */
+    Longword waitTimeoutQuanta = 50;
+};
+
+/** Why a VM stopped (Section 5: errors halt the virtual machine). */
+enum class VmHaltReason : Byte {
+    None = 0,
+    HaltInstruction,      //!< the VMOS executed HALT in kernel mode
+    NonExistentMemory,    //!< touched VM-physical memory beyond MEMSIZE
+    KernelStackNotValid,  //!< frame push into the VM faulted
+    BadPageTable,         //!< VM page table outside the VMM's limits
+    VmmPolicy,            //!< the VMM shut it down
+};
+
+/** A pending virtual interrupt (device-level). */
+struct VirtualInterrupt
+{
+    Byte ipl;
+    Word vector;
+};
+
+/** Per-VM statistics the benchmarks report. */
+struct VmStats
+{
+    std::uint64_t vmEntries = 0;
+    std::uint64_t emulationTraps = 0;
+    std::uint64_t chmEmulations = 0;
+    std::uint64_t reiEmulations = 0;
+    std::uint64_t mtprEmulations = 0;
+    std::uint64_t mtprIplEmulations = 0;
+    std::uint64_t mfprEmulations = 0;
+    std::uint64_t ldpctxEmulations = 0;
+    std::uint64_t svpctxEmulations = 0;
+    std::uint64_t probeEmulations = 0;
+    std::uint64_t shadowFills = 0;
+    std::uint64_t shadowFaults = 0;
+    std::uint64_t modifyFaults = 0;
+    std::uint64_t reflectedExceptions = 0;
+    std::uint64_t privilegedForwards = 0;
+    std::uint64_t virtualInterrupts = 0;
+    std::uint64_t kcalls = 0;
+    std::uint64_t kcallIos = 0;
+    std::uint64_t mmioEmulations = 0;
+    std::uint64_t waits = 0;
+    std::uint64_t contextSwitches = 0; //!< guest LDPCTX count
+    std::uint64_t shadowCacheHits = 0;
+    std::uint64_t shadowCacheMisses = 0;
+    std::uint64_t consoleChars = 0;
+};
+
+/** One cached set of shadow process page tables (Section 7.2). */
+struct ShadowSlot
+{
+    bool inUse = false;
+    Longword processKey = 0;  //!< the VM's PCBB value (process identity)
+    std::uint64_t lastUsed = 0;
+    PhysAddr p0TablePa = 0;   //!< real address of the shadow P0 table
+    PhysAddr p1TablePa = 0;
+    VirtAddr p0TableVa = 0;   //!< S-space address hardware uses
+    VirtAddr p1TableVa = 0;
+};
+
+class VirtualMachine
+{
+  public:
+    VirtualMachine(int id, const VmConfig &config)
+        : id_(id), config_(config)
+    {
+        disk.resize(config.diskBlocks * static_cast<std::size_t>(512));
+    }
+
+    int id() const { return id_; }
+    const VmConfig &config() const { return config_; }
+    const std::string &name() const { return config_.name; }
+
+    // ----- VM-physical memory -------------------------------------------
+    Pfn basePfn = 0;       //!< first real page of the VM's memory
+    Longword memPages = 0; //!< VM-physical pages
+
+    bool
+    vmPfnValid(Pfn vm_pfn) const
+    {
+        return vm_pfn < memPages;
+    }
+    PhysAddr
+    vmPhysToReal(PhysAddr vm_pa) const
+    {
+        return (basePfn << kPageShift) + vm_pa;
+    }
+
+    // ----- Virtualized privileged state -----------------------------------
+    // Stack pointers for the four VM modes plus the VM's interrupt
+    // stack.  The active one lives in the real CPU while the VM runs.
+    std::array<Longword, kNumAccessModes> vSp{};
+    Longword vIsp = 0;
+
+    Longword vmpsl = 0;    //!< VM current/previous mode, IPL, IS bit
+    Longword vScbb = 0;    //!< VM-physical
+    Longword vPcbb = 0;    //!< VM-physical
+    Longword vSbr = 0;     //!< VM-physical
+    Longword vSlr = 0;
+    Longword vP0br = 0;    //!< VM-virtual (S space)
+    Longword vP0lr = 0;
+    Longword vP1br = 0;
+    Longword vP1lr = 0x200000;
+    Longword vAstlvl = 4;
+    bool vMapen = false;
+    Longword vSisr = 0;
+    Longword vTodr = 0;
+
+    // Virtual interval clock.
+    Longword vIccs = 0;
+    Longword vNicr = 0;
+    std::int64_t vIcr = 0;
+
+    // Saved execution context while not running (PC + real PSL image
+    // with the VM bit, exactly what resumes it).
+    VirtAddr savedPc = 0;
+    Longword savedRealPsl = 0;
+    std::array<Longword, kNumRegs> savedRegs{};
+
+    // ----- Run state -------------------------------------------------------
+    bool started = false;
+    bool waiting = false;       //!< gave up the processor via WAIT
+    Longword waitDeadline = 0;  //!< quantum count when WAIT times out
+    VmHaltReason haltReason = VmHaltReason::None;
+    bool halted() const { return haltReason != VmHaltReason::None; }
+
+    // ----- Virtual interrupts ----------------------------------------------
+    std::vector<VirtualInterrupt> pendingInts;
+
+    void
+    postInterrupt(Byte ipl, Word vector)
+    {
+        for (const auto &vi : pendingInts) {
+            if (vi.ipl == ipl && vi.vector == vector)
+                return;
+        }
+        pendingInts.push_back(VirtualInterrupt{ipl, vector});
+    }
+
+    /** Highest pending IPL, device or software (0 if none). */
+    Byte
+    highestPendingIpl() const
+    {
+        Byte best = 0;
+        for (const auto &vi : pendingInts)
+            best = best > vi.ipl ? best : vi.ipl;
+        for (int level = 15; level >= 1; --level) {
+            if (vSisr & (1u << level)) {
+                if (level > best)
+                    best = static_cast<Byte>(level);
+                break;
+            }
+        }
+        return best;
+    }
+
+    // ----- Shadow page tables ----------------------------------------------
+    PhysAddr shadowSptPa = 0;  //!< this VM's real SPT (physical)
+    Longword shadowSlr = 0;    //!< real SLR value while this VM runs
+    std::vector<ShadowSlot> slots;
+    int activeSlot = -1;
+    /** Identity-map slot used while the VM runs with mapping off. */
+    int physModeSlot = -1;
+
+    // ----- Virtual devices ---------------------------------------------------
+    ConsoleDevice console;      //!< detached (VMM-serviced) console
+    std::vector<Byte> disk;
+    bool consoleRxIe = false;
+    bool consoleTxIe = false;
+    /** VM-physical mailbox the VMM stores system uptime into (0: none). */
+    Longword uptimeMailbox = 0;
+
+    // MMIO-mode virtual disk registers (paper's costly baseline).
+    Pfn mmioWindowPfn = 0; //!< real frame of the register window
+    Longword mmioCsr = 0;
+    Longword mmioBlock = 0;
+    Longword mmioCount = 0;
+    Longword mmioAddr = 0;
+
+    VmStats stats;
+
+  private:
+    int id_;
+    VmConfig config_;
+};
+
+} // namespace vvax
+
+#endif // VVAX_VMM_VM_STATE_H

@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Shadow page table maintenance (paper Section 4.3): the software
+ * walk of the VM's page tables, null-PTE on-demand fill with the
+ * optional prefill group, protection compression, the modify fault,
+ * the multi-process shadow table cache (Section 7.2), and the memory
+ * fault hooks.
+ */
+
+#include "vmm/hypervisor.h"
+
+#include <cstring>
+
+namespace vvax {
+
+namespace {
+constexpr Longword kNullPteRaw = 0x20000000;
+constexpr Longword kP1SpaceVpns = 0x200000; // VPNs in a 1 GB region
+} // namespace
+
+// ---------------------------------------------------------------------------
+// VM page table walk (software)
+// ---------------------------------------------------------------------------
+
+Hypervisor::VmWalkResult
+Hypervisor::walkVmTables(VirtualMachine &vm, VirtAddr va, AccessType type,
+                         AccessMode real_mode)
+{
+    VmWalkResult r;
+    const Longword write_bit =
+        type == AccessType::Write ? mmparam::kWriteIntent : 0;
+    const Vpn vpn = vpnOf(va);
+
+    auto acv = [&](Longword param) {
+        r.status = VmWalkResult::Status::ReflectAcv;
+        r.faultParam = param | write_bit;
+        return r;
+    };
+    auto tnv = [&](Longword param) {
+        r.status = VmWalkResult::Status::ReflectTnv;
+        r.faultParam = param | write_bit;
+        return r;
+    };
+
+    switch (regionOf(va)) {
+      case Region::Reserved:
+        return acv(mmparam::kLengthViolation);
+      case Region::System: {
+        if (vpn >= vm.vSlr)
+            return acv(mmparam::kLengthViolation);
+        r.vmPteAddr = vm.vSbr + 4 * vpn; // VM-physical
+        break;
+      }
+      case Region::P0:
+      case Region::P1: {
+        const bool is_p0 = regionOf(va) == Region::P0;
+        if (is_p0 ? (vpn >= vm.vP0lr) : (vpn < vm.vP1lr))
+            return acv(mmparam::kLengthViolation);
+        const VirtAddr pte_va =
+            (is_p0 ? vm.vP0br : vm.vP1br) + 4 * vpn;
+        // The VM's process tables live in its S space; resolve the
+        // PTE address through the VM's SPT.
+        const Vpn nested = vpnOf(pte_va);
+        if (regionOf(pte_va) != Region::System || nested >= vm.vSlr) {
+            return acv(mmparam::kLengthViolation |
+                       mmparam::kPteReference);
+        }
+        const PhysAddr nested_pa = vm.vSbr + 4 * nested;
+        if ((nested_pa >> kPageShift) >= vm.memPages) {
+            r.status = VmWalkResult::Status::HaltVm;
+            return r;
+        }
+        const Pte spte(vmReadPhys32(vm, nested_pa));
+        if (!spte.valid())
+            return tnv(mmparam::kPteReference);
+        if (!vm.vmPfnValid(spte.pfn())) {
+            r.status = VmWalkResult::Status::HaltVm;
+            return r;
+        }
+        r.vmPteAddr = (spte.pfn() << kPageShift) |
+                      (pte_va & kPageOffsetMask);
+        break;
+      }
+    }
+
+    if ((r.vmPteAddr >> kPageShift) >= vm.memPages) {
+        r.status = VmWalkResult::Status::HaltVm;
+        return r;
+    }
+    r.vmPte = Pte(vmReadPhys32(vm, r.vmPteAddr));
+
+    // Check the access the way the hardware will after the fill: with
+    // the *compressed* protection against the real mode.  This is
+    // what makes VM-kernel (real executive) references to
+    // kernel-protected pages succeed, including the deliberate
+    // blurring for VM-executive code (Section 4.3.1).
+    if (!protectionPermits(compressProtection(r.vmPte.protection()),
+                           real_mode, type)) {
+        return acv(0);
+    }
+    if (!r.vmPte.valid())
+        return tnv(0);
+    return r;
+}
+
+PhysAddr
+Hypervisor::shadowPtePa(VirtualMachine &vm, VirtAddr va) const
+{
+    const Vpn vpn = vpnOf(va);
+    switch (regionOf(va)) {
+      case Region::System:
+        return vm.shadowSptPa + 4 * vpn;
+      case Region::P0:
+        return vm.slots[vm.activeSlot].p0TablePa + 4 * vpn;
+      case Region::P1: {
+        const Longword first = kP1SpaceVpns - config_.p1MaxPtes;
+        return vm.slots[vm.activeSlot].p1TablePa + 4 * (vpn - first);
+      }
+      case Region::Reserved:
+        break;
+    }
+    return 0;
+}
+
+void
+Hypervisor::fillShadowPte(VirtualMachine &vm, VirtAddr va, Pte shadow)
+{
+    mem_.write32(shadowPtePa(vm, va), shadow.raw());
+    mmu_.tbis(va);
+}
+
+// ---------------------------------------------------------------------------
+// Fault service
+// ---------------------------------------------------------------------------
+
+Hypervisor::FillResult
+Hypervisor::handleShadowFault(VirtualMachine &vm, VirtAddr va,
+                              AccessType type, AccessMode real_mode,
+                              VirtAddr pc, Psl real_psl)
+{
+    const CostModel &cost = machine_.costModel();
+    vm.stats.shadowFaults++;
+
+    // --- VM running with memory management off: flat VM-physical ---
+    if (!vm.vMapen) {
+        const Vpn vpn = vpnOf(va);
+        const bool device_page = regionOf(va) == Region::P0 &&
+                                 vpn == vm.memPages &&
+                                 vm.config().ioMode == VmIoMode::Mmio;
+        if (regionOf(va) != Region::P0 ||
+            (vpn >= vm.memPages && !device_page)) {
+            // Section 5: touching non-existent memory halts the VM.
+            haltVm(vm, VmHaltReason::NonExistentMemory);
+            return FillResult::Halted;
+        }
+        const Pfn real_pfn =
+            device_page ? vm.mmioWindowPfn : vm.basePfn + vpn;
+        fillShadowPte(vm, va,
+                      Pte::make(true, Protection::UW, true, real_pfn));
+        vm.stats.shadowFills++;
+        charge(CycleCategory::VmmShadow, cost.vmmShadowFillPerPte);
+        if (pc != 0)
+            continueVm(vm, pc, real_psl);
+        return FillResult::Filled;
+    }
+
+    // --- Mapped: consult the VM's page tables ---
+    VmWalkResult walk = walkVmTables(vm, va, type, real_mode);
+    switch (walk.status) {
+      case VmWalkResult::Status::HaltVm:
+        haltVm(vm, VmHaltReason::NonExistentMemory);
+        return FillResult::Halted;
+      case VmWalkResult::Status::ReflectAcv:
+      case VmWalkResult::Status::ReflectTnv: {
+        if (pc == 0) {
+            // Called from a VMM memory helper (no resumable guest
+            // context): report failure instead of reflecting, so the
+            // caller can halt the VM rather than recurse.
+            return FillResult::Reflected;
+        }
+        const Word vector =
+            walk.status == VmWalkResult::Status::ReflectAcv
+                ? static_cast<Word>(ScbVector::AccessViolation)
+                : static_cast<Word>(ScbVector::TranslationNotValid);
+        const Longword params[2] = {walk.faultParam, va};
+        // Compose the VM's view of its PSL at the fault.
+        Psl vm_psl(cpu_.vmpsl());
+        vm_psl.setRaw((vm_psl.raw() &
+                       ~(Psl::kPswMask | Psl::kVm)) |
+                      (real_psl.raw() & Psl::kPswMask));
+        vm.stats.reflectedExceptions++;
+        if (!reflectToVm(vm, vector, params, 2, pc, vm_psl,
+                         /*as_interrupt=*/false, 0)) {
+            return FillResult::Halted;
+        }
+        return FillResult::Reflected;
+      }
+      case VmWalkResult::Status::Ok:
+        break;
+    }
+
+    // Fill the shadow PTE for the faulting page, plus up to
+    // prefillGroup-1 neighbours (the Section 4.3.1 anticipation
+    // experiment; 1 means pure on-demand).
+    Longword filled = 0;
+    for (Longword i = 0; i < config_.prefillGroup; ++i) {
+        const VirtAddr fill_va = va + i * kPageSize;
+        if (regionOf(fill_va) != regionOf(va))
+            break;
+        Pte vm_pte = walk.vmPte;
+        if (i > 0) {
+            VmWalkResult w =
+                walkVmTables(vm, fill_va, AccessType::Read, real_mode);
+            if (w.status != VmWalkResult::Status::Ok)
+                continue; // neighbours fill opportunistically only
+            vm_pte = w.vmPte;
+        }
+        Pfn real_pfn;
+        if (vm.vmPfnValid(vm_pte.pfn())) {
+            real_pfn = vm.basePfn + vm_pte.pfn();
+        } else if (vm.config().ioMode == VmIoMode::Mmio &&
+                   vm_pte.pfn() == vm.memPages) {
+            real_pfn = vm.mmioWindowPfn;
+        } else if (i == 0) {
+            haltVm(vm, VmHaltReason::NonExistentMemory);
+            return FillResult::Halted;
+        } else {
+            continue;
+        }
+        const bool device = real_pfn == vm.mmioWindowPfn &&
+                            vm.config().ioMode == VmIoMode::Mmio;
+        const Pte shadow = Pte::make(
+            true, compressProtection(vm_pte.protection()),
+            device || vm_pte.modify(), real_pfn);
+        fillShadowPte(vm, fill_va, shadow);
+        filled++;
+    }
+    vm.stats.shadowFills += filled;
+    charge(CycleCategory::VmmShadow,
+           cost.vmmShadowFillPerPte * (filled ? filled : 1));
+
+    if (pc != 0)
+        continueVm(vm, pc, real_psl);
+    return FillResult::Filled;
+}
+
+void
+Hypervisor::hookMemoryFault(const HostFrame &frame, ScbVector kind)
+{
+    (void)kind;
+    if (!frame.savedPsl.vm() || currentVm_ < 0) {
+        // A memory fault outside any VM is a VMM bug.
+        cpu_.externalHalt(HaltReason::ExternalRequest);
+        return;
+    }
+    VirtualMachine &vm = *vms_[currentVm_];
+    const VirtAddr va = frame.params[1];
+    const AccessType type = (frame.params[0] & mmparam::kWriteIntent)
+                                ? AccessType::Write
+                                : AccessType::Read;
+    charge(CycleCategory::VmmShadow, machine_.costModel().vmmDispatch);
+    handleShadowFault(vm, va, type, frame.savedPsl.currentMode(),
+                      frame.pc, frame.savedPsl);
+}
+
+void
+Hypervisor::hookModifyFault(const HostFrame &frame)
+{
+    if (!frame.savedPsl.vm() || currentVm_ < 0) {
+        cpu_.externalHalt(HaltReason::ExternalRequest);
+        return;
+    }
+    VirtualMachine &vm = *vms_[currentVm_];
+    const VirtAddr va = frame.params[1];
+    const CostModel &cost = machine_.costModel();
+    vm.stats.modifyFaults++;
+    charge(CycleCategory::VmmShadow, cost.vmmModifyFault);
+
+    // Set the modify bit in the shadow PTE...
+    const PhysAddr spa = shadowPtePa(vm, va);
+    Pte shadow(mem_.read32(spa));
+    shadow.setModify(true);
+    mem_.write32(spa, shadow.raw());
+    mmu_.tbis(va);
+
+    // ...and in the VM's own PTE, so the VM's page tables accurately
+    // reflect the state of modified pages (Section 4.4.2).
+    if (vm.vMapen) {
+        VmWalkResult walk = walkVmTables(vm, va, AccessType::Write,
+                                         frame.savedPsl.currentMode());
+        if (walk.status == VmWalkResult::Status::Ok) {
+            Pte vm_pte = walk.vmPte;
+            vm_pte.setModify(true);
+            vmWritePhys32(vm, walk.vmPteAddr, vm_pte.raw());
+        }
+    }
+    continueVm(vm, frame.pc, frame.savedPsl);
+}
+
+void
+Hypervisor::hookMachineCheck(const HostFrame &frame)
+{
+    if (frame.savedPsl.vm() && currentVm_ >= 0) {
+        // Touching non-existent memory can be a symptom of a security
+        // attack; the VM is halted (Section 5).
+        haltVm(*vms_[currentVm_], VmHaltReason::NonExistentMemory);
+        return;
+    }
+    cpu_.externalHalt(HaltReason::ExternalRequest);
+}
+
+// ---------------------------------------------------------------------------
+// Shadow slot (Section 7.2) management
+// ---------------------------------------------------------------------------
+
+void
+Hypervisor::flushShadowSlot(VirtualMachine &vm, int slot)
+{
+    const ShadowSlot &s = vm.slots[slot];
+    const Longword p0_bytes = config_.p0MaxPtes * 4;
+    const Longword p1_bytes = config_.p1MaxPtes * 4;
+    auto ram = mem_.ram();
+    for (Longword off = 0; off < p0_bytes; off += 4)
+        std::memcpy(&ram[s.p0TablePa + off], &kNullPteRaw, 4);
+    for (Longword off = 0; off < p1_bytes; off += 4)
+        std::memcpy(&ram[s.p1TablePa + off], &kNullPteRaw, 4);
+}
+
+void
+Hypervisor::flushShadowS(VirtualMachine &vm)
+{
+    auto ram = mem_.ram();
+    for (Longword i = 0; i < config_.vmSMaxPages; ++i)
+        std::memcpy(&ram[vm.shadowSptPa + 4 * i], &kNullPteRaw, 4);
+}
+
+void
+Hypervisor::activateProcessSlot(VirtualMachine &vm, Longword process_key)
+{
+    const int usable = config_.shadowSlotsPerVm;
+
+    if (!config_.shadowTableCache) {
+        // Pre-7.2 behaviour: a single set of shadow process tables,
+        // invalidated on every address space change, so a process
+        // resuming after a context switch re-faults for every page.
+        vm.stats.shadowCacheMisses++;
+        flushShadowSlot(vm, 0);
+        vm.slots[0].inUse = true;
+        vm.slots[0].processKey = process_key;
+        vm.activeSlot = 0;
+        return;
+    }
+
+    int victim = 0;
+    std::uint64_t oldest = UINT64_MAX;
+    for (int s = 0; s < usable; ++s) {
+        ShadowSlot &slot = vm.slots[s];
+        if (slot.inUse && slot.processKey == process_key) {
+            // Cache hit: the preserved shadow PTEs avoid the refill
+            // faults (the ~80% reduction of Section 7.2).
+            slot.lastUsed = ++slotUseCounter_;
+            vm.activeSlot = s;
+            vm.stats.shadowCacheHits++;
+            return;
+        }
+        if (!slot.inUse) {
+            victim = s;
+            oldest = 0;
+        } else if (slot.lastUsed < oldest) {
+            victim = s;
+            oldest = slot.lastUsed;
+        }
+    }
+    vm.stats.shadowCacheMisses++;
+    flushShadowSlot(vm, victim);
+    ShadowSlot &slot = vm.slots[victim];
+    slot.inUse = true;
+    slot.processKey = process_key;
+    slot.lastUsed = ++slotUseCounter_;
+    vm.activeSlot = victim;
+}
+
+void
+Hypervisor::setRealMapForVm(VirtualMachine &vm)
+{
+    MmuRegisters &regs = mmu_.regs();
+    regs.sbr = vm.shadowSptPa;
+    regs.slr = vm.shadowSlr;
+    regs.mapen = true;
+
+    if (!vm.vMapen) {
+        const ShadowSlot &slot = vm.slots[vm.physModeSlot];
+        vm.activeSlot = vm.physModeSlot;
+        regs.p0br = slot.p0TableVa;
+        regs.p0lr = vm.memPages +
+                    (vm.config().ioMode == VmIoMode::Mmio ? 1 : 0);
+        regs.p1br = slot.p1TableVa -
+                    4 * (kP1SpaceVpns - config_.p1MaxPtes);
+        regs.p1lr = kP1SpaceVpns; // nothing valid in P1
+    } else {
+        const ShadowSlot &slot = vm.slots[vm.activeSlot];
+        regs.p0br = slot.p0TableVa;
+        regs.p0lr = vm.vP0lr;
+        regs.p1br = slot.p1TableVa -
+                    4 * (kP1SpaceVpns - config_.p1MaxPtes);
+        regs.p1lr = vm.vP1lr;
+    }
+    mmu_.tbia();
+}
+
+// ---------------------------------------------------------------------------
+// VM memory access helpers
+// ---------------------------------------------------------------------------
+
+Longword
+Hypervisor::vmReadPhys32(VirtualMachine &vm, PhysAddr vm_pa)
+{
+    return mem_.read32(vm.vmPhysToReal(vm_pa));
+}
+
+void
+Hypervisor::vmWritePhys32(VirtualMachine &vm, PhysAddr vm_pa,
+                          Longword value)
+{
+    mem_.write32(vm.vmPhysToReal(vm_pa), value);
+}
+
+bool
+Hypervisor::vmReadVirt32(VirtualMachine &vm, VirtAddr va, Longword &out)
+{
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        try {
+            out = mmu_.readV32(va, AccessMode::Executive);
+            return true;
+        } catch (const GuestFault &fault) {
+            if (fault.vector != ScbVector::TranslationNotValid &&
+                fault.vector != ScbVector::AccessViolation) {
+                return false;
+            }
+            if (handleShadowFault(vm, va, AccessType::Read,
+                                  AccessMode::Executive, 0,
+                                  Psl()) != FillResult::Filled) {
+                return false;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+Hypervisor::vmWriteVirt32(VirtualMachine &vm, VirtAddr va, Longword value)
+{
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        try {
+            mmu_.writeV32(va, value, AccessMode::Executive);
+            return true;
+        } catch (const GuestFault &fault) {
+            if (fault.vector == ScbVector::ModifyFault) {
+                // Set M in the shadow and VM PTEs, then retry.
+                const PhysAddr spa = shadowPtePa(vm, va);
+                Pte shadow(mem_.read32(spa));
+                shadow.setModify(true);
+                mem_.write32(spa, shadow.raw());
+                mmu_.tbis(va);
+                if (vm.vMapen) {
+                    VmWalkResult walk = walkVmTables(
+                        vm, va, AccessType::Write,
+                        AccessMode::Executive);
+                    if (walk.status == VmWalkResult::Status::Ok) {
+                        Pte vm_pte = walk.vmPte;
+                        vm_pte.setModify(true);
+                        vmWritePhys32(vm, walk.vmPteAddr, vm_pte.raw());
+                    }
+                }
+                continue;
+            }
+            if (fault.vector != ScbVector::TranslationNotValid &&
+                fault.vector != ScbVector::AccessViolation) {
+                return false;
+            }
+            if (handleShadowFault(vm, va, AccessType::Write,
+                                  AccessMode::Executive, 0,
+                                  Psl()) != FillResult::Filled) {
+                return false;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+Hypervisor::vmDiskTransfer(VirtualMachine &vm, bool write, Longword block,
+                           Longword count, PhysAddr vm_addr)
+{
+    const Longword bytes = count * 512;
+    const Longword disk_bytes = static_cast<Longword>(vm.disk.size());
+    if (block * 512 + bytes > disk_bytes)
+        return false;
+    if (vm_addr + bytes > vm.memPages * kPageSize)
+        return false;
+    Byte *disk = vm.disk.data() + block * 512;
+    const PhysAddr real = vm.vmPhysToReal(vm_addr);
+    if (write)
+        mem_.readBlock(real, {disk, bytes});
+    else
+        mem_.writeBlock(real, {disk, bytes});
+    return true;
+}
+
+} // namespace vvax

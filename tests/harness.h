@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared test helpers: assemble a program with CodeBuilder, load it
+ * into a RealMachine and run it.
+ */
+
+#ifndef VVAX_TESTS_HARNESS_H
+#define VVAX_TESTS_HARNESS_H
+
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+#include "vasm/code_builder.h"
+
+namespace vvax::test {
+
+/** Load the builder's image into physical memory at its origin. */
+inline void
+loadAt(RealMachine &m, CodeBuilder &b)
+{
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+}
+
+/**
+ * Build a machine with mapping disabled, load @p b at its origin and
+ * run from there in kernel mode at IPL 0.
+ */
+inline RunState
+runBare(RealMachine &m, CodeBuilder &b,
+        std::uint64_t max_instructions = 100000)
+{
+    loadAt(m, b);
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(0);
+    m.cpu().setReg(SP, 0x1000); // scratch stack in low memory
+    return m.run(max_instructions);
+}
+
+} // namespace vvax::test
+
+#endif // VVAX_TESTS_HARNESS_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The shipped assembly samples in examples/asm must assemble and run
+ * to their documented results - on the bare machine and inside a VM
+ * (another equivalence check, through the text-assembler path).
+ */
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "tests/harness.h"
+#include "vasm/assembler.h"
+#include "vmm/hypervisor.h"
+
+namespace vvax {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << "cannot open " << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+struct SampleResult
+{
+    Longword r0 = 0;
+    std::string console;
+};
+
+SampleResult
+runSampleBare(const std::string &path)
+{
+    AssemblyResult prog = assemble(slurp(path), 0x200);
+    EXPECT_TRUE(prog.ok) << (prog.errors.empty() ? "" : prog.errors[0]);
+    RealMachine m;
+    m.loadImage(0x200, prog.image);
+    m.cpu().setPc(0x200);
+    m.cpu().psl().setIpl(31);
+    m.cpu().setReg(SP, 0x1700);
+    m.run(1000000);
+    EXPECT_EQ(m.cpu().haltReason(), HaltReason::HaltInstruction);
+    return {m.cpu().reg(R0), m.console().output()};
+}
+
+SampleResult
+runSampleVm(const std::string &path)
+{
+    AssemblyResult prog = assemble(slurp(path), 0x200);
+    EXPECT_TRUE(prog.ok) << (prog.errors.empty() ? "" : prog.errors[0]);
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    Hypervisor hv(m);
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+    hv.loadVmImage(vm, 0x200, prog.image);
+    hv.startVm(vm, 0x200);
+    hv.run(10000000);
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    return {m.cpu().reg(R0), vm.console.output()};
+}
+
+const char *kDir = VVAX_SOURCE_DIR "/examples/asm/";
+
+TEST(AsmSamples, Hello)
+{
+    const SampleResult bare =
+        runSampleBare(std::string(kDir) + "hello.s");
+    EXPECT_EQ(bare.console, "hello, VAX!\r\n");
+    const SampleResult vm = runSampleVm(std::string(kDir) + "hello.s");
+    EXPECT_EQ(vm.console, "hello, VAX!\r\n");
+}
+
+TEST(AsmSamples, Fibonacci)
+{
+    EXPECT_EQ(runSampleBare(std::string(kDir) + "fibonacci.s").r0,
+              6765u);
+    EXPECT_EQ(runSampleVm(std::string(kDir) + "fibonacci.s").r0, 6765u);
+}
+
+TEST(AsmSamples, Sieve)
+{
+    EXPECT_EQ(runSampleBare(std::string(kDir) + "sieve.s").r0, 54u);
+    EXPECT_EQ(runSampleVm(std::string(kDir) + "sieve.s").r0, 54u);
+}
+
+TEST(AsmSamples, Queue)
+{
+    EXPECT_EQ(runSampleBare(std::string(kDir) + "queue.s").r0, 3u);
+    EXPECT_EQ(runSampleVm(std::string(kDir) + "queue.s").r0, 3u);
+}
+
+} // namespace
+} // namespace vvax

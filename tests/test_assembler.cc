@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Text assembler tests: syntax coverage for every addressing mode,
+ * directives, labels, error reporting, and an end-to-end run of an
+ * assembled program; plus assembler/disassembler consistency.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "tests/harness.h"
+#include "vasm/assembler.h"
+#include "vasm/disasm.h"
+
+namespace vvax {
+namespace {
+
+TEST(Assembler, SumLoopRuns)
+{
+    const char *src = R"(
+; sum the integers 1..10
+        movl    #10, r1
+        clrl    r0
+loop:   addl2   r1, r0
+        sobgtr  r1, loop
+        movl    r0, @#0x1000
+        halt
+)";
+    AssemblyResult r = assemble(src, 0x200);
+    ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+    ASSERT_TRUE(r.symbols.count("loop"));
+
+    RealMachine m;
+    m.loadImage(r.origin, r.image);
+    m.cpu().setPc(r.origin);
+    m.cpu().psl().setIpl(31);
+    m.cpu().setReg(SP, 0x1800);
+    m.run(1000);
+    EXPECT_EQ(m.memory().read32(0x1000), 55u);
+}
+
+TEST(Assembler, AllAddressingModes)
+{
+    const char *src = R"(
+        movl    #5, r0           ; short literal
+        movl    #100000, r1      ; immediate
+        movl    r0, r2           ; register
+        movl    (r2), r3         ; register deferred
+        movl    (r2)+, r4        ; autoincrement
+        movl    -(r2), r5        ; autodecrement
+        movl    @(r2)+, r6       ; autoincrement deferred
+        movl    4(r2), r7        ; displacement
+        movl    @8(r2), r8       ; displacement deferred
+        movl    @#0x2000, r9     ; absolute
+        movl    @#0x2000[r0], r10 ; absolute indexed
+        halt
+)";
+    AssemblyResult r = assemble(src, 0x200);
+    ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+
+    // Disassemble the whole image and check we consume every byte
+    // with no unknown opcodes (assembler/disassembler consistency).
+    VirtAddr pc = r.origin;
+    const VirtAddr end = r.origin + static_cast<VirtAddr>(r.image.size());
+    int instructions = 0;
+    while (pc < end) {
+        auto d = disassemble(pc, [&](VirtAddr va) -> Byte {
+            return va - r.origin < r.image.size()
+                       ? r.image[va - r.origin]
+                       : 0;
+        });
+        EXPECT_EQ(d.text.find(".byte"), std::string::npos)
+            << "undecodable bytes at " << std::hex << pc;
+        pc += d.length;
+        instructions++;
+    }
+    EXPECT_EQ(instructions, 12);
+}
+
+TEST(Assembler, DirectivesAndData)
+{
+    const char *src = R"(
+start:  brb     over
+msg:    .ascii  "OK\n"
+        .byte   1, 2, 0x7F
+        .word   0x1234
+        .align  4
+table:  .long   0xDEADBEEF, start
+over:   halt
+)";
+    AssemblyResult r = assemble(src, 0x400);
+    ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+    const VirtAddr msg = r.symbols.at("msg");
+    EXPECT_EQ(r.image[msg - 0x400], 'O');
+    EXPECT_EQ(r.image[msg - 0x400 + 2], '\n');
+    const VirtAddr table = r.symbols.at("table");
+    EXPECT_EQ(table % 4, 0u);
+    Longword v;
+    std::memcpy(&v, &r.image[table - 0x400], 4);
+    EXPECT_EQ(v, 0xDEADBEEFu);
+    std::memcpy(&v, &r.image[table - 0x400 + 4], 4);
+    EXPECT_EQ(v, r.symbols.at("start"));
+}
+
+TEST(Assembler, SystemInstructions)
+{
+    const char *src = R"(
+        mtpr    r0, #18          ; IPL
+        mfpr    #8, r1           ; P0BR
+        chmk    #4
+        prober  #0, #512, (r2)
+        probevmr #0, @#0x1000
+        wait
+        rei
+        ldpctx
+        halt
+)";
+    AssemblyResult r = assemble(src, 0x200);
+    ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+    // WAIT is the two-byte 0xFD31.
+    bool found_fd = false;
+    for (std::size_t i = 0; i + 1 < r.image.size(); ++i) {
+        if (r.image[i] == 0xFD && r.image[i + 1] == 0x31)
+            found_fd = true;
+    }
+    EXPECT_TRUE(found_fd);
+}
+
+TEST(Assembler, ReportsErrorsWithLineNumbers)
+{
+    const char *src = "        movl r0\n        bogus r1, r2\n";
+    AssemblyResult r = assemble(src, 0x200);
+    ASSERT_FALSE(r.ok);
+    ASSERT_EQ(r.errors.size(), 2u);
+    EXPECT_NE(r.errors[0].find("line 1"), std::string::npos);
+    EXPECT_NE(r.errors[1].find("line 2"), std::string::npos);
+    EXPECT_NE(r.errors[1].find("bogus"), std::string::npos);
+}
+
+TEST(Assembler, NumberSyntaxes)
+{
+    const char *src = R"(
+        movl    #^X1F, r0        ; MACRO-style hex
+        movl    #0o17, r1        ; octal
+        movl    #'A', r2         ; character literal
+        movl    #-2, r3          ; negative
+        .byte   ^XFF
+        halt
+)";
+    AssemblyResult r = assemble(src, 0x200);
+    ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+    RealMachine m;
+    m.loadImage(r.origin, r.image);
+    m.cpu().setPc(r.origin);
+    m.cpu().psl().setIpl(31);
+    m.cpu().setReg(SP, 0x1800);
+    m.run(100);
+    EXPECT_EQ(m.cpu().reg(R0), 0x1Fu);
+    EXPECT_EQ(m.cpu().reg(R1), 017u);
+    EXPECT_EQ(m.cpu().reg(R2), static_cast<Longword>('A'));
+    EXPECT_EQ(m.cpu().reg(R3), 0xFFFFFFFEu);
+}
+
+TEST(Assembler, AscizAndSpace)
+{
+    const char *src = R"(
+s:      .asciz  "hi"
+        .space  5
+end:    .byte   9
+)";
+    AssemblyResult r = assemble(src, 0x100);
+    ASSERT_TRUE(r.ok);
+    ASSERT_EQ(r.symbols.at("end"), 0x100u + 3 + 5);
+    EXPECT_EQ(r.image[2], 0u) << ".asciz appends a NUL";
+}
+
+TEST(Assembler, BranchAliases)
+{
+    AssemblyResult r = assemble(
+        "a: bgequ a\n   blssu a\n   jbr a\n", 0x200);
+    ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+    EXPECT_EQ(r.image[0], 0x1E); // BCC
+    EXPECT_EQ(r.image[2], 0x1F); // BCS
+    EXPECT_EQ(r.image[4], 0x31); // BRW
+}
+
+TEST(Assembler, RedefinedLabelIsAnError)
+{
+    AssemblyResult r = assemble("a: nop\na: nop\n", 0x200);
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.errors[0].find("redefined"), std::string::npos);
+}
+
+TEST(Assembler, BranchAndCallProgram)
+{
+    const char *src = R"(
+        movl    #3, r6
+        clrl    r7
+again:  bsbw    double
+        sobgtr  r6, again
+        halt
+double: addl2   #2, r7
+        rsb
+)";
+    AssemblyResult r = assemble(src, 0x200);
+    ASSERT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+    RealMachine m;
+    m.loadImage(r.origin, r.image);
+    m.cpu().setPc(r.origin);
+    m.cpu().psl().setIpl(31);
+    m.cpu().setReg(SP, 0x1800);
+    m.run(1000);
+    EXPECT_EQ(m.cpu().reg(R7), 6u);
+}
+
+} // namespace
+} // namespace vvax

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * AST delivery tests: the REI microcode requests the IPL 2
+ * AST-delivery software interrupt when returning to a mode at or
+ * below ASTLVL - on the bare machine and, via the VMM's REI
+ * emulation against the virtual ASTLVL, inside a VM.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "tests/harness.h"
+#include "vmm/hypervisor.h"
+
+namespace vvax {
+namespace {
+
+TEST(Ast, ReiIntoUserModeDeliversAst)
+{
+    RealMachine m;
+    CodeBuilder b(0x200);
+    Label user_code = b.newLabel();
+    Label ast_handler = b.newLabel();
+    Label chmk = b.newLabel();
+
+    // Arm ASTs for user mode (ASTLVL = 3) and REI to user.
+    b.mtpr(Op::lit(3), Ipr::ASTLVL);
+    Psl user_psl;
+    user_psl.setCurrentMode(AccessMode::User);
+    user_psl.setPreviousMode(AccessMode::User);
+    b.pushl(Op::imm(user_psl.raw()));
+    b.pushal(Op::ref(user_code));
+    b.rei(); // requests the level-2 software interrupt
+
+    b.align(4);
+    b.bind(user_code);
+    // The AST interrupt preempts before this runs; after the AST
+    // handler REIs back, we observe its side effect.
+    b.movl(Op::imm(0x11), Op::reg(R7));
+    b.chmk(Op::imm(0));
+    b.halt(); // not reached as user
+
+    b.align(4);
+    b.bind(ast_handler);
+    b.mtpr(Op::lit(4), Ipr::ASTLVL); // disarm: deliver only once
+    b.movl(Op::imm(0xA57), Op::reg(R6));
+    b.rei();
+
+    b.align(4);
+    b.bind(chmk);
+    b.halt(); // end of test (kernel)
+
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    m.cpu().setScbb(0x1800);
+    m.memory().write32(0x1800 + softwareInterruptVector(2),
+                       b.labelAddress(ast_handler));
+    m.memory().write32(0x1800 + 0x40, b.labelAddress(chmk));
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(0);
+    m.cpu().setReg(SP, 0x1000);
+    m.cpu().setStackPointer(AccessMode::User, 0x1600);
+    m.run(1000);
+
+    EXPECT_EQ(m.cpu().haltReason(), HaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(R6), 0xA57u) << "the AST handler ran";
+    EXPECT_EQ(m.cpu().reg(R7), 0x11u) << "user code then resumed";
+}
+
+TEST(Ast, AstlvlFourDisablesDelivery)
+{
+    RealMachine m;
+    CodeBuilder b(0x200);
+    Label user_code = b.newLabel();
+    Label ast_handler = b.newLabel();
+    Label chmk = b.newLabel();
+    b.mtpr(Op::lit(4), Ipr::ASTLVL);
+    Psl user_psl;
+    user_psl.setCurrentMode(AccessMode::User);
+    user_psl.setPreviousMode(AccessMode::User);
+    b.pushl(Op::imm(user_psl.raw()));
+    b.pushal(Op::ref(user_code));
+    b.rei();
+    b.align(4);
+    b.bind(user_code);
+    b.chmk(Op::imm(0));
+    b.halt();
+    b.align(4);
+    b.bind(ast_handler);
+    b.movl(Op::imm(0xBAD), Op::reg(R6));
+    b.rei();
+    b.align(4);
+    b.bind(chmk);
+    b.halt();
+
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    m.cpu().setScbb(0x1800);
+    m.memory().write32(0x1800 + softwareInterruptVector(2),
+                       b.labelAddress(ast_handler));
+    m.memory().write32(0x1800 + 0x40, b.labelAddress(chmk));
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(0);
+    m.cpu().setReg(SP, 0x1000);
+    m.cpu().setStackPointer(AccessMode::User, 0x1600);
+    m.run(1000);
+    EXPECT_NE(m.cpu().reg(R6), 0xBADu) << "no AST must be delivered";
+}
+
+TEST(Ast, VirtualAstDeliveryInsideAVm)
+{
+    // The same program inside a VM: the VMM's REI emulation checks
+    // the virtual ASTLVL and posts the virtual software interrupt.
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    Hypervisor hv(m);
+
+    CodeBuilder b(0x200);
+    Label user_code = b.newLabel();
+    Label ast_handler = b.newLabel();
+    Label chmk = b.newLabel();
+    b.mtpr(Op::imm(0xE00), Ipr::SCBB);
+    b.mtpr(Op::imm(0x8000), Ipr::KSP);
+    b.mtpr(Op::imm(0x8800), Ipr::USP);
+    b.mtpr(Op::lit(3), Ipr::ASTLVL);
+    Psl user_psl;
+    user_psl.setCurrentMode(AccessMode::User);
+    user_psl.setPreviousMode(AccessMode::User);
+    b.pushl(Op::imm(user_psl.raw()));
+    b.pushal(Op::ref(user_code));
+    b.rei();
+    b.align(4);
+    b.bind(user_code);
+    b.movl(Op::imm(0x11), Op::reg(R7));
+    b.chmk(Op::imm(0));
+    b.halt();
+    b.align(4);
+    b.bind(ast_handler);
+    b.mtpr(Op::lit(4), Ipr::ASTLVL);
+    b.movl(Op::imm(0xA57), Op::reg(R6));
+    b.rei();
+    b.align(4);
+    b.bind(chmk);
+    b.halt();
+
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+    auto image = b.finish();
+    hv.loadVmImage(vm, 0x200, image);
+    const Longword ast_va = b.labelAddress(ast_handler);
+    const Longword chmk_va = b.labelAddress(chmk);
+    Byte e[4];
+    std::memcpy(e, &ast_va, 4);
+    hv.loadVmImage(vm, 0xE00 + softwareInterruptVector(2),
+                   std::span<const Byte>(e, 4));
+    std::memcpy(e, &chmk_va, 4);
+    hv.loadVmImage(vm, 0xE00 + 0x40, std::span<const Byte>(e, 4));
+    hv.startVm(vm, 0x200);
+    hv.run(1000000);
+
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(R6), 0xA57u)
+        << "the virtual AST interrupt was delivered";
+    EXPECT_EQ(m.cpu().reg(R7), 0x11u);
+    EXPECT_GE(vm.stats.virtualInterrupts, 1u);
+}
+
+} // namespace
+} // namespace vvax

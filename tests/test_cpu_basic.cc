@@ -1,0 +1,431 @@
+/**
+ * @file
+ * CPU basics: arithmetic, condition codes, every addressing mode,
+ * branches, loops, subroutines and procedure calls, run on the bare
+ * machine with memory mapping disabled.
+ */
+
+#include "tests/harness.h"
+
+namespace vvax {
+namespace {
+
+using test::runBare;
+
+class CpuBasic : public ::testing::Test
+{
+  protected:
+    RealMachine m;
+};
+
+TEST_F(CpuBasic, MovlAndHalt)
+{
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(0x12345678), Op::reg(R0));
+    b.movl(Op::reg(R0), Op::reg(R1));
+    b.halt();
+    EXPECT_EQ(runBare(m, b), RunState::Halted);
+    EXPECT_EQ(m.cpu().haltReason(), HaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(R0), 0x12345678u);
+    EXPECT_EQ(m.cpu().reg(R1), 0x12345678u);
+    EXPECT_EQ(m.stats().instructions, 3u);
+}
+
+TEST_F(CpuBasic, ShortLiteralAndImmediate)
+{
+    CodeBuilder b(0x200);
+    b.movl(Op::lit(63), Op::reg(R0));
+    b.movl(Op::imm(1000000), Op::reg(R1));
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R0), 63u);
+    EXPECT_EQ(m.cpu().reg(R1), 1000000u);
+}
+
+TEST_F(CpuBasic, AddSubConditionCodes)
+{
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(0x7FFFFFFF), Op::reg(R0));
+    b.addl2(Op::lit(1), Op::reg(R0)); // signed overflow
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R0), 0x80000000u);
+    EXPECT_TRUE(m.cpu().psl().v());
+    EXPECT_TRUE(m.cpu().psl().n());
+    EXPECT_FALSE(m.cpu().psl().z());
+    EXPECT_FALSE(m.cpu().psl().c());
+}
+
+TEST_F(CpuBasic, UnsignedCarry)
+{
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(0xFFFFFFFF), Op::reg(R0));
+    b.addl2(Op::lit(1), Op::reg(R0));
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R0), 0u);
+    EXPECT_TRUE(m.cpu().psl().c());
+    EXPECT_TRUE(m.cpu().psl().z());
+    EXPECT_FALSE(m.cpu().psl().v());
+}
+
+TEST_F(CpuBasic, CompareSignedAndUnsigned)
+{
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(0xFFFFFFFF), Op::reg(R0)); // -1 signed, max unsigned
+    b.cmpl(Op::reg(R0), Op::lit(1));
+    b.halt();
+    runBare(m, b);
+    EXPECT_TRUE(m.cpu().psl().n());  // -1 < 1 signed
+    EXPECT_FALSE(m.cpu().psl().c()); // 0xFFFFFFFF > 1 unsigned
+    EXPECT_FALSE(m.cpu().psl().z());
+}
+
+TEST_F(CpuBasic, MulDiv)
+{
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(1234), Op::reg(R0));
+    b.mull3(Op::imm(5678), Op::reg(R0), Op::reg(R1));
+    b.divl3(Op::imm(1000), Op::reg(R1), Op::reg(R2));
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R1), 1234u * 5678u);
+    EXPECT_EQ(m.cpu().reg(R2), 1234u * 5678u / 1000u);
+}
+
+TEST_F(CpuBasic, DivideByZeroTraps)
+{
+    // With no SCB the dispatch fails and the machine stops; install a
+    // minimal SCB whose arithmetic vector points at a halt.
+    CodeBuilder b(0x200);
+    Label handler = b.newLabel();
+    b.movl(Op::imm(7), Op::reg(R0));
+    b.clrl(Op::reg(R1));
+    b.divl2(Op::reg(R1), Op::reg(R0)); // 7 / 0
+    b.movl(Op::imm(0xBAD), Op::reg(R5)); // skipped: trap diverts
+    b.halt();
+    b.align(4); // SCB entries' low bits are the dispatch code
+    b.bind(handler);
+    b.movl(Op::disp(0, SP), Op::reg(R4)); // arithmetic type code
+    b.halt();
+
+    auto image = b.finish();
+    RealMachine m2;
+    m2.loadImage(b.origin(), image);
+    // SCB at physical 0x1200.
+    m2.cpu().setScbb(0x1200);
+    m2.memory().write32(0x1200 + 0x34, b.labelAddress(handler));
+    m2.cpu().setPc(b.origin());
+    m2.cpu().psl().setIpl(0);
+    m2.cpu().setReg(SP, 0x1000);
+    m2.run(100);
+    EXPECT_EQ(m2.cpu().haltReason(), HaltReason::HaltInstruction);
+    EXPECT_EQ(m2.cpu().reg(R4), arithcode::kIntegerDivideByZero);
+    EXPECT_NE(m2.cpu().reg(R5), 0xBADu);
+    // Quotient replaced by the dividend, V set.
+    EXPECT_EQ(m2.cpu().reg(R0), 7u);
+}
+
+TEST_F(CpuBasic, LogicalOps)
+{
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(0xF0F0F0F0), Op::reg(R0));
+    b.bisl3(Op::imm(0x0000FFFF), Op::reg(R0), Op::reg(R1));
+    b.bicl3(Op::imm(0x0000FFFF), Op::reg(R0), Op::reg(R2));
+    b.xorl2(Op::imm(0xFFFFFFFF), Op::reg(R0));
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R1), 0xF0F0FFFFu);
+    EXPECT_EQ(m.cpu().reg(R2), 0xF0F00000u);
+    EXPECT_EQ(m.cpu().reg(R0), 0x0F0F0F0Fu);
+}
+
+TEST_F(CpuBasic, AshlShifts)
+{
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(0x00000101), Op::reg(R0));
+    b.ashl(Op::lit(4), Op::reg(R0), Op::reg(R1));
+    b.ashl(Op::imm(static_cast<Longword>(-8)), Op::reg(R0),
+           Op::reg(R2));
+    b.movl(Op::imm(0x80000000), Op::reg(R3));
+    b.ashl(Op::imm(static_cast<Longword>(-31)), Op::reg(R3),
+           Op::reg(R4));
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R1), 0x1010u);
+    EXPECT_EQ(m.cpu().reg(R2), 0x1u);
+    EXPECT_EQ(m.cpu().reg(R4), 0xFFFFFFFFu); // arithmetic shift
+}
+
+TEST_F(CpuBasic, MemoryAddressingModes)
+{
+    const VirtAddr data = 0x800;
+    CodeBuilder b(0x200);
+    // Register deferred, displacement, autoincrement, autodecrement.
+    b.movl(Op::imm(data), Op::reg(R0));
+    b.movl(Op::imm(0x11111111), Op::deferred(R0));     // (R0)
+    b.movl(Op::imm(0x22222222), Op::disp(4, R0));      // 4(R0)
+    b.movl(Op::imm(data + 8), Op::reg(R1));
+    b.movl(Op::imm(0x33333333), Op::autoInc(R1));      // (R1)+
+    b.movl(Op::imm(0x44444444), Op::autoInc(R1));
+    b.movl(Op::imm(0x55555555), Op::autoDec(R1));      // -(R1)
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.memory().read32(data), 0x11111111u);
+    EXPECT_EQ(m.memory().read32(data + 4), 0x22222222u);
+    EXPECT_EQ(m.memory().read32(data + 8), 0x33333333u);
+    EXPECT_EQ(m.memory().read32(data + 12), 0x55555555u);
+    EXPECT_EQ(m.cpu().reg(R1), data + 12);
+}
+
+TEST_F(CpuBasic, DeferredAndAbsoluteAndIndexed)
+{
+    const VirtAddr table = 0x800;
+    const VirtAddr ptr = 0x900;
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(table), Op::abs(ptr));      // @#ptr = table
+    b.movl(Op::imm(3), Op::reg(R2));
+    b.movl(Op::imm(0xCAFE), Op::deferred(R2).idx(R2)); // skipped below
+    b.halt();
+    // Simpler: build fresh to avoid bogus idx on deferred-with-R2 base.
+    CodeBuilder c(0x200);
+    c.movl(Op::imm(table), Op::abs(ptr));
+    c.movl(Op::imm(2), Op::reg(R1));
+    c.movl(Op::imm(0xBEEF), Op::abs(table).idx(R1)); // table[2]
+    c.movl(Op::imm(ptr), Op::reg(R3));
+    c.movl(Op::imm(0xF00D), Op::autoIncDeferred(R3)); // @(R3)+ -> table
+    c.halt();
+    runBare(m, c);
+    EXPECT_EQ(m.memory().read32(ptr), table);
+    EXPECT_EQ(m.memory().read32(table + 8), 0xBEEFu);
+    EXPECT_EQ(m.memory().read32(table), 0xF00Du);
+    EXPECT_EQ(m.cpu().reg(R3), ptr + 4);
+}
+
+TEST_F(CpuBasic, ByteAndWordOps)
+{
+    const VirtAddr data = 0x800;
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(0xAABBCCDD), Op::reg(R0));
+    b.movb(Op::reg(R0), Op::abs(data));       // low byte only
+    b.movw(Op::reg(R0), Op::abs(data + 2));   // low word
+    b.movzbl(Op::abs(data), Op::reg(R1));
+    b.movzwl(Op::abs(data + 2), Op::reg(R2));
+    b.cvtbl(Op::abs(data), Op::reg(R3));      // 0xDD sign-extends
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.memory().read8(data), 0xDDu);
+    EXPECT_EQ(m.memory().read16(data + 2), 0xCCDDu);
+    EXPECT_EQ(m.cpu().reg(R1), 0xDDu);
+    EXPECT_EQ(m.cpu().reg(R2), 0xCCDDu);
+    EXPECT_EQ(m.cpu().reg(R3), 0xFFFFFFDDu);
+}
+
+TEST_F(CpuBasic, ByteWriteToRegisterPreservesHighBits)
+{
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(0x12345678), Op::reg(R0));
+    b.movb(Op::imm(0xFF), Op::reg(R0));
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R0), 0x123456FFu);
+}
+
+TEST_F(CpuBasic, BranchesAndLoops)
+{
+    CodeBuilder b(0x200);
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    b.clrl(Op::reg(R0));
+    b.movl(Op::imm(10), Op::reg(R1));
+    b.bind(loop);
+    b.addl2(Op::reg(R1), Op::reg(R0));
+    b.sobgtr(Op::reg(R1), loop);
+    b.brb(done);
+    b.movl(Op::imm(0xBAD), Op::reg(R0));
+    b.bind(done);
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R0), 55u); // 10+9+...+1
+}
+
+TEST_F(CpuBasic, AobLoop)
+{
+    CodeBuilder b(0x200);
+    Label loop = b.newLabel();
+    b.clrl(Op::reg(R0));
+    b.clrl(Op::reg(R1));
+    b.bind(loop);
+    b.addl2(Op::reg(R1), Op::reg(R0));
+    b.aoblss(Op::imm(5), Op::reg(R1), loop);
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R0), 0u + 1 + 2 + 3 + 4);
+    EXPECT_EQ(m.cpu().reg(R1), 5u);
+}
+
+TEST_F(CpuBasic, SubroutinesJsbRsb)
+{
+    CodeBuilder b(0x200);
+    Label sub = b.newLabel();
+    Label main_done = b.newLabel();
+    b.movl(Op::imm(5), Op::reg(R0));
+    b.jsb(Op::ref(sub));
+    b.jsb(Op::ref(sub));
+    b.brb(main_done);
+    b.bind(sub);
+    b.addl2(Op::reg(R0), Op::reg(R0));
+    b.rsb();
+    b.bind(main_done);
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R0), 20u);
+}
+
+TEST_F(CpuBasic, CallsRetWithRegisterSave)
+{
+    CodeBuilder b(0x200);
+    Label func = b.newLabel();
+    Label done = b.newLabel();
+    b.movl(Op::imm(0x1111), Op::reg(R2));
+    b.movl(Op::imm(0x2222), Op::reg(R3));
+    b.pushl(Op::imm(42));            // one argument
+    b.calls(Op::lit(1), Op::ref(func));
+    b.brb(done);
+    b.bind(func);
+    b.word(0x000C);                  // entry mask: save R2, R3
+    b.movl(Op::disp(4, AP), Op::reg(R0)); // arg -> R0
+    b.movl(Op::imm(0xDEAD), Op::reg(R2)); // clobber saved regs
+    b.movl(Op::imm(0xDEAD), Op::reg(R3));
+    b.ret();
+    b.bind(done);
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R0), 42u);
+    EXPECT_EQ(m.cpu().reg(R2), 0x1111u); // restored by RET
+    EXPECT_EQ(m.cpu().reg(R3), 0x2222u);
+    EXPECT_EQ(m.cpu().reg(SP), 0x1000u); // stack fully unwound
+}
+
+TEST_F(CpuBasic, PushrPoprRoundTrip)
+{
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(11), Op::reg(R1));
+    b.movl(Op::imm(22), Op::reg(R2));
+    b.movl(Op::imm(33), Op::reg(R5));
+    b.pushr(Op::imm(0x26)); // R1, R2, R5
+    b.clrl(Op::reg(R1));
+    b.clrl(Op::reg(R2));
+    b.clrl(Op::reg(R5));
+    b.popr(Op::imm(0x26));
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R1), 11u);
+    EXPECT_EQ(m.cpu().reg(R2), 22u);
+    EXPECT_EQ(m.cpu().reg(R5), 33u);
+}
+
+TEST_F(CpuBasic, Movc3CopiesBytes)
+{
+    const VirtAddr src = 0x800, dst = 0x900;
+    CodeBuilder b(0x200);
+    b.movc3(Op::imm(16), Op::abs(src), Op::abs(dst));
+    b.halt();
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    for (int i = 0; i < 16; ++i)
+        m.memory().write8(src + i, static_cast<Byte>(i * 3));
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(0);
+    m.cpu().setReg(SP, 0x1000);
+    m.run(100);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(m.memory().read8(dst + i), i * 3);
+    EXPECT_EQ(m.cpu().reg(R0), 0u);
+    EXPECT_EQ(m.cpu().reg(R1), src + 16);
+    EXPECT_EQ(m.cpu().reg(R3), dst + 16);
+}
+
+TEST_F(CpuBasic, BitBranches)
+{
+    CodeBuilder b(0x200);
+    Label l1 = b.newLabel(), l2 = b.newLabel();
+    b.movl(Op::imm(0x10), Op::reg(R0));
+    b.clrl(Op::reg(R1));
+    b.bbs(Op::lit(4), Op::reg(R0), l1);
+    b.halt(); // not reached
+    b.bind(l1);
+    b.movl(Op::lit(1), Op::reg(R1));
+    b.bbc(Op::lit(3), Op::reg(R0), l2);
+    b.halt(); // not reached
+    b.bind(l2);
+    b.movl(Op::lit(2), Op::reg(R2));
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R1), 1u);
+    EXPECT_EQ(m.cpu().reg(R2), 2u);
+}
+
+TEST_F(CpuBasic, BlbsBlbc)
+{
+    CodeBuilder b(0x200);
+    Label odd = b.newLabel(), done = b.newLabel();
+    b.movl(Op::lit(7), Op::reg(R0));
+    b.blbs(Op::reg(R0), odd);
+    b.clrl(Op::reg(R1));
+    b.brb(done);
+    b.bind(odd);
+    b.movl(Op::lit(1), Op::reg(R1));
+    b.bind(done);
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R1), 1u);
+}
+
+TEST_F(CpuBasic, ReservedOpcodeFaultsThroughScb)
+{
+    CodeBuilder b(0x200);
+    Label handler = b.newLabel();
+    b.byte(0xFF); // unimplemented opcode
+    b.halt();
+    b.align(4);
+    b.bind(handler);
+    b.movl(Op::imm(0x600D), Op::reg(R0));
+    b.halt();
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    m.cpu().setScbb(0x1200);
+    m.memory().write32(0x1200 + 0x10, b.labelAddress(handler));
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(0);
+    m.cpu().setReg(SP, 0x1000);
+    m.run(100);
+    EXPECT_EQ(m.cpu().reg(R0), 0x600Du);
+}
+
+TEST_F(CpuBasic, AutoIncrementRollsBackOnFault)
+{
+    // (R1)+ touching non-existent memory must not leave R1 modified
+    // after the fault (restartability).
+    CodeBuilder b(0x200);
+    Label handler = b.newLabel();
+    b.movl(Op::imm(0x30000000), Op::reg(R1)); // beyond RAM
+    b.movl(Op::autoInc(R1), Op::reg(R0));
+    b.halt();
+    b.align(4);
+    b.bind(handler);
+    b.movl(Op::reg(R1), Op::reg(R6));
+    b.halt();
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    m.cpu().setScbb(0x1200);
+    m.memory().write32(0x1200 + 0x04, b.labelAddress(handler));
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(0);
+    m.cpu().setReg(SP, 0x1000);
+    m.run(100);
+    EXPECT_EQ(m.cpu().reg(R6), 0x30000000u) << "R1 must be unchanged";
+}
+
+} // namespace
+} // namespace vvax

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Procedure-call and mode-ladder depth tests: CALLG frames, nested
+ * CALLS, MOVC3 backward copies, PUSHR with SP in the mask, the full
+ * four-mode CHM ladder (user -> supervisor -> executive -> kernel and
+ * back down), and PROBE across page boundaries.
+ */
+
+#include "tests/harness.h"
+
+namespace vvax {
+namespace {
+
+using test::runBare;
+
+TEST(Calls, CallgUsesAnArgumentListInMemory)
+{
+    RealMachine m;
+    const VirtAddr arglist = 0x900;
+    CodeBuilder b(0x200);
+    Label func = b.newLabel(), done = b.newLabel();
+    // arglist: count=2, args 7 and 35.
+    b.movl(Op::lit(2), Op::abs(arglist));
+    b.movl(Op::lit(7), Op::abs(arglist + 4));
+    b.movl(Op::imm(35), Op::abs(arglist + 8));
+    b.callg(Op::abs(arglist), Op::ref(func));
+    b.brb(done);
+    b.bind(func);
+    b.word(0x0004); // save R2
+    b.movl(Op::disp(4, AP), Op::reg(R0));
+    b.addl2(Op::disp(8, AP), Op::reg(R0)); // r0 = 42
+    b.movl(Op::imm(0xDEAD), Op::reg(R2));  // clobber; RET restores
+    b.ret();
+    b.bind(done);
+    b.halt();
+    m.cpu().setReg(R2, 0x2222);
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R0), 42u);
+    EXPECT_EQ(m.cpu().reg(R2), 0x2222u);
+    // CALLG does not pop the argument list (it was never pushed).
+    EXPECT_EQ(m.cpu().reg(SP), 0x1000u);
+}
+
+TEST(Calls, NestedCallsUnwindCorrectly)
+{
+    RealMachine m;
+    CodeBuilder b(0x200);
+    Label outer = b.newLabel(), inner = b.newLabel(),
+          done = b.newLabel();
+    b.pushl(Op::lit(3));
+    b.calls(Op::lit(1), Op::ref(outer));
+    b.brb(done);
+    b.bind(outer);
+    b.word(0x000C); // save R2, R3
+    b.movl(Op::disp(4, AP), Op::reg(R2)); // arg
+    b.pushl(Op::reg(R2));
+    b.calls(Op::lit(1), Op::ref(inner)); // r0 = arg * 2
+    b.addl2(Op::lit(1), Op::reg(R0));    // +1
+    b.ret();
+    b.bind(inner);
+    b.word(0x0000);
+    b.addl3(Op::disp(4, AP), Op::disp(4, AP), Op::reg(R0));
+    b.ret();
+    b.bind(done);
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R0), 7u); // 3*2 + 1
+    EXPECT_EQ(m.cpu().reg(SP), 0x1000u) << "both frames unwound";
+}
+
+TEST(Calls, EntryMaskMbzBitsFault)
+{
+    RealMachine m;
+    CodeBuilder b(0x200);
+    Label func = b.newLabel(), handler = b.newLabel();
+    b.calls(Op::lit(0), Op::ref(func));
+    b.halt();
+    b.bind(func);
+    b.word(0x1000); // MBZ bit 12 set: reserved operand
+    b.ret();
+    b.align(4);
+    b.bind(handler);
+    b.movl(Op::imm(0x0BAD), Op::reg(R9));
+    b.halt();
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    m.cpu().setScbb(0x1200);
+    m.memory().write32(0x1200 + 0x18, b.labelAddress(handler));
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(0);
+    m.cpu().setReg(SP, 0x1000);
+    m.run(100);
+    EXPECT_EQ(m.cpu().reg(R9), 0x0BADu);
+}
+
+TEST(Movc3, BackwardCopyHandlesOverlap)
+{
+    // dst > src with overlap: our MOVC3 copies high-to-low in that
+    // case, preserving the source semantics for a forward-shifting
+    // move.
+    RealMachine m;
+    CodeBuilder b(0x200);
+    b.movc3(Op::imm(8), Op::abs(0x800), Op::abs(0x804));
+    b.halt();
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    for (int i = 0; i < 8; ++i)
+        m.memory().write8(0x800 + i, static_cast<Byte>(i + 1));
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(31);
+    m.cpu().setReg(SP, 0x1000);
+    m.run(100);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(m.memory().read8(0x804 + i), i + 1);
+}
+
+TEST(Pushr, SpInMaskPushesOriginalValue)
+{
+    RealMachine m;
+    CodeBuilder b(0x200);
+    b.pushr(Op::imm(1u << 14)); // push SP itself
+    b.movl(Op::deferred(SP), Op::reg(R6));
+    b.halt();
+    runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R6), 0x1000u)
+        << "the pre-push SP value is what lands on the stack";
+}
+
+TEST(ModeLadder, FullFourModeDescentAndReturn)
+{
+    // Kernel REIs to user; user CHMS -> supervisor; supervisor CHME
+    // -> executive; executive CHMK -> kernel; each handler records
+    // its mode and REIs back down, unwinding to user, which HALTs
+    // (privileged fault ends the run through the recorder).
+    RealMachine m;
+    CodeBuilder b(0x200);
+    Label user_code = b.newLabel(), h_chms = b.newLabel(),
+          h_chme = b.newLabel(), h_chmk = b.newLabel(),
+          h_resins = b.newLabel();
+
+    Psl user_psl;
+    user_psl.setCurrentMode(AccessMode::User);
+    user_psl.setPreviousMode(AccessMode::User);
+    b.pushl(Op::imm(user_psl.raw()));
+    b.pushal(Op::ref(user_code));
+    b.rei();
+
+    b.align(4);
+    b.bind(user_code);
+    b.chms(Op::imm(1)); // begin the ladder
+    b.movl(Op::imm(0x600D), Op::reg(R10)); // after full unwind
+    b.halt(); // user HALT -> reserved instruction -> recorder
+
+    b.align(4);
+    b.bind(h_chms); // supervisor
+    b.movpsl(Op::reg(R2));
+    b.chme(Op::imm(2));
+    b.addl2(Op::lit(4), Op::reg(SP));
+    b.rei();
+
+    b.align(4);
+    b.bind(h_chme); // executive
+    b.movpsl(Op::reg(R3));
+    b.chmk(Op::imm(3));
+    b.addl2(Op::lit(4), Op::reg(SP));
+    b.rei();
+
+    b.align(4);
+    b.bind(h_chmk); // kernel
+    b.movpsl(Op::reg(R4));
+    b.addl2(Op::lit(4), Op::reg(SP));
+    b.rei();
+
+    b.align(4);
+    b.bind(h_resins);
+    b.halt();
+
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    m.cpu().setScbb(0x1200);
+    m.memory().write32(0x1200 + 0x48, b.labelAddress(h_chms));
+    m.memory().write32(0x1200 + 0x44, b.labelAddress(h_chme));
+    m.memory().write32(0x1200 + 0x40, b.labelAddress(h_chmk));
+    m.memory().write32(0x1200 + 0x10, b.labelAddress(h_resins));
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(0);
+    m.cpu().setReg(SP, 0x1000);
+    m.cpu().setStackPointer(AccessMode::Executive, 0x1400);
+    m.cpu().setStackPointer(AccessMode::Supervisor, 0x1600);
+    m.cpu().setStackPointer(AccessMode::User, 0x1800);
+    m.run(1000);
+
+    EXPECT_EQ(Psl(m.cpu().reg(R2)).currentMode(),
+              AccessMode::Supervisor);
+    EXPECT_EQ(Psl(m.cpu().reg(R2)).previousMode(), AccessMode::User);
+    EXPECT_EQ(Psl(m.cpu().reg(R3)).currentMode(),
+              AccessMode::Executive);
+    EXPECT_EQ(Psl(m.cpu().reg(R3)).previousMode(),
+              AccessMode::Supervisor);
+    EXPECT_EQ(Psl(m.cpu().reg(R4)).currentMode(), AccessMode::Kernel);
+    EXPECT_EQ(Psl(m.cpu().reg(R4)).previousMode(),
+              AccessMode::Executive);
+    EXPECT_EQ(m.cpu().reg(R10), 0x600Du) << "unwound back to user";
+}
+
+TEST(Probe, SpanningProbeChecksBothPages)
+{
+    // Map page 40 user-readable and page 41 kernel-only; a probe of a
+    // structure spanning both fails for user, while one within page
+    // 40 succeeds.
+    RealMachine m;
+    const PhysAddr spt = 0x20000;
+    for (Longword i = 0; i < 128; ++i) {
+        m.memory().write32(spt + 4 * i,
+                           Pte::make(true, Protection::UW, true, i)
+                               .raw());
+    }
+    m.memory().write32(spt + 4 * 41,
+                       Pte::make(true, Protection::KW, true, 41).raw());
+    m.mmu().regs().sbr = spt;
+    m.mmu().regs().slr = 128;
+    m.mmu().regs().mapen = true;
+
+    CodeBuilder b(kSystemBase + 0x4000);
+    b.prober(Op::lit(3), Op::imm(64),
+             Op::abs(kSystemBase + 41 * 512 - 32)); // spans 40->41
+    b.movpsl(Op::reg(R6));
+    b.prober(Op::lit(3), Op::imm(16),
+             Op::abs(kSystemBase + 40 * 512)); // inside page 40
+    b.movpsl(Op::reg(R7));
+    b.halt();
+    auto image = b.finish();
+    m.loadImage(0x4000, image);
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(0);
+    m.cpu().setReg(SP, kSystemBase + 0x6000);
+    m.run(100);
+    EXPECT_TRUE(m.cpu().reg(R6) & Psl::kZ) << "spanning probe fails";
+    EXPECT_FALSE(m.cpu().reg(R7) & Psl::kZ);
+}
+
+} // namespace
+} // namespace vvax

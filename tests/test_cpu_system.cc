@@ -1,0 +1,468 @@
+/**
+ * @file
+ * CPU system-instruction tests on the bare machine: CHM/REI across
+ * modes, PROBE semantics (including the unprivileged-but-sensitive
+ * behaviours from Table 1), MOVPSL, interrupts and IPL arbitration,
+ * software interrupts, the interval timer, LDPCTX/SVPCTX, and the
+ * modified-VAX extension opcodes.
+ */
+
+#include "tests/harness.h"
+
+namespace vvax {
+namespace {
+
+/**
+ * A bare machine with mapping enabled: identity SPT over all of RAM
+ * (SREW so all modes can fetch code; individual tests override
+ * specific pages), SCB at physical page 2, stacks for all modes.
+ */
+class SystemMachine : public ::testing::Test
+{
+  protected:
+    static constexpr PhysAddr kScb = 2 * kPageSize;
+    static constexpr PhysAddr kSpt = 0x20000;
+    static constexpr Longword kPages = 512; // 256 KB mapped
+
+    explicit SystemMachine(
+        MicrocodeLevel level = MicrocodeLevel::Modified)
+        : m(makeConfig(level))
+    {
+        // Everything user-accessible by default; tests that check
+        // protection override individual pages.
+        for (Longword i = 0; i < kPages; ++i) {
+            m.memory().write32(
+                kSpt + 4 * i,
+                Pte::make(true, Protection::UW, true, i).raw());
+        }
+        m.mmu().regs().sbr = kSpt;
+        m.mmu().regs().slr = kPages;
+        m.cpu().setScbb(kScb);
+    }
+
+    static MachineConfig
+    makeConfig(MicrocodeLevel level)
+    {
+        MachineConfig config;
+        config.level = level;
+        return config;
+    }
+
+    /** Map S page @p vpn with protection @p prot (valid, M set). */
+    void
+    setPageProt(Vpn vpn, Protection prot, bool valid = true,
+                bool modify = true)
+    {
+        m.memory().write32(
+            kSpt + 4 * vpn,
+            Pte::make(valid, prot, modify, vpn).raw());
+        m.mmu().tbis(kSystemBase + vpn * kPageSize);
+    }
+
+    void
+    setVector(Word offset, VirtAddr handler)
+    {
+        m.memory().write32(kScb + offset, handler);
+    }
+
+    /** Load code built at an S address and start in kernel mode. */
+    void
+    start(CodeBuilder &b)
+    {
+        auto image = b.finish();
+        m.loadImage(b.origin() - kSystemBase, image);
+        m.mmu().regs().mapen = true;
+        m.cpu().setPc(b.origin());
+        m.cpu().psl().setIpl(0);
+        m.cpu().setStackPointer(AccessMode::Kernel,
+                                kSystemBase + 0x6000);
+        m.cpu().setStackPointer(AccessMode::Executive,
+                                kSystemBase + 0x6800);
+        m.cpu().setStackPointer(AccessMode::Supervisor,
+                                kSystemBase + 0x7000);
+        m.cpu().setStackPointer(AccessMode::User, kSystemBase + 0x7800);
+        m.cpu().setInterruptStackPointer(kSystemBase + 0x8000);
+    }
+
+    RealMachine m;
+};
+
+TEST_F(SystemMachine, ChmkFromUserSwitchesToKernelAndBack)
+{
+    // Kernel sets up a REI frame to user mode; user does CHMK; the
+    // kernel handler inspects the pushed code and REIs back.
+    CodeBuilder b(kSystemBase + 0x4000);
+    Label user_code = b.newLabel();
+    Label handler = b.newLabel();
+    Label after = b.newLabel();
+
+    Psl user_psl;
+    user_psl.setCurrentMode(AccessMode::User);
+    user_psl.setPreviousMode(AccessMode::User);
+    b.pushl(Op::imm(user_psl.raw()));
+    b.pushal(Op::ref(user_code));
+    b.rei();
+
+    b.align(4);
+    b.bind(user_code);
+    b.movpsl(Op::reg(R1)); // user-visible PSL
+    b.chmk(Op::imm(42));
+    b.bind(after);
+    b.movl(Op::imm(0xAF7E), Op::reg(R6));
+    b.chmk(Op::imm(7)); // second service: handler halts on code 7
+
+    b.align(4);
+    b.bind(handler);
+    b.movl(Op::deferred(SP), Op::reg(R2)); // the CHM code
+    b.movpsl(Op::reg(R3));
+    b.cmpl(Op::reg(R2), Op::lit(7));
+    Label halt_now = b.newLabel();
+    b.beql(halt_now);
+    b.addl2(Op::lit(4), Op::reg(SP));
+    b.rei();
+    b.bind(halt_now);
+    b.halt();
+
+    setVector(static_cast<Word>(ScbVector::Chmk),
+              b.labelAddress(handler));
+    start(b);
+    m.run(1000);
+
+    EXPECT_EQ(m.cpu().haltReason(), HaltReason::HaltInstruction);
+    const Psl user_seen(m.cpu().reg(R1));
+    EXPECT_EQ(user_seen.currentMode(), AccessMode::User);
+    EXPECT_EQ(m.cpu().reg(R2), 7u);
+    EXPECT_EQ(m.cpu().reg(R6), 0xAF7Eu) << "REI resumed after CHMK";
+    const Psl kernel_seen(m.cpu().reg(R3));
+    EXPECT_EQ(kernel_seen.currentMode(), AccessMode::Kernel);
+    EXPECT_EQ(kernel_seen.previousMode(), AccessMode::User);
+    EXPECT_EQ(m.stats().dispatchCount(
+                  static_cast<Word>(ScbVector::Chmk)),
+              2u);
+}
+
+TEST_F(SystemMachine, ChmTargetsLessPrivilegedModeStaysCurrent)
+{
+    // CHMU executed in kernel mode: new mode = MINU(target, current)
+    // = kernel; it still vectors through the CHMU entry.
+    CodeBuilder b(kSystemBase + 0x4000);
+    Label handler = b.newLabel();
+    b.chmu(Op::imm(5));
+    b.halt();
+    b.align(4);
+    b.bind(handler);
+    b.movpsl(Op::reg(R4));
+    b.halt();
+    setVector(static_cast<Word>(ScbVector::Chmu),
+              b.labelAddress(handler));
+    start(b);
+    m.run(100);
+    EXPECT_EQ(Psl(m.cpu().reg(R4)).currentMode(), AccessMode::Kernel);
+    EXPECT_EQ(m.stats().dispatchCount(
+                  static_cast<Word>(ScbVector::Chmu)),
+              1u);
+}
+
+TEST_F(SystemMachine, ReiValidationRejectsPrivilegeIncrease)
+{
+    // User mode REIs with a kernel-mode PSL image: reserved operand.
+    CodeBuilder b(kSystemBase + 0x4000);
+    Label user_code = b.newLabel();
+    Label resop = b.newLabel();
+
+    Psl user_psl;
+    user_psl.setCurrentMode(AccessMode::User);
+    user_psl.setPreviousMode(AccessMode::User);
+    b.pushl(Op::imm(user_psl.raw()));
+    b.pushal(Op::ref(user_code));
+    b.rei();
+
+    b.align(4);
+    b.bind(user_code);
+    b.pushl(Op::imm(0)); // kernel-mode PSL image
+    b.pushal(Op::ref(user_code));
+    b.rei(); // must fault
+    b.halt();
+
+    b.align(4);
+    b.bind(resop);
+    b.movl(Op::imm(0x0BAD0B), Op::reg(R7));
+    b.halt();
+
+    setVector(static_cast<Word>(ScbVector::ReservedOperand),
+              b.labelAddress(resop));
+    start(b);
+    m.run(100);
+    EXPECT_EQ(m.cpu().reg(R7), 0x0BAD0Bu);
+}
+
+TEST_F(SystemMachine, MovpslNeverShowsVmBit)
+{
+    CodeBuilder b(kSystemBase + 0x4000);
+    b.movpsl(Op::reg(R0));
+    b.halt();
+    start(b);
+    m.run(10);
+    EXPECT_FALSE(Psl(m.cpu().reg(R0)).vm());
+}
+
+TEST_F(SystemMachine, ProbeUsesLessPrivilegedOfOperandAndPreviousMode)
+{
+    // Kernel-only page: PROBER with mode operand 0 still fails when
+    // the previous mode is user (Table 1's PSL<PRV> sensitivity).
+    setPageProt(40, Protection::KW);
+
+    CodeBuilder b(kSystemBase + 0x4000);
+    Label handler = b.newLabel();
+    // First, from kernel (previous mode kernel via CHMK from kernel).
+    b.chmk(Op::imm(0));
+    b.halt();
+    b.align(4);
+    b.bind(handler);
+    // Previous mode is kernel here.
+    b.prober(Op::lit(0), Op::imm(4), Op::abs(kSystemBase + 40 * 512));
+    Label z1 = b.newLabel();
+    b.beql(z1);
+    b.movl(Op::lit(1), Op::reg(R6)); // accessible
+    b.bind(z1);
+    // Probe as-if-for-user via the mode operand.
+    b.prober(Op::lit(3), Op::imm(4), Op::abs(kSystemBase + 40 * 512));
+    Label z2 = b.newLabel();
+    b.bneq(z2);
+    b.movl(Op::lit(1), Op::reg(R7)); // correctly inaccessible
+    b.bind(z2);
+    b.halt();
+
+    setVector(static_cast<Word>(ScbVector::Chmk),
+              b.labelAddress(handler));
+    start(b);
+    m.run(100);
+    EXPECT_EQ(m.cpu().reg(R6), 1u);
+    EXPECT_EQ(m.cpu().reg(R7), 1u);
+}
+
+TEST_F(SystemMachine, ProbeIgnoresValidBitOnBareMachine)
+{
+    // Section 3.2.1 / Table 3: PROBE checks only the protection code,
+    // even for an invalid PTE.
+    setPageProt(41, Protection::UR, /*valid=*/false);
+    CodeBuilder b(kSystemBase + 0x4000);
+    b.prober(Op::lit(3), Op::imm(4), Op::abs(kSystemBase + 41 * 512));
+    Label z = b.newLabel();
+    b.beql(z);
+    b.movl(Op::lit(1), Op::reg(R6)); // accessible despite V=0
+    b.bind(z);
+    b.halt();
+    start(b);
+    m.run(100);
+    EXPECT_EQ(m.cpu().reg(R6), 1u);
+}
+
+TEST_F(SystemMachine, SoftwareInterruptsDeliverByPriority)
+{
+    CodeBuilder b(kSystemBase + 0x4000);
+    Label h3 = b.newLabel(), h5 = b.newLabel(), done = b.newLabel();
+    // Request levels 3 and 5 while at IPL 10, then drop to 0.
+    b.mtpr(Op::lit(10), Ipr::IPL);
+    b.mtpr(Op::lit(3), Ipr::SIRR);
+    b.mtpr(Op::lit(5), Ipr::SIRR);
+    b.clrl(Op::reg(R6));
+    b.mtpr(Op::lit(0), Ipr::IPL);
+    b.bind(done);
+    b.halt();
+    b.align(4);
+    b.bind(h5);
+    b.movpsl(Op::reg(R2));
+    b.ashl(Op::lit(4), Op::reg(R6), Op::reg(R6));
+    b.bisl2(Op::lit(5), Op::reg(R6));
+    b.rei();
+    b.align(4);
+    b.bind(h3);
+    b.ashl(Op::lit(4), Op::reg(R6), Op::reg(R6));
+    b.bisl2(Op::lit(3), Op::reg(R6));
+    b.rei();
+    setVector(softwareInterruptVector(3), b.labelAddress(h3));
+    setVector(softwareInterruptVector(5), b.labelAddress(h5));
+    start(b);
+    m.run(100);
+    // Level 5 first, then level 3: R6 = (5 << 4) | 3.
+    EXPECT_EQ(m.cpu().reg(R6), 0x53u);
+    const Psl at5(m.cpu().reg(R2));
+    EXPECT_EQ(at5.ipl(), 5) << "interrupt raises IPL to its level";
+}
+
+TEST_F(SystemMachine, IntervalTimerFiresAndAcks)
+{
+    CodeBuilder b(kSystemBase + 0x4000);
+    Label tick = b.newLabel(), loop = b.newLabel();
+    b.mtpr(Op::imm(static_cast<Longword>(-500)), Ipr::NICR);
+    b.mtpr(Op::imm(iccs::kTransfer | iccs::kRun |
+                   iccs::kInterruptEnable),
+           Ipr::ICCS);
+    b.clrl(Op::reg(R6));
+    b.bind(loop);
+    b.cmpl(Op::reg(R6), Op::lit(3));
+    Label out = b.newLabel();
+    b.bgeq(out);
+    b.brb(loop);
+    b.bind(out);
+    b.halt();
+    b.align(4);
+    b.bind(tick);
+    b.mtpr(Op::imm(iccs::kInterrupt | iccs::kRun |
+                   iccs::kInterruptEnable),
+           Ipr::ICCS);
+    b.incl(Op::reg(R6));
+    b.rei();
+    // Deliver on the interrupt stack (SCB low bit).
+    m.memory().write32(kScb +
+                           static_cast<Word>(ScbVector::IntervalTimer),
+                       0); // placeholder, set after finish
+    setVector(static_cast<Word>(ScbVector::IntervalTimer), 0);
+    start(b);
+    m.memory().write32(kScb +
+                           static_cast<Word>(ScbVector::IntervalTimer),
+                       b.labelAddress(tick) | 1);
+    m.run(20000);
+    EXPECT_EQ(m.cpu().haltReason(), HaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(R6), 3u);
+    EXPECT_GE(m.stats().interruptsTaken, 3u);
+}
+
+TEST_F(SystemMachine, LdpctxSvpctxRoundTrip)
+{
+    // Build a PCB, LDPCTX+REI into it, take a CHMK, SVPCTX back, and
+    // verify the context landed in the PCB.
+    const PhysAddr pcb = 0x30000;
+    CodeBuilder b(kSystemBase + 0x4000);
+    Label proc_code = b.newLabel();
+    Label handler = b.newLabel();
+
+    b.mtpr(Op::imm(pcb), Ipr::PCBB);
+    b.ldpctx();
+    b.rei();
+
+    b.align(4);
+    b.bind(proc_code);
+    b.movl(Op::imm(0x1234), Op::reg(R5));
+    b.chmk(Op::imm(9));
+    b.halt(); // not reached
+
+    b.align(4);
+    b.bind(handler);
+    b.addl2(Op::lit(4), Op::reg(SP)); // discard the code
+    b.svpctx();
+    b.halt();
+
+    setVector(static_cast<Word>(ScbVector::Chmk),
+              b.labelAddress(handler));
+
+    // PCB: start proc_code in user mode with a user stack.
+    auto image = b.finish();
+    m.loadImage(b.origin() - kSystemBase, image);
+    Psl proc_psl;
+    proc_psl.setCurrentMode(AccessMode::User);
+    proc_psl.setPreviousMode(AccessMode::User);
+    m.memory().write32(pcb + 0, kSystemBase + 0x6000);  // KSP
+    m.memory().write32(pcb + 4, kSystemBase + 0x6800);  // ESP
+    m.memory().write32(pcb + 8, kSystemBase + 0x7000);  // SSP
+    m.memory().write32(pcb + 12, kSystemBase + 0x7800); // USP
+    m.memory().write32(pcb + 16, 0xAAAA);               // R0
+    m.memory().write32(pcb + 72, b.labelAddress(proc_code));
+    m.memory().write32(pcb + 76, proc_psl.raw());
+    m.memory().write32(pcb + 80, 0);   // P0BR (unused: S code)
+    m.memory().write32(pcb + 84, 4u << 24); // ASTLVL=4 (none), P0LR=0
+    m.memory().write32(pcb + 88, 0);   // P1BR
+    m.memory().write32(pcb + 92, 0x200000); // P1LR
+
+    m.mmu().regs().mapen = true;
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(0);
+    m.cpu().setStackPointer(AccessMode::Kernel, kSystemBase + 0x5000);
+    m.run(1000);
+
+    EXPECT_EQ(m.cpu().haltReason(), HaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(R0), 0xAAAAu) << "LDPCTX loaded R0";
+    EXPECT_EQ(m.cpu().reg(R5), 0x1234u);
+    // SVPCTX banked the process context: saved PC points after CHMK,
+    // saved PSL is user mode.
+    const Psl saved(m.memory().read32(pcb + 76));
+    EXPECT_EQ(saved.currentMode(), AccessMode::User);
+    EXPECT_EQ(m.memory().read32(pcb + 16 + 4 * 5), 0x1234u) << "R5";
+}
+
+TEST_F(SystemMachine, WaitIsReservedOnBareMachine)
+{
+    CodeBuilder b(kSystemBase + 0x4000);
+    Label handler = b.newLabel();
+    b.wait();
+    b.halt();
+    b.align(4);
+    b.bind(handler);
+    b.movl(Op::imm(0x0FF), Op::reg(R9));
+    b.halt();
+    setVector(static_cast<Word>(ScbVector::ReservedInstruction),
+              b.labelAddress(handler));
+    start(b);
+    m.run(100);
+    EXPECT_EQ(m.cpu().reg(R9), 0x0FFu)
+        << "WAIT on a real machine takes the privileged trap (Table 4)";
+}
+
+TEST_F(SystemMachine, ProbevmClampsToExecutiveAndReportsAllThree)
+{
+    // Table 2: PROBEVM tests protection, validity and modify, and the
+    // probe mode is never more privileged than executive.
+    setPageProt(50, Protection::KW);               // exec cannot read
+    setPageProt(51, Protection::EW, false);        // invalid
+    setPageProt(52, Protection::EW, true, false);  // modify clear
+    setPageProt(53, Protection::EW, true, true);   // fully ok
+
+    CodeBuilder b(kSystemBase + 0x4000);
+    auto pack = [&](Vpn vpn, int reg) {
+        // Capture PSW<2:0> = Z<<2 | V<<1 | C right after the probe.
+        b.probevmw(Op::lit(0), Op::abs(kSystemBase + vpn * 512));
+        b.movpsl(Op::reg(static_cast<Byte>(reg)));
+        b.bicl2(Op::imm(0xFFFFFFF8), Op::reg(static_cast<Byte>(reg)));
+    };
+    pack(50, R2);
+    pack(51, R3);
+    pack(52, R4);
+    pack(53, R5);
+    b.halt();
+    start(b);
+    m.run(1000);
+    EXPECT_EQ(m.cpu().reg(R2), 4u) << "protection failure -> Z";
+    EXPECT_EQ(m.cpu().reg(R3), 2u) << "invalid -> V";
+    EXPECT_EQ(m.cpu().reg(R4), 1u) << "modify clear -> C";
+    EXPECT_EQ(m.cpu().reg(R5), 0u) << "fully accessible";
+}
+
+TEST_F(SystemMachine, ProbevmIsPrivileged)
+{
+    CodeBuilder b(kSystemBase + 0x4000);
+    Label user_code = b.newLabel();
+    Label handler = b.newLabel();
+    Psl user_psl;
+    user_psl.setCurrentMode(AccessMode::User);
+    user_psl.setPreviousMode(AccessMode::User);
+    b.pushl(Op::imm(user_psl.raw()));
+    b.pushal(Op::ref(user_code));
+    b.rei();
+    b.align(4);
+    b.bind(user_code);
+    b.probevmr(Op::lit(0), Op::abs(kSystemBase));
+    b.halt();
+    b.align(4);
+    b.bind(handler);
+    b.movl(Op::imm(0x9909), Op::reg(R8));
+    b.halt();
+    setVector(static_cast<Word>(ScbVector::ReservedInstruction),
+              b.labelAddress(handler));
+    start(b);
+    m.run(100);
+    EXPECT_EQ(m.cpu().reg(R8), 0x9909u);
+}
+
+} // namespace
+} // namespace vvax

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Device tests on the bare machine: console transmit/receive through
+ * the IPRs with interrupts, and the memory-mapped disk controller
+ * with DMA and completion interrupts - the "typical VAX I/O
+ * mechanism" of paper Section 4.4.3.
+ */
+
+#include "tests/harness.h"
+
+namespace vvax {
+namespace {
+
+TEST(Console, TransmitCollectsOutput)
+{
+    RealMachine m;
+    CodeBuilder b(0x200);
+    for (char c : std::string_view("ok\n"))
+        b.mtpr(Op::imm(static_cast<Byte>(c)), Ipr::TXDB);
+    b.halt();
+    test::runBare(m, b);
+    EXPECT_EQ(m.console().output(), "ok\n");
+}
+
+TEST(Console, ReceivePollingAndCsr)
+{
+    RealMachine m;
+    m.console().injectInput("AB");
+    CodeBuilder b(0x200);
+    Label wait1 = b.newLabel();
+    b.bind(wait1);
+    b.mfpr(Ipr::RXCS, Op::reg(R0));
+    b.bbc(Op::lit(7), Op::reg(R0), wait1); // wait for ready
+    b.mfpr(Ipr::RXDB, Op::reg(R1));
+    b.mfpr(Ipr::RXDB, Op::reg(R2));
+    b.mfpr(Ipr::RXCS, Op::reg(R3)); // no more input: ready clear
+    b.halt();
+    test::runBare(m, b);
+    EXPECT_EQ(m.cpu().reg(R1), 'A');
+    EXPECT_EQ(m.cpu().reg(R2), 'B');
+    EXPECT_EQ(m.cpu().reg(R3) & consolecsr::kReady, 0u);
+}
+
+TEST(Console, ReceiveInterruptFires)
+{
+    RealMachine m;
+    CodeBuilder b(0x200);
+    Label isr = b.newLabel();
+    Label spin = b.newLabel();
+    b.clrl(Op::reg(R5));
+    b.mtpr(Op::imm(consolecsr::kInterruptEnable), Ipr::RXCS);
+    b.bind(spin);
+    b.tstl(Op::reg(R5));
+    b.beql(spin); // wait for the ISR to set R5
+    b.halt();
+    b.align(4);
+    b.bind(isr);
+    b.mfpr(Ipr::RXDB, Op::reg(R5)); // read clears the request
+    b.rei();
+
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    m.cpu().setScbb(0x1200);
+    m.memory().write32(
+        0x1200 + static_cast<Word>(ScbVector::ConsoleReceive),
+        b.labelAddress(isr) | 1); // interrupt stack
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(0);
+    m.cpu().setReg(SP, 0x1000);
+    m.cpu().setInterruptStackPointer(0x1800);
+    m.console().injectInput("Q");
+    m.run(1000);
+    EXPECT_EQ(m.cpu().reg(R5), 'Q');
+    EXPECT_GE(m.stats().interruptsTaken, 1u);
+}
+
+TEST(Disk, MmioTransferRoundTrip)
+{
+    RealMachine m;
+    const PhysAddr csr = m.config().diskCsrBase;
+    // Seed a source buffer, write it to block 5, clear, read back.
+    for (int i = 0; i < 512; ++i)
+        m.memory().write8(0x3000 + i, static_cast<Byte>(i * 7));
+
+    CodeBuilder b(0x200);
+    auto go = [&](bool write, Longword block, PhysAddr buf) {
+        b.movl(Op::imm(block), Op::abs(csr + DiskDevice::kBlock));
+        b.movl(Op::lit(1), Op::abs(csr + DiskDevice::kCount));
+        b.movl(Op::imm(buf), Op::abs(csr + DiskDevice::kAddr));
+        b.movl(Op::imm(DiskDevice::kCsrGo |
+                       (write ? DiskDevice::kCsrFuncWrite : 0)),
+               Op::abs(csr + DiskDevice::kCsr));
+    };
+    go(true, 5, 0x3000);  // memory -> disk
+    go(false, 5, 0x3400); // disk -> memory elsewhere
+    b.movl(Op::abs(csr + DiskDevice::kCsr), Op::reg(R4));
+    b.halt();
+    test::runBare(m, b);
+
+    for (int i = 0; i < 512; ++i)
+        ASSERT_EQ(m.memory().read8(0x3400 + i),
+                  static_cast<Byte>(i * 7));
+    EXPECT_TRUE(m.cpu().reg(R4) & DiskDevice::kCsrReady);
+    EXPECT_EQ(m.disk().transfersCompleted(), 2u);
+}
+
+TEST(Disk, CompletionInterrupt)
+{
+    RealMachine m;
+    const PhysAddr csr = m.config().diskCsrBase;
+    CodeBuilder b(0x200);
+    Label isr = b.newLabel();
+    Label spin = b.newLabel();
+    b.clrl(Op::reg(R5));
+    b.movl(Op::lit(2), Op::abs(csr + DiskDevice::kBlock));
+    b.movl(Op::lit(1), Op::abs(csr + DiskDevice::kCount));
+    b.movl(Op::imm(0x3000), Op::abs(csr + DiskDevice::kAddr));
+    b.movl(Op::imm(DiskDevice::kCsrGo | DiskDevice::kCsrIe),
+           Op::abs(csr + DiskDevice::kCsr));
+    b.bind(spin);
+    b.tstl(Op::reg(R5));
+    b.beql(spin);
+    b.halt();
+    b.align(4);
+    b.bind(isr);
+    b.movl(Op::lit(0), Op::abs(csr + DiskDevice::kCsr)); // drop IE
+    b.movl(Op::lit(1), Op::reg(R5));
+    b.rei();
+
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    m.cpu().setScbb(0x1200);
+    m.memory().write32(0x1200 + m.config().diskVector,
+                       b.labelAddress(isr) | 1);
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(0);
+    m.cpu().setReg(SP, 0x1000);
+    m.cpu().setInterruptStackPointer(0x1800);
+    m.run(1000);
+    EXPECT_EQ(m.cpu().reg(R5), 1u);
+}
+
+TEST(Disk, OutOfRangeTransferSetsError)
+{
+    RealMachine m;
+    const PhysAddr csr = m.config().diskCsrBase;
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(1u << 30), Op::abs(csr + DiskDevice::kBlock));
+    b.movl(Op::lit(1), Op::abs(csr + DiskDevice::kCount));
+    b.movl(Op::imm(0x3000), Op::abs(csr + DiskDevice::kAddr));
+    b.movl(Op::imm(DiskDevice::kCsrGo),
+           Op::abs(csr + DiskDevice::kCsr));
+    b.movl(Op::abs(csr + DiskDevice::kCsr), Op::reg(R4));
+    b.halt();
+    test::runBare(m, b);
+    EXPECT_TRUE(m.cpu().reg(R4) & DiskDevice::kCsrError);
+    EXPECT_EQ(m.disk().transfersCompleted(), 0u);
+}
+
+} // namespace
+} // namespace vvax

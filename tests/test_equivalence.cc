@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Popek-Goldberg equivalence property tests (paper Section 2): a
+ * program running in a virtual machine performs as if it were running
+ * on the underlying hardware.
+ *
+ * Randomized programs (seeded, deterministic) run three ways - on a
+ * bare standard VAX, on a bare modified VAX, and inside a virtual
+ * machine - and their full architectural outcome (registers,
+ * condition codes, memory) must be bit-identical.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "tests/harness.h"
+#include "vmm/hypervisor.h"
+
+namespace vvax {
+namespace {
+
+constexpr VirtAddr kDataBase = 0x4000; // scratch page for stores
+constexpr Longword kDataBytes = 1024;
+
+/** Generate a random straight-line integer program. */
+CodeBuilder
+randomProgram(std::uint32_t seed, int length)
+{
+    std::mt19937 rng(seed);
+    CodeBuilder b(0x200);
+    auto reg = [&] {
+        return Op::reg(static_cast<Byte>(rng() % 10)); // r0..r9
+    };
+    auto src = [&]() -> Op {
+        switch (rng() % 3) {
+          case 0: return Op::lit(static_cast<Byte>(rng() % 64));
+          case 1: return Op::imm(rng());
+          default: return reg();
+        }
+    };
+
+    // Seed registers with known values.
+    for (int r = 0; r < 10; ++r)
+        b.movl(Op::imm(rng()), Op::reg(static_cast<Byte>(r)));
+
+    for (int i = 0; i < length; ++i) {
+        switch (rng() % 12) {
+          case 0: b.addl2(src(), reg()); break;
+          case 1: b.subl2(src(), reg()); break;
+          case 2: b.mull2(src(), reg()); break;
+          case 3: {
+            // Guarded divide: force a non-zero divisor register.
+            const Op d = reg();
+            b.bisl2(Op::lit(1), d);
+            b.divl2(d, reg());
+            break;
+          }
+          case 4: b.xorl2(src(), reg()); break;
+          case 5: b.bisl2(src(), reg()); break;
+          case 6: b.bicl2(src(), reg()); break;
+          case 7: b.movl(src(), reg()); break;
+          case 8: b.mcoml(reg(), reg()); break;
+          case 9: {
+            const Longword offset = (rng() % (kDataBytes / 4)) * 4;
+            b.movl(reg(), Op::abs(kDataBase + offset));
+            break;
+          }
+          case 10: {
+            const Longword offset = (rng() % (kDataBytes / 4)) * 4;
+            b.movl(Op::abs(kDataBase + offset), reg());
+            break;
+          }
+          default: {
+            const auto count =
+                static_cast<Byte>((rng() % 31) - 15 + 16); // 1..31
+            b.ashl(Op::lit(count % 31), reg(), reg());
+            break;
+          }
+        }
+    }
+    b.movpsl(Op::reg(R10)); // capture the final condition codes
+    b.halt();
+    return b;
+}
+
+struct Outcome
+{
+    std::array<Longword, 11> regs{};
+    std::vector<Byte> data;
+    Longword psw = 0;
+
+    bool
+    operator==(const Outcome &other) const
+    {
+        return regs == other.regs && data == other.data &&
+               psw == other.psw;
+    }
+};
+
+Outcome
+captureOutcome(Cpu &cpu, PhysicalMemory &mem, PhysAddr data_pa)
+{
+    Outcome o;
+    for (int r = 0; r <= 10; ++r)
+        o.regs[r] = cpu.reg(r);
+    o.data.resize(kDataBytes);
+    mem.readBlock(data_pa, o.data);
+    o.psw = o.regs[10] & Psl::kCcMask; // from the MOVPSL capture
+    return o;
+}
+
+Outcome
+runBare(std::uint32_t seed, int length, MicrocodeLevel level)
+{
+    CodeBuilder b = randomProgram(seed, length);
+    MachineConfig mc;
+    mc.level = level;
+    RealMachine m(mc);
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(31); // no timer interference
+    m.cpu().setReg(SP, 0x3000);
+    m.run(100000);
+    EXPECT_EQ(m.cpu().haltReason(), HaltReason::HaltInstruction);
+    return captureOutcome(m.cpu(), m.memory(), kDataBase);
+}
+
+Outcome
+runVirtual(std::uint32_t seed, int length)
+{
+    CodeBuilder b = randomProgram(seed, length);
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    Hypervisor hv(m);
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+    auto image = b.finish();
+    hv.loadVmImage(vm, b.origin(), image);
+    hv.startVm(vm, b.origin());
+    hv.run(10000000);
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    return captureOutcome(m.cpu(), m.memory(),
+                          vm.vmPhysToReal(kDataBase));
+}
+
+class Equivalence : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(Equivalence, BareStandardVsBareModified)
+{
+    const Outcome std_o =
+        runBare(GetParam(), 200, MicrocodeLevel::Standard);
+    const Outcome mod_o =
+        runBare(GetParam(), 200, MicrocodeLevel::Modified);
+    EXPECT_TRUE(std_o == mod_o)
+        << "the modified VAX must behave as a standard VAX";
+}
+
+TEST_P(Equivalence, BareVsVirtual)
+{
+    const Outcome bare =
+        runBare(GetParam(), 200, MicrocodeLevel::Modified);
+    const Outcome virt = runVirtual(GetParam(), 200);
+    EXPECT_EQ(bare.psw, virt.psw) << "condition codes must match";
+    for (int r = 0; r <= 10; ++r)
+        EXPECT_EQ(bare.regs[r], virt.regs[r]) << "r" << r;
+    EXPECT_EQ(bare.data, virt.data) << "memory must match";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Equivalence,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u, 144u, 233u));
+
+TEST(EquivalenceTimer, VirtualizationSurvivesPreemption)
+{
+    // Run a long program in a VM with an aggressively short scheduler
+    // tick, so it is preempted many times mid-stream; the result must
+    // still match the bare run.
+    const std::uint32_t seed = 4242;
+    const Outcome bare =
+        runBare(seed, 400, MicrocodeLevel::Modified);
+
+    CodeBuilder b = randomProgram(seed, 400);
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    HypervisorConfig hc;
+    hc.tickCycles = 200; // preempt constantly
+    hc.ticksPerQuantum = 1;
+    Hypervisor hv(m, hc);
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+    auto image = b.finish();
+    hv.loadVmImage(vm, b.origin(), image);
+    hv.startVm(vm, b.origin());
+    hv.run(10000000);
+    ASSERT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_GT(vm.stats.vmEntries, 10u) << "must have been preempted";
+
+    const Outcome virt = captureOutcome(m.cpu(), m.memory(),
+                                        vm.vmPhysToReal(kDataBase));
+    for (int r = 0; r <= 10; ++r)
+        EXPECT_EQ(bare.regs[r], virt.regs[r]) << "r" << r;
+    EXPECT_EQ(bare.data, virt.data);
+    EXPECT_EQ(bare.psw, virt.psw);
+}
+
+} // namespace
+} // namespace vvax

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Robustness fuzzing: random byte soup executed as guest code - on
+ * the bare machine and inside a VM - must never escape the simulated
+ * architecture.  Whatever garbage the guest runs, the host process
+ * stays healthy, faults are delivered architecturally, VMs halt in an
+ * orderly way, and the hypervisor machine itself never crashes.
+ *
+ * This is the resource-control property of Section 2 under
+ * adversarial input: "no VM may control system-wide resources."
+ */
+
+#include <cstring>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "tests/harness.h"
+#include "vmm/hypervisor.h"
+
+namespace vvax {
+namespace {
+
+std::vector<Byte>
+randomBytes(std::uint32_t seed, std::size_t n)
+{
+    std::mt19937 rng(seed);
+    std::vector<Byte> out(n);
+    for (Byte &b : out)
+        b = static_cast<Byte>(rng());
+    return out;
+}
+
+class FuzzGuest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(FuzzGuest, RandomBytesOnBareMachineNeverEscape)
+{
+    auto bytes = randomBytes(GetParam(), 2048);
+    RealMachine m;
+    m.loadImage(0x200, bytes);
+    // Give it an SCB full of entries pointing back into the soup, so
+    // faults keep executing garbage - the machine must still behave.
+    m.cpu().setScbb(0x1800);
+    for (Word v = 0; v < kScbSize; v += 4)
+        m.memory().write32(0x1800 + v, 0x200 + (v % 512));
+    m.cpu().setPc(0x200);
+    m.cpu().psl().setIpl(0);
+    m.cpu().setReg(SP, 0x1600);
+    // Must terminate the step budget without crashing the host.
+    const RunState state = m.run(50000);
+    (void)state;
+    SUCCEED();
+}
+
+TEST_P(FuzzGuest, RandomBytesInsideAVmNeverEscape)
+{
+    auto bytes = randomBytes(GetParam() ^ 0xABCD, 2048);
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    Hypervisor hv(m);
+    VmConfig vc;
+    vc.memBytes = 256 * 1024;
+    VirtualMachine &vm = hv.createVm(vc);
+    hv.loadVmImage(vm, 0x200, bytes);
+    // Guest SCB entries also point into the soup.
+    std::vector<Byte> scb(kScbSize);
+    for (Word v = 0; v < kScbSize; v += 4) {
+        const Longword entry = 0x200 + (v % 512);
+        std::memcpy(&scb[v], &entry, 4);
+    }
+    hv.loadVmImage(vm, 0x1800, scb);
+    hv.startVm(vm, 0x200);
+    hv.run(100000);
+
+    // Whatever happened, the VM never wrote outside its own slice of
+    // real memory: the hypervisor's structures are intact.  Verify by
+    // checking the real SCB still holds host-hook entries.
+    for (Word v = 0; v < kScbSize; v += 4) {
+        ASSERT_EQ(m.memory().read32(m.cpu().scbb() + v) & 3, 3u)
+            << "real SCB corrupted at vector " << v;
+    }
+    SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzGuest,
+                         ::testing::Range(1000u, 1024u));
+
+TEST(FuzzGuest, TwoVmsOfGarbageStayIsolated)
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    Hypervisor hv(m);
+    VmConfig vc;
+    vc.memBytes = 128 * 1024;
+    VirtualMachine &a = hv.createVm(vc);
+    VirtualMachine &b = hv.createVm(vc);
+
+    // VM b gets a recognizable pattern; VM a gets hostile soup.
+    std::vector<Byte> pattern(1024, 0x5A);
+    hv.loadVmImage(b, 0x4000, pattern);
+    auto soup = randomBytes(777, 4096);
+    hv.loadVmImage(a, 0x200, soup);
+    hv.startVm(a, 0x200);
+    hv.run(200000);
+
+    // VM a ran (and probably died); VM b's memory is untouched.
+    for (int i = 0; i < 1024; ++i) {
+        ASSERT_EQ(m.memory().read8(b.vmPhysToReal(0x4000 + i)), 0x5A)
+            << "isolation violated at offset " << i;
+    }
+}
+
+} // namespace
+} // namespace vvax

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * MMU unit tests: translation through all three regions, the nested
+ * process-page-table walk, protection enforcement (parameterized over
+ * the full mode matrix), both modify-bit disciplines, the TLB, and
+ * machine checks on non-existent memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/mmu.h"
+#include "metrics/cost_model.h"
+
+namespace vvax {
+namespace {
+
+class MmuTest : public ::testing::Test
+{
+  protected:
+    MmuTest()
+        : memory(1024 * 1024),
+          cost(CostModel::forModel(MachineModel::Vax8800)),
+          mmu(memory, cost, stats)
+    {
+        // SPT at physical 0x10000 covering 256 S pages.
+        mmu.regs().sbr = 0x10000;
+        mmu.regs().slr = 256;
+        mmu.regs().mapen = true;
+    }
+
+    void
+    setSpte(Vpn vpn, Pte pte)
+    {
+        memory.write32(0x10000 + 4 * vpn, pte.raw());
+    }
+
+    PhysicalMemory memory;
+    Stats stats;
+    CostModel cost;
+    Mmu mmu;
+};
+
+TEST_F(MmuTest, MapenOffIsIdentity)
+{
+    mmu.regs().mapen = false;
+    EXPECT_EQ(mmu.translate(0x1234, AccessType::Read, AccessMode::User),
+              0x1234u);
+}
+
+TEST_F(MmuTest, SystemRegionTranslation)
+{
+    setSpte(5, Pte::make(true, Protection::KW, true, 77));
+    const PhysAddr pa = mmu.translate(kSystemBase + 5 * kPageSize + 0x42,
+                                      AccessType::Read,
+                                      AccessMode::Kernel);
+    EXPECT_EQ(pa, 77u * kPageSize + 0x42);
+}
+
+TEST_F(MmuTest, SystemLengthViolation)
+{
+    try {
+        mmu.translate(kSystemBase + 300 * kPageSize, AccessType::Read,
+                      AccessMode::Kernel);
+        FAIL() << "expected ACV";
+    } catch (const GuestFault &f) {
+        EXPECT_EQ(f.vector, ScbVector::AccessViolation);
+        EXPECT_TRUE(f.params[0] & mmparam::kLengthViolation);
+        EXPECT_EQ(f.params[1], kSystemBase + 300 * kPageSize);
+    }
+}
+
+TEST_F(MmuTest, ProcessRegionNestedWalk)
+{
+    // P0 page table lives in S space at S page 2; S page 2 maps to
+    // physical page 100.  P0 page 9 maps to physical page 55.
+    setSpte(2, Pte::make(true, Protection::KW, true, 100));
+    mmu.regs().p0br = kSystemBase + 2 * kPageSize;
+    mmu.regs().p0lr = 16;
+    memory.write32(100 * kPageSize + 4 * 9,
+                   Pte::make(true, Protection::UW, true, 55).raw());
+
+    const PhysAddr pa = mmu.translate(9 * kPageSize + 7,
+                                      AccessType::Read, AccessMode::User);
+    EXPECT_EQ(pa, 55u * kPageSize + 7);
+}
+
+TEST_F(MmuTest, NestedWalkFaultsReportPteReference)
+{
+    // The SPT entry covering the P0 table page is invalid.
+    setSpte(2, Pte::make(false, Protection::KW, false, 100));
+    mmu.regs().p0br = kSystemBase + 2 * kPageSize;
+    mmu.regs().p0lr = 16;
+    try {
+        mmu.translate(9 * kPageSize, AccessType::Write, AccessMode::User);
+        FAIL() << "expected TNV";
+    } catch (const GuestFault &f) {
+        EXPECT_EQ(f.vector, ScbVector::TranslationNotValid);
+        EXPECT_TRUE(f.params[0] & mmparam::kPteReference);
+        EXPECT_TRUE(f.params[0] & mmparam::kWriteIntent);
+    }
+}
+
+TEST_F(MmuTest, P1GrowsDownward)
+{
+    // P1 region: valid VPNs are >= P1LR.  Table biased so that the
+    // PTE for VPN v sits at p1br + 4v.
+    setSpte(3, Pte::make(true, Protection::KW, true, 101));
+    const Vpn first = 0x200000 - 4; // four valid pages at the top
+    mmu.regs().p1br = (kSystemBase + 3 * kPageSize) - 4 * first;
+    mmu.regs().p1lr = first;
+    memory.write32(101 * kPageSize + 4 * 2, // vpn = first + 2
+                   Pte::make(true, Protection::UW, true, 60).raw());
+
+    const VirtAddr va = kP1Base + (first + 2) * kPageSize + 12;
+    EXPECT_EQ(mmu.translate(va, AccessType::Read, AccessMode::User),
+              60u * kPageSize + 12);
+
+    // Below P1LR: length violation.
+    const VirtAddr bad = kP1Base + (first - 1) * kPageSize;
+    EXPECT_THROW(mmu.translate(bad, AccessType::Read, AccessMode::User),
+                 GuestFault);
+}
+
+TEST_F(MmuTest, ReservedRegionFaults)
+{
+    EXPECT_THROW(
+        mmu.translate(0xC0000000, AccessType::Read, AccessMode::Kernel),
+        GuestFault);
+}
+
+TEST_F(MmuTest, ProtectionCheckedEvenWhenInvalid)
+{
+    // Paper Section 3.2.1: hardware tests accessibility via
+    // PTE<PROT> even if PTE<V> is clear, and ACV wins over TNV.
+    setSpte(4, Pte::make(false, Protection::KW, false, 50));
+    try {
+        mmu.translate(kSystemBase + 4 * kPageSize, AccessType::Read,
+                      AccessMode::User);
+        FAIL();
+    } catch (const GuestFault &f) {
+        EXPECT_EQ(f.vector, ScbVector::AccessViolation)
+            << "protection failure outranks the invalid bit";
+    }
+    // Kernel passes protection, then sees the invalid bit.
+    try {
+        mmu.translate(kSystemBase + 4 * kPageSize, AccessType::Read,
+                      AccessMode::Kernel);
+        FAIL();
+    } catch (const GuestFault &f) {
+        EXPECT_EQ(f.vector, ScbVector::TranslationNotValid);
+    }
+}
+
+TEST_F(MmuTest, HardwareModifySetOnStandardVax)
+{
+    mmu.setModifyFaultMode(false);
+    setSpte(6, Pte::make(true, Protection::KW, false, 80));
+    mmu.translate(kSystemBase + 6 * kPageSize, AccessType::Write,
+                  AccessMode::Kernel);
+    const Pte after(memory.read32(0x10000 + 4 * 6));
+    EXPECT_TRUE(after.modify()) << "standard VAX sets PTE<M> itself";
+    EXPECT_EQ(stats.hardwareModifySets, 1u);
+    EXPECT_EQ(stats.modifyFaults, 0u);
+}
+
+TEST_F(MmuTest, ModifyFaultOnModifiedVax)
+{
+    mmu.setModifyFaultMode(true);
+    setSpte(6, Pte::make(true, Protection::KW, false, 80));
+    try {
+        mmu.translate(kSystemBase + 6 * kPageSize, AccessType::Write,
+                      AccessMode::Kernel);
+        FAIL() << "expected modify fault";
+    } catch (const GuestFault &f) {
+        EXPECT_EQ(f.vector, ScbVector::ModifyFault);
+        EXPECT_TRUE(f.params[0] & mmparam::kWriteIntent);
+    }
+    const Pte after(memory.read32(0x10000 + 4 * 6));
+    EXPECT_FALSE(after.modify())
+        << "the modified VAX never sets PTE<M> in hardware";
+    // Software sets M and retries.
+    setSpte(6, Pte::make(true, Protection::KW, true, 80));
+    EXPECT_NO_THROW(mmu.translate(kSystemBase + 6 * kPageSize,
+                                  AccessType::Write,
+                                  AccessMode::Kernel));
+    EXPECT_EQ(stats.modifyFaults, 1u);
+}
+
+TEST_F(MmuTest, ReadDoesNotRequireModify)
+{
+    mmu.setModifyFaultMode(true);
+    setSpte(6, Pte::make(true, Protection::KW, false, 80));
+    EXPECT_NO_THROW(mmu.translate(kSystemBase + 6 * kPageSize,
+                                  AccessType::Read,
+                                  AccessMode::Kernel));
+}
+
+TEST_F(MmuTest, TlbCachesAndInvalidates)
+{
+    setSpte(7, Pte::make(true, Protection::KW, true, 90));
+    const VirtAddr va = kSystemBase + 7 * kPageSize;
+    mmu.translate(va, AccessType::Read, AccessMode::Kernel);
+    const auto misses = stats.tlbMisses;
+    mmu.translate(va, AccessType::Read, AccessMode::Kernel);
+    EXPECT_EQ(stats.tlbMisses, misses) << "second access must hit";
+    EXPECT_GE(stats.tlbHits, 1u);
+
+    // Change the PTE and invalidate: next access re-walks.
+    setSpte(7, Pte::make(true, Protection::KW, true, 91));
+    mmu.tbis(va);
+    EXPECT_EQ(mmu.translate(va, AccessType::Read, AccessMode::Kernel),
+              91u * kPageSize);
+    EXPECT_EQ(stats.tlbMisses, misses + 1);
+}
+
+TEST_F(MmuTest, TlbHitStillEnforcesProtection)
+{
+    setSpte(8, Pte::make(true, Protection::KW, true, 92));
+    const VirtAddr va = kSystemBase + 8 * kPageSize;
+    mmu.translate(va, AccessType::Read, AccessMode::Kernel); // fill
+    EXPECT_THROW(
+        mmu.translate(va, AccessType::Read, AccessMode::User),
+        GuestFault);
+}
+
+TEST_F(MmuTest, NonExistentMemoryIsMachineCheck)
+{
+    setSpte(9, Pte::make(true, Protection::KW, true, 0x100000));
+    try {
+        mmu.translate(kSystemBase + 9 * kPageSize, AccessType::Read,
+                      AccessMode::Kernel);
+        FAIL();
+    } catch (const GuestFault &f) {
+        EXPECT_EQ(f.vector, ScbVector::MachineCheck);
+    }
+}
+
+TEST_F(MmuTest, ProbeReportsWithoutFaulting)
+{
+    setSpte(10, Pte::make(true, Protection::URKW, false, 93));
+    const VirtAddr va = kSystemBase + 10 * kPageSize;
+
+    auto r = mmu.probe(va, AccessType::Read, AccessMode::User);
+    EXPECT_EQ(r.status, MmStatus::Ok);
+    r = mmu.probe(va, AccessType::Write, AccessMode::User);
+    EXPECT_EQ(r.status, MmStatus::AccessViolation);
+    r = mmu.probe(va, AccessType::Write, AccessMode::Kernel);
+    EXPECT_EQ(r.status, MmStatus::ModifyClear);
+
+    setSpte(10, Pte::make(false, Protection::URKW, false, 93));
+    mmu.tbis(va);
+    r = mmu.probe(va, AccessType::Read, AccessMode::User);
+    EXPECT_EQ(r.status, MmStatus::TranslationNotValid);
+}
+
+TEST_F(MmuTest, UnalignedAccessAcrossPageBoundary)
+{
+    setSpte(11, Pte::make(true, Protection::KW, true, 94));
+    setSpte(12, Pte::make(true, Protection::KW, true, 95));
+    const VirtAddr va = kSystemBase + 12 * kPageSize - 2;
+    mmu.writeV32(va, 0xAABBCCDD, AccessMode::Kernel);
+    EXPECT_EQ(mmu.readV32(va, AccessMode::Kernel), 0xAABBCCDDu);
+    EXPECT_EQ(memory.read16(94 * kPageSize + kPageSize - 2), 0xCCDDu);
+    EXPECT_EQ(memory.read16(95 * kPageSize), 0xAABBu);
+}
+
+// Parameterized protection sweep: every code, every mode, through
+// the real translation path.
+class MmuProtectionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(MmuProtectionSweep, TranslateMatchesProtectionTable)
+{
+    const auto prot = static_cast<Protection>(std::get<0>(GetParam()));
+    const auto mode = static_cast<AccessMode>(std::get<1>(GetParam()));
+
+    PhysicalMemory memory(1024 * 1024);
+    Stats stats;
+    CostModel cost = CostModel::forModel(MachineModel::Vax8800);
+    Mmu mmu(memory, cost, stats);
+    mmu.regs().sbr = 0x10000;
+    mmu.regs().slr = 16;
+    mmu.regs().mapen = true;
+    memory.write32(0x10000, Pte::make(true, prot, true, 3).raw());
+
+    for (AccessType type : {AccessType::Read, AccessType::Write}) {
+        const bool allowed = protectionPermits(prot, mode, type);
+        if (allowed) {
+            EXPECT_NO_THROW(mmu.translate(kSystemBase, type, mode));
+        } else {
+            EXPECT_THROW(mmu.translate(kSystemBase, type, mode),
+                         GuestFault);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodesAllModes, MmuProtectionSweep,
+    ::testing::Combine(::testing::Range(0, 16), ::testing::Range(0, 4)));
+
+} // namespace
+} // namespace vvax

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Metrics tests: machine-model presets, cycle accounting categories,
+ * and the statistics report.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "metrics/cost_model.h"
+#include "metrics/stats.h"
+
+namespace vvax {
+namespace {
+
+TEST(CostModel, PresetsDifferWhereThePaperSaysTheyDo)
+{
+    const CostModel m730 = CostModel::forModel(MachineModel::Vax730);
+    const CostModel m785 = CostModel::forModel(MachineModel::Vax785);
+    const CostModel m8800 = CostModel::forModel(MachineModel::Vax8800);
+
+    // Section 7.3: only the 730 prototype had microcode space for the
+    // VM IPL assist.
+    EXPECT_TRUE(m730.vmIplMicrocodeAssist);
+    EXPECT_FALSE(m785.vmIplMicrocodeAssist);
+    EXPECT_FALSE(m8800.vmIplMicrocodeAssist);
+
+    // The 8800's bare MTPR-to-IPL path is the most optimized.
+    EXPECT_LT(m8800.mtprIplBare, m785.mtprIplBare);
+    EXPECT_LT(m785.mtprIplBare, m730.mtprIplBare);
+
+    // Slower machines scale instruction costs up.
+    EXPECT_GT(m730.instructionScalePct, m785.instructionScalePct);
+    EXPECT_GT(m785.instructionScalePct, m8800.instructionScalePct);
+
+    // The 8800 MTPR-to-IPL emulation ratio must stay in the paper's
+    // 10-12x band (the calibration contract; see DESIGN.md Section 6).
+    const double emulated =
+        static_cast<double>(m8800.exceptionDispatch +
+                            m8800.vmmDispatch +
+                            m8800.vmmMtprIplEmulate + m8800.vmmResume);
+    const double ratio =
+        emulated / static_cast<double>(m8800.mtprIplBare);
+    EXPECT_GE(ratio, 10.0);
+    EXPECT_LE(ratio, 12.0);
+}
+
+TEST(Stats, AccumulateAndReport)
+{
+    Stats s;
+    s.instructions = 1234;
+    s.addCycles(CycleCategory::GuestExec, 100);
+    s.addCycles(CycleCategory::VmmEmulation, 50);
+    s.addCycles(CycleCategory::Idle, 7);
+    s.dispatches[(0x58 / 4)] = 3;
+    s.tlbHits = 10;
+    s.tlbMisses = 2;
+
+    EXPECT_EQ(s.totalCycles(), 157u);
+    EXPECT_EQ(s.busyCycles(), 150u);
+    EXPECT_EQ(s.dispatchCount(0x58), 3u);
+
+    std::ostringstream os;
+    s.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("instructions: 1234"), std::string::npos);
+    EXPECT_NE(text.find("guest-exec"), std::string::npos);
+    EXPECT_NE(text.find("vmm-emulation"), std::string::npos);
+    EXPECT_NE(text.find("VM emulation"), std::string::npos);
+    EXPECT_NE(text.find("10 hits, 2 misses"), std::string::npos);
+
+    s.clear();
+    EXPECT_EQ(s.totalCycles(), 0u);
+    EXPECT_EQ(s.instructions, 0u);
+}
+
+TEST(Stats, CategoryNamesAreDistinct)
+{
+    for (int a = 0; a < kNumCycleCategories; ++a) {
+        for (int b = a + 1; b < kNumCycleCategories; ++b) {
+            EXPECT_NE(cycleCategoryName(static_cast<CycleCategory>(a)),
+                      cycleCategoryName(static_cast<CycleCategory>(b)));
+        }
+    }
+}
+
+} // namespace
+} // namespace vvax

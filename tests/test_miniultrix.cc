@@ -1,0 +1,102 @@
+/**
+ * @file
+ * MiniUltrix integration: the two-mode guest (the paper's ULTRIX-32
+ * analogue) boots bare and virtualized; unlike MiniVMS it never uses
+ * the executive or supervisor rings, so a VM running it exercises
+ * only the kernel->executive half of ring compression.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guest/miniultrix.h"
+#include "tests/harness.h"
+#include "vmm/hypervisor.h"
+
+namespace vvax {
+namespace {
+
+TEST(MiniUltrix, BootsOnBareMachines)
+{
+    for (MicrocodeLevel level :
+         {MicrocodeLevel::Standard, MicrocodeLevel::Modified}) {
+        MiniUltrixConfig cfg;
+        MachineConfig mc;
+        mc.ramBytes = cfg.memBytes;
+        mc.level = level;
+        RealMachine m(mc);
+        MiniUltrixImage img = buildMiniUltrix(cfg);
+        m.loadImage(0, img.image);
+        m.cpu().setPc(img.entry);
+        m.cpu().psl().setIpl(31);
+        m.run(20000000);
+        EXPECT_EQ(m.memory().read32(img.resultBase),
+                  MiniUltrixImage::kResultMagic)
+            << "level " << static_cast<int>(level);
+        // Both processes spoke: tags 'a' and 'b'.
+        EXPECT_NE(m.console().output().find('a'), std::string::npos);
+        EXPECT_NE(m.console().output().find('b'), std::string::npos);
+    }
+}
+
+TEST(MiniUltrix, RunsInsideAVm)
+{
+    MiniUltrixConfig cfg;
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    Hypervisor hv(m);
+    VmConfig vc;
+    vc.memBytes = cfg.memBytes;
+    VirtualMachine &vm = hv.createVm(vc);
+    MiniUltrixImage img = buildMiniUltrix(cfg);
+    hv.loadVmImage(vm, 0, img.image);
+    hv.startVm(vm, img.entry);
+    hv.run(20000000);
+
+    EXPECT_EQ(m.memory().read32(vm.vmPhysToReal(img.resultBase)),
+              MiniUltrixImage::kResultMagic);
+    EXPECT_NE(vm.console.output().find('a'), std::string::npos);
+    EXPECT_NE(vm.console.output().find('b'), std::string::npos);
+    // Two-mode guest: CHMK/REI and context switches happen, but no
+    // executive- or supervisor-mode services exist.
+    EXPECT_GT(vm.stats.chmEmulations, 0u);
+    EXPECT_GT(vm.stats.ldpctxEmulations, 0u);
+}
+
+TEST(MiniUltrix, BareAndVirtualAgree)
+{
+    MiniUltrixConfig cfg;
+    // Bare run.
+    MachineConfig mc;
+    mc.ramBytes = cfg.memBytes;
+    mc.level = MicrocodeLevel::Standard;
+    RealMachine bare(mc);
+    MiniUltrixImage img = buildMiniUltrix(cfg);
+    bare.loadImage(0, img.image);
+    bare.cpu().setPc(img.entry);
+    bare.cpu().psl().setIpl(31);
+    bare.run(20000000);
+
+    // Virtual run.
+    MachineConfig vmc;
+    vmc.ramBytes = 16 * 1024 * 1024;
+    vmc.level = MicrocodeLevel::Modified;
+    RealMachine real(vmc);
+    Hypervisor hv(real);
+    VmConfig vc;
+    vc.memBytes = cfg.memBytes;
+    VirtualMachine &vm = hv.createVm(vc);
+    MiniUltrixImage img2 = buildMiniUltrix(cfg);
+    hv.loadVmImage(vm, 0, img2.image);
+    hv.startVm(vm, img2.entry);
+    hv.run(20000000);
+
+    EXPECT_EQ(bare.memory().read32(img.resultBase + 4),
+              real.memory().read32(vm.vmPhysToReal(img.resultBase + 4)))
+        << "syscall counts must match";
+    EXPECT_EQ(bare.console().output(), vm.console.output());
+}
+
+} // namespace
+} // namespace vvax

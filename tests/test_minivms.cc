@@ -1,0 +1,198 @@
+/**
+ * @file
+ * MiniVMS integration tests: the same guest operating system image
+ * boots and completes its workload on a bare standard VAX, on a bare
+ * modified VAX (servicing modify faults itself, Section 4.4.2), and
+ * inside a virtual machine - the paper's equivalence property at the
+ * whole-OS level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guest/minivms.h"
+#include "tests/harness.h"
+#include "vmm/hypervisor.h"
+
+namespace vvax {
+namespace {
+
+struct BareResult
+{
+    Longword magic = 0;
+    Longword ticks = 0;
+    Longword completed = 0;
+    Longword syscalls = 0;
+    std::string console;
+    HaltReason halt = HaltReason::None;
+};
+
+BareResult
+runBareMiniVms(MicrocodeLevel level, const MiniVmsConfig &cfg,
+               std::uint64_t budget = 30000000)
+{
+    MachineConfig mc;
+    mc.ramBytes = cfg.memBytes;
+    mc.level = level;
+    RealMachine m(mc);
+
+    MiniVmsConfig guest_cfg = cfg;
+    guest_cfg.diskCsrPfn = mc.diskCsrBase >> kPageShift;
+    MiniVmsImage img = buildMiniVms(guest_cfg);
+
+    m.loadImage(0, img.image);
+    m.cpu().setPc(img.entry);
+    m.cpu().psl().setIpl(31);
+    m.run(budget);
+
+    BareResult r;
+    r.magic = m.memory().read32(img.resultBase);
+    r.ticks = m.memory().read32(img.resultBase + 4);
+    r.completed = m.memory().read32(img.resultBase + 8);
+    r.syscalls = m.memory().read32(img.resultBase + 12);
+    r.console = m.console().output();
+    r.halt = m.cpu().haltReason();
+    return r;
+}
+
+struct VmResult
+{
+    Longword magic = 0;
+    Longword completed = 0;
+    Longword syscalls = 0;
+    std::string console;
+    VmHaltReason halt = VmHaltReason::None;
+    VmStats stats;
+};
+
+VmResult
+runVmMiniVms(const MiniVmsConfig &cfg, std::uint64_t budget = 30000000)
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    Hypervisor hv(m);
+
+    VmConfig vc;
+    vc.memBytes = cfg.memBytes;
+    vc.diskBlocks = 256;
+    VirtualMachine &vm = hv.createVm(vc);
+
+    MiniVmsImage img = buildMiniVms(cfg);
+    hv.loadVmImage(vm, 0, img.image);
+    hv.startVm(vm, img.entry);
+    hv.run(budget);
+
+    VmResult r;
+    r.magic = m.memory().read32(vm.vmPhysToReal(img.resultBase));
+    r.completed = m.memory().read32(vm.vmPhysToReal(img.resultBase + 8));
+    r.syscalls = m.memory().read32(vm.vmPhysToReal(img.resultBase + 12));
+    r.console = vm.console.output();
+    r.halt = vm.haltReason;
+    r.stats = vm.stats;
+    return r;
+}
+
+MiniVmsConfig
+smallConfig()
+{
+    MiniVmsConfig cfg;
+    cfg.numProcesses = 3;
+    cfg.workloads = {Workload::Compute, Workload::Edit,
+                     Workload::Transaction};
+    cfg.iterations = 8;
+    cfg.dataPagesPerProcess = 8;
+    return cfg;
+}
+
+TEST(MiniVms, BootsOnBareStandardVax)
+{
+    const BareResult r =
+        runBareMiniVms(MicrocodeLevel::Standard, smallConfig());
+    EXPECT_EQ(r.halt, HaltReason::HaltInstruction);
+    EXPECT_EQ(r.magic, MiniVmsImage::kResultMagic);
+    EXPECT_EQ(r.completed, 3u);
+    EXPECT_NE(r.console.find("MiniVMS done"), std::string::npos);
+    EXPECT_NE(r.console.find("~edit"), std::string::npos);
+    EXPECT_GT(r.syscalls, 8u);
+    EXPECT_GT(r.ticks, 0u) << "the scheduler clock must have run";
+}
+
+TEST(MiniVms, BootsOnBareModifiedVax)
+{
+    // Identical behaviour, but the guest services its own modify
+    // faults (the modified VAX removed the hardware M-bit write).
+    const BareResult r =
+        runBareMiniVms(MicrocodeLevel::Modified, smallConfig());
+    EXPECT_EQ(r.halt, HaltReason::HaltInstruction);
+    EXPECT_EQ(r.magic, MiniVmsImage::kResultMagic);
+    EXPECT_EQ(r.completed, 3u);
+    EXPECT_NE(r.console.find("MiniVMS done"), std::string::npos);
+}
+
+TEST(MiniVms, StandardAndModifiedVaxAgree)
+{
+    const BareResult std_r =
+        runBareMiniVms(MicrocodeLevel::Standard, smallConfig());
+    const BareResult mod_r =
+        runBareMiniVms(MicrocodeLevel::Modified, smallConfig());
+    // The modified VAX must still look like a normal VAX to an
+    // unmodified operating system (paper goal 2).
+    EXPECT_EQ(std_r.magic, mod_r.magic);
+    EXPECT_EQ(std_r.completed, mod_r.completed);
+    EXPECT_EQ(std_r.syscalls, mod_r.syscalls);
+    EXPECT_EQ(std_r.console, mod_r.console);
+}
+
+TEST(MiniVms, BootsInsideAVirtualMachine)
+{
+    const VmResult r = runVmMiniVms(smallConfig());
+    EXPECT_EQ(r.halt, VmHaltReason::HaltInstruction);
+    EXPECT_EQ(r.magic, MiniVmsImage::kResultMagic);
+    EXPECT_EQ(r.completed, 3u);
+    EXPECT_NE(r.console.find("MiniVMS done"), std::string::npos);
+
+    // The virtualization machinery was genuinely exercised.
+    EXPECT_GT(r.stats.chmEmulations, 0u);
+    EXPECT_GT(r.stats.reiEmulations, 0u);
+    EXPECT_GT(r.stats.ldpctxEmulations, 0u);
+    EXPECT_GT(r.stats.shadowFills, 0u);
+    EXPECT_GT(r.stats.mtprIplEmulations, 0u);
+    EXPECT_GT(r.stats.modifyFaults, 0u);
+    EXPECT_GT(r.stats.virtualInterrupts, 0u);
+    EXPECT_GT(r.stats.kcallIos, 0u);
+}
+
+TEST(MiniVms, VirtualAndBareProduceTheSameResults)
+{
+    // Popek-Goldberg equivalence at the operating system level: the
+    // guest's own observable results match the bare-machine run.
+    const BareResult bare =
+        runBareMiniVms(MicrocodeLevel::Standard, smallConfig());
+    const VmResult virt = runVmMiniVms(smallConfig());
+    EXPECT_EQ(bare.magic, virt.magic);
+    EXPECT_EQ(bare.completed, virt.completed);
+    EXPECT_EQ(bare.syscalls, virt.syscalls);
+    EXPECT_EQ(bare.console, virt.console);
+}
+
+TEST(MiniVms, IdleWorkloadUsesWaitOnlyWhenVirtual)
+{
+    MiniVmsConfig cfg;
+    cfg.numProcesses = 2;
+    cfg.workloads = {Workload::Idle, Workload::Compute};
+    cfg.iterations = 4;
+    cfg.dataPagesPerProcess = 4;
+
+    const VmResult virt = runVmMiniVms(cfg);
+    EXPECT_EQ(virt.magic, MiniVmsImage::kResultMagic);
+    EXPECT_GT(virt.stats.waits, 0u)
+        << "the idle handshake must reach the VMM (Section 5 WAIT)";
+
+    const BareResult bare =
+        runBareMiniVms(MicrocodeLevel::Standard, cfg);
+    EXPECT_EQ(bare.magic, MiniVmsImage::kResultMagic);
+}
+
+} // namespace
+} // namespace vvax

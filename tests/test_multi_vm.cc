@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Consolidation tests (paper Section 1: the security kernel ran VMS
+ * and ULTRIX side by side): several complete guest operating systems
+ * in concurrent virtual machines on one real VAX, with verified
+ * completion, isolation and fair scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guest/miniultrix.h"
+#include "guest/minivms.h"
+#include "tests/harness.h"
+#include "vmm/hypervisor.h"
+
+namespace vvax {
+namespace {
+
+TEST(MultiVm, TwoMiniVmsInstancesRunConcurrently)
+{
+    MachineConfig mc;
+    mc.ramBytes = 48 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    HypervisorConfig hc;
+    hc.tickCycles = 5000; // short quanta: force real interleaving
+    hc.ticksPerQuantum = 2;
+    Hypervisor hv(m, hc);
+
+    MiniVmsConfig cfg_a;
+    cfg_a.numProcesses = 2;
+    cfg_a.workloads = {Workload::Edit, Workload::Compute};
+    cfg_a.iterations = 10;
+    cfg_a.dataPagesPerProcess = 8;
+
+    MiniVmsConfig cfg_b;
+    cfg_b.numProcesses = 3;
+    cfg_b.workloads = {Workload::Transaction, Workload::PageStress,
+                       Workload::Compute};
+    cfg_b.iterations = 8;
+    cfg_b.dataPagesPerProcess = 8;
+
+    VmConfig vc;
+    vc.memBytes = cfg_a.memBytes;
+    vc.name = "vms-a";
+    VirtualMachine &a = hv.createVm(vc);
+    vc.name = "vms-b";
+    VirtualMachine &b = hv.createVm(vc);
+
+    MiniVmsImage img_a = buildMiniVms(cfg_a);
+    MiniVmsImage img_b = buildMiniVms(cfg_b);
+    hv.loadVmImage(a, 0, img_a.image);
+    hv.loadVmImage(b, 0, img_b.image);
+    hv.startVm(a, img_a.entry);
+    hv.startVm(b, img_b.entry);
+    hv.run(400000000);
+
+    EXPECT_EQ(m.memory().read32(a.vmPhysToReal(img_a.resultBase)),
+              MiniVmsImage::kResultMagic);
+    EXPECT_EQ(m.memory().read32(b.vmPhysToReal(img_b.resultBase)),
+              MiniVmsImage::kResultMagic);
+    // Both were genuinely time-sliced.
+    EXPECT_GT(a.stats.vmEntries, 3u);
+    EXPECT_GT(b.stats.vmEntries, 3u);
+    // Consoles are private.
+    EXPECT_NE(a.console.output().find("MiniVMS done"),
+              std::string::npos);
+    EXPECT_NE(b.console.output().find("MiniVMS done"),
+              std::string::npos);
+    EXPECT_NE(a.console.output(), b.console.output())
+        << "different workloads produce different transcripts";
+}
+
+TEST(MultiVm, MiniVmsAndMiniUltrixSideBySide)
+{
+    // The paper's actual configuration: a VMS-like and an ULTRIX-like
+    // system on the same kernel.
+    MachineConfig mc;
+    mc.ramBytes = 48 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    HypervisorConfig hc;
+    hc.tickCycles = 5000;
+    hc.ticksPerQuantum = 2;
+    Hypervisor hv(m, hc);
+
+    MiniVmsConfig vms_cfg;
+    vms_cfg.numProcesses = 2;
+    vms_cfg.workloads = {Workload::Edit, Workload::Transaction};
+    vms_cfg.iterations = 8;
+    vms_cfg.dataPagesPerProcess = 8;
+    MiniUltrixConfig ux_cfg;
+
+    VmConfig vc;
+    vc.memBytes = vms_cfg.memBytes;
+    vc.name = "minivms";
+    VirtualMachine &vms = hv.createVm(vc);
+    vc.memBytes = ux_cfg.memBytes;
+    vc.name = "miniultrix";
+    VirtualMachine &ux = hv.createVm(vc);
+
+    MiniVmsImage vi = buildMiniVms(vms_cfg);
+    MiniUltrixImage ui = buildMiniUltrix(ux_cfg);
+    hv.loadVmImage(vms, 0, vi.image);
+    hv.loadVmImage(ux, 0, ui.image);
+    hv.startVm(vms, vi.entry);
+    hv.startVm(ux, ui.entry);
+    hv.run(400000000);
+
+    EXPECT_EQ(m.memory().read32(vms.vmPhysToReal(vi.resultBase)),
+              MiniVmsImage::kResultMagic);
+    EXPECT_EQ(m.memory().read32(ux.vmPhysToReal(ui.resultBase)),
+              MiniUltrixImage::kResultMagic);
+    // Each guest's own transcript, on its own virtual console.
+    EXPECT_NE(vms.console.output().find("MiniVMS done"),
+              std::string::npos);
+    EXPECT_NE(ux.console.output().find("u!"), std::string::npos);
+}
+
+TEST(MultiVm, AHaltedVmDoesNotStopTheOthers)
+{
+    MachineConfig mc;
+    mc.ramBytes = 32 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    Hypervisor hv(m);
+
+    // VM 1: touches non-existent memory immediately (halts).
+    CodeBuilder bad(0x200);
+    bad.movl(Op::abs(0x00F00000), Op::reg(R0));
+    bad.halt();
+    // VM 2: a full MiniUltrix that must still complete.
+    MiniUltrixConfig ux_cfg;
+
+    VmConfig vc;
+    vc.memBytes = 256 * 1024;
+    VirtualMachine &victim = hv.createVm(vc);
+    vc.memBytes = ux_cfg.memBytes;
+    VirtualMachine &survivor = hv.createVm(vc);
+
+    auto bad_img = bad.finish();
+    hv.loadVmImage(victim, 0x200, bad_img);
+    MiniUltrixImage ui = buildMiniUltrix(ux_cfg);
+    hv.loadVmImage(survivor, 0, ui.image);
+    hv.startVm(victim, 0x200);
+    hv.startVm(survivor, ui.entry);
+    hv.run(400000000);
+
+    EXPECT_EQ(victim.haltReason, VmHaltReason::NonExistentMemory);
+    EXPECT_EQ(m.memory().read32(survivor.vmPhysToReal(ui.resultBase)),
+              MiniUltrixImage::kResultMagic)
+        << "the survivor must run to completion";
+}
+
+} // namespace
+} // namespace vvax

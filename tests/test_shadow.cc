@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Shadow page table tests (paper Sections 4.3.1, 4.4.2, 7.2):
+ * on-demand fill behaviour, the shadow-consistency invariant (every
+ * valid shadow PTE is the compressed translation of the VM's PTE),
+ * modify-bit write-back into the VM's page tables, the multi-process
+ * shadow table cache, and the prefill-group ablation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guest/minivms.h"
+#include "tests/harness.h"
+#include "vmm/hypervisor.h"
+#include "vmm/ring_compression.h"
+
+namespace vvax {
+namespace {
+
+MiniVmsConfig
+guestConfig(int procs, Workload w, Longword iterations)
+{
+    MiniVmsConfig cfg;
+    cfg.numProcesses = procs;
+    cfg.workloads = {w};
+    cfg.iterations = iterations;
+    cfg.dataPagesPerProcess = 16;
+    return cfg;
+}
+
+struct VmRun
+{
+    MachineConfig mc;
+    RealMachine m;
+    Hypervisor hv;
+    VirtualMachine *vm;
+    MiniVmsImage img;
+
+    VmRun(const MiniVmsConfig &cfg, const HypervisorConfig &hc)
+        : mc{.ramBytes = 32 * 1024 * 1024,
+             .level = MicrocodeLevel::Modified},
+          m(mc), hv(m, hc)
+    {
+        VmConfig vc;
+        vc.memBytes = cfg.memBytes;
+        vm = &hv.createVm(vc);
+        img = buildMiniVms(cfg);
+        hv.loadVmImage(*vm, 0, img.image);
+        hv.startVm(*vm, img.entry);
+    }
+
+    void
+    run()
+    {
+        hv.run(60000000);
+        ASSERT_EQ(m.memory().read32(vm->vmPhysToReal(img.resultBase)),
+                  MiniVmsImage::kResultMagic)
+            << "guest must complete";
+    }
+};
+
+TEST(Shadow, SecondTouchDoesNotRefill)
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    Hypervisor hv(m);
+
+    CodeBuilder b(0x200);
+    b.movl(Op::abs(0x900), Op::reg(R0));
+    b.movl(Op::abs(0x900), Op::reg(R1));
+    b.movl(Op::abs(0x900), Op::reg(R2));
+    b.halt();
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+    auto image = b.finish();
+    hv.loadVmImage(vm, 0x200, image);
+    hv.startVm(vm, 0x200);
+    hv.run(100000);
+
+    // One fill for the code page, one for the data page.
+    EXPECT_EQ(vm.stats.shadowFills, 2u)
+        << "repeated touches must be satisfied by the filled shadow";
+}
+
+TEST(Shadow, ConsistencyInvariantAfterFullOsRun)
+{
+    // After a complete MiniVMS run, every *valid* shadow PTE in the
+    // VM's S-space shadow must be the exact compressed image of the
+    // VM's own PTE: realPFN = base + vmPFN, prot = compress(vmProt),
+    // and shadow<M> implies vm<M>.
+    VmRun r(guestConfig(3, Workload::Transaction, 6),
+            HypervisorConfig{});
+    r.run();
+
+    VirtualMachine &vm = *r.vm;
+    PhysicalMemory &mem = r.m.memory();
+    Longword checked = 0;
+    for (Longword vpn = 0; vpn < vm.vSlr; ++vpn) {
+        const Pte shadow(mem.read32(vm.shadowSptPa + 4 * vpn));
+        if (!shadow.valid())
+            continue;
+        const Pte vm_pte(
+            mem.read32(vm.vmPhysToReal(vm.vSbr + 4 * vpn)));
+        ASSERT_TRUE(vm_pte.valid()) << "vpn " << vpn;
+        EXPECT_EQ(shadow.pfn(), vm.basePfn + vm_pte.pfn())
+            << "vpn " << vpn;
+        EXPECT_EQ(shadow.protection(),
+                  compressProtection(vm_pte.protection()))
+            << "vpn " << vpn;
+        if (shadow.modify()) {
+            EXPECT_TRUE(vm_pte.modify()) << "vpn " << vpn;
+        }
+        checked++;
+    }
+    EXPECT_GE(checked, 5u) << "the run must have filled S shadows";
+}
+
+TEST(Shadow, ModifyFaultSetsTheVmsOwnPte)
+{
+    // Section 4.4.2: when the VMM handles a modify fault it sets M in
+    // the shadow PTE *and* in the VM's page table, so the VM's tables
+    // accurately reflect modified pages.
+    VmRun r(guestConfig(2, Workload::PageStress, 4),
+            HypervisorConfig{});
+    r.run();
+
+    VirtualMachine &vm = *r.vm;
+    EXPECT_GT(vm.stats.modifyFaults, 0u);
+
+    // Scan the VM's S-space PTEs: every shadow M bit set must be
+    // mirrored (checked above); additionally at least one of the
+    // guest's own user-data PTEs (M=0 in the static image) must now
+    // have M=1 - check via the shadow S invariant over process pages
+    // using the modify fault count.
+    PhysicalMemory &mem = r.m.memory();
+    Longword m_set = 0;
+    for (Longword vpn = 0; vpn < vm.vSlr; ++vpn) {
+        const Pte vm_pte(
+            mem.read32(vm.vmPhysToReal(vm.vSbr + 4 * vpn)));
+        if (vm_pte.valid() && vm_pte.modify())
+            m_set++;
+    }
+    EXPECT_GT(m_set, 0u);
+}
+
+TEST(Shadow, CacheReducesRefillsAcrossContextSwitches)
+{
+    // Section 7.2: preserving shadow process tables across context
+    // switches removes most of the refill faults.
+    MiniVmsConfig cfg = guestConfig(4, Workload::PageStress, 150);
+    cfg.quantumCycles = 3000; // force many context switches
+
+    HypervisorConfig with_cache;
+    with_cache.shadowTableCache = true;
+    with_cache.shadowSlotsPerVm = 8;
+    VmRun cached(cfg, with_cache);
+    cached.run();
+
+    HypervisorConfig without;
+    without.shadowTableCache = false;
+    VmRun flushed(cfg, without);
+    flushed.run();
+
+    const auto &cs = cached.vm->stats;
+    const auto &fs = flushed.vm->stats;
+    EXPECT_GT(cs.contextSwitches, 2u);
+    EXPECT_GT(fs.shadowFills, cs.shadowFills)
+        << "without the cache every switch refaults the working set";
+    EXPECT_GT(cs.shadowCacheHits, 0u);
+    EXPECT_EQ(fs.shadowCacheHits, 0u);
+    // The reduction should be substantial (the paper saw ~80%).
+    EXPECT_LT(cs.shadowFills * 2, fs.shadowFills)
+        << "expected at least a 2x reduction in shadow fills";
+}
+
+TEST(Shadow, PrefillGroupFillsNeighboursUpFront)
+{
+    MiniVmsConfig cfg = guestConfig(2, Workload::PageStress, 6);
+
+    HypervisorConfig on_demand;
+    on_demand.prefillGroup = 1;
+    VmRun base(cfg, on_demand);
+    base.run();
+
+    HypervisorConfig grouped;
+    grouped.prefillGroup = 8;
+    VmRun pre(cfg, grouped);
+    pre.run();
+
+    // Prefill services fewer faults but processes at least as many
+    // PTEs (the Section 4.3.1 trade-off: "the benefit of avoiding
+    // faults was overshadowed by the cost of processing the PTEs").
+    EXPECT_LT(pre.vm->stats.shadowFaults, base.vm->stats.shadowFaults);
+    EXPECT_GE(pre.vm->stats.shadowFills, base.vm->stats.shadowFills);
+}
+
+TEST(Shadow, VmHaltsWhenPageTablePointsOutsideItsMemory)
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    Hypervisor hv(m);
+
+    // A guest whose SPT entry names a PFN beyond its memory.
+    CodeBuilder b(0x200);
+    // Identity SPT (128 pages, UW) at 0x8000, then poison S page 9.
+    Label fill = b.newLabel();
+    b.movl(Op::imm(0x8000), Op::reg(R0));
+    b.clrl(Op::reg(R1));
+    b.bind(fill);
+    b.movl(Op::imm(Pte::make(true, Protection::UW, true, 0).raw()),
+           Op::reg(R2));
+    b.bisl2(Op::reg(R1), Op::reg(R2));
+    b.movl(Op::reg(R2), Op::deferred(R0));
+    b.addl2(Op::lit(4), Op::reg(R0));
+    b.aoblss(Op::imm(128), Op::reg(R1), fill);
+    b.movl(Op::imm(Pte::make(true, Protection::UW, true, 0x5000).raw()),
+           Op::abs(0x8000 + 4 * 9)); // S page 9 -> bogus frame
+    b.mtpr(Op::imm(0x8000), Ipr::SBR);
+    b.mtpr(Op::imm(128), Ipr::SLR);
+    b.mtpr(Op::imm(kSystemBase + 0x8000), Ipr::P0BR);
+    b.mtpr(Op::imm(128), Ipr::P0LR);
+    b.mtpr(Op::imm(0x200000), Ipr::P1LR);
+    b.mtpr(Op::lit(1), Ipr::MAPEN);
+    b.movl(Op::abs(kSystemBase + 9 * 512), Op::reg(R0)); // bogus frame
+    b.halt();
+
+    VmConfig vc;
+    vc.memBytes = 256 * 1024;
+    VirtualMachine &vm = hv.createVm(vc);
+    auto image = b.finish();
+    hv.loadVmImage(vm, 0x200, image);
+    hv.startVm(vm, 0x200);
+    hv.run(100000);
+    EXPECT_EQ(vm.haltReason, VmHaltReason::NonExistentMemory);
+}
+
+TEST(Shadow, GuestTbisInvalidatesShadowEntry)
+{
+    // The shadow tables are architecturally a translation buffer:
+    // after the guest changes a valid PTE and issues TBIS, the next
+    // access must see the new mapping.
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    Hypervisor hv(m);
+
+    CodeBuilder b(0x200);
+    // Two data frames with different markers; S page 9 maps frame 16
+    // first, then is switched to frame 17.
+    b.movl(Op::imm(0x11111111), Op::abs(16 * 512));
+    b.movl(Op::imm(0x22222222), Op::abs(17 * 512));
+    // Identity SPT (128 pages) at 0x8000, then remap S page 9.
+    Label fill = b.newLabel();
+    b.movl(Op::imm(0x8000), Op::reg(R0));
+    b.clrl(Op::reg(R1));
+    b.bind(fill);
+    b.movl(Op::imm(Pte::make(true, Protection::UW, true, 0).raw()),
+           Op::reg(R2));
+    b.bisl2(Op::reg(R1), Op::reg(R2));
+    b.movl(Op::reg(R2), Op::deferred(R0));
+    b.addl2(Op::lit(4), Op::reg(R0));
+    b.aoblss(Op::imm(128), Op::reg(R1), fill);
+    b.movl(Op::imm(Pte::make(true, Protection::UW, true, 16).raw()),
+           Op::abs(0x8000 + 4 * 9));
+
+    b.mtpr(Op::imm(0x8000), Ipr::SBR);
+    b.mtpr(Op::imm(128), Ipr::SLR);
+    b.mtpr(Op::imm(kSystemBase + 0x8000), Ipr::P0BR);
+    b.mtpr(Op::imm(128), Ipr::P0LR);
+    b.mtpr(Op::imm(0x200000), Ipr::P1LR);
+    b.mtpr(Op::lit(1), Ipr::MAPEN);
+
+    b.movl(Op::abs(kSystemBase + 9 * 512), Op::reg(R6)); // 0x11111111
+    // Remap S page 9 to frame 17 and invalidate.
+    b.movl(Op::imm(Pte::make(true, Protection::UW, true, 17).raw()),
+           Op::abs(0x8000 + 4 * 9));
+    b.mtpr(Op::imm(kSystemBase + 9 * 512), Ipr::TBIS);
+    b.movl(Op::abs(kSystemBase + 9 * 512), Op::reg(R7)); // 0x22222222
+    b.halt();
+
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+    auto image = b.finish();
+    hv.loadVmImage(vm, 0x200, image);
+    hv.startVm(vm, 0x200);
+    hv.run(100000);
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(R6), 0x11111111u);
+    EXPECT_EQ(m.cpu().reg(R7), 0x22222222u)
+        << "TBIS must invalidate the cached shadow translation";
+}
+
+} // namespace
+} // namespace vvax

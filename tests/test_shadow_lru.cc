@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Shadow table cache replacement and edge semantics: LRU eviction
+ * when processes exceed slots, CHM code sign extension, the vSLR
+ * change flush, and a VM MOVC3 crossing pages (multiple shadow fills
+ * plus modify faults inside one instruction).
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "tests/harness.h"
+#include "vmm/hypervisor.h"
+
+namespace vvax {
+namespace {
+
+TEST(ShadowCache, LruEvictsTheLeastRecentProcess)
+{
+    // Drive activateProcessSlot through the LDPCTX path indirectly is
+    // heavyweight; instead observe hit/miss counts from a MiniVMS-free
+    // sequence: a guest that switches between three "processes" by
+    // rewriting PCBB and issuing LDPCTX, with only two cache slots.
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    HypervisorConfig hc;
+    hc.shadowSlotsPerVm = 2;
+    Hypervisor hv(m, hc);
+
+    // Guest: three PCBs that all resume the same kernel-mode code
+    // (P0/P1 empty, S identity); the LDPCTX+REI pairs cycle A B A B C
+    // A: with 2 slots and LRU, C evicts the older of {A,B}.
+    CodeBuilder b(0x200);
+    Label fill = b.newLabel();
+    Label next = b.newLabel();
+    Label done = b.newLabel();
+    // Identity SPT.
+    b.movl(Op::imm(0x8000), Op::reg(R0));
+    b.clrl(Op::reg(R1));
+    b.bind(fill);
+    b.movl(Op::imm(Pte::make(true, Protection::UW, true, 0).raw()),
+           Op::reg(R2));
+    b.bisl2(Op::reg(R1), Op::reg(R2));
+    b.movl(Op::reg(R2), Op::deferred(R0));
+    b.addl2(Op::lit(4), Op::reg(R0));
+    b.aoblss(Op::imm(256), Op::reg(R1), fill);
+    b.mtpr(Op::imm(0x8000), Ipr::SBR);
+    b.mtpr(Op::imm(256), Ipr::SLR);
+    b.mtpr(Op::imm(kSystemBase + 0x8000), Ipr::P0BR);
+    b.mtpr(Op::imm(256), Ipr::P0LR);
+    b.mtpr(Op::imm(0x200000), Ipr::P1LR);
+    b.mtpr(Op::lit(1), Ipr::MAPEN);
+    Label s_side = b.newLabel();
+    b.jmp(Op::absRef(s_side, kSystemBase));
+    b.bind(s_side);
+    b.mtpr(Op::imm(kSystemBase + 0x7000), Ipr::KSP);
+    // Switch sequence: the PCB list at 0xC00, index cell at 0xC80.
+    // LDPCTX reloads the general registers from the PCB, so the loop
+    // state lives in memory.
+    b.bind(next);
+    b.movl(Op::abs(kSystemBase + 0xC80), Op::reg(R0));
+    b.cmpl(Op::reg(R0), Op::lit(6));
+    Label go_on = b.newLabel();
+    b.blss(go_on);
+    b.brw(done);
+    b.bind(go_on);
+    b.incl(Op::abs(kSystemBase + 0xC80));
+    b.movl(Op::abs(kSystemBase + 0xC00).idx(R0), Op::reg(R1));
+    b.mtpr(Op::reg(R1), Ipr::PCBB);
+    b.ldpctx();
+    b.rei(); // resumes at `resume` below (all PCBs say so)
+    Label resume = b.newLabel();
+    b.align(4);
+    b.bind(resume);
+    b.brw(next);
+    b.bind(done);
+    b.halt();
+
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+    const Longword resume_va = b.labelAddress(resume) + kSystemBase;
+    auto image = b.finish();
+    hv.loadVmImage(vm, 0x200, image);
+
+    // Three PCBs at VM-phys 0xD00/0xE00/0xF00 with distinct PCBB
+    // identities; each resumes kernel-mode at `resume`.
+    Psl kernel_psl;
+    const PhysAddr pcbs[3] = {0xD00, 0xE00, 0xF00};
+    for (PhysAddr pcb : pcbs) {
+        Byte block[96] = {};
+        Longword ksp = kSystemBase + 0x7000;
+        std::memcpy(block + 0, &ksp, 4);
+        std::memcpy(block + 72, &resume_va, 4);
+        Longword psl = kernel_psl.raw();
+        std::memcpy(block + 76, &psl, 4);
+        Longword astlvl_p0lr = 4u << 24;
+        std::memcpy(block + 84, &astlvl_p0lr, 4);
+        Longword p1lr = 0x200000;
+        std::memcpy(block + 92, &p1lr, 4);
+        hv.loadVmImage(vm, pcb, std::span<const Byte>(block, 96));
+    }
+    // Switch order: A B A B C A -> with 2 slots: A miss, B miss,
+    // A hit, B hit, C miss (evicts A, the LRU), A miss.
+    const Longword order[6] = {0xD00, 0xE00, 0xD00,
+                               0xE00, 0xF00, 0xD00};
+    Byte order_bytes[24];
+    std::memcpy(order_bytes, order, 24);
+    hv.loadVmImage(vm, 0xC00, order_bytes);
+
+    hv.startVm(vm, 0x200);
+    hv.run(1000000);
+    ASSERT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    // Misses: the boot address space (MAPEN), cold A, cold B (evicts
+    // boot), C (evicts A, the LRU), and A again; hits: the repeated
+    // A B pair in the middle.
+    EXPECT_EQ(vm.stats.shadowCacheMisses, 5u);
+    EXPECT_EQ(vm.stats.shadowCacheHits, 2u);
+}
+
+TEST(ChmEdge, CodeOperandIsSignExtended)
+{
+    // CHMK #0xFFFF pushes -1, not 65535 (the operand is a word).
+    RealMachine m;
+    CodeBuilder b(0x200);
+    Label handler = b.newLabel();
+    b.chmk(Op::imm(0xFFFF));
+    b.halt();
+    b.align(4);
+    b.bind(handler);
+    b.movl(Op::deferred(SP), Op::reg(R6));
+    b.halt();
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    m.cpu().setScbb(0x1200);
+    m.memory().write32(0x1200 + 0x40, b.labelAddress(handler));
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(0);
+    m.cpu().setReg(SP, 0x1000);
+    m.run(100);
+    EXPECT_EQ(m.cpu().reg(R6), 0xFFFFFFFFu);
+}
+
+TEST(ShadowFlush, ChangingVslrInvalidatesSShadows)
+{
+    // After the guest shrinks SLR, a previously filled S translation
+    // beyond the new limit must fault (as a length violation to the
+    // guest), not serve stale shadow state.
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    Hypervisor hv(m);
+
+    CodeBuilder b(0x200);
+    Label fill = b.newLabel(), acv = b.newLabel();
+    b.movl(Op::imm(0x8000), Op::reg(R0));
+    b.clrl(Op::reg(R1));
+    b.bind(fill);
+    b.movl(Op::imm(Pte::make(true, Protection::UW, true, 0).raw()),
+           Op::reg(R2));
+    b.bisl2(Op::reg(R1), Op::reg(R2));
+    b.movl(Op::reg(R2), Op::deferred(R0));
+    b.addl2(Op::lit(4), Op::reg(R0));
+    b.aoblss(Op::imm(128), Op::reg(R1), fill);
+    b.mtpr(Op::lit(0), Ipr::SCBB);
+    b.mtpr(Op::imm(0x8000), Ipr::SBR);
+    b.mtpr(Op::imm(128), Ipr::SLR);
+    b.mtpr(Op::imm(kSystemBase + 0x8000), Ipr::P0BR);
+    b.mtpr(Op::imm(128), Ipr::P0LR);
+    b.mtpr(Op::imm(0x200000), Ipr::P1LR);
+    b.mtpr(Op::lit(1), Ipr::MAPEN);
+    Label s_side = b.newLabel();
+    b.jmp(Op::absRef(s_side, kSystemBase));
+    b.bind(s_side);
+    b.mtpr(Op::imm(kSystemBase + 0x3000), Ipr::KSP); // below new SLR
+    b.movl(Op::abs(kSystemBase + 60 * 512), Op::reg(R6)); // fill S 60
+    b.mtpr(Op::imm(40), Ipr::SLR); // shrink below page 60
+    b.movl(Op::abs(kSystemBase + 60 * 512), Op::reg(R7)); // must ACV
+    b.halt();
+    b.align(4);
+    b.bind(acv);
+    b.movl(Op::imm(0x5117), Op::reg(R8));
+    b.halt();
+
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+    const Longword acv_va = b.labelAddress(acv) + kSystemBase;
+    auto image = b.finish();
+    hv.loadVmImage(vm, 0x200, image);
+    Byte e[4];
+    std::memcpy(e, &acv_va, 4);
+    hv.loadVmImage(vm, 0x20, std::span<const Byte>(e, 4));
+    hv.startVm(vm, 0x200);
+    hv.run(1000000);
+
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(R8), 0x5117u)
+        << "the shrunk SLR must be enforced (stale shadow flushed)";
+}
+
+} // namespace
+} // namespace vvax

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The virtual VAX console subset (paper Section 5): examine/deposit,
+ * start, halt, continue - enough to boot and debug a VM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tests/harness.h"
+#include "vmm/vm_monitor.h"
+
+namespace vvax {
+namespace {
+
+class Monitor : public ::testing::Test
+{
+  protected:
+    Monitor()
+        : mc{.ramBytes = 16 * 1024 * 1024,
+             .level = MicrocodeLevel::Modified},
+          m(mc), hv(m), vm(hv.createVm(VmConfig{})), mon(hv, vm)
+    {
+    }
+
+    MachineConfig mc;
+    RealMachine m;
+    Hypervisor hv;
+    VirtualMachine &vm;
+    VmMonitor mon;
+};
+
+TEST_F(Monitor, DepositExamineRoundTrip)
+{
+    EXPECT_EQ(mon.command("deposit 1000 DEADBEEF"),
+              "00001000 <- DEADBEEF");
+    EXPECT_EQ(mon.command("examine 1000"), "00001000 / DEADBEEF");
+    EXPECT_EQ(mon.command("e 1004"), "00001004 / 00000000");
+    // Out of the VM's memory: refused (and the VMM is untouched).
+    EXPECT_EQ(mon.command("examine FFFFFF00"), "?ADDR");
+    EXPECT_EQ(mon.command("deposit FFFFFF00 1"), "?ADDR");
+}
+
+TEST_F(Monitor, BootViaDepositAndStart)
+{
+    // Hand-deposit a program: MOVL #5F, R6; HALT.
+    // d0 8f 5f 00 00 00 56 00
+    EXPECT_EQ(mon.command("D 200 005F8FD0"), "00000200 <- 005F8FD0");
+    EXPECT_EQ(mon.command("D 204 00560000"), "00000204 <- 00560000");
+    EXPECT_EQ(mon.command("START 200"), "STARTED AT 00000200");
+    hv.run(100000);
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(R6), 0x5Fu);
+}
+
+TEST_F(Monitor, HaltAndContinue)
+{
+    // A guest that counts forever; the operator halts it, examines
+    // progress, and continues it.
+    CodeBuilder b(0x200);
+    Label loop = b.bindHere();
+    b.incl(Op::abs(0x1000));
+    b.brb(loop);
+    auto image = b.finish();
+    hv.loadVmImage(vm, 0x200, image);
+    hv.startVm(vm, 0x200);
+    hv.run(5000); // partial run
+    EXPECT_EQ(mon.command("halt"), "HALTED");
+    const Longword counted = m.memory().read32(vm.vmPhysToReal(0x1000));
+    EXPECT_GT(counted, 0u);
+
+    auto reply = mon.command("continue");
+    EXPECT_EQ(reply.substr(0, 10), "CONTINUING");
+    hv.run(5000);
+    EXPECT_GT(m.memory().read32(vm.vmPhysToReal(0x1000)), counted)
+        << "the VM kept counting after CONTINUE";
+}
+
+TEST_F(Monitor, BootFromTheVirtualDisk)
+{
+    // Put a bootable program on the virtual disk and BOOT it: the
+    // console subset is "adequate for booting and debugging a VM".
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(0xB007), Op::reg(R6));
+    b.halt();
+    auto image = b.finish();
+    std::vector<Byte> block0(512, 0);
+    std::copy(image.begin(), image.end(), block0.begin() + 0x200 - 0);
+    // The program sits at offset 0x200 of the boot image; blocks 0..1
+    // cover VM-physical 0..0x400.
+    std::vector<Byte> two_blocks(1024, 0);
+    std::copy(image.begin(), image.end(), two_blocks.begin() + 0x200);
+    hv.loadVmDisk(vm, 0, two_blocks);
+
+    EXPECT_EQ(mon.command("BOOT 2"),
+              "BOOTED 00000002 BLOCKS, STARTED AT 00000200");
+    hv.run(10000);
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(R6), 0xB007u);
+}
+
+TEST_F(Monitor, ShowReportsStatus)
+{
+    const std::string s = mon.command("show");
+    EXPECT_NE(s.find("vm:"), std::string::npos);
+    EXPECT_NE(s.find("mem=1024KB"), std::string::npos);
+}
+
+TEST_F(Monitor, UnknownCommandsAreRefused)
+{
+    EXPECT_EQ(mon.command("format c:"), "?");
+    EXPECT_EQ(mon.command(""), "?");
+    EXPECT_EQ(mon.command("examine"), "?");
+}
+
+} // namespace
+} // namespace vvax

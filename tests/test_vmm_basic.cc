@@ -1,0 +1,303 @@
+/**
+ * @file
+ * First-light tests for the VMM: boot tiny guests inside a virtual
+ * machine and check the paper's core behaviours - sensitive
+ * instructions trap and are emulated, MOVPSL shows the virtual modes,
+ * MEMSIZE/KCALL exist only on the virtual VAX, HALT stops the VM (not
+ * the machine), and two VMs are isolated.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "vmm/hypervisor.h"
+#include "vmm/kcall.h"
+#include "tests/harness.h"
+
+namespace vvax {
+namespace {
+
+class VmmBasic : public ::testing::Test
+{
+  protected:
+    VmmBasic() : m(makeConfig()), hv(m) {}
+
+    static MachineConfig
+    makeConfig()
+    {
+        MachineConfig config;
+        config.ramBytes = 16 * 1024 * 1024;
+        config.level = MicrocodeLevel::Modified;
+        return config;
+    }
+
+    VirtualMachine &
+    bootGuest(CodeBuilder &b, const VmConfig &vc = {})
+    {
+        VirtualMachine &vm = hv.createVm(vc);
+        auto image = b.finish();
+        hv.loadVmImage(vm, b.origin(), image);
+        hv.startVm(vm, b.origin());
+        return vm;
+    }
+
+    RealMachine m;
+    Hypervisor hv;
+};
+
+TEST_F(VmmBasic, GuestComputesAndHalts)
+{
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(5), Op::reg(R0));
+    b.movl(Op::imm(7), Op::reg(R1));
+    b.addl3(Op::reg(R0), Op::reg(R1), Op::reg(R2));
+    b.movl(Op::reg(R2), Op::abs(0x800)); // VM-physical store
+    b.halt();
+
+    VirtualMachine &vm = bootGuest(b);
+    hv.run(100000);
+
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    // The store went to *VM-physical* 0x800, i.e. real base + 0x800.
+    EXPECT_EQ(m.memory().read32(vm.vmPhysToReal(0x800)), 12u);
+    // HALT arrived via a VM-emulation trap, not a machine halt.
+    EXPECT_GE(vm.stats.emulationTraps, 1u);
+    EXPECT_GE(vm.stats.shadowFills, 1u); // code page at least
+}
+
+TEST_F(VmmBasic, ConsoleOutputThroughMtprTxdb)
+{
+    CodeBuilder b(0x200);
+    for (char c : std::string_view("VAX"))
+        b.mtpr(Op::imm(static_cast<Byte>(c)), Ipr::TXDB);
+    b.halt();
+
+    VirtualMachine &vm = bootGuest(b);
+    hv.run(100000);
+    EXPECT_EQ(vm.console.output(), "VAX");
+    EXPECT_EQ(vm.stats.consoleChars, 3u);
+    EXPECT_GE(vm.stats.mtprEmulations, 3u);
+}
+
+TEST_F(VmmBasic, MovpslShowsVirtualKernelMode)
+{
+    // Paper Section 4.2.1: MOVPSL never traps and reports the VM's
+    // modes, not the real (compressed) ones.
+    CodeBuilder b(0x200);
+    b.movpsl(Op::reg(R3));
+    b.halt();
+
+    VirtualMachine &vm = bootGuest(b);
+    hv.run(100000);
+    ASSERT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    const Psl seen(m.cpu().reg(R3));
+    EXPECT_EQ(seen.currentMode(), AccessMode::Kernel);
+    EXPECT_FALSE(seen.vm()) << "PSL<VM> must never be visible";
+}
+
+TEST_F(VmmBasic, MemsizeExistsOnlyOnVirtualVax)
+{
+    // In the VM: MFPR #MEMSIZE returns the VM's memory size.
+    CodeBuilder b(0x200);
+    b.mfpr(Ipr::MEMSIZE, Op::reg(R6));
+    b.halt();
+    VmConfig vc;
+    vc.memBytes = 256 * 1024;
+    VirtualMachine &vm = bootGuest(b, vc);
+    hv.run(100000);
+    ASSERT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(R6), 256u * 1024);
+
+    // On a bare machine the same instruction takes a reserved operand
+    // fault (the register does not exist).
+    RealMachine bare;
+    CodeBuilder c(0x200);
+    Label handler = c.newLabel();
+    c.mfpr(Ipr::MEMSIZE, Op::reg(R6));
+    c.halt();
+    c.align(4);
+    c.bind(handler);
+    c.movl(Op::imm(0xFA11), Op::reg(R7));
+    c.halt();
+    auto image = c.finish();
+    bare.loadImage(c.origin(), image);
+    bare.cpu().setScbb(0x1800);
+    bare.memory().write32(0x1800 + 0x18, c.labelAddress(handler));
+    bare.cpu().setPc(c.origin());
+    bare.cpu().psl().setIpl(0);
+    bare.cpu().setReg(SP, 0x1000);
+    bare.run(100);
+    EXPECT_EQ(bare.cpu().reg(R7), 0xFA11u);
+}
+
+TEST_F(VmmBasic, KcallConsoleWrite)
+{
+    CodeBuilder b(0x200);
+    Label text = b.newLabel();
+    b.moval(Op::ref(text), Op::reg(R1));
+    b.movl(Op::imm(5), Op::reg(R2));
+    b.mtpr(Op::imm(kcallabi::kConsoleWrite), Ipr::KCALL);
+    b.halt();
+    b.bind(text);
+    b.ascii("hello");
+
+    VirtualMachine &vm = bootGuest(b);
+    hv.run(100000);
+    ASSERT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_EQ(vm.console.output(), "hello");
+    EXPECT_EQ(vm.stats.kcalls, 1u);
+}
+
+TEST_F(VmmBasic, KcallDiskReadAndInterrupt)
+{
+    // Prepare disk block 3 with a recognizable pattern, have the
+    // guest read it into VM-physical 0x1000 via KCALL and then check
+    // the first longword.
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(3), Op::reg(R1));       // block
+    b.movl(Op::imm(1), Op::reg(R2));       // count
+    b.movl(Op::imm(0x1000), Op::reg(R3));  // VM-physical target
+    b.mtpr(Op::imm(kcallabi::kDiskRead), Ipr::KCALL);
+    b.movl(Op::abs(0x1000), Op::reg(R5));
+    b.halt();
+
+    VmConfig vc;
+    VirtualMachine &vm = hv.createVm(vc);
+    std::vector<Byte> block(512, 0);
+    block[0] = 0xEF;
+    block[1] = 0xBE;
+    block[2] = 0xAD;
+    block[3] = 0xDE;
+    hv.loadVmDisk(vm, 3, block);
+    auto image = b.finish();
+    hv.loadVmImage(vm, b.origin(), image);
+    hv.startVm(vm, b.origin());
+    hv.run(100000);
+
+    ASSERT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(R5), 0xDEADBEEFu);
+    EXPECT_EQ(m.cpu().reg(R0), kcallabi::kOk);
+    EXPECT_EQ(vm.stats.kcallIos, 1u);
+    // Completion interrupt was posted; guest ran at boot IPL 31 so it
+    // stays pending.
+    EXPECT_FALSE(vm.pendingInts.empty());
+}
+
+TEST_F(VmmBasic, NonExistentMemoryHaltsTheVm)
+{
+    // Paper Section 5: touching non-existent memory halts the VM
+    // because it can be a symptom of a security attack.
+    CodeBuilder b(0x200);
+    b.movl(Op::abs(0x00F00000), Op::reg(R0)); // way beyond VM memory
+    b.movl(Op::imm(0xBAD), Op::reg(R9));
+    b.halt();
+
+    VmConfig vc;
+    vc.memBytes = 128 * 1024;
+    VirtualMachine &vm = bootGuest(b, vc);
+    hv.run(100000);
+    EXPECT_EQ(vm.haltReason, VmHaltReason::NonExistentMemory);
+    // The machine itself is fine and stopped in an orderly way.
+    EXPECT_NE(m.cpu().reg(R9), 0xBADu);
+}
+
+TEST_F(VmmBasic, TwoVmsAreIsolated)
+{
+    // Both guests write a signature at the same VM-physical address;
+    // each must see only its own.
+    auto make_guest = [](Longword sig) {
+        CodeBuilder b(0x200);
+        b.movl(Op::imm(sig), Op::abs(0x900));
+        b.movl(Op::abs(0x900), Op::reg(R4));
+        b.mtpr(Op::reg(R4), Ipr::TXDB); // low byte to console
+        b.halt();
+        return b;
+    };
+
+    CodeBuilder b1 = make_guest('1');
+    CodeBuilder b2 = make_guest('2');
+    VirtualMachine &vm1 = bootGuest(b1);
+    VirtualMachine &vm2 = bootGuest(b2);
+    hv.run(1000000);
+
+    EXPECT_EQ(vm1.haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_EQ(vm2.haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_EQ(m.memory().read32(vm1.vmPhysToReal(0x900)),
+              static_cast<Longword>('1'));
+    EXPECT_EQ(m.memory().read32(vm2.vmPhysToReal(0x900)),
+              static_cast<Longword>('2'));
+    EXPECT_EQ(vm1.console.output(), "1");
+    EXPECT_EQ(vm2.console.output(), "2");
+}
+
+TEST_F(VmmBasic, TotalStatsAggregatesAcrossVms)
+{
+    CodeBuilder b1(0x200);
+    b1.mtpr(Op::imm('x'), Ipr::TXDB);
+    b1.halt();
+    CodeBuilder b2(0x200);
+    b2.mtpr(Op::imm('y'), Ipr::TXDB);
+    b2.mtpr(Op::imm('z'), Ipr::TXDB);
+    b2.halt();
+    VirtualMachine &v1 = bootGuest(b1);
+    VirtualMachine &v2 = bootGuest(b2);
+    hv.run(1000000);
+    const VmStats total = hv.totalStats();
+    EXPECT_EQ(total.consoleChars,
+              v1.stats.consoleChars + v2.stats.consoleChars);
+    EXPECT_EQ(total.consoleChars, 3u);
+    EXPECT_EQ(total.emulationTraps,
+              v1.stats.emulationTraps + v2.stats.emulationTraps);
+}
+
+TEST_F(VmmBasic, PrivilegedInstructionInVmUserModeForwardsToVm)
+{
+    // Build a guest that drops to user mode via REI, executes MTPR
+    // (privileged), and catches the forwarded fault in its own SCB
+    // handler (paper Section 4.4.1).
+    CodeBuilder b(0x200);
+    Label user_code = b.newLabel();
+    Label handler = b.newLabel();
+
+    // Set up the VM SCB: VM-physical page 7 (0xE00).
+    b.mtpr(Op::imm(0xE00), Ipr::SCBB);
+    b.mtpr(Op::imm(0x8000), Ipr::USP); // user stack
+    // Craft a REI frame: PSL with current=user, prev=user, IPL 0.
+    Psl user_psl;
+    user_psl.setCurrentMode(AccessMode::User);
+    user_psl.setPreviousMode(AccessMode::User);
+    b.pushl(Op::imm(user_psl.raw()));
+    b.pushal(Op::ref(user_code)); // REI pops PC, then PSL
+    b.rei();
+
+    b.align(4);
+    b.bind(user_code);
+    b.mtpr(Op::imm(1), Ipr::ASTLVL); // privileged: must fault
+    b.halt();                        // never reached as user
+
+    b.align(4);
+    b.bind(handler);
+    b.movl(Op::imm(0x5AFE), Op::reg(R8));
+    b.halt(); // HALT in VM kernel mode: stops the VM
+
+
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+    auto image = b.finish();
+    hv.loadVmImage(vm, b.origin(), image);
+    // VM SCB entry 0x10 (reserved/privileged instruction) -> handler.
+    const Longword handler_va = b.labelAddress(handler);
+    std::array<Byte, 4> entry{};
+    std::memcpy(entry.data(), &handler_va, 4);
+    hv.loadVmImage(vm, 0xE00 + 0x10, entry);
+    hv.startVm(vm, b.origin());
+    hv.run(1000000);
+
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(R8), 0x5AFEu);
+    EXPECT_GE(vm.stats.privilegedForwards, 1u);
+    EXPECT_GE(vm.stats.reiEmulations, 1u);
+}
+
+} // namespace
+} // namespace vvax

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Developer tool: boot MiniVMS on a bare machine (or in a VM with
+ * --vm) with an instruction trace, for debugging guest code.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/machine.h"
+#include "guest/minivms.h"
+#include "vasm/disasm.h"
+#include "vmm/hypervisor.h"
+
+using namespace vvax;
+
+int
+main(int argc, char **argv)
+{
+    bool use_vm = false;
+    std::uint64_t max_instr = 200000;
+    std::uint64_t trace_from = 0, trace_count = 400;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--vm"))
+            use_vm = true;
+        else if (!std::strncmp(argv[i], "--max=", 6))
+            max_instr = std::stoull(argv[i] + 6);
+        else if (!std::strncmp(argv[i], "--from=", 7))
+            trace_from = std::stoull(argv[i] + 7);
+        else if (!std::strncmp(argv[i], "--count=", 8))
+            trace_count = std::stoull(argv[i] + 8);
+    }
+
+    MiniVmsConfig cfg;
+    cfg.numProcesses = 3;
+    cfg.workloads = {Workload::Compute, Workload::Edit,
+                     Workload::Transaction};
+    cfg.iterations = 8;
+    cfg.dataPagesPerProcess = 8;
+
+    MachineConfig mc;
+    mc.ramBytes = use_vm ? 16 * 1024 * 1024 : cfg.memBytes;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+
+    std::uint64_t count = 0;
+    auto tracer = [&](VirtAddr pc, Word) {
+        count++;
+        if (count < trace_from || count > trace_from + trace_count)
+            return;
+        auto fetch = [&](VirtAddr va) -> Byte {
+            try {
+                return m.mmu().readV8(va, m.cpu().psl().currentMode());
+            } catch (...) {
+                return 0;
+            }
+        };
+        const DisasmResult d = disassemble(pc, fetch);
+        std::printf(
+            "%8llu %08X %-34s mode=%d ipl=%2d vm=%d sp=%08X r0=%08X\n",
+            static_cast<unsigned long long>(count), pc, d.text.c_str(),
+            static_cast<int>(m.cpu().psl().currentMode()),
+            m.cpu().psl().ipl(), m.cpu().psl().vm() ? 1 : 0,
+            m.cpu().reg(SP), m.cpu().reg(R0));
+    };
+    m.cpu().setTrace(tracer);
+
+    if (use_vm) {
+        Hypervisor hv(m);
+        VmConfig vc;
+        vc.memBytes = cfg.memBytes;
+        VirtualMachine &vm = hv.createVm(vc);
+        MiniVmsImage img = buildMiniVms(cfg);
+        hv.loadVmImage(vm, 0, img.image);
+        hv.startVm(vm, img.entry);
+        hv.run(max_instr);
+        std::printf("--- vm halt=%d console:\n%s\n",
+                    static_cast<int>(vm.haltReason),
+                    vm.console.output().c_str());
+        std::printf("result: magic=%08X\n",
+                    m.memory().read32(vm.vmPhysToReal(img.resultBase)));
+    } else {
+        cfg.diskCsrPfn = mc.diskCsrBase >> kPageShift;
+        MiniVmsImage img = buildMiniVms(cfg);
+        m.loadImage(0, img.image);
+        m.cpu().setPc(img.entry);
+        m.cpu().psl().setIpl(31);
+        m.run(max_instr);
+        std::printf("--- halt=%d pc=%08X console:\n%s\n",
+                    static_cast<int>(m.cpu().haltReason()), m.cpu().pc(),
+                    m.console().output().c_str());
+        std::printf("result: magic=%08X\n",
+                    m.memory().read32(img.resultBase));
+    }
+    std::printf("instructions=%llu\n",
+                static_cast<unsigned long long>(count));
+    return 0;
+}

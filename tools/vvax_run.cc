@@ -1,0 +1,183 @@
+/**
+ * @file
+ * vvax_run: assemble and execute a VAX assembly file.
+ *
+ *   vvax_run prog.s                 run bare (kernel mode, mapping off)
+ *   vvax_run --vm prog.s            run inside a virtual machine
+ *   vvax_run --origin 0x400 prog.s  load/start address
+ *   vvax_run --trace prog.s         disassembled instruction trace
+ *   vvax_run --max N prog.s         instruction budget (default 1e7)
+ *   vvax_run --stats prog.s         dump the full cycle accounting
+ *   vvax_run --vm --monitor "E 1000;SHOW" prog.s
+ *                                   run console commands after the run
+ *
+ * The program's console output (MTPR to TXDB, or KCALL console writes
+ * in a VM) is printed, followed by the final register state.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/machine.h"
+#include "vasm/assembler.h"
+#include "vasm/disasm.h"
+#include "vmm/hypervisor.h"
+#include "vmm/vm_monitor.h"
+
+using namespace vvax;
+
+namespace {
+
+void
+printRegs(Cpu &cpu)
+{
+    static const char *names[16] = {"r0", "r1", "r2", "r3", "r4",
+                                    "r5", "r6", "r7", "r8", "r9",
+                                    "r10", "r11", "ap", "fp", "sp",
+                                    "pc"};
+    for (int i = 0; i < 16; ++i) {
+        std::printf("%4s=%08X%s", names[i], cpu.reg(i),
+                    i % 4 == 3 ? "\n" : " ");
+    }
+    const Psl psl = cpu.psl();
+    std::printf(" psl=%08X (mode=%s ipl=%d n=%d z=%d v=%d c=%d)\n",
+                psl.raw(),
+                std::string(accessModeName(psl.currentMode())).c_str(),
+                psl.ipl(), psl.n(), psl.z(), psl.v(), psl.c());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool use_vm = false;
+    bool trace = false;
+    bool stats = false;
+    const char *monitor_cmds = nullptr;
+    VirtAddr origin = 0x200;
+    std::uint64_t max_instr = 10000000;
+    const char *path = nullptr;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--vm")) {
+            use_vm = true;
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            trace = true;
+        } else if (!std::strcmp(argv[i], "--stats")) {
+            stats = true;
+        } else if (!std::strcmp(argv[i], "--monitor") && i + 1 < argc) {
+            monitor_cmds = argv[++i];
+        } else if (!std::strcmp(argv[i], "--origin") && i + 1 < argc) {
+            origin = static_cast<VirtAddr>(
+                std::stoul(argv[++i], nullptr, 0));
+        } else if (!std::strcmp(argv[i], "--max") && i + 1 < argc) {
+            max_instr = std::stoull(argv[++i]);
+        } else if (argv[i][0] != '-') {
+            path = argv[i];
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", argv[i]);
+            return 2;
+        }
+    }
+    if (!path) {
+        std::fprintf(stderr,
+                     "usage: vvax_run [--vm] [--trace] [--origin A] "
+                     "[--max N] prog.s\n");
+        return 2;
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    AssemblyResult prog = assemble(ss.str(), origin);
+    if (!prog.ok) {
+        for (const std::string &e : prog.errors)
+            std::fprintf(stderr, "%s: %s\n", path, e.c_str());
+        return 1;
+    }
+    std::printf("assembled %zu bytes at %08X\n", prog.image.size(),
+                origin);
+
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine machine(mc);
+
+    if (trace) {
+        machine.cpu().setTrace([&](VirtAddr pc, Word) {
+            auto fetch = [&](VirtAddr va) -> Byte {
+                try {
+                    return machine.mmu().readV8(
+                        va, machine.cpu().psl().currentMode());
+                } catch (...) {
+                    return 0;
+                }
+            };
+            const DisasmResult d = disassemble(pc, fetch);
+            std::printf("  %08X  %s\n", pc, d.text.c_str());
+        });
+    }
+
+    if (use_vm) {
+        Hypervisor hv(machine);
+        VmConfig vc;
+        vc.memBytes = 1024 * 1024;
+        VirtualMachine &vm = hv.createVm(vc);
+        hv.loadVmImage(vm, origin, prog.image);
+        hv.startVm(vm, origin);
+        hv.run(max_instr);
+        std::printf("--- VM console ---\n%s\n",
+                    vm.console.output().c_str());
+        std::printf("VM halt reason: %d\n",
+                    static_cast<int>(vm.haltReason));
+        if (monitor_cmds) {
+            hv.suspendAll();
+            VmMonitor mon(hv, vm);
+            std::string cmd;
+            for (const char *p = monitor_cmds;; ++p) {
+                if (*p == ';' || *p == 0) {
+                    if (!cmd.empty()) {
+                        std::printf(">>> %s\n%s\n", cmd.c_str(),
+                                    mon.command(cmd).c_str());
+                    }
+                    cmd.clear();
+                    if (*p == 0)
+                        break;
+                } else {
+                    cmd.push_back(*p);
+                }
+            }
+        }
+    } else {
+        machine.loadImage(origin, prog.image);
+        machine.cpu().setPc(origin);
+        machine.cpu().psl().setIpl(31);
+        machine.cpu().setReg(SP, origin - 0x10);
+        machine.run(max_instr);
+        std::printf("--- console ---\n%s\n",
+                    machine.console().output().c_str());
+        std::printf("halt reason: %d\n",
+                    static_cast<int>(machine.cpu().haltReason()));
+    }
+    printRegs(machine.cpu());
+    std::printf("%llu instructions, %llu cycles\n",
+                static_cast<unsigned long long>(
+                    machine.stats().instructions),
+                static_cast<unsigned long long>(
+                    machine.stats().totalCycles()));
+    if (stats) {
+        std::ostringstream os;
+        machine.stats().print(os);
+        std::printf("--- cycle accounting ---\n%s", os.str().c_str());
+    }
+    return 0;
+}
