@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1_address_space.dir/bench_figure1_address_space.cc.o"
+  "CMakeFiles/bench_figure1_address_space.dir/bench_figure1_address_space.cc.o.d"
+  "bench_figure1_address_space"
+  "bench_figure1_address_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_address_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

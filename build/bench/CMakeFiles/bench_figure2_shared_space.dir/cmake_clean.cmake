@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2_shared_space.dir/bench_figure2_shared_space.cc.o"
+  "CMakeFiles/bench_figure2_shared_space.dir/bench_figure2_shared_space.cc.o.d"
+  "bench_figure2_shared_space"
+  "bench_figure2_shared_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_shared_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

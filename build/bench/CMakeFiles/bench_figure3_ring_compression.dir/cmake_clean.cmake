@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure3_ring_compression.dir/bench_figure3_ring_compression.cc.o"
+  "CMakeFiles/bench_figure3_ring_compression.dir/bench_figure3_ring_compression.cc.o.d"
+  "bench_figure3_ring_compression"
+  "bench_figure3_ring_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_ring_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

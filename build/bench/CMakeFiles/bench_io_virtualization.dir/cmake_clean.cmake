@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_io_virtualization.dir/bench_io_virtualization.cc.o"
+  "CMakeFiles/bench_io_virtualization.dir/bench_io_virtualization.cc.o.d"
+  "bench_io_virtualization"
+  "bench_io_virtualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_virtualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

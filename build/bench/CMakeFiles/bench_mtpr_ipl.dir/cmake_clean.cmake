@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mtpr_ipl.dir/bench_mtpr_ipl.cc.o"
+  "CMakeFiles/bench_mtpr_ipl.dir/bench_mtpr_ipl.cc.o.d"
+  "bench_mtpr_ipl"
+  "bench_mtpr_ipl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mtpr_ipl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_performance_ratio.dir/bench_performance_ratio.cc.o"
+  "CMakeFiles/bench_performance_ratio.dir/bench_performance_ratio.cc.o.d"
+  "bench_performance_ratio"
+  "bench_performance_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_performance_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ring_alternatives.dir/bench_ring_alternatives.cc.o"
+  "CMakeFiles/bench_ring_alternatives.dir/bench_ring_alternatives.cc.o.d"
+  "bench_ring_alternatives"
+  "bench_ring_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ring_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shadow_fill_policy.dir/bench_shadow_fill_policy.cc.o"
+  "CMakeFiles/bench_shadow_fill_policy.dir/bench_shadow_fill_policy.cc.o.d"
+  "bench_shadow_fill_policy"
+  "bench_shadow_fill_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shadow_fill_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

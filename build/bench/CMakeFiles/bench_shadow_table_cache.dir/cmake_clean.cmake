@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shadow_table_cache.dir/bench_shadow_table_cache.cc.o"
+  "CMakeFiles/bench_shadow_table_cache.dir/bench_shadow_table_cache.cc.o.d"
+  "bench_shadow_table_cache"
+  "bench_shadow_table_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shadow_table_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

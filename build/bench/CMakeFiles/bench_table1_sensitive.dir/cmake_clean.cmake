@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_sensitive.dir/bench_table1_sensitive.cc.o"
+  "CMakeFiles/bench_table1_sensitive.dir/bench_table1_sensitive.cc.o.d"
+  "bench_table1_sensitive"
+  "bench_table1_sensitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sensitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

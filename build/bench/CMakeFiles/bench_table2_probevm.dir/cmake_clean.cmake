@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_probevm.dir/bench_table2_probevm.cc.o"
+  "CMakeFiles/bench_table2_probevm.dir/bench_table2_probevm.cc.o.d"
+  "bench_table2_probevm"
+  "bench_table2_probevm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_probevm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

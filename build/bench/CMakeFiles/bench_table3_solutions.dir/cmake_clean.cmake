@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_solutions.dir/bench_table3_solutions.cc.o"
+  "CMakeFiles/bench_table3_solutions.dir/bench_table3_solutions.cc.o.d"
+  "bench_table3_solutions"
+  "bench_table3_solutions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_solutions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

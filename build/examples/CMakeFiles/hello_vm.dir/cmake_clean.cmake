@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hello_vm.dir/hello_vm.cpp.o"
+  "CMakeFiles/hello_vm.dir/hello_vm.cpp.o.d"
+  "hello_vm"
+  "hello_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hello_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minivms_demo.dir/minivms_demo.cpp.o"
+  "CMakeFiles/minivms_demo.dir/minivms_demo.cpp.o.d"
+  "minivms_demo"
+  "minivms_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minivms_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

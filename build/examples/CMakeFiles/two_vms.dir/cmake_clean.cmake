@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_vms.dir/two_vms.cpp.o"
+  "CMakeFiles/two_vms.dir/two_vms.cpp.o.d"
+  "two_vms"
+  "two_vms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_vms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

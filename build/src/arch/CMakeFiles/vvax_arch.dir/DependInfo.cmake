@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/ipr.cc" "src/arch/CMakeFiles/vvax_arch.dir/ipr.cc.o" "gcc" "src/arch/CMakeFiles/vvax_arch.dir/ipr.cc.o.d"
+  "/root/repo/src/arch/opcodes.cc" "src/arch/CMakeFiles/vvax_arch.dir/opcodes.cc.o" "gcc" "src/arch/CMakeFiles/vvax_arch.dir/opcodes.cc.o.d"
+  "/root/repo/src/arch/protection.cc" "src/arch/CMakeFiles/vvax_arch.dir/protection.cc.o" "gcc" "src/arch/CMakeFiles/vvax_arch.dir/protection.cc.o.d"
+  "/root/repo/src/arch/scb.cc" "src/arch/CMakeFiles/vvax_arch.dir/scb.cc.o" "gcc" "src/arch/CMakeFiles/vvax_arch.dir/scb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

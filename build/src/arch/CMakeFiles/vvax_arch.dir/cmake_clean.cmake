@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vvax_arch.dir/ipr.cc.o"
+  "CMakeFiles/vvax_arch.dir/ipr.cc.o.d"
+  "CMakeFiles/vvax_arch.dir/opcodes.cc.o"
+  "CMakeFiles/vvax_arch.dir/opcodes.cc.o.d"
+  "CMakeFiles/vvax_arch.dir/protection.cc.o"
+  "CMakeFiles/vvax_arch.dir/protection.cc.o.d"
+  "CMakeFiles/vvax_arch.dir/scb.cc.o"
+  "CMakeFiles/vvax_arch.dir/scb.cc.o.d"
+  "libvvax_arch.a"
+  "libvvax_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vvax_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

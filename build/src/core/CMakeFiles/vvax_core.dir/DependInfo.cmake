@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/machine.cc" "src/core/CMakeFiles/vvax_core.dir/machine.cc.o" "gcc" "src/core/CMakeFiles/vvax_core.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/vvax_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/vvax_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/vvax_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vvax_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vvax_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

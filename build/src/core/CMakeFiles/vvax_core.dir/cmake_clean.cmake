@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vvax_core.dir/machine.cc.o"
+  "CMakeFiles/vvax_core.dir/machine.cc.o.d"
+  "libvvax_core.a"
+  "libvvax_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vvax_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cpu.cc" "src/cpu/CMakeFiles/vvax_cpu.dir/cpu.cc.o" "gcc" "src/cpu/CMakeFiles/vvax_cpu.dir/cpu.cc.o.d"
+  "/root/repo/src/cpu/decode.cc" "src/cpu/CMakeFiles/vvax_cpu.dir/decode.cc.o" "gcc" "src/cpu/CMakeFiles/vvax_cpu.dir/decode.cc.o.d"
+  "/root/repo/src/cpu/dispatch.cc" "src/cpu/CMakeFiles/vvax_cpu.dir/dispatch.cc.o" "gcc" "src/cpu/CMakeFiles/vvax_cpu.dir/dispatch.cc.o.d"
+  "/root/repo/src/cpu/exec_system.cc" "src/cpu/CMakeFiles/vvax_cpu.dir/exec_system.cc.o" "gcc" "src/cpu/CMakeFiles/vvax_cpu.dir/exec_system.cc.o.d"
+  "/root/repo/src/cpu/execute.cc" "src/cpu/CMakeFiles/vvax_cpu.dir/execute.cc.o" "gcc" "src/cpu/CMakeFiles/vvax_cpu.dir/execute.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/vvax_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/vvax_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vvax_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

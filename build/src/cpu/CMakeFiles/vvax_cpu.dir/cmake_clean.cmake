@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vvax_cpu.dir/cpu.cc.o"
+  "CMakeFiles/vvax_cpu.dir/cpu.cc.o.d"
+  "CMakeFiles/vvax_cpu.dir/decode.cc.o"
+  "CMakeFiles/vvax_cpu.dir/decode.cc.o.d"
+  "CMakeFiles/vvax_cpu.dir/dispatch.cc.o"
+  "CMakeFiles/vvax_cpu.dir/dispatch.cc.o.d"
+  "CMakeFiles/vvax_cpu.dir/exec_system.cc.o"
+  "CMakeFiles/vvax_cpu.dir/exec_system.cc.o.d"
+  "CMakeFiles/vvax_cpu.dir/execute.cc.o"
+  "CMakeFiles/vvax_cpu.dir/execute.cc.o.d"
+  "libvvax_cpu.a"
+  "libvvax_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vvax_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vvax_dev.dir/console.cc.o"
+  "CMakeFiles/vvax_dev.dir/console.cc.o.d"
+  "CMakeFiles/vvax_dev.dir/disk.cc.o"
+  "CMakeFiles/vvax_dev.dir/disk.cc.o.d"
+  "libvvax_dev.a"
+  "libvvax_dev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vvax_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

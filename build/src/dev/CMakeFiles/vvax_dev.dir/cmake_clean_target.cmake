@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvvax_dev.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vvax_guest.dir/miniultrix.cc.o"
+  "CMakeFiles/vvax_guest.dir/miniultrix.cc.o.d"
+  "CMakeFiles/vvax_guest.dir/minivms.cc.o"
+  "CMakeFiles/vvax_guest.dir/minivms.cc.o.d"
+  "libvvax_guest.a"
+  "libvvax_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vvax_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

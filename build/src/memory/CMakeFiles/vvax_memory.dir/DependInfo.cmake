@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/mmu.cc" "src/memory/CMakeFiles/vvax_memory.dir/mmu.cc.o" "gcc" "src/memory/CMakeFiles/vvax_memory.dir/mmu.cc.o.d"
+  "/root/repo/src/memory/physical_memory.cc" "src/memory/CMakeFiles/vvax_memory.dir/physical_memory.cc.o" "gcc" "src/memory/CMakeFiles/vvax_memory.dir/physical_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/vvax_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vvax_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vvax_memory.dir/mmu.cc.o"
+  "CMakeFiles/vvax_memory.dir/mmu.cc.o.d"
+  "CMakeFiles/vvax_memory.dir/physical_memory.cc.o"
+  "CMakeFiles/vvax_memory.dir/physical_memory.cc.o.d"
+  "libvvax_memory.a"
+  "libvvax_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vvax_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vvax_metrics.dir/cost_model.cc.o"
+  "CMakeFiles/vvax_metrics.dir/cost_model.cc.o.d"
+  "CMakeFiles/vvax_metrics.dir/stats.cc.o"
+  "CMakeFiles/vvax_metrics.dir/stats.cc.o.d"
+  "libvvax_metrics.a"
+  "libvvax_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vvax_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

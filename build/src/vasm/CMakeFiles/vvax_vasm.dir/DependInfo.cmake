@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vasm/assembler.cc" "src/vasm/CMakeFiles/vvax_vasm.dir/assembler.cc.o" "gcc" "src/vasm/CMakeFiles/vvax_vasm.dir/assembler.cc.o.d"
+  "/root/repo/src/vasm/code_builder.cc" "src/vasm/CMakeFiles/vvax_vasm.dir/code_builder.cc.o" "gcc" "src/vasm/CMakeFiles/vvax_vasm.dir/code_builder.cc.o.d"
+  "/root/repo/src/vasm/disasm.cc" "src/vasm/CMakeFiles/vvax_vasm.dir/disasm.cc.o" "gcc" "src/vasm/CMakeFiles/vvax_vasm.dir/disasm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/vvax_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

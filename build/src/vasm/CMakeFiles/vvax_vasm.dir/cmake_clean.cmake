@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vvax_vasm.dir/assembler.cc.o"
+  "CMakeFiles/vvax_vasm.dir/assembler.cc.o.d"
+  "CMakeFiles/vvax_vasm.dir/code_builder.cc.o"
+  "CMakeFiles/vvax_vasm.dir/code_builder.cc.o.d"
+  "CMakeFiles/vvax_vasm.dir/disasm.cc.o"
+  "CMakeFiles/vvax_vasm.dir/disasm.cc.o.d"
+  "libvvax_vasm.a"
+  "libvvax_vasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vvax_vasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/hypervisor.cc" "src/vmm/CMakeFiles/vvax_vmm.dir/hypervisor.cc.o" "gcc" "src/vmm/CMakeFiles/vvax_vmm.dir/hypervisor.cc.o.d"
+  "/root/repo/src/vmm/ring_compression.cc" "src/vmm/CMakeFiles/vvax_vmm.dir/ring_compression.cc.o" "gcc" "src/vmm/CMakeFiles/vvax_vmm.dir/ring_compression.cc.o.d"
+  "/root/repo/src/vmm/snapshot.cc" "src/vmm/CMakeFiles/vvax_vmm.dir/snapshot.cc.o" "gcc" "src/vmm/CMakeFiles/vvax_vmm.dir/snapshot.cc.o.d"
+  "/root/repo/src/vmm/vm_monitor.cc" "src/vmm/CMakeFiles/vvax_vmm.dir/vm_monitor.cc.o" "gcc" "src/vmm/CMakeFiles/vvax_vmm.dir/vm_monitor.cc.o.d"
+  "/root/repo/src/vmm/vmm_emulate.cc" "src/vmm/CMakeFiles/vvax_vmm.dir/vmm_emulate.cc.o" "gcc" "src/vmm/CMakeFiles/vvax_vmm.dir/vmm_emulate.cc.o.d"
+  "/root/repo/src/vmm/vmm_memory.cc" "src/vmm/CMakeFiles/vvax_vmm.dir/vmm_memory.cc.o" "gcc" "src/vmm/CMakeFiles/vvax_vmm.dir/vmm_memory.cc.o.d"
+  "/root/repo/src/vmm/vmm_services.cc" "src/vmm/CMakeFiles/vvax_vmm.dir/vmm_services.cc.o" "gcc" "src/vmm/CMakeFiles/vvax_vmm.dir/vmm_services.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vvax_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/vvax_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vvax_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/vvax_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vvax_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vvax_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vvax_vmm.dir/hypervisor.cc.o"
+  "CMakeFiles/vvax_vmm.dir/hypervisor.cc.o.d"
+  "CMakeFiles/vvax_vmm.dir/ring_compression.cc.o"
+  "CMakeFiles/vvax_vmm.dir/ring_compression.cc.o.d"
+  "CMakeFiles/vvax_vmm.dir/snapshot.cc.o"
+  "CMakeFiles/vvax_vmm.dir/snapshot.cc.o.d"
+  "CMakeFiles/vvax_vmm.dir/vm_monitor.cc.o"
+  "CMakeFiles/vvax_vmm.dir/vm_monitor.cc.o.d"
+  "CMakeFiles/vvax_vmm.dir/vmm_emulate.cc.o"
+  "CMakeFiles/vvax_vmm.dir/vmm_emulate.cc.o.d"
+  "CMakeFiles/vvax_vmm.dir/vmm_memory.cc.o"
+  "CMakeFiles/vvax_vmm.dir/vmm_memory.cc.o.d"
+  "CMakeFiles/vvax_vmm.dir/vmm_services.cc.o"
+  "CMakeFiles/vvax_vmm.dir/vmm_services.cc.o.d"
+  "libvvax_vmm.a"
+  "libvvax_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vvax_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

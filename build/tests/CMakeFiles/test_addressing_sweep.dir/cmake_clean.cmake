@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_addressing_sweep.dir/test_addressing_sweep.cc.o"
+  "CMakeFiles/test_addressing_sweep.dir/test_addressing_sweep.cc.o.d"
+  "test_addressing_sweep"
+  "test_addressing_sweep.pdb"
+  "test_addressing_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_addressing_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

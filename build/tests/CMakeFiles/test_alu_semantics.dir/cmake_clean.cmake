@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alu_semantics.dir/test_alu_semantics.cc.o"
+  "CMakeFiles/test_alu_semantics.dir/test_alu_semantics.cc.o.d"
+  "test_alu_semantics"
+  "test_alu_semantics.pdb"
+  "test_alu_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alu_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asm_samples.dir/test_asm_samples.cc.o"
+  "CMakeFiles/test_asm_samples.dir/test_asm_samples.cc.o.d"
+  "test_asm_samples"
+  "test_asm_samples.pdb"
+  "test_asm_samples[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asm_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

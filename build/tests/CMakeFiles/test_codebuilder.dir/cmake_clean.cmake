@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codebuilder.dir/test_codebuilder.cc.o"
+  "CMakeFiles/test_codebuilder.dir/test_codebuilder.cc.o.d"
+  "test_codebuilder"
+  "test_codebuilder.pdb"
+  "test_codebuilder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codebuilder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_codebuilder.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_codebuilder.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_calls.dir/test_cpu_calls.cc.o"
+  "CMakeFiles/test_cpu_calls.dir/test_cpu_calls.cc.o.d"
+  "test_cpu_calls"
+  "test_cpu_calls.pdb"
+  "test_cpu_calls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_extended.dir/test_cpu_extended.cc.o"
+  "CMakeFiles/test_cpu_extended.dir/test_cpu_extended.cc.o.d"
+  "test_cpu_extended"
+  "test_cpu_extended.pdb"
+  "test_cpu_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

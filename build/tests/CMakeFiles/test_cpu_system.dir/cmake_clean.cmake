@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_system.dir/test_cpu_system.cc.o"
+  "CMakeFiles/test_cpu_system.dir/test_cpu_system.cc.o.d"
+  "test_cpu_system"
+  "test_cpu_system.pdb"
+  "test_cpu_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

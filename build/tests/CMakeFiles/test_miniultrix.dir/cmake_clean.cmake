@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miniultrix.dir/test_miniultrix.cc.o"
+  "CMakeFiles/test_miniultrix.dir/test_miniultrix.cc.o.d"
+  "test_miniultrix"
+  "test_miniultrix.pdb"
+  "test_miniultrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miniultrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_minivms.cc" "tests/CMakeFiles/test_minivms.dir/test_minivms.cc.o" "gcc" "tests/CMakeFiles/test_minivms.dir/test_minivms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vvax_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vasm/CMakeFiles/vvax_vasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/vvax_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/vvax_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/vvax_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vvax_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/vvax_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vvax_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vvax_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minivms.dir/test_minivms.cc.o"
+  "CMakeFiles/test_minivms.dir/test_minivms.cc.o.d"
+  "test_minivms"
+  "test_minivms.pdb"
+  "test_minivms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minivms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

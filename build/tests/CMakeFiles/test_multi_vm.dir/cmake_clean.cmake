@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_vm.dir/test_multi_vm.cc.o"
+  "CMakeFiles/test_multi_vm.dir/test_multi_vm.cc.o.d"
+  "test_multi_vm"
+  "test_multi_vm.pdb"
+  "test_multi_vm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ring_compression.dir/test_ring_compression.cc.o"
+  "CMakeFiles/test_ring_compression.dir/test_ring_compression.cc.o.d"
+  "test_ring_compression"
+  "test_ring_compression.pdb"
+  "test_ring_compression[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ring_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

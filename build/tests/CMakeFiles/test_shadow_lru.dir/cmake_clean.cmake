@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_lru.dir/test_shadow_lru.cc.o"
+  "CMakeFiles/test_shadow_lru.dir/test_shadow_lru.cc.o.d"
+  "test_shadow_lru"
+  "test_shadow_lru.pdb"
+  "test_shadow_lru[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_lru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_monitor.dir/test_vm_monitor.cc.o"
+  "CMakeFiles/test_vm_monitor.dir/test_vm_monitor.cc.o.d"
+  "test_vm_monitor"
+  "test_vm_monitor.pdb"
+  "test_vm_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmm_basic.dir/test_vmm_basic.cc.o"
+  "CMakeFiles/test_vmm_basic.dir/test_vmm_basic.cc.o.d"
+  "test_vmm_basic"
+  "test_vmm_basic.pdb"
+  "test_vmm_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmm_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmm_services.dir/test_vmm_services.cc.o"
+  "CMakeFiles/test_vmm_services.dir/test_vmm_services.cc.o.d"
+  "test_vmm_services"
+  "test_vmm_services.pdb"
+  "test_vmm_services[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmm_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

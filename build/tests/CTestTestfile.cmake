@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_vmm_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_minivms[1]_include.cmake")
+include("/root/repo/build/tests/test_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_system[1]_include.cmake")
+include("/root/repo/build/tests/test_ring_compression[1]_include.cmake")
+include("/root/repo/build/tests/test_shadow[1]_include.cmake")
+include("/root/repo/build/tests/test_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_miniultrix[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_devices[1]_include.cmake")
+include("/root/repo/build/tests/test_vmm_services[1]_include.cmake")
+include("/root/repo/build/tests/test_codebuilder[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_extended[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_ast[1]_include.cmake")
+include("/root/repo/build/tests/test_multi_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_asm_samples[1]_include.cmake")
+include("/root/repo/build/tests/test_vm_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_calls[1]_include.cmake")
+include("/root/repo/build/tests/test_alu_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_addressing_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_snapshot[1]_include.cmake")
+include("/root/repo/build/tests/test_shadow_lru[1]_include.cmake")

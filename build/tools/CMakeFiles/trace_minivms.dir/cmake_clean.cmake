@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_minivms.dir/trace_minivms.cc.o"
+  "CMakeFiles/trace_minivms.dir/trace_minivms.cc.o.d"
+  "trace_minivms"
+  "trace_minivms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_minivms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vvax_run.dir/vvax_run.cc.o"
+  "CMakeFiles/vvax_run.dir/vvax_run.cc.o.d"
+  "vvax_run"
+  "vvax_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vvax_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
