@@ -1,0 +1,14 @@
+#!/bin/sh
+# Build an optimized tree and record simulator throughput
+# (bench_sim_throughput) as JSON at the repo root, so fast-path
+# changes can be compared against the checked-in baseline.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-rel -j "$(nproc)" --target bench_sim_throughput
+build-rel/bench/bench_sim_throughput \
+    --benchmark_min_time=1 \
+    --benchmark_format=json \
+    --benchmark_out=BENCH_sim_throughput.json \
+    --benchmark_out_format=json
+echo "wrote $(pwd)/BENCH_sim_throughput.json"

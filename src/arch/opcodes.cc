@@ -161,19 +161,9 @@ buildIndex()
     return index;
 }
 
-const std::array<const InstrInfo *, 512> kIndex = buildIndex();
-
 } // namespace
 
-const InstrInfo *
-instrInfo(Word opcode)
-{
-    if ((opcode & 0xFF00) == 0xFD00)
-        return kIndex[256 + (opcode & 0xFF)];
-    if (opcode > 0xFF)
-        return nullptr;
-    return kIndex[opcode];
-}
+const std::array<const InstrInfo *, 512> kOpcodeIndex = buildIndex();
 
 std::span<const InstrInfo>
 allInstructions()

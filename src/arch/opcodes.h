@@ -170,13 +170,28 @@ struct InstrInfo
 };
 
 /**
+ * Dense opcode index: entries 0..255 are the one-byte page, entries
+ * 256..511 the 0xFD two-byte page.  Built once at startup from the
+ * instruction table (opcodes.cc).
+ */
+extern const std::array<const InstrInfo *, 512> kOpcodeIndex;
+
+/**
  * Look up the instruction description for @p opcode (one-byte value,
  * or 0xFD00|b for two-byte opcodes).
  *
  * @return nullptr if the opcode is not implemented (reserved
  * instruction fault).
  */
-const InstrInfo *instrInfo(Word opcode);
+inline const InstrInfo *
+instrInfo(Word opcode)
+{
+    if ((opcode & 0xFF00) == 0xFD00)
+        return kOpcodeIndex[256 + (opcode & 0xFF)];
+    if (opcode > 0xFF)
+        return nullptr;
+    return kOpcodeIndex[opcode];
+}
 
 /** Mnemonic for @p opcode, or "???" when unimplemented. */
 std::string_view opcodeName(Word opcode);

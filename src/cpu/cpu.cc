@@ -61,6 +61,7 @@ Cpu::requestInterrupt(Byte ipl, Word vector)
             return;
     }
     int_requests_.push_back(IntRequest{ipl, vector});
+    recomputeDevicePending();
     if (run_state_ == RunState::Waiting)
         run_state_ = RunState::Running;
 }
@@ -71,29 +72,7 @@ Cpu::clearInterrupt(Byte ipl, Word vector)
     std::erase_if(int_requests_, [&](const IntRequest &r) {
         return r.ipl == ipl && r.vector == vector;
     });
-}
-
-Byte
-Cpu::highestPendingIpl() const
-{
-    Byte highest = 0;
-    for (const IntRequest &r : int_requests_)
-        highest = std::max(highest, r.ipl);
-    // Software interrupt requests pend at their level (1..15).
-    for (int level = kIplSoftwareMax; level >= 1; --level) {
-        if (sisr_ & (1u << level)) {
-            highest = std::max<Byte>(highest, static_cast<Byte>(level));
-            break;
-        }
-    }
-    return highest;
-}
-
-void
-Cpu::chargeCycles(CycleCategory cat, Cycles n)
-{
-    stats_.addCycles(cat, n);
-    advanceTimer(n);
+    recomputeDevicePending();
 }
 
 void
@@ -206,10 +185,15 @@ Cpu::writeIprInternal(Ipr which, Longword value)
       case Ipr::IPL: psl_.setIpl(static_cast<Byte>(value)); return true;
       case Ipr::ASTLVL: astlvl_ = value & 7; return true;
       case Ipr::SIRR:
-        if ((value & 0xF) != 0)
+        if ((value & 0xF) != 0) {
             sisr_ |= 1u << (value & 0xF);
+            recomputeSoftPending();
+        }
         return true;
-      case Ipr::SISR: sisr_ = value & 0xFFFE; return true;
+      case Ipr::SISR:
+        sisr_ = value & 0xFFFE;
+        recomputeSoftPending();
+        return true;
       case Ipr::ICCS: {
         // Write-one-to-clear interrupt bit; transfer loads ICR.
         if (value & iccs::kInterrupt) {

@@ -164,7 +164,14 @@ class Cpu
     void requestInterrupt(Byte ipl, Word vector);
     void clearInterrupt(Byte ipl, Word vector);
     /** @return the IPL of the highest pending request (0 if none). */
-    Byte highestPendingIpl() const;
+    Byte
+    highestPendingIpl() const
+    {
+        // Both summaries are kept current by the recompute hooks.
+        return pending_device_ipl_ > pending_soft_ipl_
+                   ? pending_device_ipl_
+                   : pending_soft_ipl_;
+    }
 
     // ----- Execution ----------------------------------------------------
     /** Execute one instruction (or deliver one interrupt). */
@@ -187,7 +194,12 @@ class Cpu
     /** Put the processor into the idle (waiting) state (VMM idle). */
     void enterIdleWait() { run_state_ = RunState::Waiting; }
 
-    void chargeCycles(CycleCategory cat, Cycles n);
+    void
+    chargeCycles(CycleCategory cat, Cycles n)
+    {
+        stats_.addCycles(cat, n);
+        advanceTimer(n);
+    }
 
     // ----- Services used by the VMM host hooks --------------------------
     /**
@@ -231,7 +243,18 @@ class Cpu
                             const VmTrapFrame *vm_frame);
     void raiseVmEmulationTrap(const VmTrapFrame &frame);
     bool checkPendingInterrupts();
-    void advanceTimer(Cycles cycles);
+    void
+    advanceTimer(Cycles cycles)
+    {
+        todr_ += static_cast<Longword>(cycles);
+        if (!(iccs_ & iccs::kRun))
+            return;
+        icr_ += static_cast<std::int64_t>(cycles);
+        if (icr_ >= 0)
+            timerFired();
+    }
+    /** ICR crossed zero: raise the timer interrupt and reload. */
+    void timerFired();
 
     // decode.cc
     struct Decoded
@@ -240,18 +263,66 @@ class Cpu
         const InstrInfo *info = nullptr;
         VirtAddr nextPc = 0;
         std::array<DecodedOperand, kMaxOperands> operands{};
-        std::array<Longword, kNumRegs> regsAfter{}; //!< committed regs
+        /**
+         * Working register file committed on success: points at the
+         * CPU's scratch register bank (see commitRegs()).
+         */
+        Longword *regsAfter = nullptr;
         Cycles extraCharge = 0;   //!< instruction-specific extra cycles
         bool suppressBase = false; //!< cost fully replaced by extraCharge
     };
-    /** Decode the instruction at regs_[PC]; may throw GuestFault. */
-    Decoded decode();
+    /**
+     * Decode the instruction at regs_[PC]; may throw GuestFault.
+     * Returns a reference to the per-CPU scratch object - valid until
+     * the next decode() call (the CPU is single-threaded).
+     */
+    Decoded &decode();
 
     // execute.cc / exec_system.cc
     void execute(Decoded &d);
-    Longword operandRead(const Decoded &d, int i);
-    void operandWrite(Decoded &d, int i, Longword value,
-                      Longword value2 = 0);
+    Longword
+    operandRead(const Decoded &d, int i)
+    {
+        return d.operands[i].value;
+    }
+    void
+    operandWrite(Decoded &d, int i, Longword value, Longword value2 = 0)
+    {
+        DecodedOperand &op = d.operands[i];
+        if (op.isRegister) {
+            Longword &r = d.regsAfter[op.reg];
+            switch (op.size) {
+              case OpSize::B:
+                r = (r & 0xFFFFFF00u) | (value & 0xFF);
+                break;
+              case OpSize::W:
+                r = (r & 0xFFFF0000u) | (value & 0xFFFF);
+                break;
+              case OpSize::L: r = value; break;
+              case OpSize::Q:
+                r = value;
+                d.regsAfter[op.reg + 1] = value2;
+                break;
+            }
+            return;
+        }
+        const AccessMode mode = psl_.currentMode();
+        switch (op.size) {
+          case OpSize::B:
+            mmu_.writeV8(op.addr, static_cast<Byte>(value), mode);
+            break;
+          case OpSize::W:
+            mmu_.writeV16(op.addr, static_cast<Word>(value), mode);
+            break;
+          case OpSize::L:
+            mmu_.writeV32(op.addr, value, mode);
+            break;
+          case OpSize::Q:
+            mmu_.writeV32(op.addr, value, mode);
+            mmu_.writeV32(op.addr + 4, value2, mode);
+            break;
+        }
+    }
     /** Push/pop on the working stack pointer in @p d (pre-commit). */
     void pushLong(Decoded &d, Longword value);
     Longword popLong(Decoded &d);
@@ -294,12 +365,31 @@ class Cpu
     /** Raise a privileged-instruction or VM-emulation event. */
     void privilegedCheck(Decoded &d);
 
+    /**
+     * Commit the working register file: regsAfter is the scratch
+     * bank, so committing is a pointer swap, not a 16-longword copy.
+     * Idempotent (some system-instruction paths commit before
+     * dispatching and must not double-swap).
+     */
+    void
+    commitRegs(Decoded &d)
+    {
+        if (regs_ != d.regsAfter) {
+            regs_scratch_ = regs_;
+            regs_ = d.regsAfter;
+        }
+    }
+
     Mmu &mmu_;
     const CostModel &cost_;
     Stats &stats_;
     MicrocodeLevel level_;
 
-    std::array<Longword, kNumRegs> regs_{};
+    // Double-buffered register file: regs_ is the architectural
+    // state, regs_scratch_ the decode working copy (see commitRegs).
+    std::array<Longword, kNumRegs> reg_banks_[2]{};
+    Longword *regs_ = reg_banks_[0].data();
+    Longword *regs_scratch_ = reg_banks_[1].data();
     Psl psl_{0x001F0000}; // IPL 31, kernel mode, not interrupt stack
     std::array<Longword, kNumAccessModes> sp_banks_{};
     Longword isp_ = 0;
@@ -328,6 +418,76 @@ class Cpu
         Word vector;
     };
     std::vector<IntRequest> int_requests_;
+
+    // Cached interrupt summary so the per-step pending check is a
+    // compare instead of a rescan.  Recomputed whenever
+    // int_requests_ or sisr_ changes.
+    void recomputeDevicePending();
+    void recomputeSoftPending();
+    Byte pending_device_ipl_ = 0;
+    Word pending_device_vector_ = 0;
+    Byte pending_soft_ipl_ = 0;
+
+    // Host fast path (docs/ARCHITECTURE.md): decode scratch reused
+    // every instruction.
+    Decoded decode_scratch_;
+
+    /**
+     * Predecoded-instruction cache (decode.cc).  An entry stores the
+     * raw instruction bytes plus a stream-independent operand
+     * template; on a hit the decoder revalidates the bytes against
+     * the live instruction window (so self-modifying code and
+     * remapping need no explicit invalidation) and replays the
+     * template, performing exactly the data accesses and counter
+     * updates the byte-level decode would.
+     */
+    enum class PdKind : Byte {
+        Branch,          //!< value = precomputed target
+        Literal,         //!< short literal, value = disp
+        Immediate,       //!< value/value2 from the stream bytes
+        Register,
+        RegDeferred,     //!< addr = R[reg]
+        AutoDec,         //!< R[reg] -= size; addr = R[reg]
+        AutoInc,         //!< addr = R[reg]; R[reg] += size
+        AutoIncDeferred, //!< addr = M[R[reg]]; R[reg] += 4
+        Disp,            //!< addr = R[reg] + disp
+        DispDeferred,    //!< addr = M[R[reg] + disp]
+        Absolute,        //!< addr = disp (also all PC-relative forms)
+        AbsoluteDeferred,//!< addr = M[disp]
+    };
+    struct PredecodedOp
+    {
+        PdKind kind = PdKind::Literal;
+        Byte reg = 0;         //!< base register
+        Byte indexReg = 0xFF; //!< [Rx] scaling register, 0xFF = none
+        Byte fetches = 0;     //!< stream fetch calls this operand makes
+        Byte off = 0;         //!< immediate bytes' offset from the pc
+        Longword disp = 0;    //!< displacement / literal / target / imm
+        Longword imm2 = 0;    //!< immediate quad high half
+    };
+    struct PredecodedInstr
+    {
+        static constexpr int kMaxBytes = 24;
+        VirtAddr pc = ~VirtAddr{0}; //!< key; all-ones = empty
+        Byte len = 0;               //!< instruction length in bytes
+        Byte opcodeFetches = 1;     //!< 1, or 2 for the 0xFD page
+        Word opcode = 0;
+        const InstrInfo *info = nullptr;
+        /** bytes[0..len) zero-extended into a word, when len <= 8:
+         *  lets revalidation be one masked 64-bit compare. */
+        std::uint64_t fastBytes = 0;
+        std::uint64_t fastMask = 0;
+        std::array<Byte, kMaxBytes> bytes{};
+        std::array<PredecodedOp, kMaxOperands> ops{};
+    };
+    static constexpr int kICacheEntries = 1024;
+    static int
+    icacheIndex(VirtAddr pc)
+    {
+        return static_cast<int>(pc & (kICacheEntries - 1));
+    }
+    std::vector<PredecodedInstr> icache_ =
+        std::vector<PredecodedInstr>(kICacheEntries);
 
     RunState run_state_ = RunState::Running;
     HaltReason halt_reason_ = HaltReason::None;

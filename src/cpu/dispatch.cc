@@ -11,30 +11,23 @@
 namespace vvax {
 
 void
-Cpu::advanceTimer(Cycles cycles)
+Cpu::timerFired()
 {
-    todr_ += static_cast<Longword>(cycles);
-    if (!(iccs_ & iccs::kRun))
-        return;
-    icr_ += static_cast<std::int64_t>(cycles);
-    if (icr_ >= 0) {
-        iccs_ |= iccs::kInterrupt;
-        if (iccs_ & iccs::kInterruptEnable) {
-            requestInterrupt(kIplTimer,
-                             static_cast<Word>(ScbVector::IntervalTimer));
-        }
-        const std::int64_t reload = static_cast<std::int32_t>(nicr_);
-        // A zero NICR would re-fire every cycle; treat as stopped.
-        icr_ = reload < 0 ? reload : INT64_MIN / 2;
+    iccs_ |= iccs::kInterrupt;
+    if (iccs_ & iccs::kInterruptEnable) {
+        requestInterrupt(kIplTimer,
+                         static_cast<Word>(ScbVector::IntervalTimer));
     }
+    const std::int64_t reload = static_cast<std::int32_t>(nicr_);
+    // A zero NICR would re-fire every cycle; treat as stopped.
+    icr_ = reload < 0 ? reload : INT64_MIN / 2;
 }
 
-bool
-Cpu::checkPendingInterrupts()
+void
+Cpu::recomputeDevicePending()
 {
-    const Byte cur_ipl = psl_.ipl();
-
-    // Device lines first (they sit above the software levels).
+    // First request with strictly greatest IPL wins, matching the
+    // original scan's tie-break.
     Byte best_ipl = 0;
     Word best_vector = 0;
     for (const IntRequest &r : int_requests_) {
@@ -43,23 +36,45 @@ Cpu::checkPendingInterrupts()
             best_vector = r.vector;
         }
     }
-    if (best_ipl > cur_ipl) {
-        deliverInterrupt(best_ipl, best_vector);
+    pending_device_ipl_ = best_ipl;
+    pending_device_vector_ = best_vector;
+}
+
+void
+Cpu::recomputeSoftPending()
+{
+    Byte best = 0;
+    for (int level = kIplSoftwareMax; level >= 1; --level) {
+        if (sisr_ & (1u << level)) {
+            best = static_cast<Byte>(level);
+            break;
+        }
+    }
+    pending_soft_ipl_ = best;
+}
+
+bool
+Cpu::checkPendingInterrupts()
+{
+    const Byte cur_ipl = psl_.ipl();
+
+    // Common case: nothing deliverable - one compare per kind against
+    // the cached summaries.
+    if (pending_device_ipl_ <= cur_ipl && pending_soft_ipl_ <= cur_ipl)
+        return false;
+
+    // Device lines first (they sit above the software levels).
+    if (pending_device_ipl_ > cur_ipl) {
+        deliverInterrupt(pending_device_ipl_, pending_device_vector_);
         return true;
     }
 
-    // Software interrupts (SISR), levels 15..1.
-    for (int level = kIplSoftwareMax; level >= 1; --level) {
-        if (!(sisr_ & (1u << level)))
-            continue;
-        if (level <= cur_ipl)
-            break;
-        sisr_ &= ~(1u << level);
-        deliverInterrupt(static_cast<Byte>(level),
-                         softwareInterruptVector(static_cast<Byte>(level)));
-        return true;
-    }
-    return false;
+    // Software interrupt (SISR): the cache holds the highest set level.
+    const Byte level = pending_soft_ipl_;
+    sisr_ &= ~(1u << level);
+    recomputeSoftPending();
+    deliverInterrupt(level, softwareInterruptVector(level));
+    return true;
 }
 
 void
@@ -205,13 +220,12 @@ Cpu::step()
         // Idle: burn cycles until the timer (or an external event)
         // produces an interrupt.
         chargeCycles(CycleCategory::Idle, 16);
-        stats_.addCycles(CycleCategory::Idle, 0);
         return run_state_;
     }
 
     const VirtAddr instr_pc = regs_[PC];
     try {
-        Decoded d = decode();
+        Decoded &d = decode();
         if (trace_)
             trace_(instr_pc, d.opcode);
         execute(d);

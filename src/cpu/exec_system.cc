@@ -91,7 +91,7 @@ Cpu::privilegedCheck(Decoded &d)
                     vmpsl_ = vm_psl.raw();
                     d.suppressBase = true;
                     d.extraCharge = cost_.mtprIplAssisted;
-                    regs_ = d.regsAfter;
+                    commitRegs(d);
                     regs_[PC] = d.nextPc;
                     return;
                 }
@@ -181,7 +181,7 @@ Cpu::execChm(Decoded &d, AccessMode target)
 
     // Commit operand side effects, then dispatch with PC = next
     // instruction (CHM is a trap).
-    regs_ = d.regsAfter;
+    commitRegs(d);
     regs_[PC] = d.nextPc;
     chargeCycles(CycleCategory::ExceptionDispatch, cost_.exceptionDispatch);
     dispatchThroughScb(vector, new_mode, -1, &code, 1, d.nextPc,
@@ -251,8 +251,10 @@ Cpu::execRei()
 
     // AST delivery check: REI into a mode at or below ASTLVL requests
     // the IPL 2 AST-delivery software interrupt (ASTLVL 4 disables).
-    if (static_cast<Longword>(image.currentMode()) >= astlvl_)
+    if (static_cast<Longword>(image.currentMode()) >= astlvl_) {
         sisr_ |= 1u << 2;
+        recomputeSoftPending();
+    }
 }
 
 void
@@ -268,7 +270,7 @@ Cpu::execMovpsl(Decoded &d)
         value = psl_.raw() & ~Psl::kVm;
     }
     operandWrite(d, 0, value);
-    regs_ = d.regsAfter;
+    commitRegs(d);
     regs_[PC] = d.nextPc;
 }
 
@@ -337,7 +339,7 @@ Cpu::execProbe(Decoded &d, AccessType type)
 
     if (inVmMode())
         d.extraCharge = cost_.probeShadowValid;
-    regs_ = d.regsAfter;
+    commitRegs(d);
     regs_[PC] = d.nextPc;
     // Condition codes: Z=1 when not accessible (documented
     // convention; see arch/opcodes.h).  N=V=C=0.
@@ -386,7 +388,7 @@ Cpu::execProbeVm(Decoded &d, AccessType type)
         modify_clear = true;
     }
 
-    regs_ = d.regsAfter;
+    commitRegs(d);
     regs_[PC] = d.nextPc;
     psl_.setNzvc(false, prot_fail, !prot_fail && invalid,
                  !prot_fail && !invalid && modify_clear);
@@ -404,7 +406,7 @@ Cpu::execMtpr(Decoded &d)
     }
     if (!writeIprInternal(which, value))
         throw GuestFault::simple(ScbVector::ReservedOperand);
-    regs_ = d.regsAfter;
+    commitRegs(d);
     regs_[PC] = d.nextPc;
 }
 
@@ -416,7 +418,7 @@ Cpu::execMfpr(Decoded &d)
     if (!readIprInternal(which, value))
         throw GuestFault::simple(ScbVector::ReservedOperand);
     operandWrite(d, 1, value);
-    regs_ = d.regsAfter;
+    commitRegs(d);
     regs_[PC] = d.nextPc;
 }
 
@@ -526,7 +528,7 @@ Cpu::execCalls(Decoded &d)
     d.regsAfter[FP] = sp;
     d.regsAfter[AP] = arglist;
     d.nextPc = entry + 2;
-    regs_ = d.regsAfter;
+    commitRegs(d);
     regs_[PC] = d.nextPc;
 
     // New PSW: CCs cleared; IV/DV from the entry mask.
@@ -569,7 +571,7 @@ Cpu::execCallg(Decoded &d)
     d.regsAfter[FP] = sp;
     d.regsAfter[AP] = arglist;
     d.nextPc = entry + 2;
-    regs_ = d.regsAfter;
+    commitRegs(d);
     regs_[PC] = d.nextPc;
 
     psl_.setNzvc(false, false, false, false);
@@ -625,7 +627,7 @@ Cpu::execPushr(Decoded &d)
         if (mask & (1u << i))
             pushLong(d, d.regsAfter[i]);
     }
-    regs_ = d.regsAfter;
+    commitRegs(d);
     regs_[PC] = d.nextPc;
 }
 
@@ -637,7 +639,7 @@ Cpu::execPopr(Decoded &d)
         if (mask & (1u << i))
             d.regsAfter[i] = popLong(d);
     }
-    regs_ = d.regsAfter;
+    commitRegs(d);
     regs_[PC] = d.nextPc;
 }
 
@@ -668,7 +670,7 @@ Cpu::execMovc3(Decoded &d)
     d.regsAfter[R4] = 0;
     d.regsAfter[R5] = 0;
     d.extraCharge = len / 2;
-    regs_ = d.regsAfter;
+    commitRegs(d);
     regs_[PC] = d.nextPc;
     psl_.setNzvc(false, true, false, false);
 }
@@ -711,7 +713,7 @@ Cpu::execBbx(Decoded &d, bool branch_on_set, int write_new)
     }
     if (bit == branch_on_set)
         d.nextPc = d.operands[2].value;
-    regs_ = d.regsAfter;
+    commitRegs(d);
     regs_[PC] = d.nextPc;
 }
 
@@ -738,7 +740,7 @@ Cpu::execCase(Decoded &d, OpSize size)
     } else {
         d.nextPc = table + 2 * (limit + 1);
     }
-    regs_ = d.regsAfter;
+    commitRegs(d);
     regs_[PC] = d.nextPc;
     psl_.setNzvc(false, tmp == limit, false, tmp < limit);
 }
@@ -762,7 +764,7 @@ Cpu::execInsque(Decoded &d)
     mmu_.writeV32(entry + 4, pred, mode);  // entry.blink
     mmu_.writeV32(succ + 4, entry, mode);  // succ.blink
     mmu_.writeV32(pred, entry, mode);      // pred.flink
-    regs_ = d.regsAfter;
+    commitRegs(d);
     regs_[PC] = d.nextPc;
     // Z: the queue was empty before the insertion.
     psl_.setNzvc(false, succ == pred, false, false);
@@ -779,7 +781,7 @@ Cpu::execRemque(Decoded &d)
     // V: nothing to remove (the entry is its own successor).
     if (flink == entry) {
         operandWrite(d, 1, entry);
-        regs_ = d.regsAfter;
+        commitRegs(d);
         regs_[PC] = d.nextPc;
         psl_.setNzvc(false, true, true, false);
         return;
@@ -789,7 +791,7 @@ Cpu::execRemque(Decoded &d)
     mmu_.writeV32(blink, flink, mode);     // blink.flink
     mmu_.writeV32(flink + 4, blink, mode); // flink.blink
     operandWrite(d, 1, entry);
-    regs_ = d.regsAfter;
+    commitRegs(d);
     regs_[PC] = d.nextPc;
     // Z: the queue is empty after the removal.
     psl_.setNzvc(false, flink == blink, false, false);

@@ -64,7 +64,7 @@ Cpu::execute(Decoded &d)
     const auto op = static_cast<Opcode>(d.opcode);
 
     auto commit = [&] {
-        regs_ = d.regsAfter;
+        commitRegs(d);
         regs_[PC] = d.nextPc;
     };
     auto branchTo = [&](int operand_index) {

@@ -1,10 +1,16 @@
 #include "memory/mmu.h"
 
+#include <cstdlib>
+
 namespace vvax {
 
 Mmu::Mmu(PhysicalMemory &memory, const CostModel &cost, Stats &stats)
     : memory_(memory), cost_(cost), stats_(stats)
 {
+    ram_base_ = memory_.ram().data();
+    ram_limit_ = memory_.ramSize();
+    if (std::getenv("VVAX_REFERENCE_PATH") != nullptr)
+        fast_enabled_ = false;
 }
 
 Mmu::ProbeResult
@@ -87,8 +93,10 @@ Mmu::walk(VirtAddr va, AccessType type, AccessMode mode, bool fill_tlb)
         result.status = MmStatus::ModifyClear;
         return result;
     }
-    if (fill_tlb)
-        tlb_.insert(va, result.pte, pte_pa);
+    if (fill_tlb) {
+        tlb_.insert(va, result.pte, pte_pa,
+                    memory_.pageBase(result.pte.pfn() << kPageShift));
+    }
     result.status = MmStatus::Ok;
     return result;
 }
@@ -137,7 +145,7 @@ Mmu::raiseFault(const ProbeResult &result, VirtAddr va, AccessType type)
 }
 
 PhysAddr
-Mmu::translate(VirtAddr va, AccessType type, AccessMode mode)
+Mmu::translateSlow(VirtAddr va, AccessType type, AccessMode mode)
 {
     if (!regs_.mapen) {
         if (!memory_.exists(va))
@@ -171,7 +179,8 @@ Mmu::translate(VirtAddr va, AccessType type, AccessMode mode)
         stats_.hardwareModifySets++;
         stats_.addCycles(CycleCategory::MemoryManagement,
                          cost_.hardwareModifySet);
-        tlb_.insert(va, updated, result.ptePa);
+        tlb_.insert(va, updated, result.ptePa,
+                    memory_.pageBase(updated.pfn() << kPageShift));
         result.status = MmStatus::Ok;
     }
 
@@ -214,13 +223,13 @@ Mmu::probe(VirtAddr va, AccessType type, AccessMode mode)
 }
 
 Byte
-Mmu::readV8(VirtAddr va, AccessMode mode)
+Mmu::readV8Slow(VirtAddr va, AccessMode mode)
 {
-    return memory_.read8(translate(va, AccessType::Read, mode));
+    return memory_.read8(translateSlow(va, AccessType::Read, mode));
 }
 
 Word
-Mmu::readV16(VirtAddr va, AccessMode mode)
+Mmu::readV16Slow(VirtAddr va, AccessMode mode)
 {
     if ((va & kPageOffsetMask) <= kPageSize - 2)
         return memory_.read16(translate(va, AccessType::Read, mode));
@@ -230,7 +239,7 @@ Mmu::readV16(VirtAddr va, AccessMode mode)
 }
 
 Longword
-Mmu::readV32(VirtAddr va, AccessMode mode)
+Mmu::readV32Slow(VirtAddr va, AccessMode mode)
 {
     if ((va & kPageOffsetMask) <= kPageSize - 4)
         return memory_.read32(translate(va, AccessType::Read, mode));
@@ -241,13 +250,13 @@ Mmu::readV32(VirtAddr va, AccessMode mode)
 }
 
 void
-Mmu::writeV8(VirtAddr va, Byte value, AccessMode mode)
+Mmu::writeV8Slow(VirtAddr va, Byte value, AccessMode mode)
 {
-    memory_.write8(translate(va, AccessType::Write, mode), value);
+    memory_.write8(translateSlow(va, AccessType::Write, mode), value);
 }
 
 void
-Mmu::writeV16(VirtAddr va, Word value, AccessMode mode)
+Mmu::writeV16Slow(VirtAddr va, Word value, AccessMode mode)
 {
     if ((va & kPageOffsetMask) <= kPageSize - 2) {
         memory_.write16(translate(va, AccessType::Write, mode), value);
@@ -258,7 +267,7 @@ Mmu::writeV16(VirtAddr va, Word value, AccessMode mode)
 }
 
 void
-Mmu::writeV32(VirtAddr va, Longword value, AccessMode mode)
+Mmu::writeV32Slow(VirtAddr va, Longword value, AccessMode mode)
 {
     if ((va & kPageOffsetMask) <= kPageSize - 4) {
         memory_.write32(translate(va, AccessType::Write, mode), value);

@@ -14,10 +14,23 @@
  *
  * Protection is checked even when PTE<V> is clear - the property the
  * paper's null-PTE shadow discipline relies on (Section 4.3.1).
+ *
+ * Host fast path (docs/ARCHITECTURE.md): the virtual accessors
+ * readV8/16/32 and writeV8/16/32 first try an inlined path that goes straight to host
+ * memory through the TLB entry's cached host pointer and precomputed
+ * permission verdict.  The fast path takes exactly the accesses the
+ * full path would complete on a TLB hit, performs the identical
+ * counter updates, and falls back to the full path for everything
+ * else, so every architectural counter stays bit-identical.  Setting
+ * the environment variable VVAX_REFERENCE_PATH (or calling
+ * setReferencePath(true)) disables it for lockstep equivalence
+ * testing.
  */
 
 #ifndef VVAX_MEMORY_MMU_H
 #define VVAX_MEMORY_MMU_H
+
+#include <cstring>
 
 #include "arch/exceptions.h"
 #include "arch/pte.h"
@@ -66,10 +79,35 @@ class Mmu
     bool modifyFaultMode() const { return modify_fault_mode_; }
 
     /**
+     * Disable (true) or re-enable (false) the host fast path.  The
+     * reference path keeps today's full translate()-per-byte walk for
+     * lockstep equivalence testing; both paths must produce
+     * bit-identical architectural state and counters.
+     */
+    void setReferencePath(bool on) { fast_enabled_ = !on; }
+    bool referencePath() const { return !fast_enabled_; }
+
+    /**
      * Translate @p va for an access of @p type from @p mode.
      * @throws GuestFault for ACV, TNV, modify fault, machine check.
      */
-    PhysAddr translate(VirtAddr va, AccessType type, AccessMode mode);
+    PhysAddr
+    translate(VirtAddr va, AccessType type, AccessMode mode)
+    {
+        if (fast_enabled_) {
+            if (!regs_.mapen) {
+                if (va < ram_limit_)
+                    return va;
+            } else if (Tlb::Entry *e = tlb_.lookup(va)) {
+                if (e->permMask & Tlb::permBit(mode, type)) {
+                    stats_.tlbHits++;
+                    return (e->pte.pfn() << kPageShift) |
+                           (va & kPageOffsetMask);
+                }
+            }
+        }
+        return translateSlow(va, type, mode);
+    }
 
     /** Result of a non-faulting walk. */
     struct ProbeResult
@@ -95,13 +133,180 @@ class Mmu
 
     // Virtual-address convenience accessors used by the CPU core.
     // Unaligned accesses that cross a page boundary translate each
-    // page separately (as real VAX hardware does).
-    Byte readV8(VirtAddr va, AccessMode mode);
-    Word readV16(VirtAddr va, AccessMode mode);
-    Longword readV32(VirtAddr va, AccessMode mode);
-    void writeV8(VirtAddr va, Byte value, AccessMode mode);
-    void writeV16(VirtAddr va, Word value, AccessMode mode);
-    void writeV32(VirtAddr va, Longword value, AccessMode mode);
+    // page separately (as real VAX hardware does).  The inline bodies
+    // are the host fast path; the *Slow versions are the reference
+    // path and the fallback for everything the fast path cannot
+    // prove safe (MMIO, page crossings, misses, modify/protection
+    // work).
+    Byte
+    readV8(VirtAddr va, AccessMode mode)
+    {
+        if (fast_enabled_) {
+            if (!regs_.mapen) {
+                if (va < ram_limit_)
+                    return ram_base_[va];
+            } else if (Tlb::Entry *e = tlb_.lookup(va)) {
+                if (e->hostPage &&
+                    (e->permMask &
+                     Tlb::permBit(mode, AccessType::Read))) {
+                    stats_.tlbHits++;
+                    return e->hostPage[va & kPageOffsetMask];
+                }
+            }
+        }
+        return readV8Slow(va, mode);
+    }
+
+    Word
+    readV16(VirtAddr va, AccessMode mode)
+    {
+        if (fast_enabled_ && (va & kPageOffsetMask) <= kPageSize - 2) {
+            if (!regs_.mapen) {
+                if (static_cast<std::uint64_t>(va) + 2 <= ram_limit_) {
+                    Word value;
+                    std::memcpy(&value, ram_base_ + va, 2);
+                    return value;
+                }
+            } else if (Tlb::Entry *e = tlb_.lookup(va)) {
+                if (e->hostPage &&
+                    (e->permMask &
+                     Tlb::permBit(mode, AccessType::Read))) {
+                    stats_.tlbHits++;
+                    Word value;
+                    std::memcpy(&value,
+                                e->hostPage + (va & kPageOffsetMask), 2);
+                    return value;
+                }
+            }
+        }
+        return readV16Slow(va, mode);
+    }
+
+    Longword
+    readV32(VirtAddr va, AccessMode mode)
+    {
+        if (fast_enabled_ && (va & kPageOffsetMask) <= kPageSize - 4) {
+            if (!regs_.mapen) {
+                if (static_cast<std::uint64_t>(va) + 4 <= ram_limit_) {
+                    Longword value;
+                    std::memcpy(&value, ram_base_ + va, 4);
+                    return value;
+                }
+            } else if (Tlb::Entry *e = tlb_.lookup(va)) {
+                if (e->hostPage &&
+                    (e->permMask &
+                     Tlb::permBit(mode, AccessType::Read))) {
+                    stats_.tlbHits++;
+                    Longword value;
+                    std::memcpy(&value,
+                                e->hostPage + (va & kPageOffsetMask), 4);
+                    return value;
+                }
+            }
+        }
+        return readV32Slow(va, mode);
+    }
+
+    void
+    writeV8(VirtAddr va, Byte value, AccessMode mode)
+    {
+        if (fast_enabled_) {
+            if (!regs_.mapen) {
+                if (va < ram_limit_) {
+                    ram_base_[va] = value;
+                    return;
+                }
+            } else if (Tlb::Entry *e = tlb_.lookup(va)) {
+                if (e->hostPage &&
+                    (e->permMask &
+                     Tlb::permBit(mode, AccessType::Write))) {
+                    stats_.tlbHits++;
+                    e->hostPage[va & kPageOffsetMask] = value;
+                    return;
+                }
+            }
+        }
+        writeV8Slow(va, value, mode);
+    }
+
+    void
+    writeV16(VirtAddr va, Word value, AccessMode mode)
+    {
+        if (fast_enabled_ && (va & kPageOffsetMask) <= kPageSize - 2) {
+            if (!regs_.mapen) {
+                if (static_cast<std::uint64_t>(va) + 2 <= ram_limit_) {
+                    std::memcpy(ram_base_ + va, &value, 2);
+                    return;
+                }
+            } else if (Tlb::Entry *e = tlb_.lookup(va)) {
+                if (e->hostPage &&
+                    (e->permMask &
+                     Tlb::permBit(mode, AccessType::Write))) {
+                    stats_.tlbHits++;
+                    std::memcpy(e->hostPage + (va & kPageOffsetMask),
+                                &value, 2);
+                    return;
+                }
+            }
+        }
+        writeV16Slow(va, value, mode);
+    }
+
+    void
+    writeV32(VirtAddr va, Longword value, AccessMode mode)
+    {
+        if (fast_enabled_ && (va & kPageOffsetMask) <= kPageSize - 4) {
+            if (!regs_.mapen) {
+                if (static_cast<std::uint64_t>(va) + 4 <= ram_limit_) {
+                    std::memcpy(ram_base_ + va, &value, 4);
+                    return;
+                }
+            } else if (Tlb::Entry *e = tlb_.lookup(va)) {
+                if (e->hostPage &&
+                    (e->permMask &
+                     Tlb::permBit(mode, AccessType::Write))) {
+                    stats_.tlbHits++;
+                    std::memcpy(e->hostPage + (va & kPageOffsetMask),
+                                &value, 4);
+                    return;
+                }
+            }
+        }
+        writeV32Slow(va, value, mode);
+    }
+
+    /**
+     * Host pointer to the instruction-stream page containing @p va,
+     * for the CPU's prefetch window - non-null only when memory
+     * management is off, the page is RAM and the fast path is
+     * enabled.  With mapping on the window instead latches a TLB
+     * entry via tlbLookup() and counts a TLB hit per fetch itself,
+     * so hit/miss counters stay identical to fetching through readV*.
+     */
+    const Byte *
+    instrPage(VirtAddr va)
+    {
+        if (!fast_enabled_ || regs_.mapen)
+            return nullptr;
+        if (static_cast<std::uint64_t>(va & ~kPageOffsetMask) + kPageSize <= ram_limit_)
+            return ram_base_ + (va & ~kPageOffsetMask);
+        return nullptr;
+    }
+
+    /**
+     * The TLB entry covering @p va when mapping is on and the fast
+     * path is enabled, nullptr otherwise (including on a TLB miss).
+     * Pure lookup: no counters, no fill.  The decoder's instruction
+     * window uses it to pin the stream page and performs the
+     * per-fetch tlbHits accounting itself.
+     */
+    Tlb::Entry *
+    tlbLookup(VirtAddr va)
+    {
+        if (!fast_enabled_ || !regs_.mapen)
+            return nullptr;
+        return tlb_.lookup(va);
+    }
 
     PhysicalMemory &memory() { return memory_; }
 
@@ -118,12 +323,26 @@ class Mmu
     [[noreturn]] void raiseFault(const ProbeResult &result, VirtAddr va,
                                  AccessType type);
 
+    // Reference path / fast-path fallbacks (mmu.cc).
+    PhysAddr translateSlow(VirtAddr va, AccessType type, AccessMode mode);
+    Byte readV8Slow(VirtAddr va, AccessMode mode);
+    Word readV16Slow(VirtAddr va, AccessMode mode);
+    Longword readV32Slow(VirtAddr va, AccessMode mode);
+    void writeV8Slow(VirtAddr va, Byte value, AccessMode mode);
+    void writeV16Slow(VirtAddr va, Word value, AccessMode mode);
+    void writeV32Slow(VirtAddr va, Longword value, AccessMode mode);
+
     PhysicalMemory &memory_;
     const CostModel &cost_;
     Stats &stats_;
     MmuRegisters regs_;
     Tlb tlb_;
     bool modify_fault_mode_ = false;
+
+    // Host fast path state (see class comment).
+    bool fast_enabled_ = true;
+    Byte *ram_base_ = nullptr;
+    Longword ram_limit_ = 0;
 };
 
 } // namespace vvax

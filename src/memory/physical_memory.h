@@ -49,6 +49,21 @@ class PhysicalMemory
     /** @return true if the whole page containing @p pa is RAM. */
     bool isRam(PhysAddr pa) const { return pa < ramSize(); }
 
+    /**
+     * Host pointer to the start of the RAM page containing @p pa, or
+     * nullptr when the page is not entirely RAM-backed (MMIO,
+     * non-existent).  RAM is allocated once at construction, so the
+     * pointer remains valid for the life of the machine.
+     */
+    Byte *
+    pageBase(PhysAddr pa)
+    {
+        const PhysAddr page = pa & ~kPageOffsetMask;
+        if (static_cast<std::uint64_t>(page) + kPageSize <= ramSize())
+            return ram_.data() + page;
+        return nullptr;
+    }
+
     // Accessors.  Out-of-range RAM access with no window is reported
     // by exists(); callers (the MMU) check first.  These assert.
     Byte read8(PhysAddr pa);

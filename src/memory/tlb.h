@@ -9,6 +9,13 @@
  * An entry caches the PTE and the physical address the PTE was read
  * from, so the hardware modify-bit path (standard VAX) can update
  * memory without re-walking.
+ *
+ * For the host fast path (docs/ARCHITECTURE.md, "Host fast path vs
+ * simulated cost model") an entry additionally caches a host pointer
+ * to the RAM page it maps and a precomputed permission verdict per
+ * (access mode, access type).  Both are pure host-side caches: they
+ * are derived from the PTE at insert time and never change what the
+ * simulated hardware observes.
  */
 
 #ifndef VVAX_MEMORY_TLB_H
@@ -24,51 +31,75 @@ namespace vvax {
 class Tlb
 {
   public:
+    /** Tag value that can never match a real VPN (VPNs are 23 bits). */
+    static constexpr Longword kInvalidTag = ~Longword{0};
+
     struct Entry
     {
-        bool valid = false;
-        Longword tag = 0; //!< va >> 9
+        Longword tag = kInvalidTag; //!< va >> 9, kInvalidTag when empty
         Pte pte;
         PhysAddr ptePa = 0; //!< where the PTE lives (for M-bit update)
+        /**
+         * Host pointer to the start of the mapped page when it is
+         * RAM-backed, nullptr otherwise (MMIO or non-existent).  Host
+         * cache only; RAM never moves, so the pointer stays valid for
+         * the lifetime of the entry.
+         */
+        Byte *hostPage = nullptr;
+        /**
+         * Bit (2*mode + type) is set when an access of @p type from
+         * @p mode may complete without a fresh walk: the protection
+         * code permits it and, for writes, PTE<M> is already set.
+         * Exactly the predicate translate() evaluates on a hit.
+         */
+        Byte permMask = 0;
     };
 
     static constexpr int kEntriesPerHalf = 256;
+
+    /** Bit index into Entry::permMask for (mode, type). */
+    static constexpr Byte
+    permBit(AccessMode mode, AccessType type)
+    {
+        return static_cast<Byte>(
+            1u << (2 * static_cast<Byte>(mode) + static_cast<Byte>(type)));
+    }
 
     /** @return the cached entry for @p va, or nullptr on miss. */
     Entry *
     lookup(VirtAddr va)
     {
         Entry &entry = slot(va);
-        if (entry.valid && entry.tag == (va >> kPageShift))
+        if (entry.tag == (va >> kPageShift))
             return &entry;
         return nullptr;
     }
 
     void
-    insert(VirtAddr va, Pte pte, PhysAddr pte_pa)
+    insert(VirtAddr va, Pte pte, PhysAddr pte_pa, Byte *host_page)
     {
         Entry &entry = slot(va);
-        entry.valid = true;
         entry.tag = va >> kPageShift;
         entry.pte = pte;
         entry.ptePa = pte_pa;
+        entry.hostPage = host_page;
+        entry.permMask = computePermMask(pte);
     }
 
     /** Invalidate everything (TBIA). */
     void
     invalidateAll()
     {
-        for (auto &e : system_)
-            e.valid = false;
-        invalidateProcess();
+        for (auto &e : entries_)
+            e.tag = kInvalidTag;
     }
 
     /** Invalidate process-space entries only (LDPCTX). */
     void
     invalidateProcess()
     {
-        for (auto &e : process_)
-            e.valid = false;
+        for (int i = 0; i < kEntriesPerHalf; ++i)
+            entries_[i].tag = kInvalidTag;
     }
 
     /** Invalidate the single page containing @p va (TBIS). */
@@ -76,22 +107,48 @@ class Tlb
     invalidateSingle(VirtAddr va)
     {
         Entry &entry = slot(va);
-        if (entry.valid && entry.tag == (va >> kPageShift))
-            entry.valid = false;
+        if (entry.tag == (va >> kPageShift))
+            entry.tag = kInvalidTag;
     }
 
   private:
+    static Byte
+    computePermMask(Pte pte)
+    {
+        Byte mask = 0;
+        const Protection prot = pte.protection();
+        for (int m = 0; m < kNumAccessModes; ++m) {
+            const auto mode = static_cast<AccessMode>(m);
+            if (protectionPermits(prot, mode, AccessType::Read))
+                mask |= permBit(mode, AccessType::Read);
+            // A write may bypass the walk only when it also would not
+            // take the modify path (hardware M-set or modify fault).
+            if (pte.modify() &&
+                protectionPermits(prot, mode, AccessType::Write)) {
+                mask |= permBit(mode, AccessType::Write);
+            }
+        }
+        return mask;
+    }
+
+    /**
+     * Direct-mapped slot: entries 0..255 are the process half,
+     * 256..511 the system half, selected branchlessly by the region
+     * bits (P0/P1/Reserved fall in the process half, exactly the
+     * va-to-entry mapping of the original two-array layout).
+     */
     Entry &
     slot(VirtAddr va)
     {
         const Longword vpn_global = va >> kPageShift;
-        const int index = vpn_global & (kEntriesPerHalf - 1);
-        return regionOf(va) == Region::System ? system_[index]
-                                              : process_[index];
+        const int is_system =
+            (va >> 30) == static_cast<Longword>(Region::System) ? 1 : 0;
+        const int index = (vpn_global & (kEntriesPerHalf - 1)) |
+                          (is_system << 8);
+        return entries_[index];
     }
 
-    std::array<Entry, kEntriesPerHalf> system_{};
-    std::array<Entry, kEntriesPerHalf> process_{};
+    std::array<Entry, 2 * kEntriesPerHalf> entries_{};
 };
 
 } // namespace vvax

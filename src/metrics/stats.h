@@ -70,6 +70,13 @@ struct Stats
 
     /** Pretty-print a summary table. */
     void print(std::ostream &os) const;
+
+    /**
+     * Field-wise equality, used by the fast-path/reference-path
+     * lockstep tests: the host fast path must leave every counter
+     * bit-identical.
+     */
+    bool operator==(const Stats &other) const = default;
 };
 
 } // namespace vvax

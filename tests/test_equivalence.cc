@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "tests/harness.h"
+#include "guest/minivms.h"
 #include "vmm/hypervisor.h"
 
 namespace vvax {
@@ -207,6 +208,236 @@ TEST(EquivalenceTimer, VirtualizationSurvivesPreemption)
         EXPECT_EQ(bare.regs[r], virt.regs[r]) << "r" << r;
     EXPECT_EQ(bare.data, virt.data);
     EXPECT_EQ(bare.psw, virt.psw);
+}
+
+// ----- Host fast path vs reference path --------------------------------
+//
+// The interpreter's host fast path (pointer-carrying TLB entries, the
+// decoder's zero-copy instruction window, the predecoded-instruction
+// cache) must be invisible: running the same workload with the fast
+// path disabled (Mmu::setReferencePath, the VVAX_REFERENCE_PATH
+// switch) must yield bit-identical architectural state AND
+// bit-identical Stats counters (docs/ARCHITECTURE.md, "Host fast path
+// vs simulated cost model").
+
+/** Full architectural outcome of a machine, counters included. */
+struct MachineDigest
+{
+    std::array<Longword, kNumRegs> regs{};
+    Longword psl = 0;
+    std::uint64_t ram = 0; //!< FNV-1a over all of physical memory
+    Stats stats;
+
+    bool operator==(const MachineDigest &other) const = default;
+};
+
+std::uint64_t
+fnv1a(std::span<const Byte> bytes)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (Byte b : bytes) {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+MachineDigest
+digestOf(RealMachine &m)
+{
+    MachineDigest d;
+    for (int r = 0; r < kNumRegs; ++r)
+        d.regs[static_cast<std::size_t>(r)] = m.cpu().reg(r);
+    d.psl = m.cpu().psl().raw();
+    d.ram = fnv1a(m.memory().ram());
+    d.stats = m.stats();
+    return d;
+}
+
+void
+expectDigestsEqual(const MachineDigest &fast, const MachineDigest &ref)
+{
+    for (int r = 0; r < kNumRegs; ++r)
+        EXPECT_EQ(fast.regs[static_cast<std::size_t>(r)],
+                  ref.regs[static_cast<std::size_t>(r)])
+            << "r" << r;
+    EXPECT_EQ(fast.psl, ref.psl) << "PSL";
+    EXPECT_EQ(fast.ram, ref.ram) << "memory digest";
+    EXPECT_EQ(fast.stats.instructions, ref.stats.instructions);
+    EXPECT_EQ(fast.stats.tlbHits, ref.stats.tlbHits);
+    EXPECT_EQ(fast.stats.tlbMisses, ref.stats.tlbMisses);
+    EXPECT_EQ(fast.stats.hardwareModifySets,
+              ref.stats.hardwareModifySets);
+    EXPECT_EQ(fast.stats.modifyFaults, ref.stats.modifyFaults);
+    EXPECT_EQ(fast.stats.translationFaults, ref.stats.translationFaults);
+    EXPECT_EQ(fast.stats.accessViolations, ref.stats.accessViolations);
+    EXPECT_TRUE(fast.stats == ref.stats)
+        << "every Stats field must be bit-identical";
+    EXPECT_TRUE(fast == ref);
+}
+
+/** Run a random straight-line program on a bare modified VAX. */
+MachineDigest
+lockstepBareProgram(std::uint32_t seed, bool reference)
+{
+    CodeBuilder b = randomProgram(seed, 200);
+    MachineConfig mc;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.mmu().setReferencePath(reference);
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(31);
+    m.cpu().setReg(SP, 0x3000);
+    m.run(100000);
+    EXPECT_EQ(m.cpu().haltReason(), HaltReason::HaltInstruction);
+    return digestOf(m);
+}
+
+/** Execute random bytes (faults and all) on a bare machine. */
+MachineDigest
+lockstepFuzzBytes(std::uint32_t seed, bool reference)
+{
+    std::mt19937 rng(seed);
+    std::vector<Byte> bytes(4096);
+    for (Byte &b : bytes)
+        b = static_cast<Byte>(rng());
+
+    RealMachine m;
+    m.mmu().setReferencePath(reference);
+    m.loadImage(0x200, bytes);
+    m.cpu().setPc(0x200);
+    m.cpu().psl().setIpl(31);
+    m.cpu().setReg(SP, 0x8000);
+    m.run(20000);
+    return digestOf(m);
+}
+
+/** Run a random program inside a VM (mapped fetches, shadow PTs). */
+MachineDigest
+lockstepVirtualProgram(std::uint32_t seed, bool reference)
+{
+    CodeBuilder b = randomProgram(seed, 200);
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.mmu().setReferencePath(reference);
+    Hypervisor hv(m);
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+    auto image = b.finish();
+    hv.loadVmImage(vm, b.origin(), image);
+    hv.startVm(vm, b.origin());
+    hv.run(10000000);
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    return digestOf(m);
+}
+
+/** Boot MiniVMS (kernel, MMU on, several processes) bare. */
+MachineDigest
+lockstepMiniVmsBare(bool reference)
+{
+    MiniVmsConfig cfg;
+    cfg.numProcesses = 3;
+    cfg.workloads = {Workload::Compute, Workload::Edit,
+                     Workload::Transaction};
+    cfg.iterations = 8;
+    cfg.dataPagesPerProcess = 8;
+
+    MachineConfig mc;
+    mc.ramBytes = cfg.memBytes;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.mmu().setReferencePath(reference);
+    cfg.diskCsrPfn = mc.diskCsrBase >> kPageShift;
+    MiniVmsImage img = buildMiniVms(cfg);
+    m.loadImage(0, img.image);
+    m.cpu().setPc(img.entry);
+    m.cpu().psl().setIpl(31);
+    m.run(30000000);
+    EXPECT_EQ(m.cpu().haltReason(), HaltReason::HaltInstruction);
+    EXPECT_EQ(m.memory().read32(img.resultBase),
+              MiniVmsImage::kResultMagic);
+    return digestOf(m);
+}
+
+/** Boot MiniVMS inside a virtual machine. */
+MachineDigest
+lockstepMiniVmsVirtual(bool reference)
+{
+    MiniVmsConfig cfg;
+    cfg.numProcesses = 3;
+    cfg.workloads = {Workload::Compute, Workload::Edit,
+                     Workload::Transaction};
+    cfg.iterations = 8;
+    cfg.dataPagesPerProcess = 8;
+
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.mmu().setReferencePath(reference);
+    Hypervisor hv(m);
+    VmConfig vc;
+    vc.memBytes = cfg.memBytes;
+    vc.diskBlocks = 256;
+    VirtualMachine &vm = hv.createVm(vc);
+    MiniVmsImage img = buildMiniVms(cfg);
+    hv.loadVmImage(vm, 0, img.image);
+    hv.startVm(vm, img.entry);
+    hv.run(30000000);
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    return digestOf(m);
+}
+
+class FastPathLockstep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(FastPathLockstep, RandomProgramOnBareMachine)
+{
+    expectDigestsEqual(lockstepBareProgram(GetParam(), false),
+                       lockstepBareProgram(GetParam(), true));
+}
+
+TEST_P(FastPathLockstep, RandomBytesWithFaults)
+{
+    expectDigestsEqual(lockstepFuzzBytes(GetParam(), false),
+                       lockstepFuzzBytes(GetParam(), true));
+}
+
+TEST_P(FastPathLockstep, RandomProgramInsideVm)
+{
+    expectDigestsEqual(lockstepVirtualProgram(GetParam(), false),
+                       lockstepVirtualProgram(GetParam(), true));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastPathLockstep,
+                         ::testing::Values(7u, 1009u, 40961u, 65537u,
+                                           99991u, 123456789u));
+
+TEST(FastPathLockstep, MiniVmsBootBare)
+{
+    expectDigestsEqual(lockstepMiniVmsBare(false),
+                       lockstepMiniVmsBare(true));
+}
+
+TEST(FastPathLockstep, MiniVmsBootVirtualized)
+{
+    expectDigestsEqual(lockstepMiniVmsVirtual(false),
+                       lockstepMiniVmsVirtual(true));
+}
+
+TEST(FastPathLockstep, EnvironmentVariableSelectsReferencePath)
+{
+    RealMachine m;
+    EXPECT_FALSE(m.mmu().referencePath())
+        << "fast path is the default";
+    m.mmu().setReferencePath(true);
+    EXPECT_TRUE(m.mmu().referencePath());
+    m.mmu().setReferencePath(false);
+    EXPECT_FALSE(m.mmu().referencePath());
 }
 
 } // namespace
