@@ -10,12 +10,61 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/common.h"
+#include "guest/microguests.h"
 #include "vasm/code_builder.h"
 
 using namespace vvax;
 using namespace vvax::bench;
 
 namespace {
+
+/**
+ * Accumulates exit-reason / TLB observability counters across
+ * benchmark iterations and publishes per-iteration averages into the
+ * benchmark's JSON output.
+ */
+struct VmmCounters
+{
+    std::uint64_t emulationTraps = 0;
+    std::uint64_t ldpctx = 0;
+    std::uint64_t mtprIpl = 0;
+    std::uint64_t tlbFlushAll = 0;
+    std::uint64_t tlbContextSwitches = 0;
+    std::uint64_t tlbHits = 0;
+    std::uint64_t tlbMisses = 0;
+
+    void
+    accumulate(RealMachine &m, const VirtualMachine &vm)
+    {
+        emulationTraps += vm.stats.emulationTraps;
+        ldpctx += vm.stats.ldpctxEmulations;
+        mtprIpl += vm.stats.mtprIplEmulations;
+        tlbFlushAll += m.stats().tlbFlushAll;
+        tlbContextSwitches += m.stats().tlbContextSwitches;
+        tlbHits += m.stats().tlbHits;
+        tlbMisses += m.stats().tlbMisses;
+    }
+
+    void
+    publish(benchmark::State &state) const
+    {
+        const auto avg = benchmark::Counter::kAvgIterations;
+        state.counters["emulation_traps"] =
+            benchmark::Counter(static_cast<double>(emulationTraps), avg);
+        state.counters["ldpctx_emulations"] =
+            benchmark::Counter(static_cast<double>(ldpctx), avg);
+        state.counters["mtpr_ipl_emulations"] =
+            benchmark::Counter(static_cast<double>(mtprIpl), avg);
+        state.counters["tlb_tbia"] =
+            benchmark::Counter(static_cast<double>(tlbFlushAll), avg);
+        state.counters["tlb_context_switches"] = benchmark::Counter(
+            static_cast<double>(tlbContextSwitches), avg);
+        state.counters["tlb_hits"] =
+            benchmark::Counter(static_cast<double>(tlbHits), avg);
+        state.counters["tlb_misses"] =
+            benchmark::Counter(static_cast<double>(tlbMisses), avg);
+    }
+};
 
 CodeBuilder
 spinLoop(Longword iterations)
@@ -57,6 +106,7 @@ void
 BM_VirtualizedExecution(benchmark::State &state)
 {
     const Longword iters = 20000;
+    VmmCounters counters;
     for (auto _ : state) {
         MachineConfig mc;
         mc.ramBytes = 16 * 1024 * 1024;
@@ -70,12 +120,64 @@ BM_VirtualizedExecution(benchmark::State &state)
         hv.startVm(vm, b.origin());
         hv.run(UINT64_MAX);
         benchmark::DoNotOptimize(vm.stats.vmEntries);
+        counters.accumulate(m, vm);
         state.SetItemsProcessed(state.items_processed() +
                                 static_cast<std::int64_t>(
                                     m.stats().instructions));
     }
+    counters.publish(state);
 }
 BENCHMARK(BM_VirtualizedExecution)->Unit(benchmark::kMillisecond);
+
+/**
+ * Run a microguest in a fresh VM, counting guest instructions and the
+ * VMM exit-reason / TLB profile (the paper's Table 3 view of where
+ * virtualization overhead comes from).
+ */
+void
+runMicroGuestBenchmark(benchmark::State &state,
+                       const MicroGuestImage &img)
+{
+    VmmCounters counters;
+    for (auto _ : state) {
+        MachineConfig mc;
+        mc.ramBytes = 16 * 1024 * 1024;
+        mc.level = MicrocodeLevel::Modified;
+        RealMachine m(mc);
+        Hypervisor hv(m);
+        VirtualMachine &vm = hv.createVm(VmConfig{});
+        hv.loadVmImage(vm, img.loadBase, img.image);
+        hv.startVm(vm, img.entry);
+        hv.run(UINT64_MAX);
+        if (vm.haltReason != VmHaltReason::HaltInstruction) {
+            state.SkipWithError("guest failed");
+            return;
+        }
+        counters.accumulate(m, vm);
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<std::int64_t>(
+                                    m.stats().instructions));
+    }
+    counters.publish(state);
+}
+
+/** Trap-dense guest: four emulation traps per loop iteration. */
+void
+BM_VirtualizedTrapDense(benchmark::State &state)
+{
+    const MicroGuestImage img = buildTrapDenseLoop(4000);
+    runMicroGuestBenchmark(state, img);
+}
+BENCHMARK(BM_VirtualizedTrapDense)->Unit(benchmark::kMillisecond);
+
+/** Switch-dense guest: SVPCTX/LDPCTX/REI ping-pong between PCBs. */
+void
+BM_VirtualizedSwitchDense(benchmark::State &state)
+{
+    const MicroGuestImage img = buildContextSwitchLoop(1500);
+    runMicroGuestBenchmark(state, img);
+}
+BENCHMARK(BM_VirtualizedSwitchDense)->Unit(benchmark::kMillisecond);
 
 void
 BM_MiniVmsBootToCompletion(benchmark::State &state)

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Guard simulator throughput: run bench_sim_throughput in an
+# optimized tree and compare items_per_second per benchmark against
+# the checked-in baseline (BENCH_sim_throughput.json).  Exits 1 if
+# any benchmark regressed by more than the threshold (default 15%).
+#
+# Usage: check_bench_regression.sh [fresh.json]
+#   With an argument, compares that JSON instead of running the
+#   benchmarks (useful for inspecting a completed run).
+set -e
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_sim_throughput.json
+THRESHOLD_PCT="${BENCH_REGRESSION_THRESHOLD:-15}"
+
+if [ ! -f "$BASELINE" ]; then
+    echo "check_bench_regression: no baseline $BASELINE; nothing to compare" >&2
+    exit 0
+fi
+
+if [ $# -ge 1 ]; then
+    FRESH="$1"
+else
+    FRESH=$(mktemp /tmp/bench_fresh.XXXXXX.json)
+    trap 'rm -f "$FRESH"' EXIT
+    cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+    cmake --build build-rel -j "$(nproc)" --target bench_sim_throughput >/dev/null
+    build-rel/bench/bench_sim_throughput \
+        --benchmark_min_time=0.5 \
+        --benchmark_format=json \
+        --benchmark_out="$FRESH" \
+        --benchmark_out_format=json >/dev/null
+fi
+
+python3 - "$BASELINE" "$FRESH" "$THRESHOLD_PCT" <<'EOF'
+import json
+import sys
+
+baseline_path, fresh_path, threshold_pct = sys.argv[1:4]
+threshold = float(threshold_pct) / 100.0
+
+
+def rates(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        b["name"]: b["items_per_second"]
+        for b in doc.get("benchmarks", [])
+        if "items_per_second" in b
+    }
+
+
+base = rates(baseline_path)
+fresh = rates(fresh_path)
+
+failed = False
+for name, old in sorted(base.items()):
+    new = fresh.get(name)
+    if new is None:
+        print(f"MISSING  {name}: in baseline but not in fresh run")
+        failed = True
+        continue
+    delta = (new - old) / old
+    marker = "ok      "
+    if delta < -threshold:
+        marker = "REGRESSED"
+        failed = True
+    print(f"{marker} {name}: {old / 1e6:8.2f} -> {new / 1e6:8.2f} "
+          f"M items/s ({delta * 100:+.1f}%)")
+
+for name in sorted(set(fresh) - set(base)):
+    print(f"new      {name}: {fresh[name] / 1e6:8.2f} M items/s "
+          f"(no baseline)")
+
+if failed:
+    print(f"FAIL: throughput regressed beyond {threshold_pct}% "
+          f"of {baseline_path}")
+    sys.exit(1)
+print(f"PASS: all benchmarks within {threshold_pct}% of baseline")
+EOF

@@ -17,3 +17,8 @@ ctest --test-dir build 2>&1 | tee test_output.txt
     echo
   done
 } 2>&1 | tee bench_output.txt
+
+# Throughput guard (warn-only here; run the script directly for a
+# gating exit code).
+scripts/check_bench_regression.sh ||
+    echo "WARNING: simulator throughput regressed vs BENCH_sim_throughput.json"

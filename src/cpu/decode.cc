@@ -794,7 +794,7 @@ class DecodeContext
     const Byte *win_base_ = nullptr;
     VirtAddr win_page_ = kNoWindow;
     Tlb::Entry *win_entry_ = nullptr;
-    Longword win_tag_ = 0;
+    std::uint64_t win_tag_ = 0;
 };
 
 Cpu::Decoded &

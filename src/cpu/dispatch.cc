@@ -108,6 +108,7 @@ void
 Cpu::raiseVmEmulationTrap(const VmTrapFrame &frame)
 {
     stats_.vmEmulationTraps++;
+    stats_.vmTrapOpcodes[frame.opcode > 0xFF ? 0xFD : frame.opcode]++;
     chargeCycles(CycleCategory::ExceptionDispatch, cost_.exceptionDispatch);
     dispatchThroughScb(static_cast<Word>(ScbVector::VmEmulation),
                        AccessMode::Kernel, -1, nullptr, 0, frame.pc,

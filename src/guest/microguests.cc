@@ -1,0 +1,150 @@
+#include "guest/microguests.h"
+
+#include "arch/ipr.h"
+#include "arch/pte.h"
+#include "vasm/code_builder.h"
+
+namespace vvax {
+namespace {
+
+constexpr VirtAddr kLoadBase = 0x200;
+
+/** Kernel-mode, IPL 31, both mode fields kernel: a legal REI image. */
+constexpr Longword kSwitchPsl = 31u << 16;
+
+/** PCB field offsets (see Cpu::execLdpctx). */
+constexpr Longword kSptBase = 0x8000;   //!< identity SPT, 128 PTEs
+constexpr Longword kCounterAddr = 0x5000;
+
+/**
+ * Emit a 96-byte process control block.  Registers start zeroed; the
+ * process map is the same identity map both processes run under, so
+ * only the stack and resume PC distinguish them.
+ */
+void
+emitPcb(CodeBuilder &b, Longword ksp, Label resume_pc)
+{
+    b.longword(ksp);            // KSP
+    b.longword(0);              // ESP
+    b.longword(0);              // SSP
+    b.longword(0);              // USP
+    for (int i = 0; i < 12; ++i)
+        b.longword(0);          // R0-R11
+    b.longword(0);              // AP
+    b.longword(0);              // FP
+    b.longwordAbs(resume_pc);   // PC
+    b.longword(kSwitchPsl);     // PSL
+    b.longword(kSystemBase + kSptBase);        // P0BR (S va of the SPT)
+    b.longword((4u << 24) | 128);              // P0LR + ASTLVL 4
+    b.longword(0);              // P1BR
+    b.longword(0x200000);       // P1LR (empty P1)
+}
+
+/**
+ * Identity-map the low 64 KB: build a 128-entry SPT at kSptBase and
+ * point P0 at the same table through S space, then enable mapping.
+ * (The same trick the shadow-table tests use.)
+ */
+void
+emitIdentityMapOn(CodeBuilder &b)
+{
+    Label fill = b.newLabel();
+    b.movl(Op::imm(kSptBase), Op::reg(R0));
+    b.clrl(Op::reg(R1));
+    b.bind(fill);
+    b.movl(Op::imm(Pte::make(true, Protection::UW, true, 0).raw()),
+           Op::reg(R2));
+    b.bisl2(Op::reg(R1), Op::reg(R2));
+    b.movl(Op::reg(R2), Op::deferred(R0));
+    b.addl2(Op::lit(4), Op::reg(R0));
+    b.aoblss(Op::imm(128), Op::reg(R1), fill);
+
+    b.mtpr(Op::imm(kSptBase), Ipr::SBR);
+    b.mtpr(Op::imm(128), Ipr::SLR);
+    b.mtpr(Op::imm(kSystemBase + kSptBase), Ipr::P0BR);
+    b.mtpr(Op::imm(128), Ipr::P0LR);
+    b.mtpr(Op::imm(0x200000), Ipr::P1LR);
+    b.mtpr(Op::lit(1), Ipr::MAPEN);
+}
+
+} // namespace
+
+MicroGuestImage
+buildTrapDenseLoop(Longword iterations)
+{
+    CodeBuilder b(kLoadBase);
+    b.mtpr(Op::lit(31), Ipr::IPL);
+    b.movl(Op::imm(iterations), Op::reg(R0));
+    b.clrl(Op::reg(R3));
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.mtpr(Op::lit(30), Ipr::IPL);
+    b.mfpr(Ipr::IPL, Op::reg(R2));
+    b.addl2(Op::reg(R2), Op::reg(R3));
+    b.prober(Op::lit(3), Op::lit(4), Op::abs(0x1000));
+    b.mtpr(Op::lit(31), Ipr::IPL);
+    b.sobgtr(Op::reg(R0), loop);
+    b.halt();
+
+    MicroGuestImage img;
+    img.loadBase = kLoadBase;
+    img.entry = kLoadBase;
+    img.image = b.finish();
+    return img;
+}
+
+MicroGuestImage
+buildContextSwitchLoop(Longword iterations)
+{
+    CodeBuilder b(kLoadBase);
+    Label loop = b.newLabel();
+    Label proc_b = b.newLabel();
+    Label done = b.newLabel();
+    Label pcb0 = b.newLabel();
+    Label pcb1 = b.newLabel();
+
+    emitIdentityMapOn(b);
+    b.movl(Op::imm(iterations), Op::abs(kCounterAddr));
+    b.movl(Op::imm(0x7000), Op::reg(SP)); // process A's kernel stack
+    b.mtpr(Op::lit(31), Ipr::IPL);
+    b.mtpr(Op::immLabel(pcb0), Ipr::PCBB);
+
+    // Process A: the scheduler.  The counter lives in memory because
+    // LDPCTX replaces the whole register file.
+    b.bind(loop);
+    b.decl_(Op::abs(kCounterAddr));
+    b.bleq(done);
+    b.pushl(Op::imm(kSwitchPsl));
+    b.pushl(Op::immLabel(loop));
+    b.svpctx();
+    b.mtpr(Op::immLabel(pcb1), Ipr::PCBB);
+    b.ldpctx();
+    b.rei();
+
+    // Process B: immediately yields back.
+    b.bind(proc_b);
+    b.pushl(Op::imm(kSwitchPsl));
+    b.pushl(Op::immLabel(proc_b));
+    b.svpctx();
+    b.mtpr(Op::immLabel(pcb0), Ipr::PCBB);
+    b.ldpctx();
+    b.rei();
+
+    b.bind(done);
+    b.halt();
+
+    b.align(4);
+    b.bind(pcb0);
+    emitPcb(b, 0x7000, loop);
+    b.bind(pcb1);
+    emitPcb(b, 0x7800, proc_b);
+
+    MicroGuestImage img;
+    img.loadBase = kLoadBase;
+    img.entry = kLoadBase;
+    img.image = b.finish();
+    return img;
+}
+
+} // namespace vvax

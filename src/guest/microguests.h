@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Small self-contained guest kernels targeting specific VMM hot
+ * paths.  Both the equivalence tests and the throughput benchmarks
+ * run these, so the trap mix each one generates is measured (bench)
+ * and lockstep-verified (fast path vs reference path) from the same
+ * image.
+ */
+
+#ifndef VVAX_GUEST_MICROGUESTS_H
+#define VVAX_GUEST_MICROGUESTS_H
+
+#include <vector>
+
+#include "arch/types.h"
+
+namespace vvax {
+
+/** A built microguest: load at (VM-)physical @ref loadBase. */
+struct MicroGuestImage
+{
+    std::vector<Byte> image;
+    VirtAddr loadBase = 0;
+    VirtAddr entry = 0;
+};
+
+/**
+ * Trap-dense kernel loop: every iteration executes two MTPR IPLs, an
+ * MFPR IPL and a PROBER, so a virtualized run takes four emulation
+ * traps per iteration (the paper's Table 3 privileged-instruction
+ * profile).  Runs with mapping off; IPL never drops below 30, so the
+ * instruction stream is identical bare and virtualized.
+ */
+MicroGuestImage buildTrapDenseLoop(Longword iterations);
+
+/**
+ * Context-switch-dense kernel: builds an identity page table over the
+ * low 64 KB, turns mapping on, then ping-pongs between two processes
+ * with MTPR PCBB + LDPCTX + REI per switch (two full switches per
+ * iteration).  The loop counter lives in memory because LDPCTX
+ * replaces the register file.  Virtualized, this hammers the shadow
+ * slot cache and the tagged-TLB world-switch path.
+ */
+MicroGuestImage buildContextSwitchLoop(Longword iterations);
+
+} // namespace vvax
+
+#endif // VVAX_GUEST_MICROGUESTS_H

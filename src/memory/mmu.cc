@@ -102,39 +102,33 @@ Mmu::walk(VirtAddr va, AccessType type, AccessMode mode, bool fill_tlb)
 }
 
 void
-Mmu::raiseFault(const ProbeResult &result, VirtAddr va, AccessType type)
+Mmu::raiseFault(MmStatus status, VirtAddr va, AccessType type)
 {
     const Longword write_bit =
         type == AccessType::Write ? mmparam::kWriteIntent : 0;
-    switch (result.status) {
+    switch (status) {
       case MmStatus::LengthViolation:
-        stats_.accessViolations++;
         throw GuestFault::memoryManagement(
             ScbVector::AccessViolation,
             mmparam::kLengthViolation | write_bit, va);
       case MmStatus::AccessViolation:
-        stats_.accessViolations++;
         throw GuestFault::memoryManagement(ScbVector::AccessViolation,
                                            write_bit, va);
       case MmStatus::TranslationNotValid:
-        stats_.translationFaults++;
         throw GuestFault::memoryManagement(ScbVector::TranslationNotValid,
                                            write_bit, va);
       case MmStatus::PteFetchLength:
-        stats_.accessViolations++;
         throw GuestFault::memoryManagement(
             ScbVector::AccessViolation,
             mmparam::kLengthViolation | mmparam::kPteReference | write_bit,
             va);
       case MmStatus::PteFetchNotValid:
-        stats_.translationFaults++;
         throw GuestFault::memoryManagement(
             ScbVector::TranslationNotValid,
             mmparam::kPteReference | write_bit, va);
       case MmStatus::PteNonExistent:
         throw GuestFault::withParam(ScbVector::MachineCheck, va);
       case MmStatus::ModifyClear:
-        stats_.modifyFaults++;
         throw GuestFault::memoryManagement(
             ScbVector::ModifyFault, mmparam::kWriteIntent | write_bit, va);
       case MmStatus::Ok:
@@ -144,21 +138,23 @@ Mmu::raiseFault(const ProbeResult &result, VirtAddr va, AccessType type)
     throw GuestFault::simple(ScbVector::MachineCheck);
 }
 
-PhysAddr
-Mmu::translateSlow(VirtAddr va, AccessType type, AccessMode mode)
+MmStatus
+Mmu::resolve(VirtAddr va, AccessType type, AccessMode mode, PhysAddr *pa)
 {
     if (!regs_.mapen) {
         if (!memory_.exists(va))
-            throw GuestFault::withParam(ScbVector::MachineCheck, va);
-        return va;
+            return MmStatus::PteNonExistent;
+        *pa = va;
+        return MmStatus::Ok;
     }
 
     if (Tlb::Entry *entry = tlb_.lookup(va)) {
         if (protectionPermits(entry->pte.protection(), mode, type) &&
             (type == AccessType::Read || entry->pte.modify())) {
             stats_.tlbHits++;
-            return (entry->pte.pfn() << kPageShift) |
-                   (va & kPageOffsetMask);
+            *pa = (entry->pte.pfn() << kPageShift) |
+                  (va & kPageOffsetMask);
+            return MmStatus::Ok;
         }
         // Protection failure or modify-clear: resolve via a fresh
         // walk so software updates to the PTE are honoured.
@@ -170,7 +166,8 @@ Mmu::translateSlow(VirtAddr va, AccessType type, AccessMode mode)
     if (result.status == MmStatus::ModifyClear) {
         if (modify_fault_mode_) {
             // Modified VAX (Section 4.4.2): the OS/VMM sets PTE<M>.
-            raiseFault(result, va, type);
+            stats_.modifyFaults++;
+            return MmStatus::ModifyClear;
         }
         // Standard VAX: hardware sets the modify bit itself.
         Pte updated = result.pte;
@@ -184,12 +181,37 @@ Mmu::translateSlow(VirtAddr va, AccessType type, AccessMode mode)
         result.status = MmStatus::Ok;
     }
 
-    if (result.status != MmStatus::Ok)
-        raiseFault(result, va, type);
+    switch (result.status) {
+      case MmStatus::Ok:
+        break;
+      case MmStatus::LengthViolation:
+      case MmStatus::AccessViolation:
+      case MmStatus::PteFetchLength:
+        stats_.accessViolations++;
+        return result.status;
+      case MmStatus::TranslationNotValid:
+      case MmStatus::PteFetchNotValid:
+        stats_.translationFaults++;
+        return result.status;
+      case MmStatus::PteNonExistent:
+      case MmStatus::ModifyClear:
+        return result.status;
+    }
 
     if (!memory_.exists(result.pa))
-        throw GuestFault::withParam(ScbVector::MachineCheck, va);
-    return result.pa;
+        return MmStatus::PteNonExistent;
+    *pa = result.pa;
+    return MmStatus::Ok;
+}
+
+PhysAddr
+Mmu::translateSlow(VirtAddr va, AccessType type, AccessMode mode)
+{
+    PhysAddr pa = 0;
+    const MmStatus status = resolve(va, type, mode, &pa);
+    if (status == MmStatus::Ok)
+        return pa;
+    raiseFault(status, va, type);
 }
 
 Mmu::ProbeResult
@@ -275,6 +297,64 @@ Mmu::writeV32Slow(VirtAddr va, Longword value, AccessMode mode)
     }
     for (int i = 0; i < 4; ++i)
         writeV8(va + i, static_cast<Byte>(value >> (8 * i)), mode);
+}
+
+bool
+Mmu::tryReadV32Slow(VirtAddr va, AccessMode mode, Longword *value,
+                    MmStatus *status)
+{
+    if ((va & kPageOffsetMask) <= kPageSize - 4) {
+        PhysAddr pa = 0;
+        const MmStatus st = resolve(va, AccessType::Read, mode, &pa);
+        if (st != MmStatus::Ok) {
+            *status = st;
+            return false;
+        }
+        *value = memory_.read32(pa);
+        return true;
+    }
+    // Page-crossing: per-byte composition, exactly like readV32Slow.
+    Longword v = 0;
+    for (int i = 0; i < 4; ++i) {
+        PhysAddr pa = 0;
+        const MmStatus st = resolve(va + i, AccessType::Read, mode, &pa);
+        if (st != MmStatus::Ok) {
+            *status = st;
+            return false;
+        }
+        v |= static_cast<Longword>(memory_.read8(pa)) << (8 * i);
+    }
+    *value = v;
+    return true;
+}
+
+bool
+Mmu::tryWriteV32Slow(VirtAddr va, Longword value, AccessMode mode,
+                     MmStatus *status)
+{
+    if ((va & kPageOffsetMask) <= kPageSize - 4) {
+        PhysAddr pa = 0;
+        const MmStatus st = resolve(va, AccessType::Write, mode, &pa);
+        if (st != MmStatus::Ok) {
+            *status = st;
+            return false;
+        }
+        memory_.write32(pa, value);
+        return true;
+    }
+    // Page-crossing: per-byte, with the same partial-write semantics
+    // as writeV32Slow (bytes before a faulting byte land; the caller's
+    // retry after fixing the fault rewrites them idempotently).
+    for (int i = 0; i < 4; ++i) {
+        PhysAddr pa = 0;
+        const MmStatus st = resolve(va + i, AccessType::Write, mode, &pa);
+        if (st != MmStatus::Ok) {
+            *status = st;
+            return false;
+        }
+        memory_.write8(pa, static_cast<Byte>(value >> (8 * i)));
+    }
+    return true;
 }
 
 } // namespace vvax

@@ -126,10 +126,109 @@ class Mmu
      */
     ProbeResult probe(VirtAddr va, AccessType type, AccessMode mode);
 
-    // Translation buffer maintenance.
-    void tbia() { tlb_.invalidateAll(); }
-    void tbis(VirtAddr va) { tlb_.invalidateSingle(va); }
-    void tbiaProcess() { tlb_.invalidateProcess(); }
+    // Translation buffer maintenance.  Each wrapper counts the flush
+    // so the benchmarks can see how much translation state dies (both
+    // execution paths call the same wrappers, so the counters stay
+    // lockstep-identical).
+    void
+    tbia()
+    {
+        stats_.tlbFlushAll++;
+        tlb_.invalidateAll();
+    }
+    void
+    tbis(VirtAddr va)
+    {
+        stats_.tlbFlushSingle++;
+        tlb_.invalidateSingle(va);
+    }
+    void
+    tbiaProcess()
+    {
+        stats_.tlbFlushProcess++;
+        tlb_.invalidateProcess();
+    }
+
+    // Context-tagged TLB control (see Tlb).  The hypervisor applies a
+    // VM's (system, process) context pair on every world switch in
+    // place of a wholesale flush, so the VM's live translations
+    // survive the round-trip.
+    void
+    setTlbContext(std::uint64_t system, std::uint64_t process)
+    {
+        stats_.tlbContextSwitches++;
+        tlb_.setContext(system, process);
+    }
+    std::uint64_t newTlbContext() { return tlb_.newContext(); }
+    std::uint64_t tlbSystemContext() const { return tlb_.systemContext(); }
+    std::uint64_t tlbProcessContext() const
+    {
+        return tlb_.processContext();
+    }
+
+    /**
+     * Counter-free TLB inspection under the *current* context, for
+     * tests that assert which entries survived an invalidation.
+     */
+    Tlb::Entry *tlbPeek(VirtAddr va) { return tlb_.lookup(va); }
+
+    /**
+     * Non-throwing translate-and-read for the VMM's guest-memory
+     * helpers: resolves @p va exactly like readV32 (same TLB fills,
+     * same counters, same cycle charges, including the hardware
+     * modify-bit path on the standard VAX) but reports failures as a
+     * status instead of raising a GuestFault, keeping C++ exceptions
+     * off the VMM exit path.  On failure *status tells the caller
+     * which fault the throwing path would have raised.
+     */
+    bool
+    tryReadV32(VirtAddr va, AccessMode mode, Longword *value,
+               MmStatus *status)
+    {
+        if (fast_enabled_ && (va & kPageOffsetMask) <= kPageSize - 4) {
+            if (!regs_.mapen) {
+                if (static_cast<std::uint64_t>(va) + 4 <= ram_limit_) {
+                    std::memcpy(value, ram_base_ + va, 4);
+                    return true;
+                }
+            } else if (Tlb::Entry *e = tlb_.lookup(va)) {
+                if (e->hostPage &&
+                    (e->permMask &
+                     Tlb::permBit(mode, AccessType::Read))) {
+                    stats_.tlbHits++;
+                    std::memcpy(value,
+                                e->hostPage + (va & kPageOffsetMask), 4);
+                    return true;
+                }
+            }
+        }
+        return tryReadV32Slow(va, mode, value, status);
+    }
+
+    /** Non-throwing counterpart of writeV32; see tryReadV32. */
+    bool
+    tryWriteV32(VirtAddr va, Longword value, AccessMode mode,
+                MmStatus *status)
+    {
+        if (fast_enabled_ && (va & kPageOffsetMask) <= kPageSize - 4) {
+            if (!regs_.mapen) {
+                if (static_cast<std::uint64_t>(va) + 4 <= ram_limit_) {
+                    std::memcpy(ram_base_ + va, &value, 4);
+                    return true;
+                }
+            } else if (Tlb::Entry *e = tlb_.lookup(va)) {
+                if (e->hostPage &&
+                    (e->permMask &
+                     Tlb::permBit(mode, AccessType::Write))) {
+                    stats_.tlbHits++;
+                    std::memcpy(e->hostPage + (va & kPageOffsetMask),
+                                &value, 4);
+                    return true;
+                }
+            }
+        }
+        return tryWriteV32Slow(va, value, mode, status);
+    }
 
     // Virtual-address convenience accessors used by the CPU core.
     // Unaligned accesses that cross a page boundary translate each
@@ -319,8 +418,21 @@ class Mmu
     ProbeResult walk(VirtAddr va, AccessType type, AccessMode mode,
                      bool fill_tlb);
 
-    /** Raise the GuestFault corresponding to a walk failure. */
-    [[noreturn]] void raiseFault(const ProbeResult &result, VirtAddr va,
+    /**
+     * The full translation including TLB fill, hardware M-set and the
+     * failure-statistics updates, returning a status instead of
+     * faulting.  translateSlow() is this plus raiseFault(); the
+     * tryRead/tryWrite helpers use it directly so the VMM exit path
+     * never throws.
+     */
+    MmStatus resolve(VirtAddr va, AccessType type, AccessMode mode,
+                     PhysAddr *pa);
+
+    /**
+     * Raise the GuestFault corresponding to a walk failure.  Pure
+     * throw: the per-fault statistics are counted by resolve().
+     */
+    [[noreturn]] void raiseFault(MmStatus status, VirtAddr va,
                                  AccessType type);
 
     // Reference path / fast-path fallbacks (mmu.cc).
@@ -331,6 +443,10 @@ class Mmu
     void writeV8Slow(VirtAddr va, Byte value, AccessMode mode);
     void writeV16Slow(VirtAddr va, Word value, AccessMode mode);
     void writeV32Slow(VirtAddr va, Longword value, AccessMode mode);
+    bool tryReadV32Slow(VirtAddr va, AccessMode mode, Longword *value,
+                        MmStatus *status);
+    bool tryWriteV32Slow(VirtAddr va, Longword value, AccessMode mode,
+                         MmStatus *status);
 
     PhysicalMemory &memory_;
     const CostModel &cost_;

@@ -16,12 +16,27 @@
  * (access mode, access type).  Both are pure host-side caches: they
  * are derived from the PTE at insert time and never change what the
  * simulated hardware observes.
+ *
+ * Context tags: each half carries a current *context* number, and an
+ * entry's tag combines the context it was inserted under with its
+ * VPN.  Invalidation of a whole half is O(1) - assign the half a
+ * fresh context, so every existing entry's tag stops matching - and,
+ * more importantly, a previously used context can be *re-applied*
+ * (setContext()), bringing all entries inserted under it back to
+ * life.  The hypervisor uses this to let a VM's translations (system
+ * half keyed by VM, process half keyed by shadow slot) survive
+ * VMM<->VM world switches instead of being flushed on every
+ * transition (docs/ARCHITECTURE.md, "TLB invalidation matrix").
+ * Contexts are never reused for a different address space: they come
+ * from a monotonic counter, and recycling a shadow slot allocates a
+ * fresh one.
  */
 
 #ifndef VVAX_MEMORY_TLB_H
 #define VVAX_MEMORY_TLB_H
 
 #include <array>
+#include <cstdint>
 
 #include "arch/pte.h"
 #include "arch/types.h"
@@ -31,12 +46,20 @@ namespace vvax {
 class Tlb
 {
   public:
-    /** Tag value that can never match a real VPN (VPNs are 23 bits). */
-    static constexpr Longword kInvalidTag = ~Longword{0};
+    /**
+     * Tag value that can never match: its context part is 2^41 - 1,
+     * which the monotonic context counter never reaches.
+     */
+    static constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
+
+    /** VPNs are global (va >> 9): 23 bits. */
+    static constexpr int kVpnBits = 32 - kPageShift;
+    static constexpr std::uint64_t kVpnMask =
+        (std::uint64_t{1} << kVpnBits) - 1;
 
     struct Entry
     {
-        Longword tag = kInvalidTag; //!< va >> 9, kInvalidTag when empty
+        std::uint64_t tag = kInvalidTag; //!< (context << 23) | (va >> 9)
         Pte pte;
         PhysAddr ptePa = 0; //!< where the PTE lives (for M-bit update)
         /**
@@ -69,8 +92,10 @@ class Tlb
     Entry *
     lookup(VirtAddr va)
     {
-        Entry &entry = slot(va);
-        if (entry.tag == (va >> kPageShift))
+        const Longword vpn_global = va >> kPageShift;
+        const int is_system = systemBit(va);
+        Entry &entry = slot(vpn_global, is_system);
+        if (entry.tag == combinedTag(vpn_global, is_system))
             return &entry;
         return nullptr;
     }
@@ -78,38 +103,62 @@ class Tlb
     void
     insert(VirtAddr va, Pte pte, PhysAddr pte_pa, Byte *host_page)
     {
-        Entry &entry = slot(va);
-        entry.tag = va >> kPageShift;
+        const Longword vpn_global = va >> kPageShift;
+        const int is_system = systemBit(va);
+        Entry &entry = slot(vpn_global, is_system);
+        entry.tag = combinedTag(vpn_global, is_system);
         entry.pte = pte;
         entry.ptePa = pte_pa;
         entry.hostPage = host_page;
         entry.permMask = computePermMask(pte);
     }
 
-    /** Invalidate everything (TBIA). */
+    /** Invalidate everything (TBIA): both halves get fresh contexts. */
     void
     invalidateAll()
     {
-        for (auto &e : entries_)
-            e.tag = kInvalidTag;
+        ctx_[0] = ++next_ctx_;
+        ctx_[1] = ++next_ctx_;
     }
 
     /** Invalidate process-space entries only (LDPCTX). */
     void
-    invalidateProcess()
-    {
-        for (int i = 0; i < kEntriesPerHalf; ++i)
-            entries_[i].tag = kInvalidTag;
-    }
+    invalidateProcess() { ctx_[0] = ++next_ctx_; }
 
-    /** Invalidate the single page containing @p va (TBIS). */
+    /**
+     * Invalidate the single page containing @p va (TBIS).  Matches on
+     * the VPN part alone: all contexts share the same physical slot
+     * for a given va, so the entry must die no matter which context
+     * it was inserted under (the hypervisor relies on this when it
+     * nulls a shadow PTE while a different context is current).
+     */
     void
     invalidateSingle(VirtAddr va)
     {
-        Entry &entry = slot(va);
-        if (entry.tag == (va >> kPageShift))
+        const Longword vpn_global = va >> kPageShift;
+        Entry &entry = slot(vpn_global, systemBit(va));
+        if ((entry.tag & kVpnMask) == vpn_global)
             entry.tag = kInvalidTag;
     }
+
+    /**
+     * Make (system, process) the current contexts.  Entries inserted
+     * under these exact contexts become visible again; everything
+     * else is dormant (and stays correct - a dormant entry is
+     * re-validated by this tag scheme before it can ever be used).
+     */
+    void
+    setContext(std::uint64_t system, std::uint64_t process)
+    {
+        ctx_[1] = system;
+        ctx_[0] = process;
+    }
+
+    /** Allocate a context number never used before. */
+    std::uint64_t newContext() { return ++next_ctx_; }
+
+    std::uint64_t systemContext() const { return ctx_[1]; }
+    std::uint64_t processContext() const { return ctx_[0]; }
 
   private:
     static Byte
@@ -131,6 +180,18 @@ class Tlb
         return mask;
     }
 
+    static int
+    systemBit(VirtAddr va)
+    {
+        return (va >> 30) == static_cast<Longword>(Region::System) ? 1 : 0;
+    }
+
+    std::uint64_t
+    combinedTag(Longword vpn_global, int is_system) const
+    {
+        return (ctx_[is_system] << kVpnBits) | vpn_global;
+    }
+
     /**
      * Direct-mapped slot: entries 0..255 are the process half,
      * 256..511 the system half, selected branchlessly by the region
@@ -138,17 +199,17 @@ class Tlb
      * va-to-entry mapping of the original two-array layout).
      */
     Entry &
-    slot(VirtAddr va)
+    slot(Longword vpn_global, int is_system)
     {
-        const Longword vpn_global = va >> kPageShift;
-        const int is_system =
-            (va >> 30) == static_cast<Longword>(Region::System) ? 1 : 0;
         const int index = (vpn_global & (kEntriesPerHalf - 1)) |
                           (is_system << 8);
         return entries_[index];
     }
 
     std::array<Entry, 2 * kEntriesPerHalf> entries_{};
+    /** Current context per half: [0] = process, [1] = system. */
+    std::array<std::uint64_t, 2> ctx_{1, 2};
+    std::uint64_t next_ctx_ = 2;
 };
 
 } // namespace vvax

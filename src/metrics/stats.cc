@@ -66,6 +66,22 @@ Stats::print(std::ostream &os) const
     os << "  " << std::setw(20) << std::left << "total" << totalCycles()
        << "\n";
     os << "tlb: " << tlbHits << " hits, " << tlbMisses << " misses\n";
+    os << "tlb maintenance: " << tlbFlushAll << " tbia, "
+       << tlbFlushProcess << " tbia-process, " << tlbFlushSingle
+       << " tbis, " << tlbContextSwitches << " context switches\n";
+    bool any_trap = false;
+    for (auto c : vmTrapOpcodes)
+        any_trap |= c != 0;
+    if (any_trap) {
+        os << "vm emulation traps by opcode:\n";
+        for (int i = 0; i < 256; ++i) {
+            if (vmTrapOpcodes[i] == 0)
+                continue;
+            os << "  0x" << std::hex << std::setw(2) << std::setfill('0')
+               << i << std::dec << std::setfill(' ') << "               "
+               << vmTrapOpcodes[i] << "\n";
+        }
+    }
     os << "dispatches:\n";
     for (int i = 0; i < 128; ++i) {
         if (dispatches[i] == 0)

@@ -54,6 +54,21 @@ struct Stats
     std::uint64_t interruptsTaken = 0;
     std::uint64_t waitInstructions = 0;
 
+    // Translation-buffer maintenance observability: how often whole
+    // halves / single pages were invalidated versus how often a
+    // context re-apply let the entries survive a world switch.
+    std::uint64_t tlbFlushAll = 0;        //!< tbia() invocations
+    std::uint64_t tlbFlushProcess = 0;    //!< tbiaProcess() invocations
+    std::uint64_t tlbFlushSingle = 0;     //!< tbis() invocations
+    std::uint64_t tlbContextSwitches = 0; //!< scoped context re-applies
+
+    /**
+     * VM-emulation traps by the opcode that caused the exit (FD-page
+     * opcodes fold to index 0xFD).  The per-exit-reason breakdown the
+     * paper's trap-frequency argument (Section 7) is about.
+     */
+    std::array<std::uint64_t, 256> vmTrapOpcodes{};
+
     void
     addCycles(CycleCategory cat, Cycles n)
     {

@@ -13,8 +13,6 @@ namespace vvax {
 
 namespace {
 
-constexpr Longword kNullPteRaw = 0x20000000; // Pte::null(): UW, invalid
-
 constexpr Longword
 pagesFor(Longword bytes)
 {
@@ -247,9 +245,10 @@ Hypervisor::buildVmTables(VirtualMachine &vm)
     vm.shadowSptPa = allocPages(spt_pages);
     vm.shadowSlr = spt_entries;
 
-    // VM S-space shadow region: all null PTEs (fill on demand).
-    for (Longword i = 0; i < config_.vmSMaxPages; ++i)
-        mem_.write32(vm.shadowSptPa + 4 * i, kNullPteRaw);
+    // VM S-space shadow region: all null PTEs (fill on demand), and
+    // a fresh system-half TLB context to translate under.
+    fillNullPtes(vm.shadowSptPa, config_.vmSMaxPages);
+    vm.tlbSysCtx = mmu_.newTlbContext();
 
     // VMM region: map each shadow slot's table pages (kernel-only).
     Longword vpn = config_.vmSMaxPages;

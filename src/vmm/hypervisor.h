@@ -161,9 +161,17 @@ class Hypervisor
     void fillShadowPte(VirtualMachine &vm, VirtAddr va, Pte shadow);
     void flushShadowSlot(VirtualMachine &vm, int slot);
     void flushShadowS(VirtualMachine &vm);
+    /** Batch-write @p count null shadow PTEs at real address @p pa. */
+    void fillNullPtes(PhysAddr pa, Longword count);
     /** Select (cache) the shadow slot for the VM's current process. */
     void activateProcessSlot(VirtualMachine &vm, Longword process_key);
     void setRealMapForVm(VirtualMachine &vm);
+    /**
+     * Re-apply @p vm's current (system, process-slot) TLB contexts
+     * after a shadow flush changed them while the VM's map stayed
+     * loaded (guest SBR/SLR/TBIA emulation).
+     */
+    void applyTlbContext(VirtualMachine &vm);
 
     void hookMemoryFault(const HostFrame &frame, ScbVector kind);
     void hookModifyFault(const HostFrame &frame);

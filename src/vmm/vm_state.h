@@ -96,6 +96,24 @@ struct ShadowSlot
     PhysAddr p1TablePa = 0;
     VirtAddr p0TableVa = 0;   //!< S-space address hardware uses
     VirtAddr p1TableVa = 0;
+    /**
+     * Process-half TLB context for this slot's translations.  A fresh
+     * context is allocated whenever the slot's shadow tables are
+     * wiped (recycled to another process, TBIA, BR/LR change), so
+     * stale real-TLB entries can never outlive the shadow PTEs they
+     * mirror; re-activating the slot re-applies the context and the
+     * surviving entries come back.
+     */
+    std::uint64_t tlbCtx = 0;
+    /**
+     * The real P0LR/P1LR loaded the last time this slot's context was
+     * applied.  The real length registers are the only part of the
+     * hardware map that varies per activation (they track vP0lr and
+     * vP1lr); a TLB entry filled under longer limits must not survive
+     * into a shorter map, so a mismatch costs the slot its context.
+     */
+    Longword savedP0lr = 0;
+    Longword savedP1lr = 0;
 };
 
 class VirtualMachine
@@ -197,6 +215,12 @@ class VirtualMachine
     // ----- Shadow page tables ----------------------------------------------
     PhysAddr shadowSptPa = 0;  //!< this VM's real SPT (physical)
     Longword shadowSlr = 0;    //!< real SLR value while this VM runs
+    /**
+     * System-half TLB context for this VM's S-space translations
+     * (see ShadowSlot::tlbCtx); refreshed when the shadow SPT is
+     * wiped (guest SBR/SLR change or TBIA).
+     */
+    std::uint64_t tlbSysCtx = 0;
     std::vector<ShadowSlot> slots;
     int activeSlot = -1;
     /** Identity-map slot used while the VM runs with mapping off. */

@@ -125,7 +125,10 @@ Hypervisor::shadowPtePa(VirtualMachine &vm, VirtAddr va) const
 void
 Hypervisor::fillShadowPte(VirtualMachine &vm, VirtAddr va, Pte shadow)
 {
-    mem_.write32(shadowPtePa(vm, va), shadow.raw());
+    // Shadow tables are VMM-allocated RAM pages: store through the
+    // host pointer, skipping the physical-memory dispatch.
+    const Longword raw = shadow.raw();
+    std::memcpy(mem_.ram().data() + shadowPtePa(vm, va), &raw, 4);
     mmu_.tbis(va);
 }
 
@@ -314,24 +317,35 @@ Hypervisor::hookMachineCheck(const HostFrame &frame)
 // ---------------------------------------------------------------------------
 
 void
+Hypervisor::fillNullPtes(PhysAddr pa, Longword count)
+{
+    // Wide batch fill through the host pointer: two PTEs per store.
+    Byte *p = mem_.ram().data() + pa;
+    const std::uint64_t pair =
+        (static_cast<std::uint64_t>(kNullPteRaw) << 32) | kNullPteRaw;
+    Longword i = 0;
+    for (; i + 2 <= count; i += 2, p += 8)
+        std::memcpy(p, &pair, 8);
+    if (i < count)
+        std::memcpy(p, &kNullPteRaw, 4);
+}
+
+void
 Hypervisor::flushShadowSlot(VirtualMachine &vm, int slot)
 {
-    const ShadowSlot &s = vm.slots[slot];
-    const Longword p0_bytes = config_.p0MaxPtes * 4;
-    const Longword p1_bytes = config_.p1MaxPtes * 4;
-    auto ram = mem_.ram();
-    for (Longword off = 0; off < p0_bytes; off += 4)
-        std::memcpy(&ram[s.p0TablePa + off], &kNullPteRaw, 4);
-    for (Longword off = 0; off < p1_bytes; off += 4)
-        std::memcpy(&ram[s.p1TablePa + off], &kNullPteRaw, 4);
+    ShadowSlot &s = vm.slots[slot];
+    fillNullPtes(s.p0TablePa, config_.p0MaxPtes);
+    fillNullPtes(s.p1TablePa, config_.p1MaxPtes);
+    // Real-TLB entries filled from the old contents must die with
+    // them; a fresh context retires them all at once.
+    s.tlbCtx = mmu_.newTlbContext();
 }
 
 void
 Hypervisor::flushShadowS(VirtualMachine &vm)
 {
-    auto ram = mem_.ram();
-    for (Longword i = 0; i < config_.vmSMaxPages; ++i)
-        std::memcpy(&ram[vm.shadowSptPa + 4 * i], &kNullPteRaw, 4);
+    fillNullPtes(vm.shadowSptPa, config_.vmSMaxPages);
+    vm.tlbSysCtx = mmu_.newTlbContext();
 }
 
 void
@@ -405,7 +419,29 @@ Hypervisor::setRealMapForVm(VirtualMachine &vm)
                     4 * (kP1SpaceVpns - config_.p1MaxPtes);
         regs.p1lr = vm.vP1lr;
     }
-    mmu_.tbia();
+
+    // Instead of flushing the real TLB on every world switch, apply
+    // the VM's (system, slot) TLB contexts: every entry this VM
+    // filled under the same shadow tables comes back to life, every
+    // other VM's (and the bare machine's) entries stay dormant.  The
+    // base registers per (VM, slot, vMapen) are constants, so the
+    // only per-activation variable in the map is the pair of length
+    // registers - a slot whose saved limits disagree with the ones
+    // just loaded loses its context, since entries filled under
+    // longer limits would bypass the walk's length check.
+    ShadowSlot &active = vm.slots[vm.activeSlot];
+    if (active.savedP0lr != regs.p0lr || active.savedP1lr != regs.p1lr) {
+        active.tlbCtx = mmu_.newTlbContext();
+        active.savedP0lr = regs.p0lr;
+        active.savedP1lr = regs.p1lr;
+    }
+    mmu_.setTlbContext(vm.tlbSysCtx, active.tlbCtx);
+}
+
+void
+Hypervisor::applyTlbContext(VirtualMachine &vm)
+{
+    mmu_.setTlbContext(vm.tlbSysCtx, vm.slots[vm.activeSlot].tlbCtx);
 }
 
 // ---------------------------------------------------------------------------
@@ -425,23 +461,47 @@ Hypervisor::vmWritePhys32(VirtualMachine &vm, PhysAddr vm_pa,
     mem_.write32(vm.vmPhysToReal(vm_pa), value);
 }
 
+namespace {
+
+/**
+ * Would the throwing path have raised ACV or TNV for this status?
+ * Those are the two faults a shadow fill can cure; everything else
+ * (machine-check class) fails the access outright.
+ */
+constexpr bool
+shadowFillable(MmStatus status)
+{
+    switch (status) {
+      case MmStatus::LengthViolation:
+      case MmStatus::AccessViolation:
+      case MmStatus::PteFetchLength:     // ACV vector
+      case MmStatus::TranslationNotValid:
+      case MmStatus::PteFetchNotValid:   // TNV vector
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
 bool
 Hypervisor::vmReadVirt32(VirtualMachine &vm, VirtAddr va, Longword &out)
 {
+    // Status-code loop: no C++ exceptions on this path (the VMM's
+    // dominant exits funnel through here via MFPR/LDPCTX/CHM
+    // emulation, so a throw/catch per shadow miss was pure host
+    // overhead).
+    MmStatus status = MmStatus::Ok;
     for (int attempt = 0; attempt < 4; ++attempt) {
-        try {
-            out = mmu_.readV32(va, AccessMode::Executive);
+        if (mmu_.tryReadV32(va, AccessMode::Executive, &out, &status))
             return true;
-        } catch (const GuestFault &fault) {
-            if (fault.vector != ScbVector::TranslationNotValid &&
-                fault.vector != ScbVector::AccessViolation) {
-                return false;
-            }
-            if (handleShadowFault(vm, va, AccessType::Read,
-                                  AccessMode::Executive, 0,
-                                  Psl()) != FillResult::Filled) {
-                return false;
-            }
+        if (!shadowFillable(status))
+            return false;
+        if (handleShadowFault(vm, va, AccessType::Read,
+                              AccessMode::Executive, 0,
+                              Psl()) != FillResult::Filled) {
+            return false;
         }
     }
     return false;
@@ -450,39 +510,35 @@ Hypervisor::vmReadVirt32(VirtualMachine &vm, VirtAddr va, Longword &out)
 bool
 Hypervisor::vmWriteVirt32(VirtualMachine &vm, VirtAddr va, Longword value)
 {
+    MmStatus status = MmStatus::Ok;
     for (int attempt = 0; attempt < 4; ++attempt) {
-        try {
-            mmu_.writeV32(va, value, AccessMode::Executive);
+        if (mmu_.tryWriteV32(va, value, AccessMode::Executive, &status))
             return true;
-        } catch (const GuestFault &fault) {
-            if (fault.vector == ScbVector::ModifyFault) {
-                // Set M in the shadow and VM PTEs, then retry.
-                const PhysAddr spa = shadowPtePa(vm, va);
-                Pte shadow(mem_.read32(spa));
-                shadow.setModify(true);
-                mem_.write32(spa, shadow.raw());
-                mmu_.tbis(va);
-                if (vm.vMapen) {
-                    VmWalkResult walk = walkVmTables(
-                        vm, va, AccessType::Write,
-                        AccessMode::Executive);
-                    if (walk.status == VmWalkResult::Status::Ok) {
-                        Pte vm_pte = walk.vmPte;
-                        vm_pte.setModify(true);
-                        vmWritePhys32(vm, walk.vmPteAddr, vm_pte.raw());
-                    }
+        if (status == MmStatus::ModifyClear) {
+            // Set M in the shadow and VM PTEs, then retry.
+            const PhysAddr spa = shadowPtePa(vm, va);
+            Pte shadow(mem_.read32(spa));
+            shadow.setModify(true);
+            mem_.write32(spa, shadow.raw());
+            mmu_.tbis(va);
+            if (vm.vMapen) {
+                VmWalkResult walk = walkVmTables(vm, va,
+                                                 AccessType::Write,
+                                                 AccessMode::Executive);
+                if (walk.status == VmWalkResult::Status::Ok) {
+                    Pte vm_pte = walk.vmPte;
+                    vm_pte.setModify(true);
+                    vmWritePhys32(vm, walk.vmPteAddr, vm_pte.raw());
                 }
-                continue;
             }
-            if (fault.vector != ScbVector::TranslationNotValid &&
-                fault.vector != ScbVector::AccessViolation) {
-                return false;
-            }
-            if (handleShadowFault(vm, va, AccessType::Write,
-                                  AccessMode::Executive, 0,
-                                  Psl()) != FillResult::Filled) {
-                return false;
-            }
+            continue;
+        }
+        if (!shadowFillable(status))
+            return false;
+        if (handleShadowFault(vm, va, AccessType::Write,
+                              AccessMode::Executive, 0,
+                              Psl()) != FillResult::Filled) {
+            return false;
         }
     }
     return false;

@@ -15,7 +15,9 @@
 #include <gtest/gtest.h>
 
 #include "tests/harness.h"
+#include "guest/microguests.h"
 #include "guest/minivms.h"
+#include "guest/miniultrix.h"
 #include "vmm/hypervisor.h"
 
 namespace vvax {
@@ -391,6 +393,76 @@ lockstepMiniVmsVirtual(bool reference)
     return digestOf(m);
 }
 
+/**
+ * Context-switch-heavy guest: a tight SVPCTX/LDPCTX/MTPR ping-pong
+ * between two processes, stressing the shadow slot cache and the
+ * tagged-TLB world-switch path in both execution paths.
+ */
+MachineDigest
+lockstepContextSwitchVirtual(bool reference)
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.mmu().setReferencePath(reference);
+    Hypervisor hv(m);
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+    MicroGuestImage img = buildContextSwitchLoop(400);
+    hv.loadVmImage(vm, img.loadBase, img.image);
+    hv.startVm(vm, img.entry);
+    hv.run(10000000);
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    // Two switches per loop pass; the final pass exits instead.
+    EXPECT_EQ(vm.stats.ldpctxEmulations, 798u);
+    return digestOf(m);
+}
+
+/** Trap-dense guest: MTPR IPL / MFPR / PROBER every iteration. */
+MachineDigest
+lockstepTrapDenseVirtual(bool reference)
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.mmu().setReferencePath(reference);
+    Hypervisor hv(m);
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+    MicroGuestImage img = buildTrapDenseLoop(500);
+    hv.loadVmImage(vm, img.loadBase, img.image);
+    hv.startVm(vm, img.entry);
+    hv.run(10000000);
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_GE(vm.stats.mtprIplEmulations, 1000u);
+    return digestOf(m);
+}
+
+/** Boot MiniUltrix inside a virtual machine. */
+MachineDigest
+lockstepMiniUltrixVirtual(bool reference)
+{
+    MiniUltrixConfig cfg;
+
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.mmu().setReferencePath(reference);
+    Hypervisor hv(m);
+    VmConfig vc;
+    vc.memBytes = cfg.memBytes;
+    VirtualMachine &vm = hv.createVm(vc);
+    MiniUltrixImage img = buildMiniUltrix(cfg);
+    hv.loadVmImage(vm, 0, img.image);
+    hv.startVm(vm, img.entry);
+    hv.run(20000000);
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_EQ(m.memory().read32(vm.vmPhysToReal(img.resultBase)),
+              MiniUltrixImage::kResultMagic);
+    return digestOf(m);
+}
+
 class FastPathLockstep : public ::testing::TestWithParam<std::uint32_t>
 {
 };
@@ -427,6 +499,24 @@ TEST(FastPathLockstep, MiniVmsBootVirtualized)
 {
     expectDigestsEqual(lockstepMiniVmsVirtual(false),
                        lockstepMiniVmsVirtual(true));
+}
+
+TEST(FastPathLockstep, ContextSwitchStormVirtualized)
+{
+    expectDigestsEqual(lockstepContextSwitchVirtual(false),
+                       lockstepContextSwitchVirtual(true));
+}
+
+TEST(FastPathLockstep, TrapDenseLoopVirtualized)
+{
+    expectDigestsEqual(lockstepTrapDenseVirtual(false),
+                       lockstepTrapDenseVirtual(true));
+}
+
+TEST(FastPathLockstep, MiniUltrixBootVirtualized)
+{
+    expectDigestsEqual(lockstepMiniUltrixVirtual(false),
+                       lockstepMiniUltrixVirtual(true));
 }
 
 TEST(FastPathLockstep, EnvironmentVariableSelectsReferencePath)

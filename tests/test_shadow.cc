@@ -293,5 +293,66 @@ TEST(Shadow, GuestTbisInvalidatesShadowEntry)
         << "TBIS must invalidate the cached shadow translation";
 }
 
+TEST(Shadow, SystemTlbEntriesSurviveEmulatedTbis)
+{
+    // The scoped-invalidation regression test: a VM's system-space
+    // TLB entries must survive both VMM world switches (the tagged
+    // TLB replaces the old flush-on-entry) and an emulated TBIS of a
+    // *different* page.  Only the named page may die.
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    Hypervisor hv(m);
+
+    CodeBuilder b(0x200);
+    // Identity SPT (128 pages) at 0x8000, P0 through S space.
+    Label fill = b.newLabel();
+    b.movl(Op::imm(0x8000), Op::reg(R0));
+    b.clrl(Op::reg(R1));
+    b.bind(fill);
+    b.movl(Op::imm(Pte::make(true, Protection::UW, true, 0).raw()),
+           Op::reg(R2));
+    b.bisl2(Op::reg(R1), Op::reg(R2));
+    b.movl(Op::reg(R2), Op::deferred(R0));
+    b.addl2(Op::lit(4), Op::reg(R0));
+    b.aoblss(Op::imm(128), Op::reg(R1), fill);
+    b.mtpr(Op::imm(0x8000), Ipr::SBR);
+    b.mtpr(Op::imm(128), Ipr::SLR);
+    b.mtpr(Op::imm(kSystemBase + 0x8000), Ipr::P0BR);
+    b.mtpr(Op::imm(128), Ipr::P0LR);
+    b.mtpr(Op::imm(0x200000), Ipr::P1LR);
+    b.mtpr(Op::lit(1), Ipr::MAPEN);
+
+    // Touch two S pages, then spin long enough to be preempted at
+    // least once (quantum = tickCycles * ticksPerQuantum = 40k
+    // cycles), then TBIS only the second page.
+    b.movl(Op::abs(kSystemBase + 8 * 512), Op::reg(R6));
+    b.movl(Op::abs(kSystemBase + 9 * 512), Op::reg(R7));
+    Label spin = b.newLabel();
+    b.movl(Op::imm(60000), Op::reg(R5));
+    b.bind(spin);
+    b.sobgtr(Op::reg(R5), spin);
+    b.mtpr(Op::imm(kSystemBase + 9 * 512), Ipr::TBIS);
+    b.halt();
+
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+    auto image = b.finish();
+    hv.loadVmImage(vm, 0x200, image);
+    hv.startVm(vm, 0x200);
+    hv.run(1000000);
+    ASSERT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    ASSERT_GE(vm.stats.vmEntries, 2u)
+        << "the spin loop must span at least one quantum preemption";
+
+    // The VM's contexts are still applied (the halt path does not
+    // flush), so tlbPeek sees what the guest's next access would.
+    EXPECT_NE(m.mmu().tlbPeek(kSystemBase + 8 * 512), nullptr)
+        << "an untouched S translation must survive world switches "
+           "and an emulated TBIS of a different page";
+    EXPECT_EQ(m.mmu().tlbPeek(kSystemBase + 9 * 512), nullptr)
+        << "the TBISed page itself must be gone";
+}
+
 } // namespace
 } // namespace vvax
