@@ -2,13 +2,30 @@
 # Build an optimized tree and record simulator throughput
 # (bench_sim_throughput) as JSON at the repo root, so fast-path
 # changes can be compared against the checked-in baseline.
+#
+# The JSON is written to a temporary file first and only installed as
+# BENCH_sim_throughput.json after verifying it was produced by a
+# release (NDEBUG) harness: the binary itself refuses to run when
+# built with assertions, and the context's library_build_type reports
+# the harness build (see HarnessJsonReporter), so a debug-built
+# baseline can never be checked in again.
 set -e
 cd "$(dirname "$0")/.."
 cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-rel -j "$(nproc)" --target bench_sim_throughput
+
+tmp_json=$(mktemp)
+trap 'rm -f "$tmp_json"' EXIT
 build-rel/bench/bench_sim_throughput \
     --benchmark_min_time=1 \
-    --benchmark_format=json \
-    --benchmark_out=BENCH_sim_throughput.json \
+    --benchmark_out="$tmp_json" \
     --benchmark_out_format=json
+
+if ! grep -q '"library_build_type": "release"' "$tmp_json"; then
+    echo "error: benchmark JSON was not produced by a release build;" \
+         "refusing to install it" >&2
+    exit 1
+fi
+mv "$tmp_json" BENCH_sim_throughput.json
+trap - EXIT
 echo "wrote $(pwd)/BENCH_sim_throughput.json"

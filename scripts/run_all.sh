@@ -2,9 +2,21 @@
 # Build, test, and regenerate every experiment (see EXPERIMENTS.md).
 set -e
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build 2>&1 | tee test_output.txt
+cmake -B build
+cmake --build build -j "$(nproc)"
+ctest --test-dir build >test_output.txt 2>&1 ||
+    { cat test_output.txt; exit 1; }
+tail -n 3 test_output.txt
+
+# The whole suite again under ASan+UBSan: fast-path and superblock
+# machinery dereferences raw host page pointers, so memory bugs must
+# abort loudly here instead of corrupting the lockstep digests.
+cmake -B build-asan -DVVAX_SANITIZE=ON
+cmake --build build-asan -j "$(nproc)"
+ctest --test-dir build-asan >test_asan_output.txt 2>&1 ||
+    { cat test_asan_output.txt; exit 1; }
+tail -n 3 test_asan_output.txt
+
 {
   for b in build/bench/*; do
     [ -x "$b" ] || continue
@@ -18,7 +30,12 @@ ctest --test-dir build 2>&1 | tee test_output.txt
   done
 } 2>&1 | tee bench_output.txt
 
-# Throughput guard (warn-only here; run the script directly for a
-# gating exit code).
-scripts/check_bench_regression.sh ||
-    echo "WARNING: simulator throughput regressed vs BENCH_sim_throughput.json"
+# Throughput guard: a regression beyond the threshold fails the run.
+# Set VVAX_BENCH_WARN_ONLY=1 to demote it to a warning (e.g. on noisy
+# shared hosts where wall-clock numbers are unreliable).
+if [ "${VVAX_BENCH_WARN_ONLY:-0}" = "1" ]; then
+    scripts/check_bench_regression.sh ||
+        echo "WARNING: simulator throughput regressed vs BENCH_sim_throughput.json"
+else
+    scripts/check_bench_regression.sh
+fi

@@ -1,0 +1,497 @@
+/**
+ * @file
+ * Superblock translation: harvesting straight-line runs out of the
+ * per-instruction predecode cache (docs/ARCHITECTURE.md §5a).
+ *
+ * buildBlock() walks the icache entries forward from a start PC,
+ * validating each entry's recorded bytes against the live page, and
+ * stops at the first control transfer (which may end the block) or
+ * sensitive opcode (which may not enter it at all).  Each appended
+ * instruction is classified: the hottest opcode+addressing-mode pairs
+ * get a FusedKind handled inline by the block executor in
+ * dispatch.cc; everything else keeps its full PredecodedInstr
+ * template and replays through the ordinary decode/execute machinery.
+ *
+ * The classification is conservative by construction: only entries
+ * that already decoded and executed successfully are ever recorded in
+ * the icache (decode.cc record()), so every template seen here is
+ * legal - e.g. a register-mode PC operand can never appear.
+ */
+
+#include <cstring>
+
+#include "cpu/cpu.h"
+
+namespace vvax {
+
+namespace {
+
+/**
+ * Opcodes the block executor must never run: they can change IPL,
+ * mode, mapping or context, carry instruction-specific extra cycle
+ * charges, or raise VM-emulation traps - all of which the block loop
+ * hoists out of the instruction path.  These stop a block *before*
+ * the instruction (a run never contains one).
+ */
+bool
+stopsBlock(Word opcode)
+{
+    switch (static_cast<Opcode>(opcode)) {
+      case Opcode::HALT:
+      case Opcode::BPT:
+      case Opcode::REI:
+      case Opcode::RET:
+      case Opcode::LDPCTX:
+      case Opcode::SVPCTX:
+      case Opcode::PROBER:
+      case Opcode::PROBEW:
+      case Opcode::MOVC3:
+      case Opcode::PUSHR:
+      case Opcode::POPR:
+      case Opcode::CHMK:
+      case Opcode::CHME:
+      case Opcode::CHMS:
+      case Opcode::CHMU:
+      case Opcode::MTPR:
+      case Opcode::MFPR:
+      case Opcode::MOVPSL:
+      case Opcode::CALLG:
+      case Opcode::CALLS:
+      case Opcode::WAIT:
+      case Opcode::PROBEVMR:
+      case Opcode::PROBEVMW:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Control transfers: legal inside a block but always block-final. */
+bool
+endsBlockAfter(Word opcode)
+{
+    switch (static_cast<Opcode>(opcode)) {
+      case Opcode::BSBB:
+      case Opcode::BRB:
+      case Opcode::BNEQ:
+      case Opcode::BEQL:
+      case Opcode::BGTR:
+      case Opcode::BLEQ:
+      case Opcode::JSB:
+      case Opcode::JMP:
+      case Opcode::BGEQ:
+      case Opcode::BLSS:
+      case Opcode::BGTRU:
+      case Opcode::BLEQU:
+      case Opcode::BVC:
+      case Opcode::BVS:
+      case Opcode::BCC:
+      case Opcode::BCS:
+      case Opcode::RSB:
+      case Opcode::BSBW:
+      case Opcode::BRW:
+      case Opcode::CASEB:
+      case Opcode::CASEW:
+      case Opcode::CASEL:
+      case Opcode::BBS:
+      case Opcode::BBC:
+      case Opcode::BBSS:
+      case Opcode::BBCS:
+      case Opcode::BBSC:
+      case Opcode::BBCC:
+      case Opcode::BLBS:
+      case Opcode::BLBC:
+      case Opcode::AOBLSS:
+      case Opcode::AOBLEQ:
+      case Opcode::SOBGEQ:
+      case Opcode::SOBGTR:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** The operand template performs a data-memory store. */
+bool
+writesMemory(const PredecodedInstr &ci)
+{
+    switch (static_cast<Opcode>(ci.opcode)) {
+      // Implicit stack pushes / queue stores.
+      case Opcode::PUSHL:
+      case Opcode::PUSHAL:
+      case Opcode::BSBB:
+      case Opcode::BSBW:
+      case Opcode::JSB:
+      case Opcode::INSQUE:
+      case Opcode::REMQUE:
+        return true;
+      default:
+        break;
+    }
+    for (int i = 0; i < ci.info->nOperands; ++i) {
+        const PredecodedOp &t = ci.ops[i];
+        if (t.kind == PdKind::Register || t.kind == PdKind::Literal ||
+            t.kind == PdKind::Immediate || t.kind == PdKind::Branch)
+            continue;
+        const OpAccess acc = ci.info->operands[i].access;
+        // VField counts as a write: the BBxS/BBxC variants store, and
+        // the test-only forms are block-final so the extra post-check
+        // costs nothing.
+        if (acc == OpAccess::Write || acc == OpAccess::Modify ||
+            acc == OpAccess::VField)
+            return true;
+    }
+    return false;
+}
+
+/** The operand template performs any data-memory access at all. */
+bool
+touchesMemory(const PredecodedInstr &ci)
+{
+    switch (static_cast<Opcode>(ci.opcode)) {
+      // Implicit stack/queue/case-table accesses.
+      case Opcode::PUSHL:
+      case Opcode::PUSHAL:
+      case Opcode::BSBB:
+      case Opcode::BSBW:
+      case Opcode::JSB:
+      case Opcode::RSB:
+      case Opcode::INSQUE:
+      case Opcode::REMQUE:
+      case Opcode::CASEB:
+      case Opcode::CASEW:
+      case Opcode::CASEL:
+        return true;
+      default:
+        break;
+    }
+    for (int i = 0; i < ci.info->nOperands; ++i) {
+        const PredecodedOp &t = ci.ops[i];
+        switch (t.kind) {
+          case PdKind::Branch:
+          case PdKind::Literal:
+          case PdKind::Immediate:
+          case PdKind::Register:
+            break;
+          case PdKind::AutoIncDeferred:
+          case PdKind::DispDeferred:
+          case PdKind::AbsoluteDeferred:
+            // The indirection itself reads memory, even for
+            // address-only access.
+            return true;
+          default:
+            if (ci.info->operands[i].access != OpAccess::Address)
+                return true;
+            break;
+        }
+    }
+    return false;
+}
+
+Byte
+totalFetches(const PredecodedInstr &ci)
+{
+    int n = ci.opcodeFetches;
+    for (int i = 0; i < ci.info->nOperands; ++i)
+        n += ci.ops[i].fetches;
+    return static_cast<Byte>(n);
+}
+
+bool
+isReg(const PredecodedOp &t)
+{
+    return t.kind == PdKind::Register;
+}
+
+bool
+isImm(const PredecodedOp &t)
+{
+    return t.kind == PdKind::Literal || t.kind == PdKind::Immediate;
+}
+
+/** Fusable memory operand: non-indexed reg-deferred/disp/absolute. */
+bool
+isMem(const PredecodedOp &t)
+{
+    return (t.kind == PdKind::RegDeferred || t.kind == PdKind::Disp ||
+            t.kind == PdKind::Absolute) &&
+           t.indexReg == 0xFF;
+}
+
+/** Encode a fusable memory operand into (b, imm): b = 0xFF marks an
+ *  absolute address, otherwise addr = R[b] + imm. */
+void
+setMemOperand(BlockInstr &bi, const PredecodedOp &t)
+{
+    if (t.kind == PdKind::Absolute) {
+        bi.b = 0xFF;
+        bi.imm = t.disp;
+    } else {
+        bi.b = t.reg;
+        bi.imm = t.kind == PdKind::Disp ? t.disp : 0;
+    }
+}
+
+/**
+ * Pick a fused handler for @p ci when its shape matches one, leaving
+ * Generic otherwise.  Also splits the stream-fetch accounting around
+ * the data access for the one fused shape whose reference ordering
+ * interleaves them (MovMR: the destination specifier is fetched after
+ * the source memory read).
+ */
+void
+classify(BlockInstr &bi, const PredecodedInstr &ci)
+{
+    const auto op = static_cast<Opcode>(ci.opcode);
+    const PredecodedOp *o = ci.ops.data();
+
+    bi.kind = FusedKind::Generic;
+    bi.fetchesPre = totalFetches(ci);
+    bi.fetchesPost = 0;
+
+    switch (op) {
+      case Opcode::MOVL:
+        if (isReg(o[1])) {
+            if (isReg(o[0])) {
+                bi.kind = FusedKind::MovRR;
+                bi.a = o[0].reg;
+                bi.b = o[1].reg;
+            } else if (isImm(o[0])) {
+                bi.kind = FusedKind::MovIR;
+                bi.imm = o[0].disp;
+                bi.b = o[1].reg;
+            } else if (isMem(o[0])) {
+                bi.kind = FusedKind::MovMR;
+                bi.a = o[1].reg;
+                setMemOperand(bi, o[0]);
+                bi.fetchesPre = static_cast<Byte>(ci.opcodeFetches +
+                                                  o[0].fetches);
+                bi.fetchesPost = o[1].fetches;
+            }
+        } else if (isMem(o[1])) {
+            if (isReg(o[0])) {
+                bi.kind = FusedKind::MovRM;
+                bi.a = o[0].reg;
+                setMemOperand(bi, o[1]);
+            } else if (isImm(o[0])) {
+                bi.kind = FusedKind::MovIM;
+                bi.imm2 = o[0].disp;
+                setMemOperand(bi, o[1]);
+            }
+        }
+        break;
+
+      case Opcode::ADDL2:
+      case Opcode::SUBL2:
+      case Opcode::BISL2:
+      case Opcode::BICL2:
+      case Opcode::XORL2:
+        if (isReg(o[1])) {
+            FusedKind rr = FusedKind::Generic;
+            switch (op) {
+              case Opcode::ADDL2: rr = FusedKind::AddRR; break;
+              case Opcode::SUBL2: rr = FusedKind::SubRR; break;
+              case Opcode::BISL2: rr = FusedKind::BisRR; break;
+              case Opcode::BICL2: rr = FusedKind::BicRR; break;
+              default: rr = FusedKind::XorRR; break;
+            }
+            if (isReg(o[0])) {
+                bi.kind = rr;
+                bi.a = o[0].reg;
+                bi.b = o[1].reg;
+            } else if (isImm(o[0])) {
+                // *IR immediately follows *RR in the enum.
+                bi.kind = static_cast<FusedKind>(
+                    static_cast<Byte>(rr) + 1);
+                bi.imm = o[0].disp;
+                bi.b = o[1].reg;
+            }
+        }
+        break;
+
+      case Opcode::CMPL:
+        if (isReg(o[0]) && isReg(o[1])) {
+            bi.kind = FusedKind::CmpRR;
+            bi.a = o[0].reg;
+            bi.b = o[1].reg;
+        } else if (isImm(o[0]) && isReg(o[1])) {
+            bi.kind = FusedKind::CmpIR;
+            bi.imm = o[0].disp;
+            bi.b = o[1].reg;
+        } else if (isReg(o[0]) && isImm(o[1])) {
+            bi.kind = FusedKind::CmpRI;
+            bi.a = o[0].reg;
+            bi.imm = o[1].disp;
+        }
+        break;
+
+      case Opcode::TSTL:
+        if (isReg(o[0])) {
+            bi.kind = FusedKind::TstR;
+            bi.a = o[0].reg;
+        }
+        break;
+      case Opcode::CLRL:
+        if (isReg(o[0])) {
+            bi.kind = FusedKind::ClrR;
+            bi.b = o[0].reg;
+        }
+        break;
+      case Opcode::INCL:
+        if (isReg(o[0])) {
+            bi.kind = FusedKind::IncR;
+            bi.b = o[0].reg;
+        }
+        break;
+      case Opcode::DECL:
+        if (isReg(o[0])) {
+            bi.kind = FusedKind::DecR;
+            bi.b = o[0].reg;
+        }
+        break;
+
+      case Opcode::BRB:
+      case Opcode::BRW:
+        bi.kind = FusedKind::Bra;
+        bi.imm = o[0].disp;
+        break;
+
+      case Opcode::BNEQ:
+      case Opcode::BEQL:
+      case Opcode::BGTR:
+      case Opcode::BLEQ:
+      case Opcode::BGEQ:
+      case Opcode::BLSS:
+      case Opcode::BGTRU:
+      case Opcode::BLEQU:
+      case Opcode::BVC:
+      case Opcode::BVS:
+      case Opcode::BCC:
+      case Opcode::BCS:
+        bi.kind = FusedKind::CondBr;
+        bi.a = static_cast<Byte>(ci.opcode);
+        bi.imm = o[0].disp;
+        break;
+
+      case Opcode::SOBGEQ:
+      case Opcode::SOBGTR:
+        if (isReg(o[0])) {
+            bi.kind = FusedKind::Sob;
+            bi.a = o[0].reg;
+            bi.b = op == Opcode::SOBGTR ? 1 : 0;
+            bi.imm = o[1].disp;
+        }
+        break;
+
+      case Opcode::BLBS:
+      case Opcode::BLBC:
+        if (isReg(o[0])) {
+            bi.kind = FusedKind::BlbR;
+            bi.a = o[0].reg;
+            bi.b = op == Opcode::BLBS ? 1 : 0;
+            bi.imm = o[1].disp;
+        }
+        break;
+
+      default:
+        break;
+    }
+}
+
+void
+appendInstr(Block &blk, const PredecodedInstr &ci, const CostModel &cost)
+{
+    BlockInstr &bi = blk.instrs[blk.count++];
+    bi = BlockInstr{};
+    bi.len = ci.len;
+    bi.info = ci.info;
+    // No in-block opcode carries extraCharge or suppressBase (every
+    // setter lives in the sensitive set stopsBlock() rejects), so the
+    // per-instruction charge is statically the scaled base cost.
+    bi.charge = static_cast<Cycles>(ci.info->baseCycles) *
+                cost.instructionScalePct / 100;
+    blk.totalCharge += bi.charge;
+    if (writesMemory(ci))
+        bi.flags = BlockInstr::kWritesMem | BlockInstr::kTouchesMem;
+    else if (touchesMemory(ci))
+        bi.flags = BlockInstr::kTouchesMem;
+    classify(bi, ci);
+    if (bi.kind == FusedKind::Generic) {
+        bi.tmplIndex = static_cast<Word>(blk.tmpls.size());
+        blk.tmpls.push_back(ci);
+    }
+}
+
+} // namespace
+
+const Byte *
+Cpu::blockWindow(VirtAddr pc, Tlb::Entry **entry)
+{
+    *entry = nullptr;
+    if (const Byte *base = mmu_.instrPage(pc))
+        return base;
+    if (Tlb::Entry *e = mmu_.tlbLookup(pc)) {
+        if (e->hostPage &&
+            (e->permMask &
+             Tlb::permBit(psl_.currentMode(), AccessType::Read))) {
+            *entry = e;
+            return e->hostPage;
+        }
+    }
+    return nullptr;
+}
+
+Block *
+Cpu::buildBlock(VirtAddr pc, const Byte *base)
+{
+    const PredecodedInstr &first = icache_[icacheIndex(pc)];
+    if (first.pc != pc)
+        return nullptr; // never decoded here: warm up via step first
+
+    Block &blk = bcache_.slotFor(pc);
+    blk.clear();
+    blk.pc = pc;
+    blk.hostPage = base;
+    blk.genCell = mmu_.pageGenForHostPage(base);
+
+    const VirtAddr page = pc & ~static_cast<VirtAddr>(kPageOffsetMask);
+    VirtAddr addr = pc;
+    while (blk.count < Block::kMaxInstrs) {
+        const PredecodedInstr &ci = icache_[icacheIndex(addr)];
+        const VirtAddr off = addr & kPageOffsetMask;
+        if (ci.pc != addr ||
+            (addr & ~static_cast<VirtAddr>(kPageOffsetMask)) != page ||
+            off + ci.len > kPageSize ||
+            addr + ci.len - pc > Block::kMaxBytes)
+            break;
+        if (std::memcmp(base + off, ci.bytes.data(), ci.len) != 0)
+            break; // stale predecode: the live bytes changed
+        if (stopsBlock(ci.opcode)) {
+            if (blk.count == 0) {
+                // Negative entry: the bytes validate but the first
+                // instruction is sensitive, so the lookup path can
+                // skip rebuild attempts until the code changes.
+                blk.byteLen = static_cast<Word>(ci.len);
+                std::memcpy(blk.bytes.data(), base + off, ci.len);
+                return &blk;
+            }
+            break;
+        }
+        appendInstr(blk, ci, cost_);
+        addr += ci.len;
+        if (endsBlockAfter(ci.opcode))
+            break;
+    }
+
+    if (blk.count == 0) {
+        blk.clear();
+        return nullptr;
+    }
+    blk.byteLen = static_cast<Word>(addr - pc);
+    std::memcpy(blk.bytes.data(), base + (pc & kPageOffsetMask),
+                blk.byteLen);
+    stats_.blockBuilds++;
+    return &blk;
+}
+
+} // namespace vvax

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Superblock translation cache (docs/ARCHITECTURE.md §5a).
+ *
+ * A Block is a run of predecoded instructions starting at one virtual
+ * PC and ending at the first control transfer or sensitive opcode,
+ * harvested from the per-instruction replay cache once the code has
+ * executed at least once.  The block executor in dispatch.cc retires
+ * the whole run with the pending-interrupt check and instruction-byte
+ * revalidation hoisted to the block edges, and with the hottest
+ * opcode+addressing-mode pairs fused into specialized handlers that
+ * bypass the generic decode/execute machinery entirely.
+ *
+ * Blocks are keyed by virtual PC but validated by physical identity:
+ * entry compares the page's host pointer (resolved through the
+ * context-tagged TLB, so PR 2's context renames and guest TB
+ * invalidates drop stale blocks for free) and memcmps the recorded
+ * bytes against the live page.  Writes into a page with live blocks
+ * are caught mid-block through the per-page generation map
+ * (PhysicalMemory::pageGenCell).
+ *
+ * This is host-side machinery only: the simulated cost model and
+ * every architectural counter are charged per retired instruction,
+ * exactly as the reference interpreter would (DESIGN.md §7c).
+ */
+
+#ifndef VVAX_CPU_BLOCK_CACHE_H
+#define VVAX_CPU_BLOCK_CACHE_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/types.h"
+#include "cpu/predecode.h"
+
+namespace vvax {
+
+/**
+ * Specialized handler selector for one block instruction.  Generic
+ * replays the PredecodedInstr template through the ordinary execute
+ * switch; every other kind is a fused opcode+addressing-mode pair
+ * handled inline by the block executor.
+ */
+enum class FusedKind : Byte {
+    Generic = 0,
+    // MOVL forms.  Mov*R: a = dst register.  Mov*M: memory operand is
+    // the destination (base register b, displacement imm).
+    MovRR, //!< MOVL Rs, Rd          (a = src, b = dst)
+    MovIR, //!< MOVL #imm, Rd        (imm = value, b = dst)
+    MovMR, //!< MOVL mem, Rd         (a = dst, b = base, imm = disp)
+    MovRM, //!< MOVL Rs, mem         (a = src, b = base, imm = disp)
+    MovIM, //!< MOVL #imm, mem       (imm2 = value, b = base, imm = disp)
+    // Register-only unary/compare forms (a or b = the register).
+    ClrR,  //!< CLRL Rd
+    TstR,  //!< TSTL Rs
+    IncR,  //!< INCL Rd
+    DecR,  //!< DECL Rd
+    // Dyadic L-size ALU, register destination (b = dst).
+    AddRR, AddIR, //!< ADDL2 {Rs,#imm}, Rd
+    SubRR, SubIR, //!< SUBL2 {Rs,#imm}, Rd
+    BisRR, BisIR, //!< BISL2 {Rs,#imm}, Rd
+    BicRR, BicIR, //!< BICL2 {Rs,#imm}, Rd
+    XorRR, XorIR, //!< XORL2 {Rs,#imm}, Rd
+    CmpRR, //!< CMPL Rs, Rs2         (a, b = registers)
+    CmpIR, //!< CMPL #imm, Rs        (imm, b = register)
+    CmpRI, //!< CMPL Rs, #imm        (a = register, imm)
+    // Control transfers (always block-final).
+    Bra,    //!< BRB/BRW             (imm = target)
+    CondBr, //!< Bxx                 (a = opcode byte, imm = target)
+    Sob,    //!< SOBGEQ/SOBGTR Rn    (a = reg, b = 1 for GTR, imm = target)
+    BlbR,   //!< BLBS/BLBC Rn        (a = reg, b = 1 for BLBS, imm = target)
+};
+
+/** One instruction inside a Block. */
+struct BlockInstr
+{
+    /** May store to memory: the executor re-checks the page
+     *  generation and the pending summaries after this instruction
+     *  (MMIO stores can raise device interrupts synchronously). */
+    static constexpr Byte kWritesMem = 1;
+    /**
+     * Performs any data-memory access (loads included).  A miss on
+     * that access walks and inserts into the direct-mapped TLB, which
+     * can evict the entry the block's own page is fetched through -
+     * the reference interpreter would then take a visible TLB miss on
+     * the next instruction fetch, so the executor re-checks the
+     * latched entry's tag after these instructions and bails out to
+     * the per-instruction path when it changed.
+     */
+    static constexpr Byte kTouchesMem = 2;
+
+    FusedKind kind = FusedKind::Generic;
+    Byte a = 0;           //!< see FusedKind comments
+    Byte b = 0;           //!< see FusedKind comments (0xFF = absolute)
+    Byte len = 0;         //!< instruction length in bytes
+    Byte flags = 0;
+    Byte fetchesPre = 0;  //!< stream fetches before the data access
+    Byte fetchesPost = 0; //!< stream fetches after it
+    Word tmplIndex = 0;   //!< Generic: index into Block::tmpls
+    Longword imm = 0;     //!< immediate / displacement / branch target
+    Longword imm2 = 0;    //!< MovIM immediate value
+    Cycles charge = 0;    //!< base cycle charge (fused kinds only)
+    const InstrInfo *info = nullptr;
+};
+
+/**
+ * A superblock: straight-line run of instructions within one page.
+ * count == 0 marks a negative entry (the first instruction at pc is
+ * a sensitive opcode the block executor must not handle); its bytes
+ * still validate so the lookup path skips futile rebuild attempts.
+ */
+struct Block
+{
+    static constexpr VirtAddr kNoPc = ~VirtAddr{0};
+    static constexpr int kMaxInstrs = 32;
+    static constexpr int kMaxBytes = 128;
+
+    VirtAddr pc = kNoPc;            //!< VA of the first instruction
+    const Byte *hostPage = nullptr; //!< page identity at build time
+    std::uint32_t *genCell = nullptr; //!< the page's generation cell
+    Word byteLen = 0;
+    Byte count = 0;
+    Cycles totalCharge = 0; //!< worst-case cycles if fully retired
+    std::array<Byte, kMaxBytes> bytes{};
+    std::array<BlockInstr, kMaxInstrs> instrs{};
+    std::vector<PredecodedInstr> tmpls; //!< Generic instr templates
+
+    void
+    clear()
+    {
+        pc = kNoPc;
+        count = 0;
+        byteLen = 0;
+        totalCharge = 0;
+        tmpls.clear();
+    }
+};
+
+/** Direct-mapped block container, indexed by a hash of the start PC. */
+class BlockCache
+{
+  public:
+    static constexpr int kEntries = 512;
+
+    Block *
+    lookup(VirtAddr pc)
+    {
+        Block &b = slots_[index(pc)];
+        return b.pc == pc ? &b : nullptr;
+    }
+
+    Block &slotFor(VirtAddr pc) { return slots_[index(pc)]; }
+
+  private:
+    static int
+    index(VirtAddr pc)
+    {
+        // Fold the page number in so loop bodies on different pages
+        // at the same offset don't collide.
+        return static_cast<int>((pc ^ (pc >> kPageShift)) &
+                                (kEntries - 1));
+    }
+
+    std::vector<Block> slots_ = std::vector<Block>(kEntries);
+};
+
+} // namespace vvax
+
+#endif // VVAX_CPU_BLOCK_CACHE_H

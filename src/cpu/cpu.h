@@ -35,6 +35,8 @@
 #include "arch/psl.h"
 #include "arch/scb.h"
 #include "arch/types.h"
+#include "cpu/block_cache.h"
+#include "cpu/predecode.h"
 #include "memory/mmu.h"
 #include "metrics/cost_model.h"
 #include "metrics/stats.h"
@@ -277,6 +279,66 @@ class Cpu
      * the next decode() call (the CPU is single-threaded).
      */
     Decoded &decode();
+    /**
+     * Replay the operand template @p ci for the instruction at @p pc
+     * into @p d; may throw GuestFault.  @p mapped selects the TLB-hit
+     * accounting of a mapped instruction window.  Performs exactly the
+     * data accesses, register side effects and counter updates the
+     * byte-level decode would, in the same order.
+     */
+    void replayTemplate(const PredecodedInstr &ci, VirtAddr pc,
+                        bool mapped, Decoded &d);
+    /** Sized operand read through the MMU (may throw GuestFault). */
+    Longword fetchOperandValue(VirtAddr addr, OpSize size,
+                               AccessMode mode);
+    /** Access-validate a store's page(s) (may throw GuestFault). */
+    void validateOperandWrite(VirtAddr addr, OpSize size,
+                              AccessMode mode);
+
+    // dispatch.cc / block_cache.cc: superblock translation cache
+    // (docs/ARCHITECTURE.md §5a).  Never used on the reference path.
+    /** Decode+execute+account one instruction (the body of step()). */
+    void stepInstruction();
+    /**
+     * Retire instructions through cached superblocks until the block
+     * chain breaks (untranslatable code, halt/wait, a deliverable
+     * interrupt, or the instruction budget).  @return true if at
+     * least one block executed.  Must be entered with no deliverable
+     * interrupt pending.
+     */
+    bool runBlocks(std::uint64_t limit);
+    /**
+     * Translate the run starting at @p pc into the block slot.
+     * @p base is the already-resolved instruction window.  @return
+     * the block (possibly a negative entry), or nullptr when pc has
+     * no predecoded entry yet (code must execute once through the
+     * per-instruction path before it can block).
+     */
+    Block *buildBlock(VirtAddr pc, const Byte *base);
+    /**
+     * Retire up to (limit - instructions) instructions of @p blk.
+     * @p win_entry is the TLB entry the window resolved through
+     * (nullptr when mapping is off); its tag is re-checked after
+     * memory-touching instructions - see BlockInstr::kTouchesMem.
+     */
+    void executeBlock(Block &blk, Tlb::Entry *win_entry,
+                      std::uint64_t limit);
+    /**
+     * Resolve the instruction window for @p pc without touching any
+     * counter: host pointer to the page base, or nullptr when the
+     * page is not directly addressable (TLB miss, MMIO, no read
+     * permission).  Context keying is inherited from tlbLookup.
+     * *entry receives the TLB entry used (nullptr when mapping is
+     * off and the window is a bare-RAM page).
+     */
+    const Byte *blockWindow(VirtAddr pc, Tlb::Entry **entry);
+    /** An interrupt is deliverable at the current IPL. */
+    bool
+    pendingDeliverable() const
+    {
+        const Byte cur = psl_.ipl();
+        return pending_device_ipl_ > cur || pending_soft_ipl_ > cur;
+    }
 
     // execute.cc / exec_system.cc
     void execute(Decoded &d);
@@ -433,53 +495,14 @@ class Cpu
     Decoded decode_scratch_;
 
     /**
-     * Predecoded-instruction cache (decode.cc).  An entry stores the
-     * raw instruction bytes plus a stream-independent operand
-     * template; on a hit the decoder revalidates the bytes against
-     * the live instruction window (so self-modifying code and
+     * Predecoded-instruction cache (decode.cc, cpu/predecode.h).  An
+     * entry stores the raw instruction bytes plus a stream-independent
+     * operand template; on a hit the decoder revalidates the bytes
+     * against the live instruction window (so self-modifying code and
      * remapping need no explicit invalidation) and replays the
      * template, performing exactly the data accesses and counter
      * updates the byte-level decode would.
      */
-    enum class PdKind : Byte {
-        Branch,          //!< value = precomputed target
-        Literal,         //!< short literal, value = disp
-        Immediate,       //!< value/value2 from the stream bytes
-        Register,
-        RegDeferred,     //!< addr = R[reg]
-        AutoDec,         //!< R[reg] -= size; addr = R[reg]
-        AutoInc,         //!< addr = R[reg]; R[reg] += size
-        AutoIncDeferred, //!< addr = M[R[reg]]; R[reg] += 4
-        Disp,            //!< addr = R[reg] + disp
-        DispDeferred,    //!< addr = M[R[reg] + disp]
-        Absolute,        //!< addr = disp (also all PC-relative forms)
-        AbsoluteDeferred,//!< addr = M[disp]
-    };
-    struct PredecodedOp
-    {
-        PdKind kind = PdKind::Literal;
-        Byte reg = 0;         //!< base register
-        Byte indexReg = 0xFF; //!< [Rx] scaling register, 0xFF = none
-        Byte fetches = 0;     //!< stream fetch calls this operand makes
-        Byte off = 0;         //!< immediate bytes' offset from the pc
-        Longword disp = 0;    //!< displacement / literal / target / imm
-        Longword imm2 = 0;    //!< immediate quad high half
-    };
-    struct PredecodedInstr
-    {
-        static constexpr int kMaxBytes = 24;
-        VirtAddr pc = ~VirtAddr{0}; //!< key; all-ones = empty
-        Byte len = 0;               //!< instruction length in bytes
-        Byte opcodeFetches = 1;     //!< 1, or 2 for the 0xFD page
-        Word opcode = 0;
-        const InstrInfo *info = nullptr;
-        /** bytes[0..len) zero-extended into a word, when len <= 8:
-         *  lets revalidation be one masked 64-bit compare. */
-        std::uint64_t fastBytes = 0;
-        std::uint64_t fastMask = 0;
-        std::array<Byte, kMaxBytes> bytes{};
-        std::array<PredecodedOp, kMaxOperands> ops{};
-    };
     static constexpr int kICacheEntries = 1024;
     static int
     icacheIndex(VirtAddr pc)
@@ -488,6 +511,9 @@ class Cpu
     }
     std::vector<PredecodedInstr> icache_ =
         std::vector<PredecodedInstr>(kICacheEntries);
+
+    /** Superblock translation cache (block_cache.cc, dispatch.cc). */
+    BlockCache bcache_;
 
     RunState run_state_ = RunState::Running;
     HaltReason halt_reason_ = HaltReason::None;

@@ -70,7 +70,7 @@ class DecodeContext
         d_.extraCharge = 0;
         d_.suppressBase = false;
 
-        Cpu::PredecodedInstr &slot =
+        PredecodedInstr &slot =
             cpu_.icache_[Cpu::icacheIndex(cursor_)];
         if (slot.pc == cursor_ && tryReplay(slot))
             return;
@@ -228,16 +228,13 @@ class DecodeContext
      * Replay @p ci for the instruction at the cursor.  Returns false
      * (leaving no observable trace) when the entry cannot be used:
      * the window will not latch, the instruction straddles the page,
-     * or the live bytes differ from the recorded ones.  On success it
-     * performs exactly the data accesses, register side effects and
-     * tlbHits updates the byte-level decode would, in the same order:
-     * within an operand every stream fetch precedes every data
-     * access, so charging the operand's fetch hits up front before
-     * its (possibly faulting) memory work preserves counter identity
-     * even for instructions that fault mid-decode.
+     * or the live bytes differ from the recorded ones.  On success the
+     * template replay (Cpu::replayTemplate) performs exactly the data
+     * accesses, register side effects and tlbHits updates the
+     * byte-level decode would, in the same order.
      */
     bool
-    tryReplay(Cpu::PredecodedInstr &ci)
+    tryReplay(PredecodedInstr &ci)
     {
         const VirtAddr pc = cursor_;
         if (!refillWindow(pc))
@@ -257,115 +254,8 @@ class DecodeContext
             return false;
         }
 
-        const bool mapped = win_entry_ != nullptr;
-        if (mapped)
-            cpu_.stats_.tlbHits += ci.opcodeFetches;
-        d_.opcode = ci.opcode;
-        d_.info = ci.info;
-
-        for (int i = 0; i < ci.info->nOperands; ++i) {
-            const Cpu::PredecodedOp &t = ci.ops[i];
-            DecodedOperand &op = d_.operands[i];
-            // Scratch reuse: only the routing flags need clearing,
-            // every kind below sets the fields it is read through.
-            op.isRegister = false;
-            op.isLiteral = false;
-            op.access = ci.info->operands[i].access;
-            op.size = ci.info->operands[i].size;
-            if (mapped)
-                cpu_.stats_.tlbHits += t.fetches;
-
-            const Longword sb = sizeBytes(op.size);
-            VirtAddr addr = 0;
-            switch (t.kind) {
-              case Cpu::PdKind::Branch:
-                op.value = t.disp;
-                continue;
-              case Cpu::PdKind::Literal:
-                op.isLiteral = true;
-                op.value = t.disp;
-                continue;
-              case Cpu::PdKind::Immediate:
-                op.isLiteral = true;
-                op.addr = pc + t.off;
-                op.value = t.disp;
-                op.value2 = t.imm2;
-                continue;
-              case Cpu::PdKind::Register:
-                op.isRegister = true;
-                op.reg = t.reg;
-                if (op.access == OpAccess::Read ||
-                    op.access == OpAccess::Modify ||
-                    op.access == OpAccess::VField) {
-                    Longword v = d_.regsAfter[t.reg];
-                    if (op.size == OpSize::B)
-                        v &= 0xFF;
-                    else if (op.size == OpSize::W)
-                        v &= 0xFFFF;
-                    op.value = v;
-                    if (op.size == OpSize::Q)
-                        op.value2 = d_.regsAfter[t.reg + 1];
-                }
-                continue;
-              case Cpu::PdKind::RegDeferred:
-                addr = d_.regsAfter[t.reg];
-                break;
-              case Cpu::PdKind::AutoDec:
-                d_.regsAfter[t.reg] -= sb;
-                addr = d_.regsAfter[t.reg];
-                break;
-              case Cpu::PdKind::AutoInc:
-                addr = d_.regsAfter[t.reg];
-                d_.regsAfter[t.reg] += sb;
-                break;
-              case Cpu::PdKind::AutoIncDeferred: {
-                const VirtAddr ptr = d_.regsAfter[t.reg];
-                d_.regsAfter[t.reg] += 4;
-                addr = mmu_.readV32(ptr, mode_);
-                break;
-              }
-              case Cpu::PdKind::Disp:
-                addr = d_.regsAfter[t.reg] + t.disp;
-                break;
-              case Cpu::PdKind::DispDeferred:
-                addr = mmu_.readV32(d_.regsAfter[t.reg] + t.disp,
-                                    mode_);
-                break;
-              case Cpu::PdKind::Absolute:
-                addr = t.disp;
-                break;
-              case Cpu::PdKind::AbsoluteDeferred:
-                addr = mmu_.readV32(t.disp, mode_);
-                break;
-            }
-            if (t.indexReg != 0xFF)
-                addr += d_.regsAfter[t.indexReg] * sb;
-            op.addr = addr;
-
-            switch (op.access) {
-              case OpAccess::Read:
-                op.value = fetchValue(op.addr, op.size);
-                if (op.size == OpSize::Q)
-                    op.value2 = mmu_.readV32(op.addr + 4, mode_);
-                break;
-              case OpAccess::Modify:
-                op.value = fetchValue(op.addr, op.size);
-                if (op.size == OpSize::Q)
-                    op.value2 = mmu_.readV32(op.addr + 4, mode_);
-                validateWrite(op.addr, op.size);
-                break;
-              case OpAccess::Write:
-                validateWrite(op.addr, op.size);
-                break;
-              case OpAccess::Address:
-              case OpAccess::VField:
-              case OpAccess::Branch:
-                break;
-            }
-        }
-
+        cpu_.replayTemplate(ci, pc, win_entry_ != nullptr, d_);
         cursor_ = pc + ci.len;
-        d_.nextPc = cursor_;
         return true;
     }
 
@@ -377,11 +267,11 @@ class DecodeContext
      * self-consistent even if the page changed under the decode.
      */
     void
-    record(Cpu::PredecodedInstr &slot, VirtAddr pc)
+    record(PredecodedInstr &slot, VirtAddr pc)
     {
         const Longword len = d_.nextPc - pc;
         const Longword off = pc & kPageOffsetMask;
-        if (len == 0 || len > Cpu::PredecodedInstr::kMaxBytes ||
+        if (len == 0 || len > PredecodedInstr::kMaxBytes ||
             off + len > kPageSize)
             return;
         if ((pc & ~kPageOffsetMask) != win_page_ ||
@@ -410,7 +300,7 @@ class DecodeContext
      * representable.  Must consume exactly slot.len bytes.
      */
     static bool
-    predecode(Cpu::PredecodedInstr &slot, VirtAddr pc)
+    predecode(PredecodedInstr &slot, VirtAddr pc)
     {
         const Byte *b = slot.bytes.data();
         int pos = 0;
@@ -426,11 +316,11 @@ class DecodeContext
             return false;
 
         for (int i = 0; i < slot.info->nOperands; ++i) {
-            Cpu::PredecodedOp &t = slot.ops[i];
-            t = Cpu::PredecodedOp{};
+            PredecodedOp &t = slot.ops[i];
+            t = PredecodedOp{};
             const OperandSpec &spec = slot.info->operands[i];
             if (spec.access == OpAccess::Branch) {
-                t.kind = Cpu::PdKind::Branch;
+                t.kind = PdKind::Branch;
                 t.fetches = 1;
                 Longword disp;
                 if (spec.size == OpSize::B) {
@@ -458,7 +348,7 @@ class DecodeContext
 
     /** One specifier for predecode(); mirrors decodeSpecifier(). */
     static bool
-    predecodeSpecifier(Cpu::PredecodedOp &t, const Byte *b, int &pos,
+    predecodeSpecifier(PredecodedOp &t, const Byte *b, int &pos,
                        int len, VirtAddr pc, OpSize size,
                        bool allow_index)
     {
@@ -483,7 +373,7 @@ class DecodeContext
 
         switch (m) {
           case 0x0: case 0x1: case 0x2: case 0x3:
-            t.kind = Cpu::PdKind::Literal;
+            t.kind = PdKind::Literal;
             t.disp = spec & 0x3F;
             return true;
           case 0x4: { // index [Rx]: base specifier follows
@@ -494,25 +384,25 @@ class DecodeContext
                                     /*allow_index=*/false))
                 return false;
             // The base must be a memory-addressing form.
-            if (t.kind == Cpu::PdKind::Literal ||
-                t.kind == Cpu::PdKind::Immediate ||
-                t.kind == Cpu::PdKind::Register)
+            if (t.kind == PdKind::Literal ||
+                t.kind == PdKind::Immediate ||
+                t.kind == PdKind::Register)
                 return false;
             t.indexReg = idx;
             return true;
           }
           case 0x5:
-            t.kind = Cpu::PdKind::Register;
+            t.kind = PdKind::Register;
             return true;
           case 0x6:
-            t.kind = Cpu::PdKind::RegDeferred;
+            t.kind = PdKind::RegDeferred;
             return true;
           case 0x7:
-            t.kind = Cpu::PdKind::AutoDec;
+            t.kind = PdKind::AutoDec;
             return true;
           case 0x8:
             if (rn == PC) { // immediate
-                t.kind = Cpu::PdKind::Immediate;
+                t.kind = PdKind::Immediate;
                 t.off = static_cast<Byte>(pos);
                 switch (size) {
                   case OpSize::B:
@@ -547,19 +437,19 @@ class DecodeContext
                 }
                 return true;
             }
-            t.kind = Cpu::PdKind::AutoInc;
+            t.kind = PdKind::AutoInc;
             return true;
           case 0x9:
             if (rn == PC) { // absolute
                 if (pos + 4 > len)
                     return false;
-                t.kind = Cpu::PdKind::Absolute;
+                t.kind = PdKind::Absolute;
                 t.disp = le32(pos);
                 pos += 4;
                 t.fetches++;
                 return true;
             }
-            t.kind = Cpu::PdKind::AutoIncDeferred;
+            t.kind = PdKind::AutoIncDeferred;
             return true;
           case 0xA: case 0xB: case 0xC: case 0xD: case 0xE:
           case 0xF: {
@@ -585,12 +475,12 @@ class DecodeContext
             if (rn == PC) {
                 // PC-relative: the base is the cursor after the
                 // displacement, a constant for these bytes.
-                t.kind = deferred ? Cpu::PdKind::AbsoluteDeferred
-                                  : Cpu::PdKind::Absolute;
+                t.kind = deferred ? PdKind::AbsoluteDeferred
+                                  : PdKind::Absolute;
                 t.disp = pc + pos + disp;
             } else {
-                t.kind = deferred ? Cpu::PdKind::DispDeferred
-                                  : Cpu::PdKind::Disp;
+                t.kind = deferred ? PdKind::DispDeferred
+                                  : PdKind::Disp;
                 t.disp = disp;
             }
             return true;
@@ -602,22 +492,13 @@ class DecodeContext
     Longword
     fetchValue(VirtAddr addr, OpSize size)
     {
-        switch (size) {
-          case OpSize::B: return mmu_.readV8(addr, mode_);
-          case OpSize::W: return mmu_.readV16(addr, mode_);
-          case OpSize::L:
-          case OpSize::Q: return mmu_.readV32(addr, mode_);
-        }
-        return 0;
+        return cpu_.fetchOperandValue(addr, size, mode_);
     }
 
     void
     validateWrite(VirtAddr addr, OpSize size)
     {
-        mmu_.translate(addr, AccessType::Write, mode_);
-        const Longword last = addr + sizeBytes(size) - 1;
-        if ((addr >> kPageShift) != (last >> kPageShift))
-            mmu_.translate(last, AccessType::Write, mode_);
+        cpu_.validateOperandWrite(addr, size, mode_);
     }
 
     /**
@@ -803,6 +684,149 @@ Cpu::decode()
     DecodeContext ctx(*this, decode_scratch_);
     ctx.run();
     return decode_scratch_;
+}
+
+Longword
+Cpu::fetchOperandValue(VirtAddr addr, OpSize size, AccessMode mode)
+{
+    switch (size) {
+      case OpSize::B: return mmu_.readV8(addr, mode);
+      case OpSize::W: return mmu_.readV16(addr, mode);
+      case OpSize::L:
+      case OpSize::Q: return mmu_.readV32(addr, mode);
+    }
+    return 0;
+}
+
+void
+Cpu::validateOperandWrite(VirtAddr addr, OpSize size, AccessMode mode)
+{
+    mmu_.translate(addr, AccessType::Write, mode);
+    const Longword last = addr + sizeBytes(size) - 1;
+    if ((addr >> kPageShift) != (last >> kPageShift))
+        mmu_.translate(last, AccessType::Write, mode);
+}
+
+/*
+ * Within an operand every stream fetch precedes every data access, so
+ * charging the operand's fetch hits up front before its (possibly
+ * faulting) memory work preserves counter identity even for
+ * instructions that fault mid-decode.  The byte validation against
+ * the live page is the caller's job (tryReplay for the
+ * per-instruction cache, the block entry/generation checks for the
+ * superblock executor).
+ */
+void
+Cpu::replayTemplate(const PredecodedInstr &ci, VirtAddr pc, bool mapped,
+                    Decoded &d)
+{
+    const AccessMode mode = psl_.currentMode();
+    if (mapped)
+        stats_.tlbHits += ci.opcodeFetches;
+    d.opcode = ci.opcode;
+    d.info = ci.info;
+
+    for (int i = 0; i < ci.info->nOperands; ++i) {
+        const PredecodedOp &t = ci.ops[i];
+        DecodedOperand &op = d.operands[i];
+        // Scratch reuse: only the routing flags need clearing,
+        // every kind below sets the fields it is read through.
+        op.isRegister = false;
+        op.isLiteral = false;
+        op.access = ci.info->operands[i].access;
+        op.size = ci.info->operands[i].size;
+        if (mapped)
+            stats_.tlbHits += t.fetches;
+
+        const Longword sb = sizeBytes(op.size);
+        VirtAddr addr = 0;
+        switch (t.kind) {
+          case PdKind::Branch:
+            op.value = t.disp;
+            continue;
+          case PdKind::Literal:
+            op.isLiteral = true;
+            op.value = t.disp;
+            continue;
+          case PdKind::Immediate:
+            op.isLiteral = true;
+            op.addr = pc + t.off;
+            op.value = t.disp;
+            op.value2 = t.imm2;
+            continue;
+          case PdKind::Register:
+            op.isRegister = true;
+            op.reg = t.reg;
+            if (op.access == OpAccess::Read ||
+                op.access == OpAccess::Modify ||
+                op.access == OpAccess::VField) {
+                Longword v = d.regsAfter[t.reg];
+                if (op.size == OpSize::B)
+                    v &= 0xFF;
+                else if (op.size == OpSize::W)
+                    v &= 0xFFFF;
+                op.value = v;
+                if (op.size == OpSize::Q)
+                    op.value2 = d.regsAfter[t.reg + 1];
+            }
+            continue;
+          case PdKind::RegDeferred:
+            addr = d.regsAfter[t.reg];
+            break;
+          case PdKind::AutoDec:
+            d.regsAfter[t.reg] -= sb;
+            addr = d.regsAfter[t.reg];
+            break;
+          case PdKind::AutoInc:
+            addr = d.regsAfter[t.reg];
+            d.regsAfter[t.reg] += sb;
+            break;
+          case PdKind::AutoIncDeferred: {
+            const VirtAddr ptr = d.regsAfter[t.reg];
+            d.regsAfter[t.reg] += 4;
+            addr = mmu_.readV32(ptr, mode);
+            break;
+          }
+          case PdKind::Disp:
+            addr = d.regsAfter[t.reg] + t.disp;
+            break;
+          case PdKind::DispDeferred:
+            addr = mmu_.readV32(d.regsAfter[t.reg] + t.disp, mode);
+            break;
+          case PdKind::Absolute:
+            addr = t.disp;
+            break;
+          case PdKind::AbsoluteDeferred:
+            addr = mmu_.readV32(t.disp, mode);
+            break;
+        }
+        if (t.indexReg != 0xFF)
+            addr += d.regsAfter[t.indexReg] * sb;
+        op.addr = addr;
+
+        switch (op.access) {
+          case OpAccess::Read:
+            op.value = fetchOperandValue(op.addr, op.size, mode);
+            if (op.size == OpSize::Q)
+                op.value2 = mmu_.readV32(op.addr + 4, mode);
+            break;
+          case OpAccess::Modify:
+            op.value = fetchOperandValue(op.addr, op.size, mode);
+            if (op.size == OpSize::Q)
+                op.value2 = mmu_.readV32(op.addr + 4, mode);
+            validateOperandWrite(op.addr, op.size, mode);
+            break;
+          case OpAccess::Write:
+            validateOperandWrite(op.addr, op.size, mode);
+            break;
+          case OpAccess::Address:
+          case OpAccess::VField:
+          case OpAccess::Branch:
+            break;
+        }
+    }
+
+    d.nextPc = pc + ci.len;
 }
 
 } // namespace vvax

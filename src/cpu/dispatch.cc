@@ -1,14 +1,36 @@
 /**
  * @file
  * Step loop, exception/interrupt dispatch through the SCB, interval
- * timer, and the host-hook mechanism.
+ * timer, the host-hook mechanism, and the superblock executor
+ * (docs/ARCHITECTURE.md §5a).
  */
 
 #include <cassert>
+#include <cstring>
 
 #include "cpu/cpu.h"
 
 namespace vvax {
+
+namespace {
+
+// Shared with execute.cc (file-static there): overflow predicates for
+// the fused ALU handlers, which must set NZVC exactly as the generic
+// execute switch does.
+constexpr bool
+addOverflows(Longword a, Longword b, Longword sum)
+{
+    return ((~(a ^ b)) & (a ^ sum) & 0x80000000u) != 0;
+}
+
+constexpr bool
+subOverflows(Longword min, Longword sub, Longword dif)
+{
+    // dif = min - sub
+    return (((min ^ sub)) & (min ^ dif) & 0x80000000u) != 0;
+}
+
+} // namespace
 
 void
 Cpu::timerFired()
@@ -224,6 +246,13 @@ Cpu::step()
         return run_state_;
     }
 
+    stepInstruction();
+    return run_state_;
+}
+
+void
+Cpu::stepInstruction()
+{
     const VirtAddr instr_pc = regs_[PC];
     try {
         Decoded &d = decode();
@@ -242,7 +271,6 @@ Cpu::step()
     } catch (const GuestFault &fault) {
         dispatchFault(fault, instr_pc, regs_[PC]);
     }
-    return run_state_;
 }
 
 RunState
@@ -250,7 +278,21 @@ Cpu::run(std::uint64_t max_instructions)
 {
     const std::uint64_t limit = stats_.instructions + max_instructions;
     std::uint64_t idle_steps = 0;
+    // The superblock path is a host execution strategy: never used on
+    // the reference path, and tracing needs the per-instruction hook.
+    const bool use_blocks = !mmu_.referencePath() && !trace_;
     while (run_state_ != RunState::Halted && stats_.instructions < limit) {
+        if (use_blocks && run_state_ == RunState::Running) {
+            // Mirrors step() for the Running state: deliver at most
+            // one interrupt, else retire instructions - through block
+            // chains when possible, one at a time otherwise.
+            if (!checkPendingInterrupts() && !runBlocks(limit) &&
+                run_state_ == RunState::Running &&
+                stats_.instructions < limit)
+                stepInstruction();
+            idle_steps = 0;
+            continue;
+        }
         step();
         if (run_state_ == RunState::Waiting) {
             // Avoid spinning forever when nothing can ever wake us.
@@ -263,6 +305,390 @@ Cpu::run(std::uint64_t max_instructions)
         }
     }
     return run_state_;
+}
+
+bool
+Cpu::runBlocks(std::uint64_t limit)
+{
+    bool executed = false;
+    while (run_state_ == RunState::Running &&
+           stats_.instructions < limit) {
+        const VirtAddr pc = regs_[PC];
+        Tlb::Entry *entry;
+        const Byte *base = blockWindow(pc, &entry);
+        if (!base)
+            break;
+        Block *blk = bcache_.lookup(pc);
+        if (blk &&
+            (base != blk->hostPage ||
+             std::memcmp(base + (pc & kPageOffsetMask),
+                         blk->bytes.data(), blk->byteLen) != 0)) {
+            // Page identity or bytes changed (remap, SMC, context
+            // rename resolving to a different frame): rebuild.
+            stats_.blockInvalidations++;
+            blk->clear();
+            blk = nullptr;
+        }
+        if (!blk)
+            blk = buildBlock(pc, base);
+        if (!blk || blk->count == 0)
+            break; // untranslatable here; negative entries stay cached
+        stats_.blockExecutions++;
+        executeBlock(*blk, entry, limit);
+        executed = true;
+        if (run_state_ != RunState::Running || pendingDeliverable())
+            break;
+    }
+    return executed;
+}
+
+/*
+ * Retire @p blk.  Invariants the translator established: no
+ * instruction in the block can change IPL, mode, mapping or TLB
+ * context (those opcodes stop translation), so the pending-interrupt
+ * check hoists to the block edges - re-armed mid-block only after the
+ * events that can create a deliverable interrupt: a store (MMIO can
+ * raise a device line synchronously; any store can also overwrite the
+ * block's own code, hence the generation re-check) and, when the
+ * interval timer could fire within this block's worst-case charge,
+ * any instruction at all.  Likewise the instruction bytes were
+ * memcmp-validated at entry, so per-instruction revalidation drops
+ * out.  Cost accounting stays strictly per retired instruction
+ * (DESIGN.md §7c): every counter and cycle charge is identical to the
+ * per-instruction path, bit for bit.
+ */
+void
+Cpu::executeBlock(Block &blk, Tlb::Entry *win_entry, std::uint64_t limit)
+{
+    const bool mapped = win_entry != nullptr;
+    const std::uint64_t win_tag = mapped ? win_entry->tag : 0;
+    const AccessMode mode = psl_.currentMode();
+    // Can the timer fire inside this block?  icr_ only moves by our
+    // own charges (advanceTimer), and totalCharge bounds them.
+    const bool timer_live =
+        (iccs_ & iccs::kRun) &&
+        icr_ + static_cast<std::int64_t>(blk.totalCharge) >= 0;
+    std::uint32_t gen = *blk.genCell;
+
+    int n = blk.count;
+    if (static_cast<std::uint64_t>(n) > limit - stats_.instructions)
+        n = static_cast<int>(limit - stats_.instructions);
+
+    for (int i = 0; i < n; ++i) {
+        const BlockInstr &bi = blk.instrs[i];
+        const VirtAddr instr_pc = regs_[PC];
+        try {
+            Cycles charge = bi.charge;
+            switch (bi.kind) {
+              case FusedKind::Generic: {
+                Decoded &d = decode_scratch_;
+                d.regsAfter = regs_scratch_;
+                std::memcpy(d.regsAfter, regs_,
+                            sizeof(Longword) * kNumRegs);
+                d.extraCharge = 0;
+                d.suppressBase = false;
+                replayTemplate(blk.tmpls[bi.tmplIndex], instr_pc,
+                               mapped, d);
+                execute(d);
+                charge = d.extraCharge;
+                if (!d.suppressBase) {
+                    charge += d.info->baseCycles *
+                              cost_.instructionScalePct / 100;
+                }
+                break;
+              }
+
+              case FusedKind::MovRR: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                const Longword v = regs_[bi.a];
+                regs_[bi.b] = v;
+                regs_[PC] = instr_pc + bi.len;
+                setCcLogical(v, OpSize::L);
+                break;
+              }
+              case FusedKind::MovIR: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                const Longword v = bi.imm;
+                regs_[bi.b] = v;
+                regs_[PC] = instr_pc + bi.len;
+                setCcLogical(v, OpSize::L);
+                break;
+              }
+              case FusedKind::MovMR: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                const VirtAddr addr =
+                    bi.b == 0xFF
+                        ? static_cast<VirtAddr>(bi.imm)
+                        : regs_[bi.b] + bi.imm;
+                const Longword v = mmu_.readV32(addr, mode);
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPost;
+                regs_[bi.a] = v;
+                regs_[PC] = instr_pc + bi.len;
+                setCcLogical(v, OpSize::L);
+                break;
+              }
+              case FusedKind::MovRM:
+              case FusedKind::MovIM: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                const VirtAddr addr =
+                    bi.b == 0xFF
+                        ? static_cast<VirtAddr>(bi.imm)
+                        : regs_[bi.b] + bi.imm;
+                validateOperandWrite(addr, OpSize::L, mode);
+                const Longword v = bi.kind == FusedKind::MovRM
+                                       ? regs_[bi.a]
+                                       : bi.imm2;
+                mmu_.writeV32(addr, v, mode);
+                regs_[PC] = instr_pc + bi.len;
+                setCcLogical(v, OpSize::L);
+                break;
+              }
+
+              case FusedKind::ClrR: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                regs_[bi.b] = 0;
+                regs_[PC] = instr_pc + bi.len;
+                psl_.setNzvc(false, true, false, psl_.c());
+                break;
+              }
+              case FusedKind::TstR: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                const Longword v = regs_[bi.a];
+                regs_[PC] = instr_pc + bi.len;
+                setCcLogical(v, OpSize::L);
+                psl_.setFlag(Psl::kC, false);
+                break;
+              }
+              case FusedKind::IncR:
+              case FusedKind::DecR: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                const bool inc = bi.kind == FusedKind::IncR;
+                const Longword a = regs_[bi.b];
+                const Longword r = a + (inc ? 1u : ~0u);
+                regs_[bi.b] = r;
+                regs_[PC] = instr_pc + bi.len;
+                psl_.setNzvc((r & 0x80000000u) != 0, r == 0,
+                             inc ? addOverflows(a, 1, r)
+                                 : subOverflows(a, 1, r),
+                             inc ? r < a : a < 1);
+                if (psl_.v() && psl_.flag(Psl::kIv)) {
+                    throw GuestFault::withParam(
+                        ScbVector::Arithmetic,
+                        arithcode::kIntegerOverflow, /*abort=*/false);
+                }
+                break;
+              }
+
+              case FusedKind::AddRR:
+              case FusedKind::AddIR: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                const Longword a = bi.kind == FusedKind::AddRR
+                                       ? regs_[bi.a]
+                                       : bi.imm;
+                const Longword b = regs_[bi.b];
+                const Longword sum = a + b;
+                regs_[bi.b] = sum;
+                regs_[PC] = instr_pc + bi.len;
+                psl_.setNzvc((sum & 0x80000000u) != 0, sum == 0,
+                             addOverflows(a, b, sum), sum < a);
+                if (psl_.v() && psl_.flag(Psl::kIv)) {
+                    throw GuestFault::withParam(
+                        ScbVector::Arithmetic,
+                        arithcode::kIntegerOverflow, /*abort=*/false);
+                }
+                break;
+              }
+              case FusedKind::SubRR:
+              case FusedKind::SubIR: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                const Longword sub = bi.kind == FusedKind::SubRR
+                                         ? regs_[bi.a]
+                                         : bi.imm;
+                const Longword min = regs_[bi.b];
+                const Longword dif = min - sub;
+                regs_[bi.b] = dif;
+                regs_[PC] = instr_pc + bi.len;
+                psl_.setNzvc((dif & 0x80000000u) != 0, dif == 0,
+                             subOverflows(min, sub, dif), min < sub);
+                if (psl_.v() && psl_.flag(Psl::kIv)) {
+                    throw GuestFault::withParam(
+                        ScbVector::Arithmetic,
+                        arithcode::kIntegerOverflow, /*abort=*/false);
+                }
+                break;
+              }
+              case FusedKind::BisRR:
+              case FusedKind::BisIR: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                const Longword r =
+                    (bi.kind == FusedKind::BisRR ? regs_[bi.a]
+                                                 : bi.imm) |
+                    regs_[bi.b];
+                regs_[bi.b] = r;
+                regs_[PC] = instr_pc + bi.len;
+                setCcLogical(r, OpSize::L);
+                break;
+              }
+              case FusedKind::BicRR:
+              case FusedKind::BicIR: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                const Longword r =
+                    ~(bi.kind == FusedKind::BicRR ? regs_[bi.a]
+                                                  : bi.imm) &
+                    regs_[bi.b];
+                regs_[bi.b] = r;
+                regs_[PC] = instr_pc + bi.len;
+                setCcLogical(r, OpSize::L);
+                break;
+              }
+              case FusedKind::XorRR:
+              case FusedKind::XorIR: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                const Longword r =
+                    (bi.kind == FusedKind::XorRR ? regs_[bi.a]
+                                                 : bi.imm) ^
+                    regs_[bi.b];
+                regs_[bi.b] = r;
+                regs_[PC] = instr_pc + bi.len;
+                setCcLogical(r, OpSize::L);
+                break;
+              }
+
+              case FusedKind::CmpRR:
+              case FusedKind::CmpIR:
+              case FusedKind::CmpRI: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                Longword x, y;
+                if (bi.kind == FusedKind::CmpRR) {
+                    x = regs_[bi.a];
+                    y = regs_[bi.b];
+                } else if (bi.kind == FusedKind::CmpIR) {
+                    x = bi.imm;
+                    y = regs_[bi.b];
+                } else {
+                    x = regs_[bi.a];
+                    y = bi.imm;
+                }
+                regs_[PC] = instr_pc + bi.len;
+                psl_.setNzvc(static_cast<std::int32_t>(x) <
+                                 static_cast<std::int32_t>(y),
+                             x == y, false, x < y);
+                break;
+              }
+
+              case FusedKind::Bra: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                regs_[PC] = bi.imm;
+                break;
+              }
+              case FusedKind::CondBr: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                const bool nf = psl_.n(), zf = psl_.z(),
+                           vf = psl_.v(), cf = psl_.c();
+                bool taken = false;
+                switch (static_cast<Opcode>(bi.a)) {
+                  case Opcode::BNEQ: taken = !zf; break;
+                  case Opcode::BEQL: taken = zf; break;
+                  case Opcode::BGTR: taken = !(nf || zf); break;
+                  case Opcode::BLEQ: taken = nf || zf; break;
+                  case Opcode::BGEQ: taken = !nf; break;
+                  case Opcode::BLSS: taken = nf; break;
+                  case Opcode::BGTRU: taken = !(cf || zf); break;
+                  case Opcode::BLEQU: taken = cf || zf; break;
+                  case Opcode::BVC: taken = !vf; break;
+                  case Opcode::BVS: taken = vf; break;
+                  case Opcode::BCC: taken = !cf; break;
+                  case Opcode::BCS: taken = cf; break;
+                  default: break;
+                }
+                regs_[PC] = taken ? static_cast<VirtAddr>(bi.imm)
+                                  : instr_pc + bi.len;
+                break;
+              }
+              case FusedKind::Sob: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                const Longword orig = regs_[bi.a];
+                const Longword index = orig - 1;
+                regs_[bi.a] = index;
+                const auto si = static_cast<std::int32_t>(index);
+                const bool taken = bi.b != 0 ? si > 0 : si >= 0;
+                regs_[PC] = taken ? static_cast<VirtAddr>(bi.imm)
+                                  : instr_pc + bi.len;
+                psl_.setNzvc(si < 0, si == 0,
+                             subOverflows(orig, 1, index), psl_.c());
+                if (psl_.v() && psl_.flag(Psl::kIv)) {
+                    throw GuestFault::withParam(
+                        ScbVector::Arithmetic,
+                        arithcode::kIntegerOverflow, /*abort=*/false);
+                }
+                break;
+              }
+              case FusedKind::BlbR: {
+                if (mapped)
+                    stats_.tlbHits += bi.fetchesPre;
+                const bool bit = (regs_[bi.a] & 1) != 0;
+                const bool taken = bit == (bi.b != 0);
+                regs_[PC] = taken ? static_cast<VirtAddr>(bi.imm)
+                                  : instr_pc + bi.len;
+                break;
+              }
+            }
+            stats_.instructions++;
+            stats_.blockInstructions++;
+            if (run_state_ != RunState::Halted)
+                chargeCycles(CycleCategory::GuestExec, charge);
+        } catch (const GuestFault &fault) {
+            dispatchFault(fault, instr_pc, regs_[PC]);
+            return;
+        }
+
+        // Mid-block hazards.  Non-memory instructions can only make
+        // an interrupt deliverable through the timer; stores can also
+        // raise device lines (MMIO) or rewrite the block itself.
+        if (bi.flags != 0) {
+            if (bi.flags & BlockInstr::kWritesMem) {
+                if (*blk.genCell != gen) {
+                    // Something wrote this page.  If the block's own
+                    // bytes changed, stop before the stale tail.
+                    if (std::memcmp(blk.hostPage +
+                                        (blk.pc & kPageOffsetMask),
+                                    blk.bytes.data(),
+                                    blk.byteLen) != 0)
+                        return;
+                    gen = *blk.genCell;
+                }
+                if (run_state_ != RunState::Running ||
+                    pendingDeliverable())
+                    return;
+            } else if (timer_live && pendingDeliverable()) {
+                return;
+            }
+            // A data-access walk may have evicted the entry the
+            // block's page is fetched through; the reference would
+            // take a TLB miss on the next instruction fetch.
+            if (win_entry && win_entry->tag != win_tag)
+                return;
+        } else if (timer_live && pendingDeliverable()) {
+            return;
+        }
+    }
 }
 
 } // namespace vvax

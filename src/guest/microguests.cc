@@ -147,4 +147,53 @@ buildContextSwitchLoop(Longword iterations)
     return img;
 }
 
+MicroGuestImage
+buildSmcPatchLoop(Longword iterations, bool cross_page)
+{
+    CodeBuilder b(kLoadBase);
+    b.movl(Op::imm(iterations), Op::reg(R6));
+    b.movl(Op::imm(1), Op::reg(R2));
+    b.clrl(Op::reg(R0));
+    b.clrl(Op::reg(R1));
+
+    Label loop = b.newLabel();
+    Label patch = b.newLabel();
+    b.bind(loop);
+    // Toggle r2 between 1 and 2 and store it over the short-literal
+    // specifier byte of the ADDL2 below (opcode byte at `patch`, the
+    // literal at patch+1), so the patched instruction adds a
+    // different addend on every pass.  Both 1 and 2 stay within
+    // short-literal range, so the rewritten byte is always legal.
+    b.xorl2(Op::lit(3), Op::reg(R2));
+    b.movb(Op::reg(R2), Op::absRef(patch, 1));
+    if (cross_page) {
+        // Put the patched instruction on the following page so the
+        // store lands outside the page the storing block runs from.
+        // The backward edge needs a word-displacement trampoline:
+        // SOBGTR only reaches a byte away.
+        Label again = b.newLabel();
+        b.brw(patch);
+        b.align(kPageSize);
+        b.bind(patch);
+        b.addl2(Op::lit(1), Op::reg(R0));
+        b.xorl2(Op::reg(R0), Op::reg(R1));
+        b.sobgtr(Op::reg(R6), again);
+        b.halt();
+        b.bind(again);
+        b.brw(loop);
+    } else {
+        b.bind(patch);
+        b.addl2(Op::lit(1), Op::reg(R0));
+        b.xorl2(Op::reg(R0), Op::reg(R1));
+        b.sobgtr(Op::reg(R6), loop);
+        b.halt();
+    }
+
+    MicroGuestImage img;
+    img.loadBase = kLoadBase;
+    img.entry = kLoadBase;
+    img.image = b.finish();
+    return img;
+}
+
 } // namespace vvax

@@ -43,6 +43,19 @@ MicroGuestImage buildTrapDenseLoop(Longword iterations);
  */
 MicroGuestImage buildContextSwitchLoop(Longword iterations);
 
+/**
+ * Self-modifying kernel loop: each iteration rewrites the
+ * short-literal specifier byte of an ADDL2 that has already executed
+ * (toggling the addend between 1 and 2), then runs the patched
+ * instruction.  With @p cross_page the patched instruction sits on
+ * the page after the store, so the write invalidates a *different*
+ * page's translations; otherwise the store mutates the very run of
+ * code it executes from.  Exercises icache/superblock invalidation on
+ * the fast path - the reference interpreter re-fetches every byte, so
+ * lockstep runs prove the caches never serve stale code.
+ */
+MicroGuestImage buildSmcPatchLoop(Longword iterations, bool cross_page);
+
 } // namespace vvax
 
 #endif // VVAX_GUEST_MICROGUESTS_H

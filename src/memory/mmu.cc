@@ -9,6 +9,7 @@ Mmu::Mmu(PhysicalMemory &memory, const CostModel &cost, Stats &stats)
 {
     ram_base_ = memory_.ram().data();
     ram_limit_ = memory_.ramSize();
+    page_gen_base_ = memory_.pageGenData();
     if (std::getenv("VVAX_REFERENCE_PATH") != nullptr)
         fast_enabled_ = false;
 }
@@ -94,8 +95,9 @@ Mmu::walk(VirtAddr va, AccessType type, AccessMode mode, bool fill_tlb)
         return result;
     }
     if (fill_tlb) {
-        tlb_.insert(va, result.pte, pte_pa,
-                    memory_.pageBase(result.pte.pfn() << kPageShift));
+        const PhysAddr page_pa = result.pte.pfn() << kPageShift;
+        tlb_.insert(va, result.pte, pte_pa, memory_.pageBase(page_pa),
+                    memory_.pageGenCell(page_pa));
     }
     result.status = MmStatus::Ok;
     return result;
@@ -177,7 +179,8 @@ Mmu::resolve(VirtAddr va, AccessType type, AccessMode mode, PhysAddr *pa)
         stats_.addCycles(CycleCategory::MemoryManagement,
                          cost_.hardwareModifySet);
         tlb_.insert(va, updated, result.ptePa,
-                    memory_.pageBase(updated.pfn() << kPageShift));
+                    memory_.pageBase(updated.pfn() << kPageShift),
+                    memory_.pageGenCell(updated.pfn() << kPageShift));
         result.status = MmStatus::Ok;
     }
 

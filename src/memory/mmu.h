@@ -214,6 +214,7 @@ class Mmu
             if (!regs_.mapen) {
                 if (static_cast<std::uint64_t>(va) + 4 <= ram_limit_) {
                     std::memcpy(ram_base_ + va, &value, 4);
+                    page_gen_base_[va >> kPageShift]++;
                     return true;
                 }
             } else if (Tlb::Entry *e = tlb_.lookup(va)) {
@@ -223,6 +224,7 @@ class Mmu
                     stats_.tlbHits++;
                     std::memcpy(e->hostPage + (va & kPageOffsetMask),
                                 &value, 4);
+                    ++*e->pageGen;
                     return true;
                 }
             }
@@ -313,6 +315,7 @@ class Mmu
             if (!regs_.mapen) {
                 if (va < ram_limit_) {
                     ram_base_[va] = value;
+                    page_gen_base_[va >> kPageShift]++;
                     return;
                 }
             } else if (Tlb::Entry *e = tlb_.lookup(va)) {
@@ -321,6 +324,7 @@ class Mmu
                      Tlb::permBit(mode, AccessType::Write))) {
                     stats_.tlbHits++;
                     e->hostPage[va & kPageOffsetMask] = value;
+                    ++*e->pageGen;
                     return;
                 }
             }
@@ -335,6 +339,7 @@ class Mmu
             if (!regs_.mapen) {
                 if (static_cast<std::uint64_t>(va) + 2 <= ram_limit_) {
                     std::memcpy(ram_base_ + va, &value, 2);
+                    page_gen_base_[va >> kPageShift]++;
                     return;
                 }
             } else if (Tlb::Entry *e = tlb_.lookup(va)) {
@@ -344,6 +349,7 @@ class Mmu
                     stats_.tlbHits++;
                     std::memcpy(e->hostPage + (va & kPageOffsetMask),
                                 &value, 2);
+                    ++*e->pageGen;
                     return;
                 }
             }
@@ -358,6 +364,7 @@ class Mmu
             if (!regs_.mapen) {
                 if (static_cast<std::uint64_t>(va) + 4 <= ram_limit_) {
                     std::memcpy(ram_base_ + va, &value, 4);
+                    page_gen_base_[va >> kPageShift]++;
                     return;
                 }
             } else if (Tlb::Entry *e = tlb_.lookup(va)) {
@@ -367,6 +374,7 @@ class Mmu
                     stats_.tlbHits++;
                     std::memcpy(e->hostPage + (va & kPageOffsetMask),
                                 &value, 4);
+                    ++*e->pageGen;
                     return;
                 }
             }
@@ -405,6 +413,21 @@ class Mmu
         if (!fast_enabled_ || !regs_.mapen)
             return nullptr;
         return tlb_.lookup(va);
+    }
+
+    /**
+     * Write-generation cell of the RAM page @p page_base points at
+     * (a pointer previously obtained from instrPage() or a TLB
+     * entry's hostPage, both of which are PhysicalMemory page bases).
+     * The superblock cache latches this at build time and compares it
+     * to detect stores into the block's own page.
+     */
+    std::uint32_t *
+    pageGenForHostPage(const Byte *page_base)
+    {
+        return page_gen_base_ +
+               (static_cast<PhysAddr>(page_base - ram_base_) >>
+                kPageShift);
     }
 
     PhysicalMemory &memory() { return memory_; }
@@ -459,6 +482,7 @@ class Mmu
     bool fast_enabled_ = true;
     Byte *ram_base_ = nullptr;
     Longword ram_limit_ = 0;
+    std::uint32_t *page_gen_base_ = nullptr; //!< per-page write counters
 };
 
 } // namespace vvax

@@ -9,6 +9,7 @@ PhysicalMemory::PhysicalMemory(Longword bytes)
 {
     const Longword rounded = (bytes + kPageSize - 1) & ~kPageOffsetMask;
     ram_.resize(rounded, 0);
+    page_gen_.resize(rounded / kPageSize, 0);
 }
 
 void
@@ -82,6 +83,7 @@ PhysicalMemory::write8(PhysAddr pa, Byte value)
 {
     if (pa < ramSize()) {
         ram_[pa] = value;
+        page_gen_[pa >> kPageShift]++;
         return;
     }
     const Window *w = findWindow(pa);
@@ -94,6 +96,8 @@ PhysicalMemory::write16(PhysAddr pa, Word value)
 {
     if (pa + 1 < ramSize()) {
         std::memcpy(&ram_[pa], &value, 2);
+        page_gen_[pa >> kPageShift]++;
+        page_gen_[(pa + 1) >> kPageShift]++;
         return;
     }
     const Window *w = findWindow(pa);
@@ -106,6 +110,8 @@ PhysicalMemory::write32(PhysAddr pa, Longword value)
 {
     if (pa + 3 < ramSize() && pa + 3 > pa) {
         std::memcpy(&ram_[pa], &value, 4);
+        page_gen_[pa >> kPageShift]++;
+        page_gen_[(pa + 3) >> kPageShift]++;
         return;
     }
     const Window *w = findWindow(pa);
@@ -118,6 +124,12 @@ PhysicalMemory::writeBlock(PhysAddr pa, std::span<const Byte> data)
 {
     assert(pa + data.size() <= ramSize());
     std::memcpy(&ram_[pa], data.data(), data.size());
+    if (!data.empty()) {
+        const PhysAddr first = pa >> kPageShift;
+        const PhysAddr last = (pa + data.size() - 1) >> kPageShift;
+        for (PhysAddr page = first; page <= last; ++page)
+            page_gen_[page]++;
+    }
 }
 
 void

@@ -64,6 +64,27 @@ class PhysicalMemory
         return nullptr;
     }
 
+    /**
+     * Host pointer to the write-generation counter of the RAM page
+     * containing @p pa, or nullptr when pageBase() would be null.
+     * Every store funnel (write8/16/32, writeBlock, the MMU's inline
+     * fast paths) bumps the counter of each page it touches; the
+     * superblock executor compares it to detect stores into the page
+     * its instructions came from (docs/ARCHITECTURE.md §5a).  Like
+     * RAM itself the counters are allocated once at construction.
+     */
+    std::uint32_t *
+    pageGenCell(PhysAddr pa)
+    {
+        const PhysAddr page = pa & ~kPageOffsetMask;
+        if (static_cast<std::uint64_t>(page) + kPageSize <= ramSize())
+            return page_gen_.data() + (page >> kPageShift);
+        return nullptr;
+    }
+
+    /** The whole generation array, indexed by page frame number. */
+    std::uint32_t *pageGenData() { return page_gen_.data(); }
+
     // Accessors.  Out-of-range RAM access with no window is reported
     // by exists(); callers (the MMU) check first.  These assert.
     Byte read8(PhysAddr pa);
@@ -91,6 +112,7 @@ class PhysicalMemory
     const Window *findWindow(PhysAddr pa) const;
 
     std::vector<Byte> ram_;
+    std::vector<std::uint32_t> page_gen_; //!< per-page write counter
     std::vector<Window> windows_;
 };
 

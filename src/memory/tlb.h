@@ -70,6 +70,13 @@ class Tlb
          */
         Byte *hostPage = nullptr;
         /**
+         * Host pointer to the mapped page's write-generation counter
+         * (PhysicalMemory::pageGenCell), non-null exactly when
+         * hostPage is.  Lets the MMU's inline store paths bump the
+         * counter without recomputing the page frame.
+         */
+        std::uint32_t *pageGen = nullptr;
+        /**
          * Bit (2*mode + type) is set when an access of @p type from
          * @p mode may complete without a fresh walk: the protection
          * code permits it and, for writes, PTE<M> is already set.
@@ -101,7 +108,8 @@ class Tlb
     }
 
     void
-    insert(VirtAddr va, Pte pte, PhysAddr pte_pa, Byte *host_page)
+    insert(VirtAddr va, Pte pte, PhysAddr pte_pa, Byte *host_page,
+           std::uint32_t *page_gen)
     {
         const Longword vpn_global = va >> kPageShift;
         const int is_system = systemBit(va);
@@ -110,6 +118,7 @@ class Tlb
         entry.pte = pte;
         entry.ptePa = pte_pa;
         entry.hostPage = host_page;
+        entry.pageGen = page_gen;
         entry.permMask = computePermMask(pte);
     }
 

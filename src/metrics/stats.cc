@@ -51,6 +51,28 @@ Stats::clear()
     *this = Stats{};
 }
 
+bool
+Stats::operator==(const Stats &other) const
+{
+    // Architectural counters only; the block* members are host-side
+    // (see the declaration comment) and must not break lockstep.
+    return instructions == other.instructions &&
+           cycles == other.cycles && dispatches == other.dispatches &&
+           tlbHits == other.tlbHits && tlbMisses == other.tlbMisses &&
+           hardwareModifySets == other.hardwareModifySets &&
+           modifyFaults == other.modifyFaults &&
+           translationFaults == other.translationFaults &&
+           accessViolations == other.accessViolations &&
+           vmEmulationTraps == other.vmEmulationTraps &&
+           interruptsTaken == other.interruptsTaken &&
+           waitInstructions == other.waitInstructions &&
+           tlbFlushAll == other.tlbFlushAll &&
+           tlbFlushProcess == other.tlbFlushProcess &&
+           tlbFlushSingle == other.tlbFlushSingle &&
+           tlbContextSwitches == other.tlbContextSwitches &&
+           vmTrapOpcodes == other.vmTrapOpcodes;
+}
+
 void
 Stats::print(std::ostream &os) const
 {
@@ -69,6 +91,12 @@ Stats::print(std::ostream &os) const
     os << "tlb maintenance: " << tlbFlushAll << " tbia, "
        << tlbFlushProcess << " tbia-process, " << tlbFlushSingle
        << " tbis, " << tlbContextSwitches << " context switches\n";
+    if (blockBuilds != 0 || blockExecutions != 0) {
+        os << "superblocks: " << blockBuilds << " built, "
+           << blockExecutions << " executed, " << blockInstructions
+           << " instructions, " << blockInvalidations
+           << " invalidated\n";
+    }
     bool any_trap = false;
     for (auto c : vmTrapOpcodes)
         any_trap |= c != 0;

@@ -242,8 +242,11 @@ CodeBuilder::emitSpecifier(const Op &op, const OperandSpec &spec)
         return;
       case Op::Kind::Immediate:
         byte(0x8F);
+        // Widen first: quadword immediates shift past the Longword's
+        // 32 bits (the value zero-extends into the high half).
         for (int i = 0; i < data_size; ++i)
-            byte(static_cast<Byte>(op.value >> (8 * i)));
+            byte(static_cast<Byte>(
+                static_cast<std::uint64_t>(op.value) >> (8 * i)));
         return;
       case Op::Kind::Register:
         byte(static_cast<Byte>(0x50 | op.reg_));

@@ -438,6 +438,94 @@ lockstepTrapDenseVirtual(bool reference)
     return digestOf(m);
 }
 
+/**
+ * Self-modifying code: the guest rewrites the literal byte of an
+ * ADDL2 inside a run of code that already executed (and so already
+ * has live icache entries and superblocks on the fast path).  The
+ * reference interpreter re-fetches every byte, so lockstep agreement
+ * proves the fast path never serves stale code or diverges in the
+ * TLB/cycle accounting while invalidating.
+ */
+MachineDigest
+lockstepSmcBare(bool cross_page, bool reference)
+{
+    MachineConfig mc;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.mmu().setReferencePath(reference);
+    MicroGuestImage img = buildSmcPatchLoop(600, cross_page);
+    m.loadImage(img.loadBase, img.image);
+    m.cpu().setPc(img.entry);
+    m.cpu().psl().setIpl(31);
+    m.run(100000);
+    EXPECT_EQ(m.cpu().haltReason(), HaltReason::HaltInstruction);
+    // The patched addend alternates 2,1,2,1,... over 600 passes.
+    EXPECT_EQ(m.cpu().reg(0), 900u);
+    return digestOf(m);
+}
+
+/** The same self-modifying guest inside a virtual machine. */
+MachineDigest
+lockstepSmcVirtual(bool cross_page, bool reference)
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.mmu().setReferencePath(reference);
+    Hypervisor hv(m);
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+    MicroGuestImage img = buildSmcPatchLoop(600, cross_page);
+    hv.loadVmImage(vm, img.loadBase, img.image);
+    hv.startVm(vm, img.entry);
+    hv.run(10000000);
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    return digestOf(m);
+}
+
+/**
+ * Code patched from *outside* the CPU between run() calls: the first
+ * run leaves live superblocks for the loop body, then the test pokes
+ * the ADDL2 literal through PhysicalMemory::writeBlock and resumes.
+ * The stale block must be dropped at its next entry validation.
+ */
+MachineDigest
+lockstepExternalPatch(bool reference)
+{
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(100), Op::reg(R6));
+    b.clrl(Op::reg(R0));
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.addl2(Op::lit(1), Op::reg(R0));
+    b.sobgtr(Op::reg(R6), loop);
+    b.halt();
+
+    MachineConfig mc;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.mmu().setReferencePath(reference);
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    const VirtAddr lit_addr = b.labelAddress(loop) + 1;
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(31);
+
+    // 2 setup instructions + 50 iterations of 2 instructions each.
+    m.run(102);
+    EXPECT_EQ(m.cpu().reg(0), 50u);
+
+    const Byte patched = 5; // short literal: now adds 5 per pass
+    m.memory().writeBlock(lit_addr, std::span<const Byte>(&patched, 1));
+    m.run(100000);
+    EXPECT_EQ(m.cpu().haltReason(), HaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(0), 300u);
+    if (!reference)
+        EXPECT_GE(m.stats().blockInvalidations, 1u)
+            << "the external write must drop the stale block";
+    return digestOf(m);
+}
+
 /** Boot MiniUltrix inside a virtual machine. */
 MachineDigest
 lockstepMiniUltrixVirtual(bool reference)
@@ -511,6 +599,36 @@ TEST(FastPathLockstep, TrapDenseLoopVirtualized)
 {
     expectDigestsEqual(lockstepTrapDenseVirtual(false),
                        lockstepTrapDenseVirtual(true));
+}
+
+TEST(FastPathLockstep, SmcPatchSamePageBare)
+{
+    expectDigestsEqual(lockstepSmcBare(false, false),
+                       lockstepSmcBare(false, true));
+}
+
+TEST(FastPathLockstep, SmcPatchCrossPageBare)
+{
+    expectDigestsEqual(lockstepSmcBare(true, false),
+                       lockstepSmcBare(true, true));
+}
+
+TEST(FastPathLockstep, SmcPatchSamePageVirtualized)
+{
+    expectDigestsEqual(lockstepSmcVirtual(false, false),
+                       lockstepSmcVirtual(false, true));
+}
+
+TEST(FastPathLockstep, SmcPatchCrossPageVirtualized)
+{
+    expectDigestsEqual(lockstepSmcVirtual(true, false),
+                       lockstepSmcVirtual(true, true));
+}
+
+TEST(FastPathLockstep, ExternalWriteInvalidatesBlocks)
+{
+    expectDigestsEqual(lockstepExternalPatch(false),
+                       lockstepExternalPatch(true));
 }
 
 TEST(FastPathLockstep, MiniUltrixBootVirtualized)

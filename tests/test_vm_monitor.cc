@@ -83,8 +83,6 @@ TEST_F(Monitor, BootFromTheVirtualDisk)
     b.movl(Op::imm(0xB007), Op::reg(R6));
     b.halt();
     auto image = b.finish();
-    std::vector<Byte> block0(512, 0);
-    std::copy(image.begin(), image.end(), block0.begin() + 0x200 - 0);
     // The program sits at offset 0x200 of the boot image; blocks 0..1
     // cover VM-physical 0..0x400.
     std::vector<Byte> two_blocks(1024, 0);
