@@ -26,6 +26,15 @@ if ! grep -q '"library_build_type": "release"' "$tmp_json"; then
          "refusing to install it" >&2
     exit 1
 fi
+# The virtual-I/O pair must be present: check_bench_regression.sh
+# gates their exit counters, so a baseline without them would
+# silently drop that gate.
+for bm in BM_VirtualizedIoDenseBatched BM_VirtualizedIoDenseUnbatched; do
+    if ! grep -q "\"$bm" "$tmp_json"; then
+        echo "error: $bm missing from benchmark JSON" >&2
+        exit 1
+    fi
+done
 mv "$tmp_json" BENCH_sim_throughput.json
 trap - EXIT
 echo "wrote $(pwd)/BENCH_sim_throughput.json"

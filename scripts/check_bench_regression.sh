@@ -4,6 +4,12 @@
 # the checked-in baseline (BENCH_sim_throughput.json).  Exits 1 if
 # any benchmark regressed by more than the threshold (default 15%).
 #
+# The virtual-I/O benchmarks are additionally gated on their exit
+# counters (emulation_traps / vm_entries): these are deterministic,
+# so growing one beyond the threshold means the batching layer lost
+# exits, however the wall clock moved.  The batched run must also
+# keep at least a 2x emulation-trap cut over the unbatched run.
+#
 # Usage: check_bench_regression.sh [fresh.json]
 #   With an argument, compares that JSON instead of running the
 #   benchmarks (useful for inspecting a completed run).
@@ -71,6 +77,51 @@ for name, old in sorted(base.items()):
 for name in sorted(set(fresh) - set(base)):
     print(f"new      {name}: {fresh[name] / 1e6:8.2f} M items/s "
           f"(no baseline)")
+
+
+def counters(path, names):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        b["name"]: {n: b[n] for n in names if n in b}
+        for b in doc.get("benchmarks", [])
+    }
+
+
+# Exit-class gate: deterministic per-iteration counters on the
+# I/O benchmarks must not grow past the threshold either.
+EXIT_COUNTERS = ("emulation_traps", "vm_entries")
+IO_BENCHES = ("BM_VirtualizedIoDenseBatched",
+              "BM_VirtualizedIoDenseUnbatched")
+base_ctr = counters(baseline_path, EXIT_COUNTERS)
+fresh_ctr = counters(fresh_path, EXIT_COUNTERS)
+for name in IO_BENCHES:
+    for ctr, old in sorted(base_ctr.get(name, {}).items()):
+        new = fresh_ctr.get(name, {}).get(ctr)
+        if new is None:
+            print(f"MISSING  {name}/{ctr}: in baseline but not in "
+                  f"fresh run")
+            failed = True
+            continue
+        delta = (new - old) / old if old else 0.0
+        marker = "ok      "
+        if delta > threshold:
+            marker = "REGRESSED"
+            failed = True
+        print(f"{marker} {name}/{ctr}: {old:10.0f} -> {new:10.0f} "
+              f"per iter ({delta * 100:+.1f}%)")
+
+batched = fresh_ctr.get(IO_BENCHES[0], {}).get("emulation_traps")
+unbatched = fresh_ctr.get(IO_BENCHES[1], {}).get("emulation_traps")
+if batched is not None and unbatched is not None:
+    if batched * 2 > unbatched:
+        print(f"REGRESSED batching exit cut: batched "
+              f"{batched:.0f} traps vs unbatched {unbatched:.0f} "
+              f"(need >= 2x)")
+        failed = True
+    else:
+        print(f"ok       batching exit cut: {unbatched / batched:.1f}x "
+              f"fewer emulation traps")
 
 if failed:
     print(f"FAIL: throughput regressed beyond {threshold_pct}% "

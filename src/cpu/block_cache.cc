@@ -467,12 +467,22 @@ Cpu::buildBlock(VirtAddr pc, const Byte *base)
         if (std::memcmp(base + off, ci.bytes.data(), ci.len) != 0)
             break; // stale predecode: the live bytes changed
         if (stopsBlock(ci.opcode)) {
-            if (blk.count == 0) {
-                // Negative entry: the bytes validate but the first
-                // instruction is sensitive, so the lookup path can
-                // skip rebuild attempts until the code changes.
-                blk.byteLen = static_cast<Word>(ci.len);
-                std::memcpy(blk.bytes.data(), base + off, ci.len);
+            if (blk.count <= Block::kMinInstrs) {
+                // Negative entry: the bytes validate but the run is
+                // too short to be worth executing as a block (see
+                // Block::kMinInstrs), so runBlocks retires the whole
+                // region - harvested instructions plus the sensitive
+                // capper - through the plain interpreter in one pass,
+                // without re-resolving the window per instruction.
+                // The sensitive instruction's bytes are included in
+                // the validated span, so patching it drops the entry.
+                blk.stepInstrs = static_cast<Byte>(blk.count + 1);
+                blk.count = 0;
+                blk.totalCharge = 0;
+                blk.tmpls.clear();
+                blk.byteLen = static_cast<Word>(addr + ci.len - pc);
+                std::memcpy(blk.bytes.data(),
+                            base + (pc & kPageOffsetMask), blk.byteLen);
                 return &blk;
             }
             break;

@@ -106,21 +106,34 @@ struct BlockInstr
 
 /**
  * A superblock: straight-line run of instructions within one page.
- * count == 0 marks a negative entry (the first instruction at pc is
- * a sensitive opcode the block executor must not handle); its bytes
- * still validate so the lookup path skips futile rebuild attempts.
+ * count == 0 marks a negative entry (the run at pc is sensitive-capped
+ * and at most kMinInstrs long, so block setup costs more than the
+ * interpreter it would replace); its bytes still validate so the
+ * lookup path skips futile rebuild attempts.
  */
 struct Block
 {
     static constexpr VirtAddr kNoPc = ~VirtAddr{0};
     static constexpr int kMaxInstrs = 32;
     static constexpr int kMaxBytes = 128;
+    /**
+     * Minimum profitable run length.  A harvest that hits a sensitive
+     * opcode after this many instructions or fewer becomes a negative
+     * entry: the executor's entry/exit work (window resolve, memcmp,
+     * generation loads) outweighs dispatching 1-2 instructions, which
+     * is exactly the trap- and switch-dense shape (MTPR/MFPR/PROBE
+     * every couple of instructions) that regressed when superblocks
+     * landed.  Runs capped by a control transfer keep translating at
+     * any length: branch targets chain usefully.
+     */
+    static constexpr int kMinInstrs = 2;
 
     VirtAddr pc = kNoPc;            //!< VA of the first instruction
     const Byte *hostPage = nullptr; //!< page identity at build time
     std::uint32_t *genCell = nullptr; //!< the page's generation cell
     Word byteLen = 0;
     Byte count = 0;
+    Byte stepInstrs = 0; //!< negative entry: instructions to interpret
     Cycles totalCharge = 0; //!< worst-case cycles if fully retired
     std::array<Byte, kMaxBytes> bytes{};
     std::array<BlockInstr, kMaxInstrs> instrs{};
@@ -131,6 +144,7 @@ struct Block
     {
         pc = kNoPc;
         count = 0;
+        stepInstrs = 0;
         byteLen = 0;
         totalCharge = 0;
         tmpls.clear();

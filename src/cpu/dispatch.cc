@@ -331,8 +331,25 @@ Cpu::runBlocks(std::uint64_t limit)
         }
         if (!blk)
             blk = buildBlock(pc, base);
-        if (!blk || blk->count == 0)
-            break; // untranslatable here; negative entries stay cached
+        if (!blk || blk->count == 0) {
+            if (!blk || blk->stepInstrs == 0)
+                break; // untranslatable here
+            // Negative entry: the run is too short for the block
+            // executor, so retire the whole validated region through
+            // the interpreter here, keeping the window resolve and
+            // memcmp amortized over the region instead of paying
+            // them again after every single stepped instruction.
+            const int n = blk->stepInstrs;
+            for (int i = 0; i < n; ++i) {
+                stepInstruction();
+                executed = true;
+                if (run_state_ != RunState::Running ||
+                    stats_.instructions >= limit ||
+                    pendingDeliverable())
+                    return executed;
+            }
+            continue;
+        }
         stats_.blockExecutions++;
         executeBlock(*blk, entry, limit);
         executed = true;

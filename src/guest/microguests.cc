@@ -3,6 +3,7 @@
 #include "arch/ipr.h"
 #include "arch/pte.h"
 #include "vasm/code_builder.h"
+#include "vmm/kcall.h"
 
 namespace vvax {
 namespace {
@@ -187,6 +188,101 @@ buildSmcPatchLoop(Longword iterations, bool cross_page)
         b.xorl2(Op::reg(R0), Op::reg(R1));
         b.sobgtr(Op::reg(R6), loop);
         b.halt();
+    }
+
+    MicroGuestImage img;
+    img.loadBase = kLoadBase;
+    img.entry = kLoadBase;
+    img.image = b.finish();
+    return img;
+}
+
+MicroGuestImage
+buildIoDenseLoop(Longword iterations, bool use_disk_kcall)
+{
+    // Transfer buffer: one 512-byte run per descriptor, above the code.
+    constexpr Longword kIoBuffer = 0x4000;
+
+    CodeBuilder b(kLoadBase);
+    Label loop = b.newLabel();
+    Label done = b.newLabel();
+    Label ring = b.newLabel();
+
+    b.mtpr(Op::lit(31), Ipr::IPL);
+    b.clrl(Op::reg(R11));
+    if (use_disk_kcall) {
+        // Ask the VMM which fast paths it implements.  A VMM without
+        // kQueryFeatures answers kError for the unknown function code,
+        // which carries no feature bits (kcall.h), so the driver
+        // falls back to one KCALL per transfer.
+        b.mtpr(Op::lit(kcallabi::kQueryFeatures), Ipr::KCALL);
+        b.movl(Op::reg(R0), Op::reg(R11));
+    }
+    b.movl(Op::imm(iterations), Op::reg(R6));
+
+    b.bind(loop);
+    // Console burst: four TXDB writes per iteration.
+    b.mtpr(Op::imm('i'), Ipr::TXDB);
+    b.mtpr(Op::imm('o'), Ipr::TXDB);
+    b.mtpr(Op::imm('.'), Ipr::TXDB);
+    b.mtpr(Op::imm('\n'), Ipr::TXDB);
+    if (use_disk_kcall) {
+        Label unbatched = b.newLabel();
+        Label next = b.newLabel();
+        b.bbc(Op::lit(1), Op::reg(R11), unbatched);
+
+        // Batched: the whole ring in one exit.
+        b.movl(Op::immLabel(ring), Op::reg(R1));
+        b.movl(Op::imm(kIoDenseDescriptors), Op::reg(R2));
+        b.mtpr(Op::lit(kcallabi::kDiskBatch), Ipr::KCALL);
+        b.brb(next);
+
+        // Unbatched: walk the same ring, one KCALL per descriptor.
+        Label f_top = b.newLabel();
+        Label f_write = b.newLabel();
+        Label f_next = b.newLabel();
+        b.bind(unbatched);
+        b.movl(Op::immLabel(ring), Op::reg(R7));
+        b.movl(Op::imm(kIoDenseDescriptors), Op::reg(R8));
+        b.bind(f_top);
+        b.movl(Op::deferred(R7), Op::reg(R1));  // block
+        b.movl(Op::disp(4, R7), Op::reg(R2));   // count
+        b.movl(Op::disp(8, R7), Op::reg(R3));   // VM-phys buffer
+        b.movl(Op::disp(12, R7), Op::reg(R0));  // flags
+        b.blbs(Op::reg(R0), f_write);
+        b.mtpr(Op::lit(kcallabi::kDiskRead), Ipr::KCALL);
+        b.brb(f_next);
+        b.bind(f_write);
+        b.mtpr(Op::lit(kcallabi::kDiskWrite), Ipr::KCALL);
+        b.bind(f_next);
+        b.addl2(Op::imm(kcallabi::kBatchDescriptorBytes),
+                Op::reg(R7));
+        b.sobgtr(Op::reg(R8), f_top);
+        b.bind(next);
+    } else {
+        // Bare-capable filler so the loop body still computes.
+        b.addl2(Op::lit(1), Op::reg(R2));
+        b.xorl2(Op::reg(R2), Op::reg(R3));
+    }
+    b.decl_(Op::reg(R6));
+    b.bleq(done);
+    b.brw(loop); // the loop body outgrows a byte displacement
+    b.bind(done);
+    b.halt();
+
+    // The descriptor ring: eight single-block writes out of the
+    // buffer, then eight reads of the same blocks back into the upper
+    // half of the buffer — identical order batched and unbatched.
+    b.align(4);
+    b.bind(ring);
+    for (Longword i = 0; i < kIoDenseDescriptors; ++i) {
+        const bool write = i < kIoDenseDescriptors / 2;
+        const Longword block =
+            write ? i : i - kIoDenseDescriptors / 2;
+        b.longword(block);                 // starting disk block
+        b.longword(1);                     // block count
+        b.longword(kIoBuffer + i * 512);   // VM-phys buffer run
+        b.longword(write ? kcallabi::kBatchFlagWrite : 0);
     }
 
     MicroGuestImage img;

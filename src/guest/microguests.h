@@ -56,6 +56,24 @@ MicroGuestImage buildContextSwitchLoop(Longword iterations);
  */
 MicroGuestImage buildSmcPatchLoop(Longword iterations, bool cross_page);
 
+/** Descriptors per kDiskBatch ring posted by the I/O-dense guest. */
+constexpr Longword kIoDenseDescriptors = 16;
+
+/**
+ * I/O-dense kernel loop: every iteration writes a four-character
+ * console burst through TXDB and moves @ref kIoDenseDescriptors
+ * single-block disk transfers (eight writes, then eight reads of the
+ * written blocks).  With @p use_disk_kcall the boot path probes the
+ * VMM's KCALL feature mask: a VMM advertising kFeatureDiskBatch gets
+ * the whole descriptor ring in ONE kDiskBatch exit per iteration,
+ * anything else gets one kDiskRead/kDiskWrite KCALL per descriptor —
+ * the same transfers in the same order, so disk contents and console
+ * bytes are identical either way.  Without @p use_disk_kcall the loop
+ * is console+ALU only and runs bare (no KCALL register needed).
+ */
+MicroGuestImage buildIoDenseLoop(Longword iterations,
+                                 bool use_disk_kcall);
+
 } // namespace vvax
 
 #endif // VVAX_GUEST_MICROGUESTS_H

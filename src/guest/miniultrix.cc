@@ -17,6 +17,7 @@
 #include "arch/pte.h"
 #include "arch/scb.h"
 #include "vasm/code_builder.h"
+#include "vmm/kcall.h"
 
 namespace vvax {
 
@@ -41,6 +42,9 @@ pokeL(std::vector<Byte> &image, PhysAddr pa, Longword value)
 constexpr Byte kSysExit = 0;
 constexpr Byte kSysPutc = 1;
 constexpr Byte kSysGetPid = 2;
+
+/** Console staging buffer: one kConsoleWrite exit per this many chars. */
+constexpr Longword kConBufBytes = 64;
 
 std::vector<Byte>
 buildUserProgram(const MiniUltrixConfig &cfg)
@@ -128,8 +132,15 @@ buildMiniUltrix(const MiniUltrixConfig &cfg)
     const Label h_modify = b.newLabel();
     const Label h_panic = b.newLabel();
     const Label h_ignore = b.newLabel();
+    const Label h_resop = b.newLabel();
+    const Label resume_detect = b.newLabel();
+    const Label con_flush = b.newLabel();
     const Label pick_next = b.newLabel();
     const Label finale = b.newLabel();
+    const Label d_isvirt = b.newLabel();
+    const Label d_probing = b.newLabel();
+    const Label d_conlen = b.newLabel();
+    const Label d_conbuf = b.newLabel();
     const Label d_ticks = b.newLabel();
     const Label d_live = b.newLabel();
     const Label d_cur = b.newLabel();
@@ -160,6 +171,8 @@ buildMiniUltrix(const MiniUltrixConfig &cfg)
             b.longwordAbs(h_timer, kS + 1); // interrupt stack
         else if (v == softwareInterruptVector(3))
             b.longwordAbs(h_resched, kS);
+        else if (v == static_cast<Word>(ScbVector::ReservedOperand))
+            b.longwordAbs(h_resop, kS);
         else if (v == static_cast<Word>(ScbVector::ModifyFault))
             b.longwordAbs(h_modify, kS);
         else if (v == static_cast<Word>(ScbVector::ConsoleReceive) ||
@@ -186,6 +199,17 @@ buildMiniUltrix(const MiniUltrixConfig &cfg)
     b.bind(in_s);
     b.mtpr(Op::imm(kS + int_stack + kPageSize), Ipr::ISP);
     b.movl(Op::imm(kS + boot_stack + kPageSize), Op::reg(SP));
+
+    // Detect the virtual VAX the same way MiniVMS does: MFPR from
+    // MEMSIZE succeeds there; on bare hardware the reserved-operand
+    // handler clears the flag and skips the instruction.  A virtual
+    // console then batches sys_putc output through kConsoleWrite.
+    b.movl(Op::lit(1), cell(d_isvirt));
+    b.movl(Op::lit(1), cell(d_probing));
+    b.mfpr(Ipr::MEMSIZE, Op::reg(R0));
+    b.bind(resume_detect);
+    b.clrl(cell(d_probing));
+
     b.mtpr(Op::imm(static_cast<Longword>(
                -static_cast<std::int32_t>(cfg.quantumCycles))),
            Ipr::NICR);
@@ -253,9 +277,28 @@ buildMiniUltrix(const MiniUltrixConfig &cfg)
         b.bind(putc);
         b.cmpl(Op::reg(R0), Op::lit(kSysPutc));
         b.bneq(getpid);
-        b.mtpr(Op::reg(R2), Ipr::TXDB);
-        b.clrl(Op::reg(R0));
-        b.brb(epilogue);
+        {
+            Label bare = b.newLabel();
+            Label staged = b.newLabel();
+            b.tstl(cell(d_isvirt));
+            b.beql(bare);
+            // Virtual console: stage the character and flush a full
+            // buffer through one kConsoleWrite exit instead of
+            // trapping on TXDB for every byte.
+            b.movl(cell(d_conlen), Op::reg(R0));
+            b.movb(Op::reg(R2), cell(d_conbuf).idx(R0));
+            b.incl(cell(d_conlen));
+            b.cmpl(cell(d_conlen), Op::imm(kConBufBytes));
+            b.blss(staged);
+            b.bsbw(con_flush);
+            b.bind(staged);
+            b.clrl(Op::reg(R0));
+            b.brb(epilogue);
+            b.bind(bare);
+            b.mtpr(Op::reg(R2), Ipr::TXDB);
+            b.clrl(Op::reg(R0));
+            b.brb(epilogue);
+        }
 
         b.bind(getpid);
         b.cmpl(Op::reg(R0), Op::lit(kSysGetPid));
@@ -272,8 +315,10 @@ buildMiniUltrix(const MiniUltrixConfig &cfg)
         b.rei();
     }
 
-    // Finale.
+    // Finale.  Drain any staged console output first so the farewell
+    // lands after every sys_putc byte, exactly as on bare hardware.
     b.bind(finale);
+    b.bsbw(con_flush);
     b.movl(Op::imm(MiniUltrixImage::kResultMagic), cell(d_result));
     b.movl(cell(d_sys), Op::absRef(d_result, kS + 4));
     b.movl(Op::imm(static_cast<Longword>(nproc)),
@@ -318,6 +363,32 @@ buildMiniUltrix(const MiniUltrixConfig &cfg)
     b.addl2(Op::lit(8), Op::reg(SP));
     b.rei();
 
+    // Reserved operand fault: only legal during the boot machine-type
+    // probe - clear the virtual flag and skip the faulting MFPR.
+    b.align(4);
+    b.bind(h_resop);
+    b.tstl(cell(d_probing));
+    beqlFar(h_panic);
+    b.clrl(cell(d_isvirt));
+    b.movl(Op::immLabel(resume_detect, kS), Op::deferred(SP));
+    b.rei();
+
+    // Drain the staged console buffer via one kConsoleWrite KCALL.
+    // Clobbers R0-R2; a no-op while the buffer is empty (always, on
+    // bare hardware).
+    b.align(4);
+    b.bind(con_flush);
+    {
+        Label out = b.newLabel();
+        b.movl(cell(d_conlen), Op::reg(R2));
+        b.beql(out);
+        b.movl(Op::immLabel(d_conbuf), Op::reg(R1));
+        b.mtpr(Op::lit(kcallabi::kConsoleWrite), Ipr::KCALL);
+        b.clrl(cell(d_conlen));
+        b.bind(out);
+        b.rsb();
+    }
+
     b.align(4);
     b.bind(h_ignore);
     b.rei();
@@ -329,6 +400,14 @@ buildMiniUltrix(const MiniUltrixConfig &cfg)
 
     // Data.
     b.align(4);
+    b.bind(d_isvirt);
+    b.longword(0);
+    b.bind(d_probing);
+    b.longword(0);
+    b.bind(d_conlen);
+    b.longword(0);
+    b.bind(d_conbuf);
+    b.space(kConBufBytes);
     b.bind(d_ticks);
     b.longword(0);
     b.bind(d_live);

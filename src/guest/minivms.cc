@@ -39,6 +39,9 @@ constexpr Byte kSysDiskWrite = 3;
 constexpr Byte kSysGetTime = 4;
 constexpr Byte kSysGetPid = 5;
 constexpr Byte kSysHiber = 6;
+
+/** kConsoleWrite bounce-buffer size: one VMM exit per chunk. */
+constexpr Longword kConsoleChunk = 128;
 // Record service codes (CHME).
 constexpr Byte kRmsPut = 1;
 constexpr Byte kRmsGet = 2;
@@ -315,6 +318,9 @@ buildMiniVms(const MiniVmsConfig &cfg)
     const Label exit_common = b.newLabel();
     const Label svc_epilogue = b.newLabel();
     const Label d_isvirt = b.newLabel();
+    const Label d_features = b.newLabel();
+    const Label d_ring = b.newLabel();
+    const Label d_conbuf = b.newLabel();
     const Label d_probing = b.newLabel();
     const Label d_ticks = b.newLabel();
     const Label d_live = b.newLabel();
@@ -396,12 +402,17 @@ buildMiniVms(const MiniVmsConfig &cfg)
     b.bind(resume_detect);
     b.clrl(cell(d_probing));
 
-    // Virtual VAX: register the uptime mailbox with the VMM.
+    // Virtual VAX: register the uptime mailbox with the VMM and ask
+    // which KCALL fast paths it implements.  A VMM predating
+    // kQueryFeatures answers kError, which carries no feature bits
+    // (kcall.h), so every fast path degrades to the per-transfer ABI.
     Label boot_after_mailbox = b.newLabel();
     b.tstl(cell(d_isvirt));
     b.beql(boot_after_mailbox);
     b.movl(Op::imm(time_page), Op::reg(R1));
     b.mtpr(Op::imm(kcallabi::kSetUptimeMailbox), Ipr::KCALL);
+    b.mtpr(Op::lit(kcallabi::kQueryFeatures), Ipr::KCALL);
+    b.movl(Op::reg(R0), cell(d_features));
     b.bind(boot_after_mailbox);
 
     // Start the clock and dispatch process 0.
@@ -496,10 +507,13 @@ buildMiniVms(const MiniVmsConfig &cfg)
         Label fail = b.newLabel();
         Label done = b.newLabel();
         Label loop = b.newLabel();
+        Label kc_path = b.newLabel();
         b.tstl(Op::reg(R3));
         b.beql(done);
         b.prober(Op::lit(0), Op::reg(R3), Op::deferred(R2));
         b.beql(fail); // Z=1: not accessible from the caller's mode
+        b.tstl(cell(d_isvirt));
+        bneqFar(kc_path);
         b.pushr(Op::imm(0x0C)); // save R2, R3
         b.bind(loop);
         b.movzbl(Op::autoInc(R2), Op::reg(R1));
@@ -511,6 +525,37 @@ buildMiniVms(const MiniVmsConfig &cfg)
         b.brw(svc_epilogue);
         b.bind(fail);
         b.movl(Op::lit(1), Op::reg(R0));
+        b.brw(svc_epilogue);
+
+        // Virtual VAX: bounce the user buffer through a kernel buffer
+        // and hand the VMM whole chunks via kConsoleWrite — one exit
+        // per chunk instead of one TXDB trap per character.  Same
+        // bytes in the same order as the TXDB loop above.
+        Label chunk = b.newLabel();
+        Label sz_ok = b.newLabel();
+        b.bind(kc_path);
+        b.pushr(Op::imm(0x3C)); // R2..R5 (MOVC3 clobbers R0-R5)
+        b.bind(chunk);
+        b.movl(Op::reg(R3), Op::reg(R1));
+        b.cmpl(Op::reg(R1), Op::imm(kConsoleChunk));
+        b.blequ(sz_ok);
+        b.movl(Op::imm(kConsoleChunk), Op::reg(R1));
+        b.bind(sz_ok);
+        b.pushl(Op::reg(R1)); // chunk length
+        b.pushl(Op::reg(R2)); // user cursor
+        b.pushl(Op::reg(R3)); // remaining
+        b.movc3(Op::reg(R1), Op::deferred(R2), cell(d_conbuf));
+        b.movl(Op::disp(8, SP), Op::reg(R2));        // length arg
+        b.movl(Op::immLabel(d_conbuf), Op::reg(R1)); // VM-phys buffer
+        b.mtpr(Op::lit(kcallabi::kConsoleWrite), Ipr::KCALL);
+        b.movl(Op::autoInc(SP), Op::reg(R3));
+        b.movl(Op::autoInc(SP), Op::reg(R2));
+        b.movl(Op::autoInc(SP), Op::reg(R1));
+        b.addl2(Op::reg(R1), Op::reg(R2)); // advance the cursor
+        b.subl2(Op::reg(R1), Op::reg(R3)); // and what's left
+        b.bgtr(chunk);
+        b.popr(Op::imm(0x3C));
+        b.clrl(Op::reg(R0));
         b.brw(svc_epilogue);
     }
 
@@ -558,6 +603,27 @@ buildMiniVms(const MiniVmsConfig &cfg)
             b.brb(go);
         }
         b.bind(kcall_path);
+        {
+            // Post through the kDiskBatch descriptor ring when the
+            // VMM advertises it (one-entry ring: the syscall ABI moves
+            // one extent, but the driver exercises the same ring
+            // format MiniUltrix and the I/O-dense microguest batch
+            // through).  Fall back to the per-transfer KCALLs on a
+            // VMM that predates the feature bit.
+            Label single = b.newLabel();
+            b.bbc(Op::lit(1), cell(d_features), single);
+            b.movl(Op::reg(R2), cell(d_ring));                   // block
+            b.movl(Op::reg(R4), Op::absRef(d_ring, kS + 4));     // count
+            b.movl(Op::reg(R5), Op::absRef(d_ring, kS + 8));     // buffer
+            b.subl3(Op::lit(2), Op::reg(R0),
+                    Op::absRef(d_ring, kS + 12)); // syscall 2/3 -> flags 0/1
+            b.movl(Op::immLabel(d_ring), Op::reg(R1));
+            b.movl(Op::lit(1), Op::reg(R2));
+            b.mtpr(Op::lit(kcallabi::kDiskBatch), Ipr::KCALL);
+            b.popr(Op::imm(0xFC));
+            b.brw(svc_epilogue);
+            b.bind(single);
+        }
         b.movl(Op::reg(R2), Op::reg(R1)); // block
         b.movl(Op::reg(R4), Op::reg(R2)); // count
         b.movl(Op::reg(R5), Op::reg(R3)); // VM-physical address
@@ -814,6 +880,13 @@ buildMiniVms(const MiniVmsConfig &cfg)
     b.align(4);
     b.bind(d_isvirt);
     b.longword(0);
+    b.bind(d_features);
+    b.longword(0); // VMM KCALL feature mask (0 on a bare machine)
+    b.bind(d_ring);
+    for (int i = 0; i < 4; ++i)
+        b.longword(0); // one kDiskBatch descriptor: block/count/pa/flags
+    b.bind(d_conbuf);
+    b.space(kConsoleChunk); // kConsoleWrite bounce buffer
     b.bind(d_probing);
     b.longword(0);
     b.bind(d_ticks);

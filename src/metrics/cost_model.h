@@ -79,10 +79,13 @@ struct CostModel
     Cycles vmmProbeEmulate = 50;    //!< PROBE that trapped on invalid PTE
     Cycles vmmDeliverInterrupt = 55; //!< push frame into the VM
     Cycles vmmKcallIo = 150;        //!< start-I/O hypercall service
+    Cycles vmmKcallDescriptor = 20; //!< per kDiskBatch ring descriptor
     Cycles vmmMmioReference = 130;  //!< emulate one device register access
     Cycles vmmReflectException = 48; //!< forward a fault to the VM's SCB
     Cycles vmmWait = 40;
     Cycles vmmConsoleChar = 24;     //!< virtual console register access
+    Cycles vmmConsoleCoalesce = 8;  //!< buffer one TXDB char (no device)
+    Cycles vmmConsoleFlush = 40;    //!< drain the coalescing buffer
 
     /** Preset table for @p model. */
     static CostModel forModel(MachineModel model);

@@ -80,6 +80,7 @@ class Hypervisor::VmMmioDisk : public MmioHandler
     account()
     {
         vm_.stats.mmioEmulations++;
+        vm_.stats.mmioExits++;
         hv_.charge(CycleCategory::VmmIo,
                    hv_.machine_.costModel().vmmMmioReference);
     }
@@ -382,6 +383,10 @@ Hypervisor::totalStats() const
         total.shadowCacheHits += s.shadowCacheHits;
         total.shadowCacheMisses += s.shadowCacheMisses;
         total.consoleChars += s.consoleChars;
+        total.mmioExits += s.mmioExits;
+        total.diskKcallBatches += s.diskKcallBatches;
+        total.batchedDiskBlocks += s.batchedDiskBlocks;
+        total.coalescedConsoleChars += s.coalescedConsoleChars;
     }
     return total;
 }
@@ -486,6 +491,10 @@ void
 Hypervisor::suspendCurrent(VirtAddr pc, Psl real_psl)
 {
     VirtualMachine &vm = *vms_[currentVm_];
+    // A scheduling exit is a coalescing flush point: the VM's output
+    // must be on the device before another VM (or the operator) can
+    // observe the console.
+    flushConsoleOutput(vm);
     syncStackPointersFromCpu(vm);
     vm.vmpsl = cpu_.vmpsl();
     for (int i = 0; i < 14; ++i)
@@ -500,6 +509,7 @@ Hypervisor::suspendCurrent(VirtAddr pc, Psl real_psl)
 void
 Hypervisor::haltVm(VirtualMachine &vm, VmHaltReason reason)
 {
+    flushConsoleOutput(vm);
     vm.haltReason = reason;
     if (currentVm_ == vm.id()) {
         // Snapshot the final state for post-mortem inspection.

@@ -53,6 +53,19 @@ struct HypervisorConfig
     Longword tickCycles = 10000;
     /** Scheduler quantum, in ticks. */
     Longword ticksPerQuantum = 4;
+    /**
+     * Advertise and service the kDiskBatch descriptor-ring KCALL
+     * (docs/ARCHITECTURE.md §4b).  Off: kQueryFeatures omits the
+     * feature bit and kDiskBatch returns kError, so guests fall back
+     * to per-transfer KCALLs — the unbatched comparison baseline.
+     */
+    bool diskBatchKcall = true;
+    /**
+     * Coalesce VM console output: TXDB writes append to a per-VM
+     * buffer flushed at quantum end, scheduling exits and every
+     * guest-visible console synchronization point.
+     */
+    bool consoleCoalescing = true;
 };
 
 class Hypervisor
@@ -221,6 +234,8 @@ class Hypervisor
     void serviceVirtualConsole(VirtualMachine &vm, Ipr which,
                                Longword value, bool write,
                                Longword &read_value);
+    /** Drain @p vm's coalesced console output into the device. */
+    void flushConsoleOutput(VirtualMachine &vm);
     void accrueVirtualClock(VirtualMachine &vm, Cycles cycles);
     void syncStackPointersFromCpu(VirtualMachine &vm);
     void installStackPointers(VirtualMachine &vm);
@@ -236,6 +251,9 @@ class Hypervisor
     /** DMA between the VM's virtual disk and its VM-physical memory. */
     bool vmDiskTransfer(VirtualMachine &vm, bool write, Longword block,
                         Longword count, PhysAddr vm_addr);
+    /** Service a kDiskBatch descriptor ring in one exit. */
+    bool vmDiskTransferBatch(VirtualMachine &vm, PhysAddr ring,
+                             Longword n_desc);
 
     void charge(CycleCategory cat, Cycles n)
     {

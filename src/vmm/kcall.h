@@ -23,6 +23,8 @@ enum Function : Longword {
     kConsoleWrite = 3, //!< R1 = VM-phys buffer, R2 = length
     kSetUptimeMailbox = 4, //!< R1 = VM-phys address for uptime
     kYield = 5,     //!< give up the processor (like WAIT)
+    kDiskBatch = 6, //!< R1 = VM-phys descriptor ring, R2 = descriptors
+    kQueryFeatures = 7, //!< R0 <- feature mask (no arguments)
 };
 
 /** Status returned in R0. */
@@ -30,6 +32,31 @@ enum Status : Longword {
     kOk = 0,
     kError = 1,
 };
+
+/**
+ * Feature bits returned by kQueryFeatures.  Bit 0 is deliberately
+ * unused: a VMM predating kQueryFeatures answers an unknown function
+ * code with kError (== 1), which a driver probing bit 0 would misread
+ * as the feature being present.
+ */
+enum Feature : Longword {
+    kFeatureDiskBatch = 2,
+};
+
+/**
+ * kDiskBatch descriptor ring layout: @ref kMaxBatchDescriptors
+ * 16-byte entries, naturally aligned, in VM-physical memory.  Each
+ * entry names one contiguous transfer; flags bit 0 selects the
+ * direction (set = write to disk).  The VMM services the whole ring
+ * in one exit and posts a single completion interrupt.
+ */
+constexpr Longword kBatchDescriptorBytes = 16;
+constexpr Longword kBatchDescBlock = 0; //!< starting disk block
+constexpr Longword kBatchDescCount = 4; //!< blocks to transfer
+constexpr Longword kBatchDescVmPa = 8;  //!< VM-physical buffer
+constexpr Longword kBatchDescFlags = 12;
+constexpr Longword kBatchFlagWrite = 1;
+constexpr Longword kMaxBatchDescriptors = 32;
 
 /** Virtual disk completion interrupt (IPL 21). */
 constexpr Word kDiskVector = static_cast<Word>(ScbVector::DeviceBase);

@@ -84,6 +84,13 @@ struct VmStats
     std::uint64_t shadowCacheHits = 0;
     std::uint64_t shadowCacheMisses = 0;
     std::uint64_t consoleChars = 0;
+
+    // Exit-class accounting for the batched virtual-I/O layer
+    // (docs/ARCHITECTURE.md §4b).
+    std::uint64_t mmioExits = 0;        //!< device-register exits taken
+    std::uint64_t diskKcallBatches = 0; //!< kDiskBatch invocations
+    std::uint64_t batchedDiskBlocks = 0; //!< blocks moved by kDiskBatch
+    std::uint64_t coalescedConsoleChars = 0; //!< TXDB chars buffered
 };
 
 /** One cached set of shadow process page tables (Section 7.2). */
@@ -231,6 +238,13 @@ class VirtualMachine
     std::vector<Byte> disk;
     bool consoleRxIe = false;
     bool consoleTxIe = false;
+    /**
+     * Coalesced console output: TXDB writes land here and reach the
+     * console device at the next flush point (quantum end, scheduling
+     * exit, or any guest-visible console synchronization — see
+     * Hypervisor::flushConsoleOutput).
+     */
+    std::string pendingConsoleOut;
     /** VM-physical mailbox the VMM stores system uptime into (0: none). */
     Longword uptimeMailbox = 0;
 

@@ -469,7 +469,13 @@ Hypervisor::emulateMtpr(VirtualMachine &vm, const VmTrapFrame &t)
         resume();
         return;
       case Ipr::RXCS: case Ipr::RXDB: case Ipr::TXCS: case Ipr::TXDB: {
-        charge(CycleCategory::VmmEmulation, cost.vmmConsoleChar);
+        // A coalesced TXDB write only appends to the host-side buffer;
+        // the device-register work is charged when the buffer flushes.
+        const bool coalesced =
+            which == Ipr::TXDB && config_.consoleCoalescing;
+        charge(CycleCategory::VmmEmulation,
+               coalesced ? cost.vmmConsoleCoalesce
+                         : cost.vmmConsoleChar);
         Longword unused = 0;
         serviceVirtualConsole(vm, which, value, /*write=*/true, unused);
         resume();

@@ -8,6 +8,7 @@
  */
 
 #include "vmm/hypervisor.h"
+#include "vmm/kcall.h"
 
 #include <cstring>
 
@@ -561,6 +562,46 @@ Hypervisor::vmDiskTransfer(VirtualMachine &vm, bool write, Longword block,
     else
         mem_.writeBlock(real, {disk, bytes});
     return true;
+}
+
+bool
+Hypervisor::vmDiskTransferBatch(VirtualMachine &vm, PhysAddr ring,
+                                Longword n_desc)
+{
+    using namespace kcallabi;
+    if (n_desc == 0 || n_desc > kMaxBatchDescriptors)
+        return false;
+    const Longword ring_bytes = n_desc * kBatchDescriptorBytes;
+    if (ring + ring_bytes > vm.memPages * kPageSize)
+        return false;
+
+    // Snapshot the descriptors through a host pointer before moving
+    // any data: a transfer may overwrite the ring itself, and the
+    // guest must see the ring it posted, not a half-updated one.
+    std::array<Byte, kMaxBatchDescriptors * kBatchDescriptorBytes> descs;
+    std::memcpy(descs.data(), mem_.ram().data() + vm.vmPhysToReal(ring),
+                ring_bytes);
+
+    bool all_ok = true;
+    for (Longword i = 0; i < n_desc; ++i) {
+        const Byte *d = descs.data() + i * kBatchDescriptorBytes;
+        Longword block, count, vm_pa, flags;
+        std::memcpy(&block, d + kBatchDescBlock, 4);
+        std::memcpy(&count, d + kBatchDescCount, 4);
+        std::memcpy(&vm_pa, d + kBatchDescVmPa, 4);
+        std::memcpy(&flags, d + kBatchDescFlags, 4);
+        // Per-run copies go through readBlock/writeBlock so the store
+        // funnel bumps page generations: a transfer into a page with
+        // live translated superblocks must invalidate them, exactly
+        // as a single-transfer KCALL would.
+        if (vmDiskTransfer(vm, (flags & kBatchFlagWrite) != 0, block,
+                           count, vm_pa)) {
+            vm.stats.batchedDiskBlocks += count;
+        } else {
+            all_ok = false;
+        }
+    }
+    return all_ok;
 }
 
 } // namespace vvax

@@ -236,6 +236,34 @@ Hypervisor::kcall(VirtualMachine &vm, Longword function)
         updatePendingIplHint(vm);
         return;
       }
+      case kcallabi::kDiskBatch: {
+        if (!config_.diskBatchKcall) {
+            cpu_.setReg(R0, kcallabi::kError);
+            return;
+        }
+        const Longword n = cpu_.reg(R2);
+        const Longword n_charge =
+            n > kcallabi::kMaxBatchDescriptors
+                ? kcallabi::kMaxBatchDescriptors
+                : n;
+        vm.stats.kcallIos++;
+        vm.stats.diskKcallBatches++;
+        charge(CycleCategory::VmmIo,
+               cost.vmmKcallIo + cost.vmmKcallDescriptor * n_charge);
+        const bool ok = vmDiskTransferBatch(vm, cpu_.reg(R1), n);
+        cpu_.setReg(R0, ok ? kcallabi::kOk : kcallabi::kError);
+        vm.postInterrupt(kcallabi::kDiskIpl, kcallabi::kDiskVector);
+        updatePendingIplHint(vm);
+        return;
+      }
+      case kcallabi::kQueryFeatures: {
+        charge(CycleCategory::VmmEmulation, cost.vmmMtprMisc);
+        Longword features = 0;
+        if (config_.diskBatchKcall)
+            features |= kcallabi::kFeatureDiskBatch;
+        cpu_.setReg(R0, features);
+        return;
+      }
       case kcallabi::kConsoleWrite: {
         const Longword addr = cpu_.reg(R1);
         const Longword len = cpu_.reg(R2);
@@ -245,6 +273,9 @@ Hypervisor::kcall(VirtualMachine &vm, Longword function)
             cpu_.setReg(R0, kcallabi::kError);
             return;
         }
+        // Keep byte order: anything the guest already wrote through
+        // TXDB must hit the device before this buffer does.
+        flushConsoleOutput(vm);
         for (Longword i = 0; i < len; ++i) {
             vm.console.writeIpr(
                 Ipr::TXDB, mem_.read8(vm.vmPhysToReal(addr + i)));
@@ -289,10 +320,22 @@ Hypervisor::serviceVirtualConsole(VirtualMachine &vm, Ipr which,
                                   Longword value, bool write,
                                   Longword &read_value)
 {
+    // Every console access other than the TXDB write itself is a
+    // guest-visible synchronization point (CSR reads, interrupt-enable
+    // changes, input draining): coalesced output must reach the device
+    // first so the guest observes a consistent console.
+    if (!(which == Ipr::TXDB && write))
+        flushConsoleOutput(vm);
     switch (which) {
       case Ipr::TXDB:
         if (write) {
-            vm.console.writeIpr(Ipr::TXDB, value);
+            if (config_.consoleCoalescing) {
+                vm.pendingConsoleOut.push_back(
+                    static_cast<char>(value & 0xFF));
+                vm.stats.coalescedConsoleChars++;
+            } else {
+                vm.console.writeIpr(Ipr::TXDB, value);
+            }
             vm.stats.consoleChars++;
         } else {
             read_value = 0;
@@ -354,6 +397,23 @@ Hypervisor::serviceVirtualConsole(VirtualMachine &vm, Ipr which,
     }
     if (currentVm_ == vm.id())
         updatePendingIplHint(vm);
+}
+
+void
+Hypervisor::flushConsoleOutput(VirtualMachine &vm)
+{
+    if (vm.pendingConsoleOut.empty())
+        return;
+    const CostModel &cost = machine_.costModel();
+    const Cycles n = static_cast<Cycles>(vm.pendingConsoleOut.size());
+    // One flush entry plus a quarter of the per-register cost per
+    // buffered character: the VMM walks a host buffer instead of
+    // taking one emulation exit per TXDB write.
+    charge(CycleCategory::VmmIo,
+           cost.vmmConsoleFlush + cost.vmmConsoleChar * n / 4);
+    for (const char c : vm.pendingConsoleOut)
+        vm.console.writeIpr(Ipr::TXDB, static_cast<Byte>(c));
+    vm.pendingConsoleOut.clear();
 }
 
 void
