@@ -48,6 +48,7 @@ struct VmmCounters
     std::uint64_t batchedDiskBlocks = 0;
     std::uint64_t consoleChars = 0;
     std::uint64_t coalescedConsoleChars = 0;
+    std::uint64_t faultsInjected = 0;
     std::array<std::uint64_t, 256> trapOpcodes{};
 
     void
@@ -71,6 +72,8 @@ struct VmmCounters
         batchedDiskBlocks += vm.stats.batchedDiskBlocks;
         consoleChars += vm.stats.consoleChars;
         coalescedConsoleChars += vm.stats.coalescedConsoleChars;
+        for (const std::uint64_t n : m.stats().faultsInjected)
+            faultsInjected += n;
         for (int i = 0; i < 256; ++i)
             trapOpcodes[static_cast<std::size_t>(i)] +=
                 m.stats().vmTrapOpcodes[static_cast<std::size_t>(i)];
@@ -116,6 +119,11 @@ struct VmmCounters
             benchmark::Counter(static_cast<double>(consoleChars), avg);
         state.counters["coalesced_console_chars"] = benchmark::Counter(
             static_cast<double>(coalescedConsoleChars), avg);
+        // Total across fault classes.  Benchmark comparisons are
+        // only meaningful at zero injected faults;
+        // check_bench_regression.sh fails if this is ever nonzero.
+        state.counters["faults_injected"] =
+            benchmark::Counter(static_cast<double>(faultsInjected), avg);
         // Per-opcode exit breakdown (the paper's Table 3 rows): one
         // counter per opcode that actually trapped.
         for (int i = 0; i < 256; ++i) {

@@ -31,6 +31,10 @@ else
     trap 'rm -f "$FRESH"' EXIT
     cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
     cmake --build build-rel -j "$(nproc)" --target bench_sim_throughput >/dev/null
+    # Benchmarks must run fault-free: an armed VVAX_FAULT_PLAN would
+    # perturb every counter and wall-clock number (the gate below
+    # double-checks via the faults_injected counter).
+    env -u VVAX_FAULT_PLAN \
     build-rel/bench/bench_sim_throughput \
         --benchmark_min_time=0.5 \
         --benchmark_format=json \
@@ -122,6 +126,18 @@ if batched is not None and unbatched is not None:
     else:
         print(f"ok       batching exit cut: {unbatched / batched:.1f}x "
               f"fewer emulation traps")
+
+# Zero-fault gate: the fault-injection machinery (fault/fault_plan.h)
+# must be provably inert when no plan is armed — a nonzero count here
+# means either a plan leaked into the benchmark environment or an
+# injection site fires unconditionally, and every number above is
+# suspect.
+with open(fresh_path) as f:
+    for b in json.load(f).get("benchmarks", []):
+        if b.get("faults_injected", 0) != 0:
+            print(f"REGRESSED {b['name']}/faults_injected: "
+                  f"{b['faults_injected']:.0f} (must be 0)")
+            failed = True
 
 if failed:
     print(f"FAIL: throughput regressed beyond {threshold_pct}% "

@@ -17,6 +17,25 @@ ctest --test-dir build-asan >test_asan_output.txt 2>&1 ||
     { cat test_asan_output.txt; exit 1; }
 tail -n 3 test_asan_output.txt
 
+# Deterministic fault sweep (ARCHITECTURE.md §6): drive the lockstep
+# and supervised-survival tests under an aggressive VVAX_FAULT_PLAN
+# for eight seeds, on both the regular and sanitizer trees.  Any
+# seed that breaks fast/reference agreement, crashes the host, or
+# trips ASan fails the run.
+{
+  for tree in build build-asan; do
+    for s in 3 7 11 23 42 97 1234 99991; do
+      echo "=== fault sweep: tree=$tree seed=$s"
+      VVAX_FAULT_PLAN="seed=$s;disk-transient:every=3;torn:every=2;ecc:every=16;spurious:every=9" \
+          "$tree/tests/test_fault_injection" \
+          --gtest_filter='FaultSweep.*'
+    done
+  done
+} >fault_sweep_output.txt 2>&1 ||
+    { cat fault_sweep_output.txt; exit 1; }
+grep -c '^=== fault sweep' fault_sweep_output.txt |
+    xargs -I{} echo "fault sweep: {} runs passed"
+
 {
   for b in build/bench/*; do
     [ -x "$b" ] || continue

@@ -1,5 +1,7 @@
 #include "core/machine.h"
 
+#include "fault/fault_plan.h"
+
 namespace vvax {
 
 RealMachine::RealMachine(const MachineConfig &config)
@@ -14,6 +16,18 @@ RealMachine::RealMachine(const MachineConfig &config)
                                          cpu_.get(), config.diskVector);
     memory_->addMmioWindow(config.diskCsrBase, DiskDevice::kWindowSize,
                            disk_.get());
+    envPlan_ = FaultPlan::fromEnv();
+    if (envPlan_)
+        setFaultPlan(envPlan_.get());
+}
+
+RealMachine::~RealMachine() = default;
+
+void
+RealMachine::setFaultPlan(FaultPlan *plan)
+{
+    faultPlan_ = plan;
+    disk_->attachFaults(plan, &stats_);
 }
 
 void

@@ -24,6 +24,8 @@
 
 namespace vvax {
 
+class FaultPlan;
+
 struct MachineConfig
 {
     Longword ramBytes = 4 * 1024 * 1024;
@@ -39,6 +41,7 @@ class RealMachine
 {
   public:
     explicit RealMachine(const MachineConfig &config = {});
+    ~RealMachine();
 
     Cpu &cpu() { return *cpu_; }
     Mmu &mmu() { return *mmu_; }
@@ -55,6 +58,15 @@ class RealMachine
     /** Run until halt or @p max_instructions. */
     RunState run(std::uint64_t max_instructions = UINT64_MAX);
 
+    /**
+     * Active fault-injection plan (fault/fault_plan.h), nullptr when
+     * fault-free.  The constructor installs one automatically when
+     * VVAX_FAULT_PLAN is set; setFaultPlan overrides it (non-owning)
+     * and wires the bare disk device.
+     */
+    FaultPlan *faultPlan() { return faultPlan_; }
+    void setFaultPlan(FaultPlan *plan);
+
   private:
     MachineConfig config_;
     CostModel cost_;
@@ -64,6 +76,8 @@ class RealMachine
     std::unique_ptr<Cpu> cpu_;
     std::unique_ptr<ConsoleDevice> console_;
     std::unique_ptr<DiskDevice> disk_;
+    std::unique_ptr<FaultPlan> envPlan_; //!< from VVAX_FAULT_PLAN
+    FaultPlan *faultPlan_ = nullptr;
 };
 
 } // namespace vvax

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "fault/fault_plan.h"
+
 namespace vvax {
 
 DiskDevice::DiskDevice(PhysicalMemory &memory, Longword blocks, Cpu *cpu,
@@ -33,8 +35,11 @@ DiskDevice::mmioWrite(PhysAddr offset, Longword value, int size)
         csr_ = (csr_ & (kCsrReady | kCsrError)) |
                (value & (kCsrIe | kCsrFuncWrite));
         if (value & kCsrGo) {
+            if (lastFailed_ && faultStats_ != nullptr)
+                faultStats_->diskRetries++;
             const bool ok = startTransfer((csr_ & kCsrFuncWrite) != 0,
                                           block_, count_, addr_);
+            lastFailed_ = !ok;
             csr_ = (csr_ & (kCsrIe | kCsrFuncWrite)) | kCsrReady |
                    (ok ? 0 : kCsrError);
             if ((csr_ & kCsrIe) && cpu_)
@@ -58,10 +63,30 @@ DiskDevice::acknowledge()
         cpu_->clearInterrupt(kIplDisk, vector_);
 }
 
+void
+DiskDevice::attachFaults(FaultPlan *plan, Stats *stats)
+{
+    faultPlan_ = plan;
+    faultStats_ = stats;
+}
+
 bool
 DiskDevice::startTransfer(bool write, Longword block, Longword count,
                           PhysAddr addr)
 {
+    if (faultPlan_ != nullptr) {
+        const std::uint64_t op = ops_++;
+        const bool hard = faultPlan_->diskRangeBad(-1, block, count);
+        if (hard || faultPlan_->shouldInject(FaultClass::DiskTransient,
+                                             -1, op)) {
+            faulted_++;
+            if (faultStats_ != nullptr)
+                faultStats_->faultsInjected[static_cast<int>(
+                    hard ? FaultClass::DiskHard
+                         : FaultClass::DiskTransient)]++;
+            return false;
+        }
+    }
     const Longword bytes = count * kBlockSize;
     if (block + count > blocks() || block + count < block)
         return false;

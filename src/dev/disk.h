@@ -28,6 +28,8 @@
 
 namespace vvax {
 
+class FaultPlan;
+
 class DiskDevice : public MmioHandler
 {
   public:
@@ -67,6 +69,16 @@ class DiskDevice : public MmioHandler
     bool startTransfer(bool write, Longword block, Longword count,
                        PhysAddr addr);
 
+    /**
+     * Attach deterministic fault injection (fault/fault_plan.h);
+     * injected failures and driver retries are counted in @p stats.
+     * Pass nullptr to detach.
+     */
+    void attachFaults(FaultPlan *plan, Stats *stats);
+
+    /** Transfers failed by fault injection. */
+    std::uint64_t transfersFaulted() const { return faulted_; }
+
   private:
     PhysicalMemory &memory_;
     std::vector<Byte> data_;
@@ -78,6 +90,15 @@ class DiskDevice : public MmioHandler
     Longword count_ = 0;
     Longword addr_ = 0;
     std::uint64_t transfers_ = 0;
+
+    // Fault injection (bare-machine site; the VMM's vmDiskTransfer
+    // has its own).  ops_ is the architectural ordinal decisions key
+    // on; lastFailed_ makes a GO after a failed GO count as a retry.
+    FaultPlan *faultPlan_ = nullptr;
+    Stats *faultStats_ = nullptr;
+    std::uint64_t ops_ = 0;
+    std::uint64_t faulted_ = 0;
+    bool lastFailed_ = false;
 };
 
 } // namespace vvax

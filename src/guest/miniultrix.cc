@@ -42,6 +42,7 @@ pokeL(std::vector<Byte> &image, PhysAddr pa, Longword value)
 constexpr Byte kSysExit = 0;
 constexpr Byte kSysPutc = 1;
 constexpr Byte kSysGetPid = 2;
+constexpr Byte kSysDiskRead = 3; //!< R2 = block; one block, kernel buffer
 
 /** Console staging buffer: one kConsoleWrite exit per this many chars. */
 constexpr Longword kConBufBytes = 64;
@@ -54,6 +55,17 @@ buildUserProgram(const MiniUltrixConfig &cfg)
     Label touch = b.newLabel();
     b.chmk(Op::lit(kSysGetPid)); // R0 = pid
     b.addl3(Op::imm('a'), Op::reg(R0), Op::reg(R9)); // tag character
+    if (cfg.diskReadsPerProcess > 0) {
+        // Warm-up disk reads through the kernel-buffer syscall (only
+        // useful inside a VM; the kernel answers -1 on bare hardware).
+        Label dloop = b.newLabel();
+        b.movl(Op::imm(cfg.diskReadsPerProcess), Op::reg(R10));
+        b.bind(dloop);
+        b.movl(Op::reg(R10), Op::reg(R2));
+        b.bicl2(Op::imm(~63u), Op::reg(R2)); // stay in the first 64 blocks
+        b.chmk(Op::lit(kSysDiskRead));
+        b.sobgtr(Op::reg(R10), dloop);
+    }
     b.movl(Op::imm(cfg.iterations), Op::reg(R11));
     b.bind(outer);
     // Some computation.
@@ -133,6 +145,7 @@ buildMiniUltrix(const MiniUltrixConfig &cfg)
     const Label h_panic = b.newLabel();
     const Label h_ignore = b.newLabel();
     const Label h_resop = b.newLabel();
+    const Label h_mcheck = b.newLabel();
     const Label resume_detect = b.newLabel();
     const Label con_flush = b.newLabel();
     const Label pick_next = b.newLabel();
@@ -145,6 +158,9 @@ buildMiniUltrix(const MiniUltrixConfig &cfg)
     const Label d_live = b.newLabel();
     const Label d_cur = b.newLabel();
     const Label d_sys = b.newLabel();
+    const Label d_retries = b.newLabel();
+    const Label d_mchecks = b.newLabel();
+    const Label d_diskbuf = b.newLabel();
     const Label d_result = b.newLabel();
     const Label d_pcbs = b.newLabel();
     const Label d_done = b.newLabel();
@@ -173,6 +189,8 @@ buildMiniUltrix(const MiniUltrixConfig &cfg)
             b.longwordAbs(h_resched, kS);
         else if (v == static_cast<Word>(ScbVector::ReservedOperand))
             b.longwordAbs(h_resop, kS);
+        else if (v == static_cast<Word>(ScbVector::MachineCheck))
+            b.longwordAbs(h_mcheck, kS + 1); // interrupt stack
         else if (v == static_cast<Word>(ScbVector::ModifyFault))
             b.longwordAbs(h_modify, kS);
         else if (v == static_cast<Word>(ScbVector::ConsoleReceive) ||
@@ -303,10 +321,55 @@ buildMiniUltrix(const MiniUltrixConfig &cfg)
         b.bind(getpid);
         b.cmpl(Op::reg(R0), Op::lit(kSysGetPid));
         {
+            Label disk = b.newLabel();
             Label unknown = b.newLabel();
-            b.bneq(unknown);
+            b.bneq(disk);
             b.movl(cell(d_cur), Op::reg(R0));
             b.brb(epilogue);
+
+            // DISK READ: one block into the kernel buffer, retried
+            // with backoff on a device error like the MiniVMS driver
+            // (the graceful-degradation contract of kcall.h).
+            b.bind(disk);
+            b.cmpl(Op::reg(R0), Op::lit(kSysDiskRead));
+            b.bneq(unknown);
+            {
+                Label virt = b.newLabel();
+                Label retry = b.newLabel();
+                Label backoff = b.newLabel();
+                Label done = b.newLabel();
+                b.tstl(cell(d_isvirt));
+                b.bneq(virt);
+                b.mnegl(Op::lit(1), Op::reg(R0)); // no disk on bare HW
+                b.brb(epilogue);
+                b.bind(virt);
+                b.pushr(Op::imm(0x3C)); // R2..R5
+                b.movl(Op::reg(R2), Op::reg(R1));             // block
+                b.movl(Op::lit(1), Op::reg(R2));              // count
+                b.movl(Op::immLabel(d_diskbuf), Op::reg(R3)); // buffer
+                b.movl(Op::imm(4), Op::reg(R4)); // attempt budget
+                b.bind(retry);
+                b.mtpr(Op::lit(kcallabi::kDiskRead), Ipr::KCALL);
+                b.tstl(Op::reg(R0));
+                b.beql(done);
+                b.sobgtr(Op::reg(R4), backoff);
+                b.popr(Op::imm(0x3C)); // retries exhausted
+                b.movl(Op::lit(1), Op::reg(R0));
+                b.brb(epilogue);
+                b.bind(backoff);
+                b.incl(cell(d_retries));
+                b.movl(Op::imm(32), Op::reg(R0));
+                {
+                    Label spin = b.bindHere();
+                    b.sobgtr(Op::reg(R0), spin);
+                }
+                b.brb(retry);
+                b.bind(done);
+                b.popr(Op::imm(0x3C));
+                b.clrl(Op::reg(R0));
+                b.brb(epilogue);
+            }
+
             b.bind(unknown);
             b.mnegl(Op::lit(1), Op::reg(R0));
         }
@@ -323,6 +386,8 @@ buildMiniUltrix(const MiniUltrixConfig &cfg)
     b.movl(cell(d_sys), Op::absRef(d_result, kS + 4));
     b.movl(Op::imm(static_cast<Longword>(nproc)),
            Op::absRef(d_result, kS + 8));
+    b.movl(cell(d_retries), Op::absRef(d_result, kS + 12));
+    b.movl(cell(d_mchecks), Op::absRef(d_result, kS + 16));
     b.mtpr(Op::imm('u'), Ipr::TXDB);
     b.mtpr(Op::imm('!'), Ipr::TXDB);
     b.mtpr(Op::imm('\n'), Ipr::TXDB);
@@ -393,6 +458,14 @@ buildMiniUltrix(const MiniUltrixConfig &cfg)
     b.bind(h_ignore);
     b.rei();
 
+    // Machine check (vector 0x04): the VMM reflects host ECC events
+    // with the frame {byte count = 8, code, address}; log and resume.
+    b.align(4);
+    b.bind(h_mcheck);
+    b.incl(cell(d_mchecks));
+    b.addl2(Op::lit(12), Op::reg(SP));
+    b.rei();
+
     b.align(4);
     b.bind(h_panic);
     b.mtpr(Op::imm('?'), Ipr::TXDB);
@@ -416,7 +489,15 @@ buildMiniUltrix(const MiniUltrixConfig &cfg)
     b.longword(0);
     b.bind(d_sys);
     b.longword(0);
+    b.bind(d_retries);
+    b.longword(0); // disk reads re-issued after a failed KCALL
+    b.bind(d_mchecks);
+    b.longword(0); // machine checks survived
+    b.bind(d_diskbuf);
+    b.space(512); // kSysDiskRead kernel bounce buffer
     b.bind(d_result);
+    b.longword(0);
+    b.longword(0);
     b.longword(0);
     b.longword(0);
     b.longword(0);

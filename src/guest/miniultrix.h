@@ -29,13 +29,22 @@ struct MiniUltrixConfig
     Longword iterations = 16;     //!< loop count per process
     Longword quantumCycles = 20000;
     Longword dataPagesPerProcess = 8;
+    /**
+     * Disk reads each process issues at startup through the
+     * kernel-buffer read syscall (retried with backoff on device
+     * errors).  0 disables the syscall traffic entirely, and the
+     * syscall answers -1 on bare hardware, which has no disk wired to
+     * MiniUltrix.
+     */
+    Longword diskReadsPerProcess = 0;
 };
 
 struct MiniUltrixImage
 {
     std::vector<Byte> image; //!< load at (VM-)physical 0
     VirtAddr entry = 0;
-    /** +0 magic, +4 total syscalls, +8 completed processes. */
+    /** +0 magic, +4 total syscalls, +8 completed processes,
+     *  +12 disk retries, +16 machine checks survived. */
     PhysAddr resultBase = 0;
     static constexpr Longword kResultMagic = 0x0UL + 0x0BADC0DE;
 };

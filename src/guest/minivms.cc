@@ -312,6 +312,7 @@ buildMiniVms(const MiniVmsConfig &cfg)
     const Label h_ignore = b.newLabel();
     const Label h_panic = b.newLabel();
     const Label h_arith = b.newLabel();
+    const Label h_mcheck = b.newLabel();
     const Label resume_detect = b.newLabel();
     const Label pick_next = b.newLabel();
     const Label finale = b.newLabel();
@@ -326,10 +327,13 @@ buildMiniVms(const MiniVmsConfig &cfg)
     const Label d_live = b.newLabel();
     const Label d_curproc = b.newLabel();
     const Label d_syscount = b.newLabel();
+    const Label d_retries = b.newLabel();
+    const Label d_mchecks = b.newLabel();
     const Label d_result = b.newLabel();
     const Label d_pcbs = b.newLabel();
     const Label d_done = b.newLabel();
     const Label done_msg = b.newLabel();
+    const Label diskerr_msg = b.newLabel();
 
     // Far-conditional helpers (conditional branches are byte-range).
     auto beqlFar = [&](Label target) {
@@ -353,6 +357,7 @@ buildMiniVms(const MiniVmsConfig &cfg)
         bool interruptStack;
     };
     std::map<Word, ScbPlan> scb_entries = {
+        {static_cast<Word>(ScbVector::MachineCheck), {h_mcheck, true}},
         {static_cast<Word>(ScbVector::ReservedOperand), {h_resop, false}},
         {static_cast<Word>(ScbVector::Arithmetic), {h_arith, false}},
         {static_cast<Word>(ScbVector::ModifyFault), {h_modify, false}},
@@ -600,9 +605,10 @@ buildMiniVms(const MiniVmsConfig &cfg)
             b.popr(Op::imm(0xFC));
             b.brw(fail);
         } else {
-            b.brb(go);
+            b.brw(go); // the KCALL retry section outgrew a byte branch
         }
         b.bind(kcall_path);
+        Label single = b.newLabel();
         {
             // Post through the kDiskBatch descriptor ring when the
             // VMM advertises it (one-entry ring: the syscall ABI moves
@@ -610,8 +616,11 @@ buildMiniVms(const MiniVmsConfig &cfg)
             // format MiniUltrix and the I/O-dense microguest batch
             // through).  Fall back to the per-transfer KCALLs on a
             // VMM that predates the feature bit.
-            Label single = b.newLabel();
-            b.bbc(Op::lit(1), cell(d_features), single);
+            Label batch_failed = b.newLabel();
+            Label use_batch = b.newLabel();
+            b.bbs(Op::lit(1), cell(d_features), use_batch);
+            b.brw(single); // batch section outgrew a byte branch
+            b.bind(use_batch);
             b.movl(Op::reg(R2), cell(d_ring));                   // block
             b.movl(Op::reg(R4), Op::absRef(d_ring, kS + 4));     // count
             b.movl(Op::reg(R5), Op::absRef(d_ring, kS + 8));     // buffer
@@ -620,17 +629,74 @@ buildMiniVms(const MiniVmsConfig &cfg)
             b.movl(Op::immLabel(d_ring), Op::reg(R1));
             b.movl(Op::lit(1), Op::reg(R2));
             b.mtpr(Op::lit(kcallabi::kDiskBatch), Ipr::KCALL);
+            b.tstl(Op::reg(R0));
+            b.bneq(batch_failed);
             b.popr(Op::imm(0xFC));
             b.brw(svc_epilogue);
-            b.bind(single);
+            // A torn or faulted ring degrades to per-block transfers
+            // (kcall.h): reload the request from the ring descriptor -
+            // the cells are authoritative, and the VMM preserved the
+            // guest flags bits under its status word - and fall into
+            // the retrying single-transfer path below.
+            b.bind(batch_failed);
+            b.incl(cell(d_retries));
+            b.movl(cell(d_ring), Op::reg(R2));               // block
+            b.movl(Op::absRef(d_ring, kS + 4), Op::reg(R4)); // count
+            b.movl(Op::absRef(d_ring, kS + 8), Op::reg(R5)); // buffer
+            b.bicl3(Op::imm(~1u), Op::absRef(d_ring, kS + 12),
+                    Op::reg(R0)); // flags bit 0 = direction
+            b.addl2(Op::lit(2), Op::reg(R0)); // back to syscall 2/3
         }
-        b.movl(Op::reg(R2), Op::reg(R1)); // block
-        b.movl(Op::reg(R4), Op::reg(R2)); // count
-        b.movl(Op::reg(R5), Op::reg(R3)); // VM-physical address
-        b.subl2(Op::lit(1), Op::reg(R0)); // syscall 2/3 -> KCALL 1/2
-        b.mtpr(Op::reg(R0), Ipr::KCALL);  // R0 <- status
-        b.popr(Op::imm(0xFC));
-        b.brw(svc_epilogue);
+        b.bind(single);
+        {
+            // Bounded retry with backoff: a transient device error is
+            // re-issued up to three more times with a short spin
+            // between attempts; a persistent one surfaces as a
+            // console diagnostic and an error status - never silent
+            // corruption.
+            Label retry = b.newLabel();
+            Label backoff = b.newLabel();
+            Label give_up = b.newLabel();
+            Label ok = b.newLabel();
+            b.subl3(Op::lit(1), Op::reg(R0),
+                    Op::reg(R7));             // syscall 2/3 -> KCALL 1/2
+            b.movl(Op::reg(R2), Op::reg(R1)); // block
+            b.movl(Op::reg(R4), Op::reg(R2)); // count
+            b.movl(Op::reg(R5), Op::reg(R3)); // VM-physical address
+            b.movl(Op::imm(4), Op::reg(R6));  // attempt budget
+            b.bind(retry);
+            b.mtpr(Op::reg(R7), Ipr::KCALL);  // R0 <- status
+            b.tstl(Op::reg(R0));
+            b.beql(ok);
+            b.sobgtr(Op::reg(R6), backoff);
+            b.brw(give_up);
+            b.bind(backoff);
+            b.incl(cell(d_retries));
+            b.movl(Op::imm(64), Op::reg(R0)); // spin before re-issuing
+            {
+                Label spin = b.bindHere();
+                b.sobgtr(Op::reg(R0), spin);
+            }
+            b.brb(retry);
+            b.bind(ok);
+            b.popr(Op::imm(0xFC));
+            b.clrl(Op::reg(R0));
+            b.brw(svc_epilogue);
+            // Persistent failure: tell the operator, fail the syscall.
+            b.bind(give_up);
+            {
+                Label loop = b.newLabel();
+                b.moval(Op::ref(diskerr_msg), Op::reg(R2));
+                b.movl(Op::imm(15), Op::reg(R3));
+                b.bind(loop);
+                b.movzbl(Op::autoInc(R2), Op::reg(R1));
+                b.mtpr(Op::reg(R1), Ipr::TXDB);
+                b.sobgtr(Op::reg(R3), loop);
+            }
+            b.popr(Op::imm(0xFC));
+            b.movl(Op::lit(1), Op::reg(R0));
+            b.brw(svc_epilogue);
+        }
         // Memory-mapped controller (bare machine, or the Mmio
         // ablation inside a VM).
         b.bind(go);
@@ -727,6 +793,8 @@ buildMiniVms(const MiniVmsConfig &cfg)
     b.movl(Op::imm(static_cast<Longword>(nproc)),
            Op::absRef(d_result, kS + 8));
     b.movl(cell(d_syscount), Op::absRef(d_result, kS + 12));
+    b.movl(cell(d_retries), Op::absRef(d_result, kS + 16));
+    b.movl(cell(d_mchecks), Op::absRef(d_result, kS + 20));
     {
         Label loop = b.newLabel();
         b.moval(Op::ref(done_msg), Op::reg(R2));
@@ -870,6 +938,18 @@ buildMiniVms(const MiniVmsConfig &cfg)
     b.bind(h_ignore);
     b.rei();
 
+    // --- Machine check (vector 0x04, interrupt stack, IPL 31) ---
+    // The VMM reflects host-detected ECC events as virtual machine
+    // checks with the frame {byte count = 8, code, address} under the
+    // PC/PSL pair (fault/fault_plan.h).  MiniVMS logs and continues:
+    // an ECC hit in a recoverable spot should not take the system
+    // down.
+    b.align(4);
+    b.bind(h_mcheck);
+    b.incl(cell(d_mchecks));
+    b.addl2(Op::lit(12), Op::reg(SP)); // byte count + two parameters
+    b.rei();
+
     // --- Panic ---
     b.align(4);
     b.bind(h_panic);
@@ -897,7 +977,13 @@ buildMiniVms(const MiniVmsConfig &cfg)
     b.longword(0);
     b.bind(d_syscount);
     b.longword(0);
+    b.bind(d_retries);
+    b.longword(0); // disk ops re-issued after a failed KCALL
+    b.bind(d_mchecks);
+    b.longword(0); // virtual machine checks survived
     b.bind(d_result);
+    b.longword(0);
+    b.longword(0);
     b.longword(0);
     b.longword(0);
     b.longword(0);
@@ -911,6 +997,8 @@ buildMiniVms(const MiniVmsConfig &cfg)
         b.longword(0);
     b.bind(done_msg);
     b.ascii("MiniVMS done\r\n");
+    b.bind(diskerr_msg);
+    b.ascii("?DISK-E-FAIL.\r\n");
 
     auto kernel = b.finish();
     if (kernel.size() > kKernelTextPages * kPageSize)

@@ -22,7 +22,12 @@
  *    bare machine) and then uses the virtual VAX's facilities: KCALL
  *    start-I/O, the VMM-maintained uptime cell, and WAIT when idle -
  *    exactly the small set of adaptations Section 5 expects of a
- *    VMOS on a new VAX family member.
+ *    VMOS on a new VAX family member;
+ *  - its disk driver degrades gracefully under device errors: a
+ *    failed kDiskBatch ring falls back to per-block transfers, each
+ *    transfer retries with backoff before surfacing a console
+ *    diagnostic, and a machine-check handler logs and survives the
+ *    VMM's reflected ECC events.
  *
  * The same image boots on a bare standard VAX, a bare modified VAX
  * (where it services modify faults itself) and inside a virtual
@@ -85,7 +90,8 @@ struct MiniVmsImage
     /**
      * Result area (physical): +0 magic 0x600D600D when all processes
      * exited, +4 clock ticks observed, +8 completed process count,
-     * +12 total system service calls.
+     * +12 total system service calls, +16 disk retries the driver
+     * performed, +20 machine checks survived.
      */
     PhysAddr resultBase = 0;
     static constexpr Longword kResultMagic = 0x600D600D;

@@ -87,6 +87,11 @@ struct CostModel
     Cycles vmmConsoleCoalesce = 8;  //!< buffer one TXDB char (no device)
     Cycles vmmConsoleFlush = 40;    //!< drain the coalescing buffer
 
+    // --- Fault handling and recovery paths (src/fault/) -----------------
+    Cycles vmmFaultDiskService = 30; //!< fail a disk op / ring descriptor
+    Cycles vmmMachineCheck = 90;     //!< compose + reflect a machine check
+    Cycles vmmVmRestart = 400;       //!< supervisor snapshot restore
+
     /** Preset table for @p model. */
     static CostModel forModel(MachineModel model);
 };

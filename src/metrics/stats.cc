@@ -70,6 +70,10 @@ Stats::operator==(const Stats &other) const
            tlbFlushProcess == other.tlbFlushProcess &&
            tlbFlushSingle == other.tlbFlushSingle &&
            tlbContextSwitches == other.tlbContextSwitches &&
+           faultsInjected == other.faultsInjected &&
+           machineChecksDelivered == other.machineChecksDelivered &&
+           diskRetries == other.diskRetries &&
+           vmRestarts == other.vmRestarts &&
            vmTrapOpcodes == other.vmTrapOpcodes;
 }
 
@@ -96,6 +100,15 @@ Stats::print(std::ostream &os) const
            << blockExecutions << " executed, " << blockInstructions
            << " instructions, " << blockInvalidations
            << " invalidated\n";
+    }
+    std::uint64_t total_faults = 0;
+    for (auto c : faultsInjected)
+        total_faults += c;
+    if (total_faults != 0 || machineChecksDelivered != 0 ||
+        diskRetries != 0 || vmRestarts != 0) {
+        os << "faults: " << total_faults << " injected, "
+           << machineChecksDelivered << " machine checks, " << diskRetries
+           << " disk retries, " << vmRestarts << " vm restarts\n";
     }
     bool any_trap = false;
     for (auto c : vmTrapOpcodes)

@@ -35,6 +35,13 @@ constexpr int kNumCycleCategories =
 
 std::string_view cycleCategoryName(CycleCategory cat);
 
+/**
+ * Number of fault-injection classes (enum FaultClass in
+ * src/fault/fault_plan.h).  Declared here so Stats can size its
+ * per-class counter array without a metrics -> fault dependency.
+ */
+constexpr int kNumFaultClasses = 5;
+
 /** Counters maintained by the machine as it runs. */
 struct Stats
 {
@@ -68,6 +75,16 @@ struct Stats
      * paper's trap-frequency argument (Section 7) is about.
      */
     std::array<std::uint64_t, 256> vmTrapOpcodes{};
+
+    // Fault injection and recovery (src/fault/fault_plan.h defines
+    // the classes; fault_plan.h static_asserts the count matches).
+    // Architectural: injection sites key on architectural ordinals
+    // (disk-op counts, timer ticks), so the fast and reference paths
+    // must report identical values.
+    std::array<std::uint64_t, kNumFaultClasses> faultsInjected{};
+    std::uint64_t machineChecksDelivered = 0; //!< reflected into a VM
+    std::uint64_t diskRetries = 0; //!< disk op re-issued after a failure
+    std::uint64_t vmRestarts = 0;  //!< supervisor snapshot-restores
 
     // Superblock translation cache observability
     // (docs/ARCHITECTURE.md §5a).  Host-side counters: they describe

@@ -9,6 +9,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "fault/fault_plan.h"
+#include "vmm/kcall.h"
+
 namespace vvax {
 
 namespace {
@@ -56,10 +59,20 @@ class Hypervisor::VmMmioDisk : public MmioHandler
             vm_.mmioCsr = value & (DiskDevice::kCsrIe |
                                    DiskDevice::kCsrFuncWrite);
             if (value & DiskDevice::kCsrGo) {
+                if (vm_.lastDiskOpFailed) {
+                    vm_.stats.diskRetries++;
+                    hv_.machine_.stats().diskRetries++;
+                }
                 const bool write =
                     (vm_.mmioCsr & DiskDevice::kCsrFuncWrite) != 0;
-                hv_.vmDiskTransfer(vm_, write, vm_.mmioBlock,
-                                   vm_.mmioCount, vm_.mmioAddr);
+                const bool ok =
+                    hv_.vmDiskTransfer(vm_, write, vm_.mmioBlock,
+                                       vm_.mmioCount, vm_.mmioAddr);
+                // A failed transfer must be observable: ERROR stays
+                // up in the CSR until the next GO.
+                if (!ok)
+                    vm_.mmioCsr |= DiskDevice::kCsrError;
+                vm_.lastDiskOpFailed = !ok;
                 if (vm_.mmioCsr & DiskDevice::kCsrIe) {
                     vm_.postInterrupt(
                         kIplDisk,
@@ -387,6 +400,11 @@ Hypervisor::totalStats() const
         total.diskKcallBatches += s.diskKcallBatches;
         total.batchedDiskBlocks += s.batchedDiskBlocks;
         total.coalescedConsoleChars += s.coalescedConsoleChars;
+        total.diskOps += s.diskOps;
+        total.faultedDiskOps += s.faultedDiskOps;
+        total.diskRetries += s.diskRetries;
+        total.machineChecks += s.machineChecks;
+        total.watchdogHalts += s.watchdogHalts;
     }
     return total;
 }
@@ -550,6 +568,72 @@ Hypervisor::hookTimer(const HostFrame &frame)
         // Virtual timer interrupts are delivered only while the VM is
         // actually running (paper Section 5).
         accrueVirtualClock(vm, config_.tickCycles);
+
+        // Fault injection against the resident VM, keyed on the tick
+        // ordinal (architectural: both execution paths tick at the
+        // same cycle counts, so the lockstep envelope holds).
+        FaultPlan *plan = machine_.faultPlan();
+        if (plan != nullptr) {
+            if (plan->shouldInject(FaultClass::SpuriousInterrupt,
+                                   vm.id(), tickCount_)) {
+                machine_.stats().faultsInjected[static_cast<int>(
+                    FaultClass::SpuriousInterrupt)]++;
+                charge(CycleCategory::VmmInterrupt,
+                       machine_.costModel().vmmDeliverInterrupt);
+                vm.postInterrupt(kcallabi::kDiskIpl,
+                                 kcallabi::kDiskVector);
+                updatePendingIplHint(vm);
+            }
+            if (plan->shouldInject(FaultClass::Ecc, vm.id(),
+                                   tickCount_)) {
+                // A physical-memory ECC event while the VM is
+                // resident: reflect a machine check into the guest
+                // through its SCB vector 0x04 (paper Section 6)
+                // instead of taking the event in the host.
+                machine_.stats().faultsInjected[static_cast<int>(
+                    FaultClass::Ecc)]++;
+                machine_.stats().machineChecksDelivered++;
+                vm.stats.machineChecks++;
+                charge(CycleCategory::VmmEmulation,
+                       machine_.costModel().vmmMachineCheck);
+                Psl vm_psl(cpu_.vmpsl());
+                vm_psl.setRaw((vm_psl.raw() &
+                               ~(Psl::kPswMask | Psl::kVm)) |
+                              (frame.savedPsl.raw() & Psl::kPswMask));
+                const Longword params[3] = {
+                    kMcheckParamBytes, kMcheckCodeEcc,
+                    plan->eccAddress(vm.id(), tickCount_,
+                                     vm.memPages * kPageSize)};
+                // Machine checks are unmaskable: deliver at IPL 31.
+                // On a bad guest SCB/stack this halts the VM -
+                // contained either way.
+                reflectToVm(vm, static_cast<Word>(ScbVector::MachineCheck),
+                            params, 3, frame.pc, vm_psl,
+                            /*as_interrupt=*/true, 31);
+                return;
+            }
+        }
+
+        // No-forward-progress watchdog: a guest pinned at high IPL
+        // with nothing deliverable cannot be making progress that
+        // depends on the VMM; after the configured quanta it is
+        // halted by policy.
+        if (config_.watchdog) {
+            const Psl vm_psl_now(cpu_.vmpsl());
+            if (vm_psl_now.ipl() >= config_.watchdogIplThreshold &&
+                vm.highestPendingIpl() <= vm_psl_now.ipl()) {
+                vm.watchdogTicks++;
+                if (vm.watchdogTicks >= config_.watchdogQuanta *
+                                            config_.ticksPerQuantum) {
+                    vm.stats.watchdogHalts++;
+                    haltVm(vm, VmHaltReason::VmmPolicy);
+                    return;
+                }
+            } else {
+                vm.watchdogTicks = 0;
+            }
+        }
+
         if (tickCount_ - quantumStartTick_ >=
             config_.ticksPerQuantum) {
             suspendCurrent(frame.pc, frame.savedPsl);

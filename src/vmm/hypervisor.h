@@ -66,6 +66,16 @@ struct HypervisorConfig
      * guest-visible console synchronization point.
      */
     bool consoleCoalescing = true;
+    /**
+     * No-forward-progress watchdog: a VM that stays at or above
+     * watchdogIplThreshold with no deliverable virtual interrupt for
+     * watchdogQuanta full quanta is halted with VmHaltReason::VmmPolicy
+     * (a spinning-at-high-IPL guest can never be revived by an
+     * interrupt, so the VMM reclaims its processor share).
+     */
+    bool watchdog = false;
+    Longword watchdogQuanta = 8;
+    Byte watchdogIplThreshold = 16;
 };
 
 class Hypervisor
@@ -119,6 +129,25 @@ class Hypervisor
 
     /** Aggregate statistics over all VMs. */
     VmStats totalStats() const;
+
+    /** DMA between the VM's virtual disk and its VM-physical memory.
+     *  Public for host-side tooling and the fault-injection tests;
+     *  guests reach it through the KCALL/MMIO paths. */
+    bool vmDiskTransfer(VirtualMachine &vm, bool write, Longword block,
+                        Longword count, PhysAddr vm_addr);
+    /** Service a kDiskBatch descriptor ring in one exit (per-
+     *  descriptor status semantics in vmm/kcall.h). */
+    bool vmDiskTransferBatch(VirtualMachine &vm, PhysAddr ring,
+                             Longword n_desc);
+
+    /**
+     * Drop every cached shadow translation for @p vm and return it to
+     * the physical-mode identity slot.  Shadow tables are pure caches
+     * of the VM's page tables, so this is always safe; an in-place
+     * snapshot restore (vmm/snapshot.h) uses it to make the restored
+     * tables re-fill on demand.
+     */
+    void resetVmShadow(VirtualMachine &vm);
 
   private:
     // ----- Layout ----------------------------------------------------------
@@ -247,13 +276,6 @@ class Hypervisor
 
     /** MMIO-mode virtual disk register emulation (Section 4.4.3). */
     class VmMmioDisk;
-
-    /** DMA between the VM's virtual disk and its VM-physical memory. */
-    bool vmDiskTransfer(VirtualMachine &vm, bool write, Longword block,
-                        Longword count, PhysAddr vm_addr);
-    /** Service a kDiskBatch descriptor ring in one exit. */
-    bool vmDiskTransferBatch(VirtualMachine &vm, PhysAddr ring,
-                             Longword n_desc);
 
     void charge(CycleCategory cat, Cycles n)
     {

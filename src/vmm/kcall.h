@@ -58,6 +58,33 @@ constexpr Longword kBatchDescFlags = 12;
 constexpr Longword kBatchFlagWrite = 1;
 constexpr Longword kMaxBatchDescriptors = 32;
 
+/**
+ * Per-descriptor completion status.  After servicing a ring the VMM
+ * writes a status into bits 31:16 of each descriptor's flags longword
+ * (the guest-owned bits 15:0 are preserved from the values the VMM
+ * snapshotted at the start of the call):
+ *
+ *   flags<31:16> = kBatchStatusNone   descriptor never serviced (a
+ *                                     torn batch leaves the tail this
+ *                                     way, and earlier descriptors may
+ *                                     already have transferred)
+ *                  kBatchStatusOk     transfer completed
+ *                  kBatchStatusError  transfer failed (bad arguments,
+ *                                     out-of-range block, device error)
+ *
+ * kDiskBatch returns kOk in R0 only when every descriptor reports
+ * kBatchStatusOk; on partial failure a driver re-issues the failed and
+ * unserviced descriptors individually (kDiskRead/kDiskWrite), so a
+ * torn or faulted ring degrades to per-block transfers instead of
+ * silently corrupting data.  Guests must therefore clear or rewrite
+ * flags<31:16> before reusing a descriptor.
+ */
+constexpr Longword kBatchStatusShift = 16;
+constexpr Longword kBatchStatusMask = 0xFFFF0000;
+constexpr Longword kBatchStatusNone = 0;
+constexpr Longword kBatchStatusOk = 1;
+constexpr Longword kBatchStatusError = 2;
+
 /** Virtual disk completion interrupt (IPL 21). */
 constexpr Word kDiskVector = static_cast<Word>(ScbVector::DeviceBase);
 constexpr Byte kDiskIpl = kIplDisk;

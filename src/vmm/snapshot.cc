@@ -1,6 +1,7 @@
 #include "vmm/snapshot.h"
 
 #include <cstring>
+#include <stdexcept>
 
 namespace vvax {
 
@@ -97,6 +98,67 @@ restoreVm(Hypervisor &hv, const VmSnapshot &s)
     // for a fresh VM): the first touch of every page re-faults and
     // refills from the restored VM page tables.
     return vm;
+}
+
+void
+restoreVmInPlace(Hypervisor &hv, VirtualMachine &vm, const VmSnapshot &s)
+{
+    if (s.memory.size() !=
+            static_cast<std::size_t>(vm.memPages) * kPageSize ||
+        s.disk.size() != vm.disk.size()) {
+        throw std::invalid_argument(
+            "snapshot geometry does not match the target VM");
+    }
+    hv.suspendAll();
+
+    hv.machine().memory().writeBlock(
+        static_cast<PhysAddr>(vm.basePfn) << kPageShift, s.memory);
+    vm.disk = s.disk;
+
+    vm.vSp = s.vSp;
+    vm.vIsp = s.vIsp;
+    vm.vmpsl = s.vmpsl;
+    vm.vScbb = s.vScbb;
+    vm.vPcbb = s.vPcbb;
+    vm.vSbr = s.vSbr;
+    vm.vSlr = s.vSlr;
+    vm.vP0br = s.vP0br;
+    vm.vP0lr = s.vP0lr;
+    vm.vP1br = s.vP1br;
+    vm.vP1lr = s.vP1lr;
+    vm.vAstlvl = s.vAstlvl;
+    vm.vMapen = s.vMapen;
+    vm.vSisr = s.vSisr;
+    vm.vTodr = s.vTodr;
+    vm.vIccs = s.vIccs;
+    vm.vNicr = s.vNicr;
+    vm.vIcr = s.vIcr;
+
+    vm.savedPc = s.savedPc;
+    vm.savedRealPsl = s.savedRealPsl;
+    vm.savedRegs = s.savedRegs;
+    vm.started = s.started;
+    vm.waiting = s.waiting;
+    vm.waitDeadline = 0; // wake at the next quantum check
+    vm.haltReason = s.haltReason;
+    vm.pendingInts = s.pendingInts;
+    vm.uptimeMailbox = s.uptimeMailbox;
+
+    // Execution between snapshot and restore is being undone, so its
+    // transient per-VM state must not leak into the replay: no failed
+    // disk op precedes the restored VM's first, the watchdog starts
+    // fresh, and output the rolled-back execution buffered but never
+    // flushed is discarded (the flushed transcript stays - console
+    // output is an external effect, not VM state).
+    vm.lastDiskOpFailed = false;
+    vm.watchdogTicks = 0;
+    vm.pendingConsoleOut.clear();
+    vm.mmioCsr = 0;
+    vm.mmioBlock = 0;
+    vm.mmioCount = 0;
+    vm.mmioAddr = 0;
+
+    hv.resetVmShadow(vm);
 }
 
 } // namespace vvax

@@ -48,6 +48,7 @@ enum class VmHaltReason : Byte {
     KernelStackNotValid,  //!< frame push into the VM faulted
     BadPageTable,         //!< VM page table outside the VMM's limits
     VmmPolicy,            //!< the VMM shut it down
+    VmmInternal,          //!< VMM invariant violated servicing the VM
 };
 
 /** A pending virtual interrupt (device-level). */
@@ -91,6 +92,13 @@ struct VmStats
     std::uint64_t diskKcallBatches = 0; //!< kDiskBatch invocations
     std::uint64_t batchedDiskBlocks = 0; //!< blocks moved by kDiskBatch
     std::uint64_t coalescedConsoleChars = 0; //!< TXDB chars buffered
+
+    // Fault injection and recovery (fault/fault_plan.h).
+    std::uint64_t diskOps = 0;        //!< vmDiskTransfer attempts
+    std::uint64_t faultedDiskOps = 0; //!< failed by injection
+    std::uint64_t diskRetries = 0;    //!< disk KCALL after a failed one
+    std::uint64_t machineChecks = 0;  //!< machine checks reflected in
+    std::uint64_t watchdogHalts = 0;  //!< no-forward-progress halts
 };
 
 /** One cached set of shadow process page tables (Section 7.2). */
@@ -188,6 +196,10 @@ class VirtualMachine
     Longword waitDeadline = 0;  //!< quantum count when WAIT times out
     VmHaltReason haltReason = VmHaltReason::None;
     bool halted() const { return haltReason != VmHaltReason::None; }
+
+    // Fault-recovery bookkeeping.
+    bool lastDiskOpFailed = false; //!< previous disk KCALL failed
+    Longword watchdogTicks = 0;    //!< consecutive no-progress ticks
 
     // ----- Virtual interrupts ----------------------------------------------
     std::vector<VirtualInterrupt> pendingInts;

@@ -12,6 +12,8 @@
 
 #include <cstring>
 
+#include "fault/fault_plan.h"
+
 namespace vvax {
 
 namespace {
@@ -452,6 +454,17 @@ Hypervisor::applyTlbContext(VirtualMachine &vm)
 Longword
 Hypervisor::vmReadPhys32(VirtualMachine &vm, PhysAddr vm_pa)
 {
+    // Defensive: callers bounds-check VM-physical addresses, but a
+    // missed (or wrapped) check must never index real memory out of
+    // the VM's slice — mark the VM bad instead of trusting the
+    // address.  haltReason is set directly (no scheduleNext) because
+    // this can run mid-service; the scheduler notices at the next
+    // continueVm.
+    if (static_cast<std::uint64_t>(vm_pa) + 4 >
+        static_cast<std::uint64_t>(vm.memPages) * kPageSize) {
+        vm.haltReason = VmHaltReason::VmmInternal;
+        return 0;
+    }
     return mem_.read32(vm.vmPhysToReal(vm_pa));
 }
 
@@ -459,6 +472,11 @@ void
 Hypervisor::vmWritePhys32(VirtualMachine &vm, PhysAddr vm_pa,
                           Longword value)
 {
+    if (static_cast<std::uint64_t>(vm_pa) + 4 >
+        static_cast<std::uint64_t>(vm.memPages) * kPageSize) {
+        vm.haltReason = VmHaltReason::VmmInternal;
+        return;
+    }
     mem_.write32(vm.vmPhysToReal(vm_pa), value);
 }
 
@@ -549,18 +567,44 @@ bool
 Hypervisor::vmDiskTransfer(VirtualMachine &vm, bool write, Longword block,
                            Longword count, PhysAddr vm_addr)
 {
-    const Longword bytes = count * 512;
-    const Longword disk_bytes = static_cast<Longword>(vm.disk.size());
-    if (block * 512 + bytes > disk_bytes)
+    // 64-bit arithmetic throughout: block, count and vm_addr are all
+    // guest-controlled, and a 32-bit `vm_addr + bytes` can wrap past
+    // the bounds check and turn into a host out-of-bounds memcpy.
+    const std::uint64_t bytes = static_cast<std::uint64_t>(count) * 512;
+    if (static_cast<std::uint64_t>(block) * 512 + bytes > vm.disk.size())
         return false;
-    if (vm_addr + bytes > vm.memPages * kPageSize)
+    if (static_cast<std::uint64_t>(vm_addr) + bytes >
+        static_cast<std::uint64_t>(vm.memPages) * kPageSize)
         return false;
-    Byte *disk = vm.disk.data() + block * 512;
+
+    // Fault injection: decisions key on the VM's architectural disk-op
+    // ordinal, so the fast and reference paths fail the exact same
+    // operations.  The ordinal advances only for well-formed requests;
+    // malformed ones never reach the device model.
+    if (FaultPlan *plan = machine_.faultPlan()) {
+        const std::uint64_t op = vm.stats.diskOps++;
+        const bool hard = plan->diskRangeBad(vm.id(), block, count);
+        if (hard || plan->shouldInject(FaultClass::DiskTransient,
+                                       vm.id(), op)) {
+            vm.stats.faultedDiskOps++;
+            machine_.stats().faultsInjected[static_cast<int>(
+                hard ? FaultClass::DiskHard
+                     : FaultClass::DiskTransient)]++;
+            charge(CycleCategory::VmmIo,
+                   machine_.costModel().vmmFaultDiskService);
+            return false;
+        }
+    } else {
+        vm.stats.diskOps++;
+    }
+
+    Byte *disk = vm.disk.data() + static_cast<std::uint64_t>(block) * 512;
     const PhysAddr real = vm.vmPhysToReal(vm_addr);
+    const Longword len = static_cast<Longword>(bytes);
     if (write)
-        mem_.readBlock(real, {disk, bytes});
+        mem_.readBlock(real, {disk, len});
     else
-        mem_.writeBlock(real, {disk, bytes});
+        mem_.writeBlock(real, {disk, len});
     return true;
 }
 
@@ -572,7 +616,10 @@ Hypervisor::vmDiskTransferBatch(VirtualMachine &vm, PhysAddr ring,
     if (n_desc == 0 || n_desc > kMaxBatchDescriptors)
         return false;
     const Longword ring_bytes = n_desc * kBatchDescriptorBytes;
-    if (ring + ring_bytes > vm.memPages * kPageSize)
+    // 64-bit sum: ring is guest-controlled and must not wrap past the
+    // bounds check into a host out-of-bounds ring snapshot.
+    if (static_cast<std::uint64_t>(ring) + ring_bytes >
+        static_cast<std::uint64_t>(vm.memPages) * kPageSize)
         return false;
 
     // Snapshot the descriptors through a host pointer before moving
@@ -582,6 +629,23 @@ Hypervisor::vmDiskTransferBatch(VirtualMachine &vm, PhysAddr ring,
     std::memcpy(descs.data(), mem_.ram().data() + vm.vmPhysToReal(ring),
                 ring_bytes);
 
+    // A torn batch stops servicing at the tear point; the tail is
+    // left unserviced and reports kBatchStatusNone.  The decision
+    // keys on the VM's disk-op ordinal (the value the first
+    // descriptor's transfer would consume), so it is identical on the
+    // fast and reference paths.
+    Longword tear = n_desc;
+    if (FaultPlan *plan = machine_.faultPlan()) {
+        if (plan->shouldInject(FaultClass::TornBatch, vm.id(),
+                               vm.stats.diskOps)) {
+            tear = n_desc / 2;
+            machine_.stats().faultsInjected[static_cast<int>(
+                FaultClass::TornBatch)]++;
+            charge(CycleCategory::VmmIo,
+                   machine_.costModel().vmmFaultDiskService);
+        }
+    }
+
     bool all_ok = true;
     for (Longword i = 0; i < n_desc; ++i) {
         const Byte *d = descs.data() + i * kBatchDescriptorBytes;
@@ -590,18 +654,51 @@ Hypervisor::vmDiskTransferBatch(VirtualMachine &vm, PhysAddr ring,
         std::memcpy(&count, d + kBatchDescCount, 4);
         std::memcpy(&vm_pa, d + kBatchDescVmPa, 4);
         std::memcpy(&flags, d + kBatchDescFlags, 4);
-        // Per-run copies go through readBlock/writeBlock so the store
-        // funnel bumps page generations: a transfer into a page with
-        // live translated superblocks must invalidate them, exactly
-        // as a single-transfer KCALL would.
-        if (vmDiskTransfer(vm, (flags & kBatchFlagWrite) != 0, block,
-                           count, vm_pa)) {
-            vm.stats.batchedDiskBlocks += count;
-        } else {
-            all_ok = false;
+        Longword status = kBatchStatusNone;
+        if (i < tear) {
+            // Per-run copies go through readBlock/writeBlock so the
+            // store funnel bumps page generations: a transfer into a
+            // page with live translated superblocks must invalidate
+            // them, exactly as a single-transfer KCALL would.
+            if (vmDiskTransfer(vm, (flags & kBatchFlagWrite) != 0, block,
+                               count, vm_pa)) {
+                vm.stats.batchedDiskBlocks += count;
+                status = kBatchStatusOk;
+            } else {
+                status = kBatchStatusError;
+            }
         }
+        if (status != kBatchStatusOk)
+            all_ok = false;
+        // Post the per-descriptor status (kcall.h): guest bits 15:0
+        // come from the snapshot, so a transfer that clobbered its
+        // own ring cannot forge a completion word.
+        mem_.write32(vm.vmPhysToReal(ring + i * kBatchDescriptorBytes +
+                                     kBatchDescFlags),
+                     (flags & ~kBatchStatusMask) |
+                         (status << kBatchStatusShift));
     }
     return all_ok;
+}
+
+void
+Hypervisor::resetVmShadow(VirtualMachine &vm)
+{
+    // Shadow tables are pure caches of the VM's own page tables, so an
+    // in-place restore only has to drop every cached translation; the
+    // next resume refills them on demand.  Slot bookkeeping resets too:
+    // cached process keys describe address spaces of the pre-restore
+    // execution.
+    flushShadowS(vm);
+    for (int s = 0; s < static_cast<int>(vm.slots.size()); ++s) {
+        flushShadowSlot(vm, s);
+        vm.slots[s].inUse = false;
+        vm.slots[s].processKey = 0;
+        vm.slots[s].lastUsed = 0;
+        vm.slots[s].savedP0lr = 0;
+        vm.slots[s].savedP1lr = 0;
+    }
+    vm.activeSlot = vm.physModeSlot;
 }
 
 } // namespace vvax

@@ -227,10 +227,16 @@ Hypervisor::kcall(VirtualMachine &vm, Longword function)
       case kcallabi::kDiskRead:
       case kcallabi::kDiskWrite: {
         vm.stats.kcallIos++;
+        vm.watchdogTicks = 0; // a hypercall is forward progress
+        if (vm.lastDiskOpFailed) {
+            vm.stats.diskRetries++;
+            machine_.stats().diskRetries++;
+        }
         charge(CycleCategory::VmmIo, cost.vmmKcallIo);
         const bool ok = vmDiskTransfer(
             vm, function == kcallabi::kDiskWrite, cpu_.reg(R1),
             cpu_.reg(R2), cpu_.reg(R3));
+        vm.lastDiskOpFailed = !ok;
         cpu_.setReg(R0, ok ? kcallabi::kOk : kcallabi::kError);
         vm.postInterrupt(kcallabi::kDiskIpl, kcallabi::kDiskVector);
         updatePendingIplHint(vm);
@@ -248,9 +254,15 @@ Hypervisor::kcall(VirtualMachine &vm, Longword function)
                 : n;
         vm.stats.kcallIos++;
         vm.stats.diskKcallBatches++;
+        vm.watchdogTicks = 0;
+        if (vm.lastDiskOpFailed) {
+            vm.stats.diskRetries++;
+            machine_.stats().diskRetries++;
+        }
         charge(CycleCategory::VmmIo,
                cost.vmmKcallIo + cost.vmmKcallDescriptor * n_charge);
         const bool ok = vmDiskTransferBatch(vm, cpu_.reg(R1), n);
+        vm.lastDiskOpFailed = !ok;
         cpu_.setReg(R0, ok ? kcallabi::kOk : kcallabi::kError);
         vm.postInterrupt(kcallabi::kDiskIpl, kcallabi::kDiskVector);
         updatePendingIplHint(vm);
@@ -269,7 +281,10 @@ Hypervisor::kcall(VirtualMachine &vm, Longword function)
         const Longword len = cpu_.reg(R2);
         charge(CycleCategory::VmmIo, cost.vmmKcallIo +
                                          cost.vmmConsoleChar * len / 8);
-        if (addr + len > vm.memPages * kPageSize) {
+        // 64-bit arithmetic: addr + len must not wrap past the bounds
+        // check (a hostile guest controls both operands).
+        if (static_cast<std::uint64_t>(addr) + len >
+            static_cast<std::uint64_t>(vm.memPages) * kPageSize) {
             cpu_.setReg(R0, kcallabi::kError);
             return;
         }
@@ -287,7 +302,8 @@ Hypervisor::kcall(VirtualMachine &vm, Longword function)
       case kcallabi::kSetUptimeMailbox: {
         charge(CycleCategory::VmmIo, cost.vmmMtprMisc);
         const Longword addr = cpu_.reg(R1);
-        if (addr + 4 > vm.memPages * kPageSize) {
+        if (static_cast<std::uint64_t>(addr) + 4 >
+            static_cast<std::uint64_t>(vm.memPages) * kPageSize) {
             cpu_.setReg(R0, kcallabi::kError);
             return;
         }

@@ -8,6 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_plan.h"
 #include "tests/harness.h"
 #include "vmm/hypervisor.h"
 
@@ -173,6 +178,104 @@ TEST(FailureInjection, ReiCannotForgeTheVmBit)
     m.cpu().setStackPointer(AccessMode::User, 0x1800);
     m.run(100);
     EXPECT_EQ(m.cpu().reg(R9), 0xF0F0u);
+}
+
+TEST(FailureInjection, NoGuestProgramRaisesHostException)
+{
+    // Every VMM invariant violation a guest can provoke must end in a
+    // contained VM halt (VmHaltReason), never a host C++ exception:
+    // std::invalid_argument and friends are reserved for host-API
+    // misuse (bad VmConfig, malformed VVAX_FAULT_PLAN).  The probes
+    // below aim at the historically dangerous spots: wild KCALL
+    // arguments whose 32-bit sums wrap (addr + len, block * 512),
+    // descriptor rings at the top of the address space, and garbage
+    // control state - all while a fault plan is also firing.
+    FaultPlan plan(13);
+    std::string error;
+    ASSERT_TRUE(FaultPlan::parse(
+        "seed=13;disk-transient:every=2;torn:every=1;ecc:every=3;"
+        "spurious:every=2",
+        &plan, &error))
+        << error;
+
+    std::vector<CodeBuilder> hostiles;
+
+    {
+        // Wild single-transfer KCALL: R3 near 2^32 so addr + bytes
+        // wraps in 32 bits.
+        CodeBuilder b(0x200);
+        b.movl(Op::imm(0x10), Op::reg(R1));
+        b.movl(Op::imm(0xFFFFFFFF), Op::reg(R2));
+        b.movl(Op::imm(0xFFFFFE00), Op::reg(R3));
+        b.mtpr(Op::lit(1), Ipr::KCALL); // kDiskRead
+        b.movl(Op::imm(0x7FFFFFFF), Op::reg(R1));
+        b.movl(Op::imm(0x7FFFFFFF), Op::reg(R2));
+        b.clrl(Op::reg(R3));
+        b.mtpr(Op::lit(2), Ipr::KCALL); // kDiskWrite, block*512 wraps
+        b.halt();
+        hostiles.push_back(std::move(b));
+    }
+    {
+        // Batch ring at the top of the address space, console write
+        // whose buffer wraps, uptime mailbox on the last byte.
+        CodeBuilder b(0x200);
+        b.movl(Op::imm(0xFFFFFFF0), Op::reg(R1));
+        b.movl(Op::imm(32), Op::reg(R2));
+        b.mtpr(Op::lit(6), Ipr::KCALL); // kDiskBatch
+        b.movl(Op::imm(0xFFFFFFFE), Op::reg(R1));
+        b.movl(Op::imm(0xFFFFFFFF), Op::reg(R2));
+        b.mtpr(Op::lit(3), Ipr::KCALL); // kConsoleWrite
+        b.movl(Op::imm(0xFFFFFFFF), Op::reg(R1));
+        b.mtpr(Op::lit(4), Ipr::KCALL); // kSetUptimeMailbox
+        b.halt();
+        hostiles.push_back(std::move(b));
+    }
+    {
+        // Garbage SCB base and a CHMK through it.
+        CodeBuilder b(0x200);
+        b.mtpr(Op::imm(0xFFFFFC00), Ipr::SCBB);
+        b.chmk(Op::imm(1));
+        b.halt();
+        hostiles.push_back(std::move(b));
+    }
+    {
+        // A ring whose descriptors point everywhere: in-range ring,
+        // hostile buffer addresses and counts.
+        CodeBuilder b(0x200);
+        for (Longword i = 0; i < 4; ++i) {
+            const Longword d = 0x4000 + i * 16;
+            b.movl(Op::imm(0xFFFFFFF0), Op::abs(d + 0)); // block
+            b.movl(Op::imm(0xFFFFFFF0), Op::abs(d + 4)); // count
+            b.movl(Op::imm(0xFFFFFF00), Op::abs(d + 8)); // vm_pa
+            b.movl(Op::imm(1), Op::abs(d + 12));         // write
+        }
+        b.movl(Op::imm(0x4000), Op::reg(R1));
+        b.movl(Op::imm(4), Op::reg(R2));
+        b.mtpr(Op::lit(6), Ipr::KCALL);
+        b.halt();
+        hostiles.push_back(std::move(b));
+    }
+
+    for (std::size_t i = 0; i < hostiles.size(); ++i) {
+        MachineConfig mc;
+        mc.ramBytes = 16 * 1024 * 1024;
+        mc.level = MicrocodeLevel::Modified;
+        RealMachine m(mc);
+        FaultPlan run_plan = plan; // fresh firing budgets per guest
+        m.setFaultPlan(&run_plan);
+        Hypervisor hv(m);
+        VmConfig vc;
+        vc.memBytes = 256 * 1024;
+        VirtualMachine &vm = hv.createVm(vc);
+        auto image = hostiles[i].finish();
+        hv.loadVmImage(vm, 0x200, image);
+        hv.startVm(vm, 0x200);
+        ASSERT_NO_THROW(hv.run(200000)) << "hostile guest " << i;
+        // Contained: the VM ended somehow, the host shut down cleanly.
+        EXPECT_TRUE(vm.halted()) << "hostile guest " << i;
+        EXPECT_EQ(m.cpu().haltReason(), HaltReason::ExternalRequest)
+            << "hostile guest " << i;
+    }
 }
 
 TEST(FailureInjection, OversizedVmIsRejectedAtCreation)
