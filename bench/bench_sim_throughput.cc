@@ -42,6 +42,9 @@ struct VmmCounters
     std::uint64_t blockExecutions = 0;
     std::uint64_t blockInstructions = 0;
     std::uint64_t blockInvalidations = 0;
+    std::uint64_t traceLinksFormed = 0;
+    std::uint64_t traceLinksTaken = 0;
+    std::uint64_t traceLinksSevered = 0;
     std::uint64_t kcallIos = 0;
     std::uint64_t mmioExits = 0;
     std::uint64_t diskKcallBatches = 0;
@@ -66,6 +69,9 @@ struct VmmCounters
         blockExecutions += m.stats().blockExecutions;
         blockInstructions += m.stats().blockInstructions;
         blockInvalidations += m.stats().blockInvalidations;
+        traceLinksFormed += m.stats().traceLinksFormed;
+        traceLinksTaken += m.stats().traceLinksTaken;
+        traceLinksSevered += m.stats().traceLinksSevered;
         kcallIos += vm.stats.kcallIos;
         mmioExits += vm.stats.mmioExits;
         diskKcallBatches += vm.stats.diskKcallBatches;
@@ -107,6 +113,12 @@ struct VmmCounters
             static_cast<double>(blockInstructions), avg);
         state.counters["block_invalidations"] = benchmark::Counter(
             static_cast<double>(blockInvalidations), avg);
+        state.counters["trace_links_formed"] = benchmark::Counter(
+            static_cast<double>(traceLinksFormed), avg);
+        state.counters["trace_links_taken"] = benchmark::Counter(
+            static_cast<double>(traceLinksTaken), avg);
+        state.counters["trace_links_severed"] = benchmark::Counter(
+            static_cast<double>(traceLinksSevered), avg);
         state.counters["kcall_ios"] =
             benchmark::Counter(static_cast<double>(kcallIos), avg);
         state.counters["mmio_exits"] =
@@ -158,22 +170,119 @@ void
 BM_BareExecution(benchmark::State &state)
 {
     const Longword iters = 20000;
+    // One machine for the whole benchmark: the timed region measures
+    // the simulator's steady-state execution rate.  Rebuilding the
+    // machine per sample spends more time zeroing 16 MB of guest RAM
+    // than executing the loop, so the number tracked the host
+    // allocator instead of the interpreter.  The spin loop reloads
+    // its own counter, so re-running it only needs PC/SP restored.
+    RealMachine m;
+    CodeBuilder b = spinLoop(iters);
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    m.cpu().psl().setIpl(31);
     for (auto _ : state) {
-        RealMachine m;
-        CodeBuilder b = spinLoop(iters);
-        auto image = b.finish();
-        m.loadImage(b.origin(), image);
+        m.cpu().clearHalt();
         m.cpu().setPc(b.origin());
-        m.cpu().psl().setIpl(31);
         m.cpu().setReg(SP, 0x1800);
-        m.run(UINT64_MAX);
+        const std::uint64_t before = m.stats().instructions;
+        // Finite budget: run()'s limit is instructions + max, which
+        // must not wrap now that the counter accumulates across
+        // benchmark iterations.
+        m.run(1000000000);
         benchmark::DoNotOptimize(m.cpu().reg(R1));
-        state.SetItemsProcessed(state.items_processed() +
-                                static_cast<std::int64_t>(
-                                    m.stats().instructions));
+        state.SetItemsProcessed(
+            state.items_processed() +
+            static_cast<std::int64_t>(m.stats().instructions -
+                                      before));
     }
 }
 BENCHMARK(BM_BareExecution)->Unit(benchmark::kMillisecond);
+
+/**
+ * Branch-dense loop for the trace-tier A/B pair: every couple of
+ * instructions ends a superblock with a direct branch, so dispatch
+ * overhead - the thing trace links remove - dominates the run.  Three
+ * hot blocks chain loop -> b1 -> b2 -> loop.
+ */
+CodeBuilder
+branchLoop(Longword iterations)
+{
+    CodeBuilder b(0x200);
+    Label loop = b.newLabel(), b1 = b.newLabel(), b2 = b.newLabel();
+    b.movl(Op::imm(iterations), Op::reg(R6));
+    b.bind(loop);
+    b.addl2(Op::lit(1), Op::reg(R0));
+    b.brb(b1);
+    b.bind(b1);
+    b.xorl2(Op::reg(R0), Op::reg(R1));
+    b.brb(b2);
+    b.bind(b2);
+    b.sobgtr(Op::reg(R6), loop);
+    b.halt();
+    return b;
+}
+
+/**
+ * A/B pair for the trace tier: the same branch-dense loop with
+ * superblock trace links on (the default) and forced off, so the
+ * checked-in JSON records the win from chaining hot blocks across
+ * branches.  check_bench_regression.sh asserts the linked run
+ * retires at least as many guest instructions per second as the
+ * unlinked one.
+ */
+void
+runBareTraceBenchmark(benchmark::State &state, bool linked)
+{
+    const Longword iters = 20000;
+    // Machine reuse as in BM_BareExecution: the pair measures the
+    // steady-state dispatch rate with the block cache and links warm,
+    // which is exactly the regime the trace tier targets.
+    RealMachine m;
+    m.cpu().setTraceLinksEnabled(linked);
+    CodeBuilder b = branchLoop(iters);
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    m.cpu().psl().setIpl(31);
+    for (auto _ : state) {
+        m.cpu().clearHalt();
+        m.cpu().setPc(b.origin());
+        m.cpu().setReg(SP, 0x1800);
+        const std::uint64_t before = m.stats().instructions;
+        // Finite budget: run()'s limit is instructions + max, which
+        // must not wrap now that the counter accumulates across
+        // benchmark iterations.
+        m.run(1000000000);
+        benchmark::DoNotOptimize(m.cpu().reg(R1));
+        state.SetItemsProcessed(
+            state.items_processed() +
+            static_cast<std::int64_t>(m.stats().instructions -
+                                      before));
+    }
+    const auto avg = benchmark::Counter::kAvgIterations;
+    state.counters["trace_links_formed"] = benchmark::Counter(
+        static_cast<double>(m.stats().traceLinksFormed), avg);
+    state.counters["trace_links_taken"] = benchmark::Counter(
+        static_cast<double>(m.stats().traceLinksTaken), avg);
+    state.counters["block_executions"] = benchmark::Counter(
+        static_cast<double>(m.stats().blockExecutions), avg);
+    state.counters["guest_instructions"] = benchmark::Counter(
+        static_cast<double>(m.stats().instructions), avg);
+}
+
+void
+BM_BareLinked(benchmark::State &state)
+{
+    runBareTraceBenchmark(state, true);
+}
+BENCHMARK(BM_BareLinked)->Unit(benchmark::kMillisecond);
+
+void
+BM_BareUnlinked(benchmark::State &state)
+{
+    runBareTraceBenchmark(state, false);
+}
+BENCHMARK(BM_BareUnlinked)->Unit(benchmark::kMillisecond);
 
 void
 BM_VirtualizedExecution(benchmark::State &state)

@@ -127,6 +127,34 @@ if batched is not None and unbatched is not None:
         print(f"ok       batching exit cut: {unbatched / batched:.1f}x "
               f"fewer emulation traps")
 
+# Trace-tier gate: with links on, the branch-dense loop must retire
+# at least as many guest instructions per second as with links off —
+# link crossings replace full dispatches, so a linked run slower than
+# the wall-clock noise floor means the trace tier is pure overhead
+# and something is broken.  The same threshold as the baseline
+# comparison absorbs shared-host jitter; the printed ratio records
+# the measured win.
+def items_rate(path, name):
+    with open(path) as f:
+        for b in json.load(f).get("benchmarks", []):
+            if b["name"] == name:
+                return b.get("items_per_second")
+    return None
+
+
+linked = items_rate(fresh_path, "BM_BareLinked")
+unlinked = items_rate(fresh_path, "BM_BareUnlinked")
+if linked is not None and unlinked is not None:
+    if linked < unlinked * (1.0 - threshold):
+        print(f"REGRESSED trace tier: BM_BareLinked "
+              f"{linked / 1e6:.2f} M instr/s < BM_BareUnlinked "
+              f"{unlinked / 1e6:.2f} M instr/s")
+        failed = True
+    else:
+        print(f"ok       trace tier: linked {linked / 1e6:.2f} vs "
+              f"unlinked {unlinked / 1e6:.2f} M instr/s "
+              f"({linked / unlinked:.2f}x)")
+
 # Zero-fault gate: the fault-injection machinery (fault/fault_plan.h)
 # must be provably inert when no plan is armed — a nonzero count here
 # means either a plan leaked into the benchmark environment or an

@@ -8,12 +8,18 @@ ctest --test-dir build >test_output.txt 2>&1 ||
     { cat test_output.txt; exit 1; }
 tail -n 3 test_output.txt
 
-# The whole suite again under ASan+UBSan: fast-path and superblock
-# machinery dereferences raw host page pointers, so memory bugs must
-# abort loudly here instead of corrupting the lockstep digests.
+# The whole suite again under ASan+UBSan: fast-path, superblock, and
+# trace-link machinery dereferences raw host page pointers and cached
+# Block*/Tlb::Entry* records, so memory bugs must abort loudly here
+# instead of corrupting the lockstep digests.  halt_on_error turns
+# any UBSan diagnostic into a test failure (matching
+# -fno-sanitize-recover) and the stack traces make one-shot CI logs
+# actionable.
+SAN_ENV="ASAN_OPTIONS=detect_stack_use_after_return=1 \
+UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1"
 cmake -B build-asan -DVVAX_SANITIZE=ON
 cmake --build build-asan -j "$(nproc)"
-ctest --test-dir build-asan >test_asan_output.txt 2>&1 ||
+env $SAN_ENV ctest --test-dir build-asan >test_asan_output.txt 2>&1 ||
     { cat test_asan_output.txt; exit 1; }
 tail -n 3 test_asan_output.txt
 
@@ -26,7 +32,8 @@ tail -n 3 test_asan_output.txt
   for tree in build build-asan; do
     for s in 3 7 11 23 42 97 1234 99991; do
       echo "=== fault sweep: tree=$tree seed=$s"
-      VVAX_FAULT_PLAN="seed=$s;disk-transient:every=3;torn:every=2;ecc:every=16;spurious:every=9" \
+      env $SAN_ENV \
+          VVAX_FAULT_PLAN="seed=$s;disk-transient:every=3;torn:every=2;ecc:every=16;spurious:every=9" \
           "$tree/tests/test_fault_injection" \
           --gtest_filter='FaultSweep.*'
     done

@@ -449,10 +449,14 @@ Cpu::buildBlock(VirtAddr pc, const Byte *base)
         return nullptr; // never decoded here: warm up via step first
 
     Block &blk = bcache_.slotFor(pc);
-    blk.clear();
+    // The slot may hold a live block (hash collision or rebuild of
+    // this very pc): sever its link edges before recycling so no
+    // source keeps a direct jump into the new occupant.
+    invalidateBlock(blk);
     blk.pc = pc;
     blk.hostPage = base;
     blk.genCell = mmu_.pageGenForHostPage(base);
+    blk.validGen = *blk.genCell;
 
     const VirtAddr page = pc & ~static_cast<VirtAddr>(kPageOffsetMask);
     VirtAddr addr = pc;

@@ -29,10 +29,12 @@
 
 #include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "arch/types.h"
 #include "cpu/predecode.h"
+#include "memory/tlb.h"
 
 namespace vvax {
 
@@ -128,6 +130,35 @@ struct Block
      */
     static constexpr int kMinInstrs = 2;
 
+    /**
+     * A trace link: a direct edge to the cached block this block's
+     * final control transfer lands on (docs/ARCHITECTURE.md §5b).
+     * Following one lets runBlocks chain block-to-block without
+     * re-resolving the instruction window or re-comparing bytes; the
+     * crossing instead re-checks pending interrupts, the latched TLB
+     * tag, and the target page's generation against the watermark the
+     * target was last byte-validated at.  Slot kLinkTaken holds the
+     * branch-taken (or unconditional) successor, kLinkFall the
+     * fall-through / not-taken successor.
+     */
+    struct Link
+    {
+        VirtAddr pc = kNoPc;    //!< start PC the target must still own
+        Block *target = nullptr;
+        /**
+         * TLB entry the target's window resolved through at formation
+         * (nullptr = formed with mapping off).  Entry slots are
+         * stable storage; tag revalidates the mapping.  A same-va,
+         * same-context refill reproduces the tag, so links self-heal
+         * across transient evictions.
+         */
+        Tlb::Entry *entry = nullptr;
+        std::uint64_t tag = 0;  //!< entry->tag latched at formation
+        std::uint64_t taken = 0; //!< crossings through this link
+    };
+    static constexpr int kLinkTaken = 0;
+    static constexpr int kLinkFall = 1;
+
     VirtAddr pc = kNoPc;            //!< VA of the first instruction
     const Byte *hostPage = nullptr; //!< page identity at build time
     std::uint32_t *genCell = nullptr; //!< the page's generation cell
@@ -139,6 +170,28 @@ struct Block
     std::array<BlockInstr, kMaxInstrs> instrs{};
     std::vector<PredecodedInstr> tmpls; //!< Generic instr templates
 
+    // ----- Trace tier (docs/ARCHITECTURE.md §5b) ----------------------
+    std::array<Link, 2> links{};
+    /**
+     * Back-references (source block, link slot) for every inbound
+     * link, so invalidating this block severs each of them instead of
+     * leaving sources pointing at a recycled slot.  The crossing
+     * check would still reject a stale edge (pc/generation/tag
+     * mismatch), but severing keeps the graph honest and the
+     * traceLinksSevered counter meaningful.
+     */
+    std::vector<std::pair<Block *, Byte>> inbound;
+    std::uint64_t hits = 0; //!< slow-path dispatches (link profile seed)
+    /**
+     * Page generation at the last successful byte validation.  The
+     * slow dispatch path accepts a clean generation without memcmp
+     * and re-watermarks after a memcmp that passes; link crossings
+     * accept the target only when its generation is still exactly
+     * this value (any store to the page forces a slow revalidation).
+     */
+    std::uint32_t validGen = 0;
+    Byte lastDir = kLinkTaken; //!< last exit direction (predictor)
+
     void
     clear()
     {
@@ -148,6 +201,10 @@ struct Block
         byteLen = 0;
         totalCharge = 0;
         tmpls.clear();
+        links = {};
+        hits = 0;
+        validGen = 0;
+        lastDir = kLinkTaken;
     }
 };
 
@@ -165,6 +222,9 @@ class BlockCache
     }
 
     Block &slotFor(VirtAddr pc) { return slots_[index(pc)]; }
+
+    /** All slots, for observability dumps (VVAX_DUMP_HOT_BLOCKS). */
+    const std::vector<Block> &entries() const { return slots_; }
 
   private:
     static int

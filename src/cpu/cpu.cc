@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <iomanip>
+#include <ostream>
 
 namespace vvax {
 
@@ -12,6 +15,60 @@ Cpu::Cpu(Mmu &mmu, const CostModel &cost, Stats &stats,
     mmu_.setModifyFaultMode(level == MicrocodeLevel::Modified);
     sid_ = (static_cast<Longword>(cost.model) << 24) | 0x0139;
     int_requests_.reserve(8);
+    // Escape hatch mirroring VVAX_REFERENCE_PATH: run the superblock
+    // cache without the trace tier (docs/ARCHITECTURE.md §5b).
+    if (std::getenv("VVAX_NO_TRACE_LINKS") != nullptr)
+        trace_links_enabled_ = false;
+    if (const char *t = std::getenv("VVAX_TRACE_THRESHOLD"))
+        trace_link_threshold_ = std::strtoull(t, nullptr, 10);
+}
+
+void
+Cpu::dumpHotBlocks(std::ostream &os, int top_n) const
+{
+    const std::vector<Block> &slots = bcache_.entries();
+    std::vector<const Block *> live;
+    for (const Block &b : slots) {
+        if (b.pc != Block::kNoPc)
+            live.push_back(&b);
+    }
+    std::sort(live.begin(), live.end(),
+              [](const Block *a, const Block *b) {
+                  return a->hits > b->hits;
+              });
+    if (top_n >= 0 && live.size() > static_cast<std::size_t>(top_n))
+        live.resize(static_cast<std::size_t>(top_n));
+
+    os << "hot superblocks (" << live.size() << " of " << slots.size()
+       << " slots, by slow-path dispatches):\n";
+    const auto flags = os.flags();
+    const auto fill = os.fill();
+    os << std::hex << std::setfill('0');
+    for (const Block *b : live) {
+        os << "  pc=" << std::setw(8) << b->pc << std::dec
+           << std::setfill(' ');
+        if (b->count == 0) {
+            os << " negative(step=" << static_cast<int>(b->stepInstrs)
+               << ")";
+        } else {
+            os << " instrs=" << static_cast<int>(b->count);
+        }
+        os << " bytes=" << b->byteLen << " hits=" << b->hits
+           << " in=" << b->inbound.size() << " last="
+           << (b->lastDir == Block::kLinkTaken ? "taken" : "fall");
+        static constexpr const char *slot_names[2] = {"taken", "fall"};
+        for (int s = 0; s < 2; ++s) {
+            const Block::Link &l = b->links[s];
+            if (l.target == nullptr)
+                continue;
+            os << " " << slot_names[s] << "->" << std::hex
+               << std::setfill('0') << std::setw(8) << l.pc << std::dec
+               << std::setfill(' ') << "(x" << l.taken << ")";
+        }
+        os << std::hex << std::setfill('0') << "\n";
+    }
+    os.flags(flags);
+    os.fill(fill);
 }
 
 Longword

@@ -27,6 +27,7 @@
 
 #include <array>
 #include <functional>
+#include <iosfwd>
 #include <vector>
 
 #include "arch/exceptions.h"
@@ -222,6 +223,33 @@ class Cpu
     using TraceFn = std::function<void(VirtAddr, Word)>;
     void setTrace(TraceFn fn) { trace_ = std::move(fn); }
 
+    // ----- Trace tier (docs/ARCHITECTURE.md §5b) ------------------------
+    /**
+     * Enable/disable direct block-to-block links.  Defaults to on;
+     * the VVAX_NO_TRACE_LINKS environment variable (mirroring
+     * VVAX_REFERENCE_PATH) turns them off at construction, and the
+     * bench harness A/B pair toggles them per run.  Disabling does
+     * not sever existing links - they simply stop being followed or
+     * formed, so every dispatch goes through the slow path again.
+     */
+    void setTraceLinksEnabled(bool on) { trace_links_enabled_ = on; }
+    bool traceLinksEnabled() const { return trace_links_enabled_; }
+    /** Slow-path dispatches of a source block before it may link. */
+    void setTraceLinkThreshold(std::uint64_t n)
+    {
+        trace_link_threshold_ = n;
+    }
+    std::uint64_t traceLinkThreshold() const
+    {
+        return trace_link_threshold_;
+    }
+    /**
+     * Dump the @p top_n hottest cached superblocks (by slow-path
+     * dispatch count) with their outbound link edges - the
+     * VVAX_DUMP_HOT_BLOCKS observability hook.
+     */
+    void dumpHotBlocks(std::ostream &os, int top_n) const;
+
     std::uint64_t instructionsExecuted() const
     {
         return stats_.instructions;
@@ -291,9 +319,26 @@ class Cpu
     /** Sized operand read through the MMU (may throw GuestFault). */
     Longword fetchOperandValue(VirtAddr addr, OpSize size,
                                AccessMode mode);
-    /** Access-validate a store's page(s) (may throw GuestFault). */
-    void validateOperandWrite(VirtAddr addr, OpSize size,
-                              AccessMode mode);
+    /**
+     * Access-validate a store's page(s) (may throw GuestFault).
+     * Header-inline so the fused-store path in the block executor
+     * folds it into the MMU's fast translate.
+     */
+    void
+    validateOperandWrite(VirtAddr addr, OpSize size, AccessMode mode)
+    {
+        mmu_.translate(addr, AccessType::Write, mode);
+        Longword bytes = 4;
+        switch (size) {
+          case OpSize::B: bytes = 1; break;
+          case OpSize::W: bytes = 2; break;
+          case OpSize::L: bytes = 4; break;
+          case OpSize::Q: bytes = 8; break;
+        }
+        const Longword last = addr + bytes - 1;
+        if ((addr >> kPageShift) != (last >> kPageShift))
+            mmu_.translate(last, AccessType::Write, mode);
+    }
 
     // dispatch.cc / block_cache.cc: superblock translation cache
     // (docs/ARCHITECTURE.md §5a).  Never used on the reference path.
@@ -316,13 +361,43 @@ class Cpu
      */
     Block *buildBlock(VirtAddr pc, const Byte *base);
     /**
+     * How a block run ended, for trace-link formation: Bailed covers
+     * every abnormal exit (fault, mid-block hazard, budget cut) and
+     * forms no link; Taken/Fall name the link slot the architectural
+     * successor belongs in (Taken for unconditional or taken
+     * branches, Fall for fall-through, not-taken, and indirect
+     * exits).
+     */
+    enum class BlockExit : Byte { Bailed, Taken, Fall };
+    /**
      * Retire up to (limit - instructions) instructions of @p blk.
      * @p win_entry is the TLB entry the window resolved through
      * (nullptr when mapping is off); its tag is re-checked after
      * memory-touching instructions - see BlockInstr::kTouchesMem.
      */
-    void executeBlock(Block &blk, Tlb::Entry *win_entry,
-                      std::uint64_t limit);
+    BlockExit executeBlock(Block &blk, Tlb::Entry *win_entry,
+                           std::uint64_t limit);
+    /**
+     * Follow @p src's link for exit direction @p slot if it validates
+     * against the current PC, mapping regime, latched TLB tag and the
+     * target's generation watermark (docs/ARCHITECTURE.md §5b).  On
+     * success, *blk and *entry name the next block and its window.
+     */
+    bool followLink(Block &src, int slot, Block **blk,
+                    Tlb::Entry **entry);
+    /** Patch (or re-latch) the @p slot edge src -> target. */
+    void formTraceLink(Block &src, int slot, Block &target,
+                       Tlb::Entry *entry);
+    /**
+     * Drop @p blk from the cache: sever every inbound link, retract
+     * its own outbound back-references, then clear the slot.  All
+     * invalidation paths (SMC, remap, slot reuse) must come through
+     * here so no source is left pointing at a recycled slot.
+     */
+    void invalidateBlock(Block &blk);
+    void severInboundLinks(Block &blk);
+    static void removeInboundRef(Block &target, const Block *src,
+                                 int slot);
     /**
      * Resolve the instruction window for @p pc without touching any
      * counter: host pointer to the page base, or nullptr when the
@@ -388,7 +463,23 @@ class Cpu
     /** Push/pop on the working stack pointer in @p d (pre-commit). */
     void pushLong(Decoded &d, Longword value);
     Longword popLong(Decoded &d);
-    void setCcLogical(Longword result, OpSize size);
+    // Header-inline: the block executor calls this for every MOV-class
+    // and logical fused instruction, so an out-of-line call here is
+    // measurable at trace-tier throughput.
+    void
+    setCcLogical(Longword result, OpSize size)
+    {
+        Longword mask = 0xFFFFFFFFu, sign = 0x80000000u;
+        switch (size) {
+          case OpSize::B: mask = 0xFFu; sign = 0x80u; break;
+          case OpSize::W: mask = 0xFFFFu; sign = 0x8000u; break;
+          case OpSize::L:
+          case OpSize::Q: break; // per-half for quads
+        }
+        const Longword masked = result & mask;
+        psl_.setNzvc((masked & sign) != 0, masked == 0, false,
+                     psl_.c());
+    }
 
     void execChm(Decoded &d, AccessMode target);
     void execRei();
@@ -514,6 +605,11 @@ class Cpu
 
     /** Superblock translation cache (block_cache.cc, dispatch.cc). */
     BlockCache bcache_;
+
+    // Trace tier configuration (docs/ARCHITECTURE.md §5b): both are
+    // host-side knobs and never observable architecturally.
+    bool trace_links_enabled_ = true;
+    std::uint64_t trace_link_threshold_ = 8;
 
     RunState run_state_ = RunState::Running;
     HaltReason halt_reason_ = HaltReason::None;

@@ -698,15 +698,6 @@ Cpu::fetchOperandValue(VirtAddr addr, OpSize size, AccessMode mode)
     return 0;
 }
 
-void
-Cpu::validateOperandWrite(VirtAddr addr, OpSize size, AccessMode mode)
-{
-    mmu_.translate(addr, AccessType::Write, mode);
-    const Longword last = addr + sizeBytes(size) - 1;
-    if ((addr >> kPageShift) != (last >> kPageShift))
-        mmu_.translate(last, AccessType::Write, mode);
-}
-
 /*
  * Within an operand every stream fetch precedes every data access, so
  * charging the operand's fetch hits up front before its (possibly

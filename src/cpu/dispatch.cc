@@ -307,54 +307,227 @@ Cpu::run(std::uint64_t max_instructions)
     return run_state_;
 }
 
+/*
+ * Validate and follow one trace link (docs/ARCHITECTURE.md §5b).  The
+ * crossing replaces the slow dispatch's window resolve + cache lookup
+ * + memcmp with four cheap checks:
+ *
+ *  - the link still names the block at the architectural PC,
+ *  - the target's page generation equals its validGen watermark (any
+ *    store to the page since the last byte validation - SMC, DMA,
+ *    external poke - fails this and forces the slow path),
+ *  - under mapping: the latched TLB entry still carries the tag and
+ *    host page recorded at formation and permits Read at the current
+ *    mode (context switches, TB invalidates and remaps all change the
+ *    tag or host page; a same-va same-context refill reproduces them,
+ *    healing the link for free),
+ *  - with mapping off: the link must have been formed with mapping
+ *    off too (regime flips always revalidate through the slow path).
+ *
+ * Pending interrupts are the caller's job: runBlocks breaks out
+ * before following any link when one is deliverable.
+ */
+bool
+Cpu::followLink(Block &src, int slot, Block **blk, Tlb::Entry **entry)
+{
+    const VirtAddr pc = regs_[PC];
+    // Probe the predicted slot first, then the other: a disp-0 branch
+    // makes both successors the same PC, and indirect exits (which
+    // always report Fall) get a second cached target out of it.
+    for (int probe = 0; probe < 2; ++probe) {
+        Block::Link &l = src.links[probe == 0 ? slot : slot ^ 1];
+        Block *t = l.target;
+        if (t == nullptr || l.pc != pc)
+            continue;
+        if (t->pc != pc || t->count == 0 || *t->genCell != t->validGen)
+            return false; // recycled slot or dirtied page: slow path
+        if (mmu_.regs().mapen) {
+            Tlb::Entry *e = l.entry;
+            if (e == nullptr || e->tag != l.tag ||
+                e->hostPage != t->hostPage ||
+                !(e->permMask &
+                  Tlb::permBit(psl_.currentMode(), AccessType::Read)))
+                return false;
+            *entry = e;
+        } else {
+            if (l.entry != nullptr)
+                return false;
+            *entry = nullptr;
+        }
+        l.taken++;
+        stats_.traceLinksTaken++;
+        *blk = t;
+        return true;
+    }
+    return false;
+}
+
+void
+Cpu::formTraceLink(Block &src, int slot, Block &target,
+                   Tlb::Entry *entry)
+{
+    Block::Link &l = src.links[slot];
+    if (l.target == &target && l.pc == target.pc) {
+        // Same edge, revalidated through the slow path: re-latch the
+        // window entry so a transiently evicted TLB entry (or one
+        // refilled into a different slot) heals instead of failing
+        // every future crossing.
+        l.entry = entry;
+        l.tag = entry != nullptr ? entry->tag : 0;
+        return;
+    }
+    if (l.target != nullptr)
+        removeInboundRef(*l.target, &src, slot);
+    l.pc = target.pc;
+    l.target = &target;
+    l.entry = entry;
+    l.tag = entry != nullptr ? entry->tag : 0;
+    l.taken = 0;
+    target.inbound.emplace_back(&src, static_cast<Byte>(slot));
+    stats_.traceLinksFormed++;
+}
+
+void
+Cpu::removeInboundRef(Block &target, const Block *src, int slot)
+{
+    auto &in = target.inbound;
+    for (auto it = in.begin(); it != in.end(); ++it) {
+        if (it->first == src && static_cast<int>(it->second) == slot) {
+            in.erase(it);
+            return;
+        }
+    }
+}
+
+void
+Cpu::severInboundLinks(Block &blk)
+{
+    for (const auto &[src, slot] : blk.inbound) {
+        Block::Link &l = src->links[slot];
+        if (l.target == &blk) {
+            l = Block::Link{};
+            stats_.traceLinksSevered++;
+        }
+    }
+    blk.inbound.clear();
+}
+
+void
+Cpu::invalidateBlock(Block &blk)
+{
+    // Sever every inbound edge first (a page-generation bump or SMC
+    // hit must cut all of them, not just kill the block), then
+    // retract this block's own outbound back-references so targets
+    // don't keep a dangling (source, slot) pair for a recycled slot.
+    severInboundLinks(blk);
+    for (int s = 0; s < 2; ++s) {
+        if (Block *t = blk.links[s].target; t != nullptr)
+            removeInboundRef(*t, &blk, s);
+    }
+    blk.clear();
+}
+
 bool
 Cpu::runBlocks(std::uint64_t limit)
 {
     bool executed = false;
+    Block *blk = nullptr; // non-null: entered through a trace link
+    Tlb::Entry *entry = nullptr;
+    // A block that just completed through the slow path and is hot
+    // enough to link: the edge forms at the next slow dispatch, once
+    // the successor has validated.
+    Block *prev = nullptr;
+    VirtAddr prev_pc = 0;
+    int prev_slot = Block::kLinkTaken;
+
     while (run_state_ == RunState::Running &&
            stats_.instructions < limit) {
-        const VirtAddr pc = regs_[PC];
-        Tlb::Entry *entry;
-        const Byte *base = blockWindow(pc, &entry);
-        if (!base)
-            break;
-        Block *blk = bcache_.lookup(pc);
-        if (blk &&
-            (base != blk->hostPage ||
-             std::memcmp(base + (pc & kPageOffsetMask),
-                         blk->bytes.data(), blk->byteLen) != 0)) {
-            // Page identity or bytes changed (remap, SMC, context
-            // rename resolving to a different frame): rebuild.
-            stats_.blockInvalidations++;
-            blk->clear();
-            blk = nullptr;
-        }
-        if (!blk)
-            blk = buildBlock(pc, base);
-        if (!blk || blk->count == 0) {
-            if (!blk || blk->stepInstrs == 0)
-                break; // untranslatable here
-            // Negative entry: the run is too short for the block
-            // executor, so retire the whole validated region through
-            // the interpreter here, keeping the window resolve and
-            // memcmp amortized over the region instead of paying
-            // them again after every single stepped instruction.
-            const int n = blk->stepInstrs;
-            for (int i = 0; i < n; ++i) {
-                stepInstruction();
-                executed = true;
-                if (run_state_ != RunState::Running ||
-                    stats_.instructions >= limit ||
-                    pendingDeliverable())
-                    return executed;
+        if (blk == nullptr) {
+            const VirtAddr pc = regs_[PC];
+            const Byte *base = blockWindow(pc, &entry);
+            if (!base)
+                break;
+            blk = bcache_.lookup(pc);
+            if (blk != nullptr) {
+                const std::uint32_t gen = *blk->genCell;
+                if (base != blk->hostPage) {
+                    // Page identity changed (remap, context rename
+                    // resolving to a different frame): rebuild.
+                    stats_.blockInvalidations++;
+                    invalidateBlock(*blk);
+                    blk = nullptr;
+                } else if (gen != blk->validGen) {
+                    // The page was written since the last validation.
+                    // If the block's own bytes survived, re-watermark
+                    // so link crossings accept the new generation;
+                    // otherwise the block is stale (SMC): drop it and
+                    // sever every inbound link.
+                    if (std::memcmp(base + (pc & kPageOffsetMask),
+                                    blk->bytes.data(),
+                                    blk->byteLen) != 0) {
+                        stats_.blockInvalidations++;
+                        invalidateBlock(*blk);
+                        blk = nullptr;
+                    } else {
+                        blk->validGen = gen;
+                    }
+                }
             }
-            continue;
+            if (blk == nullptr)
+                blk = buildBlock(pc, base);
+            if (blk == nullptr || blk->count == 0) {
+                prev = nullptr;
+                if (blk == nullptr || blk->stepInstrs == 0)
+                    break; // untranslatable here
+                // Negative entry: the run is too short for the block
+                // executor, so retire the whole validated region
+                // through the interpreter here, keeping the window
+                // resolve and memcmp amortized over the region
+                // instead of paying them again after every single
+                // stepped instruction.  Never a link source or
+                // target: trap-dense code keeps its tuned path.
+                const int n = blk->stepInstrs;
+                blk = nullptr;
+                for (int i = 0; i < n; ++i) {
+                    stepInstruction();
+                    executed = true;
+                    if (run_state_ != RunState::Running ||
+                        stats_.instructions >= limit ||
+                        pendingDeliverable())
+                        return executed;
+                }
+                continue;
+            }
+            blk->hits++;
+            if (prev != nullptr) {
+                // The successor just validated through the slow path;
+                // re-check that the source still owns its slot (the
+                // build above may have recycled it on a hash
+                // collision) and is hot enough to promote.
+                if (trace_links_enabled_ && prev->pc == prev_pc &&
+                    prev->hits >= trace_link_threshold_)
+                    formTraceLink(*prev, prev_slot, *blk, entry);
+                prev = nullptr;
+            }
         }
         stats_.blockExecutions++;
-        executeBlock(*blk, entry, limit);
+        Block *const src = blk;
+        const BlockExit exit = executeBlock(*blk, entry, limit);
+        blk = nullptr;
         executed = true;
         if (run_state_ != RunState::Running || pendingDeliverable())
             break;
+        if (exit == BlockExit::Bailed)
+            continue;
+        const int slot = exit == BlockExit::Taken ? Block::kLinkTaken
+                                                  : Block::kLinkFall;
+        src->lastDir = static_cast<Byte>(slot);
+        if (trace_links_enabled_ &&
+            followLink(*src, slot, &blk, &entry))
+            continue; // chained: skip the slow dispatch entirely
+        prev = src;
+        prev_pc = src->pc;
+        prev_slot = slot;
     }
     return executed;
 }
@@ -373,8 +546,13 @@ Cpu::runBlocks(std::uint64_t limit)
  * out.  Cost accounting stays strictly per retired instruction
  * (DESIGN.md §7c): every counter and cycle charge is identical to the
  * per-instruction path, bit for bit.
+ *
+ * The return value reports how the run ended so runBlocks can form
+ * or follow a trace link: Taken/Fall only when every instruction
+ * retired and the final control transfer's direction is known;
+ * Bailed on any abnormal exit (fault, mid-block hazard, budget cut).
  */
-void
+Cpu::BlockExit
 Cpu::executeBlock(Block &blk, Tlb::Entry *win_entry, std::uint64_t limit)
 {
     const bool mapped = win_entry != nullptr;
@@ -386,10 +564,30 @@ Cpu::executeBlock(Block &blk, Tlb::Entry *win_entry, std::uint64_t limit)
         (iccs_ & iccs::kRun) &&
         icr_ + static_cast<std::int64_t>(blk.totalCharge) >= 0;
     std::uint32_t gen = *blk.genCell;
+    bool br_taken = false; // set by the (always final) branch kinds
 
     int n = blk.count;
     if (static_cast<std::uint64_t>(n) > limit - stats_.instructions)
         n = static_cast<int>(limit - stats_.instructions);
+
+    // Timer-off accounting batch.  With ICCS<RUN> clear, advanceTimer
+    // only ever sums into TODR and the cycle counters - commutative,
+    // so retiring the whole block and charging once at every exit is
+    // bit-identical to per-instruction accounting (lockstep-verified).
+    // With the timer running, ICR must advance per instruction so a
+    // mid-block reload lands exactly where the reference puts it.
+    const bool defer = !(iccs_ & iccs::kRun);
+    int done = 0;      // instructions retired but not yet counted
+    Cycles acc = 0;    // their cycle charges, not yet applied
+    const auto flush = [&] {
+        stats_.instructions += static_cast<std::uint64_t>(done);
+        stats_.blockInstructions += static_cast<std::uint64_t>(done);
+        done = 0;
+        if (acc != 0) {
+            chargeCycles(CycleCategory::GuestExec, acc);
+            acc = 0;
+        }
+    };
 
     for (int i = 0; i < n; ++i) {
         const BlockInstr &bi = blk.instrs[i];
@@ -611,6 +809,7 @@ Cpu::executeBlock(Block &blk, Tlb::Entry *win_entry, std::uint64_t limit)
                 if (mapped)
                     stats_.tlbHits += bi.fetchesPre;
                 regs_[PC] = bi.imm;
+                br_taken = true;
                 break;
               }
               case FusedKind::CondBr: {
@@ -636,6 +835,7 @@ Cpu::executeBlock(Block &blk, Tlb::Entry *win_entry, std::uint64_t limit)
                 }
                 regs_[PC] = taken ? static_cast<VirtAddr>(bi.imm)
                                   : instr_pc + bi.len;
+                br_taken = taken;
                 break;
               }
               case FusedKind::Sob: {
@@ -648,6 +848,7 @@ Cpu::executeBlock(Block &blk, Tlb::Entry *win_entry, std::uint64_t limit)
                 const bool taken = bi.b != 0 ? si > 0 : si >= 0;
                 regs_[PC] = taken ? static_cast<VirtAddr>(bi.imm)
                                   : instr_pc + bi.len;
+                br_taken = taken;
                 psl_.setNzvc(si < 0, si == 0,
                              subOverflows(orig, 1, index), psl_.c());
                 if (psl_.v() && psl_.flag(Psl::kIv)) {
@@ -664,16 +865,27 @@ Cpu::executeBlock(Block &blk, Tlb::Entry *win_entry, std::uint64_t limit)
                 const bool taken = bit == (bi.b != 0);
                 regs_[PC] = taken ? static_cast<VirtAddr>(bi.imm)
                                   : instr_pc + bi.len;
+                br_taken = taken;
                 break;
               }
             }
-            stats_.instructions++;
-            stats_.blockInstructions++;
-            if (run_state_ != RunState::Halted)
-                chargeCycles(CycleCategory::GuestExec, charge);
+            if (defer) {
+                ++done;
+                if (run_state_ != RunState::Halted)
+                    acc += charge;
+            } else {
+                stats_.instructions++;
+                stats_.blockInstructions++;
+                if (run_state_ != RunState::Halted)
+                    chargeCycles(CycleCategory::GuestExec, charge);
+            }
         } catch (const GuestFault &fault) {
+            // The faulting instruction never entered the batch; the
+            // retired prefix must be on the books before the fault
+            // dispatch charges its own cycles.
+            flush();
             dispatchFault(fault, instr_pc, regs_[PC]);
-            return;
+            return BlockExit::Bailed;
         }
 
         // Mid-block hazards.  Non-memory instructions can only make
@@ -687,24 +899,53 @@ Cpu::executeBlock(Block &blk, Tlb::Entry *win_entry, std::uint64_t limit)
                     if (std::memcmp(blk.hostPage +
                                         (blk.pc & kPageOffsetMask),
                                     blk.bytes.data(),
-                                    blk.byteLen) != 0)
-                        return;
+                                    blk.byteLen) != 0) {
+                        flush();
+                        return BlockExit::Bailed;
+                    }
                     gen = *blk.genCell;
+                    blk.validGen = gen; // bytes re-validated just now
                 }
                 if (run_state_ != RunState::Running ||
-                    pendingDeliverable())
-                    return;
+                    pendingDeliverable()) {
+                    flush();
+                    return BlockExit::Bailed;
+                }
             } else if (timer_live && pendingDeliverable()) {
-                return;
+                flush();
+                return BlockExit::Bailed;
             }
             // A data-access walk may have evicted the entry the
             // block's page is fetched through; the reference would
             // take a TLB miss on the next instruction fetch.
-            if (win_entry && win_entry->tag != win_tag)
-                return;
+            if (win_entry && win_entry->tag != win_tag) {
+                flush();
+                return BlockExit::Bailed;
+            }
         } else if (timer_live && pendingDeliverable()) {
-            return;
+            flush();
+            return BlockExit::Bailed;
         }
+    }
+    flush();
+
+    if (n != blk.count)
+        return BlockExit::Bailed; // truncated by the instruction budget
+
+    // Classify the exit for trace linking.  Only the fused branch
+    // kinds report a direction; everything else (fall-through into
+    // the next PC, or a Generic block-final transfer like JSB/RSB/
+    // JMP/CASE whose target is data-dependent) uses the Fall slot as
+    // a monomorphic inline cache keyed by the architectural PC.
+    switch (blk.instrs[n - 1].kind) {
+      case FusedKind::Bra:
+        return BlockExit::Taken;
+      case FusedKind::CondBr:
+      case FusedKind::Sob:
+      case FusedKind::BlbR:
+        return br_taken ? BlockExit::Taken : BlockExit::Fall;
+      default:
+        return BlockExit::Fall;
     }
 }
 

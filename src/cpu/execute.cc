@@ -51,14 +51,6 @@ sizeMask(OpSize size)
 } // namespace
 
 void
-Cpu::setCcLogical(Longword result, OpSize size)
-{
-    const Longword masked = result & sizeMask(size);
-    psl_.setNzvc((masked & signBit(size)) != 0, masked == 0, false,
-                 psl_.c());
-}
-
-void
 Cpu::execute(Decoded &d)
 {
     const auto op = static_cast<Opcode>(d.opcode);

@@ -198,6 +198,95 @@ buildSmcPatchLoop(Longword iterations, bool cross_page)
 }
 
 MicroGuestImage
+buildBranchPatchLoop(Longword iterations, bool cross_page)
+{
+    CodeBuilder b(kLoadBase);
+    b.movl(Op::imm(iterations), Op::reg(R6));
+    b.clrl(Op::reg(R3)); // patch value: toggles 0 <-> 5
+    b.movl(Op::imm(kBranchPatchPeriod), Op::reg(R4));
+    b.clrl(Op::reg(R0));
+    b.clrl(Op::reg(R1));
+
+    Label loop = b.newLabel();
+    Label skip = b.newLabel();
+    Label mid = b.newLabel();
+    Label door = b.newLabel();
+    Label t1 = b.newLabel();
+    Label t2 = b.newLabel();
+    Label join = b.newLabel();
+    b.bind(loop);
+    // Rewrite the displacement byte only every kBranchPatchPeriod-th
+    // pass: the trace containing the patched BRB needs quiet passes
+    // to be rebuilt, linked and crossed before the next patch severs
+    // it again - a store every pass would keep the predecode entry
+    // for `door` perpetually stale and the branch would simply fall
+    // back to per-instruction dispatch, linking nothing.  r3 toggles
+    // between 0 and 5: the two legal displacement bytes of the BRB
+    // at `door` (t1 is bound immediately after it, t2 exactly five
+    // bytes later).
+    b.addl2(Op::lit(1), Op::reg(R0));
+    b.sobgtr(Op::reg(R4), skip);
+    b.xorl2(Op::lit(5), Op::reg(R3));
+    b.movb(Op::reg(R3), Op::absRef(door, 1));
+    b.movl(Op::imm(kBranchPatchPeriod), Op::reg(R4));
+    b.bind(skip);
+    if (cross_page) {
+        // Put the patched trace on the following page so the store
+        // dirties a generation cell the storing block never runs
+        // from - the cross-page severing case.
+        b.brw(mid);
+        b.align(kPageSize);
+    } else {
+        b.brb(mid);
+    }
+    b.bind(mid);
+    b.addl2(Op::lit(3), Op::reg(R0));
+    b.bind(door);
+    b.brb(t1); // displacement byte patched between 0 (t1) and 5 (t2)
+    b.bind(t1);
+    b.addl2(Op::lit(2), Op::reg(R1));
+    b.brb(join);
+    b.bind(t2);
+    b.addl2(Op::lit(5), Op::reg(R1));
+    b.bind(join);
+    if (cross_page) {
+        // SOBGTR only reaches a byte away: trampoline back through a
+        // word-displacement branch.
+        Label back = b.newLabel();
+        b.sobgtr(Op::reg(R6), back);
+        b.halt();
+        b.bind(back);
+        b.brw(loop);
+    } else {
+        b.sobgtr(Op::reg(R6), loop);
+        b.halt();
+    }
+
+    MicroGuestImage img;
+    img.loadBase = kLoadBase;
+    img.entry = kLoadBase;
+    img.image = b.finish();
+    return img;
+}
+
+Longword
+branchPatchExpectedR1(Longword iterations)
+{
+    Longword r1 = 0;
+    Longword r3 = 0, r4 = kBranchPatchPeriod;
+    Byte disp = 0; // the BRB at `door` assembles with displacement 0
+    for (Longword pass = 0; pass < iterations; ++pass) {
+        if (--r4 == 0) {
+            r3 ^= 5;
+            disp = static_cast<Byte>(r3);
+            r4 = kBranchPatchPeriod;
+        }
+        r1 += disp == 0 ? 2u : 5u;
+    }
+    return r1;
+}
+
+MicroGuestImage
 buildIoDenseLoop(Longword iterations, bool use_disk_kcall)
 {
     // Transfer buffer: one 512-byte run per descriptor, above the code.

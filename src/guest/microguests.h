@@ -56,6 +56,29 @@ MicroGuestImage buildContextSwitchLoop(Longword iterations);
  */
 MicroGuestImage buildSmcPatchLoop(Longword iterations, bool cross_page);
 
+/** Passes between displacement rewrites in the branch-patch guest. */
+constexpr Longword kBranchPatchPeriod = 16;
+
+/**
+ * Self-modifying *branch* loop for the trace tier: every
+ * @ref kBranchPatchPeriod passes the guest rewrites the displacement
+ * byte of a BRB in a different superblock (the hot path
+ * loop -> mid -> door -> t1/t2 -> loop links up during the quiet
+ * passes), flipping the branch between its two arms.  The store
+ * dirties the page generation of a linked trace member, so on the
+ * fast path each flip must sever the inbound links and the trace
+ * re-forms before the next flip.  With @p cross_page the patched
+ * branch sits on the page after the store.  The reference
+ * interpreter re-fetches every byte, so lockstep runs prove link
+ * crossings never execute stale code.  Terminal state:
+ * R0 = 4*iterations, R1 = branchPatchExpectedR1(iterations), R6 = 0.
+ */
+MicroGuestImage buildBranchPatchLoop(Longword iterations,
+                                     bool cross_page);
+
+/** Architectural R1 after @p iterations of the branch-patch loop. */
+Longword branchPatchExpectedR1(Longword iterations);
+
 /** Descriptors per kDiskBatch ring posted by the I/O-dense guest. */
 constexpr Longword kIoDenseDescriptors = 16;
 

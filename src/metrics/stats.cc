@@ -101,6 +101,11 @@ Stats::print(std::ostream &os) const
            << " instructions, " << blockInvalidations
            << " invalidated\n";
     }
+    if (traceLinksFormed != 0 || traceLinksTaken != 0) {
+        os << "trace links: " << traceLinksFormed << " formed, "
+           << traceLinksTaken << " taken, " << traceLinksSevered
+           << " severed\n";
+    }
     std::uint64_t total_faults = 0;
     for (auto c : faultsInjected)
         total_faults += c;

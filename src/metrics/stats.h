@@ -97,6 +97,12 @@ struct Stats
     std::uint64_t blockInstructions = 0;  //!< instructions retired in blocks
     std::uint64_t blockInvalidations = 0; //!< stale blocks dropped
 
+    // Trace tier observability (docs/ARCHITECTURE.md §5b).  Host-side
+    // like the block counters above: excluded from operator==.
+    std::uint64_t traceLinksFormed = 0;  //!< block->block edges patched in
+    std::uint64_t traceLinksTaken = 0;   //!< crossings that bypassed dispatch
+    std::uint64_t traceLinksSevered = 0; //!< edges cut by invalidation
+
     void
     addCycles(CycleCategory cat, Cycles n)
     {

@@ -10,6 +10,7 @@
  * condition codes, memory) must be bit-identical.
  */
 
+#include <cstdlib>
 #include <random>
 
 #include <gtest/gtest.h>
@@ -520,9 +521,176 @@ lockstepExternalPatch(bool reference)
     m.run(100000);
     EXPECT_EQ(m.cpu().haltReason(), HaltReason::HaltInstruction);
     EXPECT_EQ(m.cpu().reg(0), 300u);
-    if (!reference)
+    if (!reference) {
         EXPECT_GE(m.stats().blockInvalidations, 1u)
             << "the external write must drop the stale block";
+    }
+    return digestOf(m);
+}
+
+/**
+ * Self-modifying *branch*: the guest rewrites the displacement byte
+ * of a BRB inside a trace that has linked up on the fast path
+ * (docs/ARCHITECTURE.md §5b), flipping it between the two arms every
+ * pass.  Every link crossing into the patched block must notice the
+ * page-generation bump, fall back to the slow path, and sever the
+ * stale edge before the rewritten branch runs.
+ */
+MachineDigest
+lockstepBranchPatchBare(bool cross_page, bool reference,
+                        bool links = true)
+{
+    MachineConfig mc;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.mmu().setReferencePath(reference);
+    m.cpu().setTraceLinksEnabled(links);
+    MicroGuestImage img = buildBranchPatchLoop(600, cross_page);
+    m.loadImage(img.loadBase, img.image);
+    m.cpu().setPc(img.entry);
+    m.cpu().psl().setIpl(31);
+    m.run(100000);
+    EXPECT_EQ(m.cpu().haltReason(), HaltReason::HaltInstruction);
+    // Both arms bump r0 by 4 total; r1 takes +2 or +5 depending on
+    // which arm each 16-pass segment lands in.
+    EXPECT_EQ(m.cpu().reg(0), 2400u);
+    EXPECT_EQ(m.cpu().reg(1), branchPatchExpectedR1(600));
+    if (!reference && links) {
+        EXPECT_GT(m.stats().traceLinksFormed, 0u);
+        EXPECT_GT(m.stats().traceLinksTaken, 0u);
+        EXPECT_GE(m.stats().traceLinksSevered, 1u)
+            << "patching a linked trace must sever the inbound edges";
+    }
+    return digestOf(m);
+}
+
+/** The branch-patching guest inside a virtual machine. */
+MachineDigest
+lockstepBranchPatchVirtual(bool cross_page, bool reference)
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.mmu().setReferencePath(reference);
+    Hypervisor hv(m);
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+    MicroGuestImage img = buildBranchPatchLoop(600, cross_page);
+    hv.loadVmImage(vm, img.loadBase, img.image);
+    hv.startVm(vm, img.entry);
+    hv.run(10000000);
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(0), 2400u);
+    EXPECT_EQ(m.cpu().reg(1), branchPatchExpectedR1(600));
+    if (!reference) {
+        EXPECT_GE(m.stats().traceLinksSevered, 1u);
+    }
+    return digestOf(m);
+}
+
+/**
+ * A trace link severed by an *external* writeBlock poke between run()
+ * calls: the first run gets the two-block loop hot and linked, then
+ * the test patches the literal of the ADDL2 in the link-target block
+ * through PhysicalMemory::writeBlock and resumes.  The next crossing
+ * must reject the dirtied generation, and the slow path must drop the
+ * stale block and sever every inbound edge.
+ */
+MachineDigest
+lockstepExternalLinkSever(bool reference)
+{
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(400), Op::reg(R6));
+    b.clrl(Op::reg(R0));
+    Label loop = b.newLabel();
+    Label next = b.newLabel();
+    b.bind(loop);
+    b.addl2(Op::lit(1), Op::reg(R0));
+    b.brb(next); // split the loop body into two linkable blocks
+    b.bind(next);
+    b.addl2(Op::lit(2), Op::reg(R0));
+    b.sobgtr(Op::reg(R6), loop);
+    b.halt();
+
+    MachineConfig mc;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.mmu().setReferencePath(reference);
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    const VirtAddr lit_addr = b.labelAddress(next) + 1;
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(31);
+
+    // 2 setup instructions + 50 iterations of 4 instructions each:
+    // far past the link threshold, so the loop edges are formed and
+    // being followed when the poke lands.
+    m.run(202);
+    EXPECT_EQ(m.cpu().reg(0), 150u);
+    if (!reference) {
+        EXPECT_GT(m.stats().traceLinksTaken, 0u)
+            << "the loop must be running on linked traces by now";
+    }
+
+    const Byte patched = 5; // short literal: now adds 1+5 per pass
+    m.memory().writeBlock(lit_addr, std::span<const Byte>(&patched, 1));
+    m.run(100000);
+    EXPECT_EQ(m.cpu().haltReason(), HaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(0), 150u + 350u * 6u);
+    if (!reference) {
+        EXPECT_GE(m.stats().blockInvalidations, 1u);
+        EXPECT_GE(m.stats().traceLinksSevered, 1u)
+            << "the external write must sever the inbound link";
+    }
+    return digestOf(m);
+}
+
+/** The external link-severing poke against a guest inside a VM. */
+MachineDigest
+lockstepExternalLinkSeverVirtual(bool reference)
+{
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(20000), Op::reg(R6));
+    b.clrl(Op::reg(R0));
+    Label loop = b.newLabel();
+    Label next = b.newLabel();
+    b.bind(loop);
+    b.addl2(Op::lit(1), Op::reg(R0));
+    b.brb(next);
+    b.bind(next);
+    b.addl2(Op::lit(2), Op::reg(R0));
+    b.sobgtr(Op::reg(R6), loop);
+    b.halt();
+
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.mmu().setReferencePath(reference);
+    Hypervisor hv(m);
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+    auto image = b.finish();
+    hv.loadVmImage(vm, b.origin(), image);
+    hv.startVm(vm, b.origin());
+
+    // Pause mid-loop (both paths execute the identical instruction
+    // stream, so the same budget pauses at the same guest state),
+    // poke the link-target block through the VM physical mapping,
+    // and resume to completion.
+    hv.run(40000);
+    EXPECT_EQ(vm.haltReason, VmHaltReason::None)
+        << "the poke must land while the loop is still running";
+    EXPECT_GT(m.cpu().reg(0), 0u)
+        << "the loop must have started before the poke";
+    const Byte patched = 5;
+    m.memory().writeBlock(vm.vmPhysToReal(b.labelAddress(next) + 1),
+                          std::span<const Byte>(&patched, 1));
+    hv.run(10000000);
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    if (!reference) {
+        EXPECT_GT(m.stats().traceLinksTaken, 0u);
+        EXPECT_GE(m.stats().traceLinksSevered, 1u);
+    }
     return digestOf(m);
 }
 
@@ -673,6 +841,74 @@ TEST(FastPathLockstep, ExternalWriteInvalidatesBlocks)
 {
     expectDigestsEqual(lockstepExternalPatch(false),
                        lockstepExternalPatch(true));
+}
+
+TEST(FastPathLockstep, BranchPatchSamePageBare)
+{
+    expectDigestsEqual(lockstepBranchPatchBare(false, false),
+                       lockstepBranchPatchBare(false, true));
+}
+
+TEST(FastPathLockstep, BranchPatchCrossPageBare)
+{
+    expectDigestsEqual(lockstepBranchPatchBare(true, false),
+                       lockstepBranchPatchBare(true, true));
+}
+
+TEST(FastPathLockstep, BranchPatchSamePageVirtualized)
+{
+    expectDigestsEqual(lockstepBranchPatchVirtual(false, false),
+                       lockstepBranchPatchVirtual(false, true));
+}
+
+TEST(FastPathLockstep, BranchPatchCrossPageVirtualized)
+{
+    expectDigestsEqual(lockstepBranchPatchVirtual(true, false),
+                       lockstepBranchPatchVirtual(true, true));
+}
+
+TEST(FastPathLockstep, ExternalWriteSeversTraceLink)
+{
+    expectDigestsEqual(lockstepExternalLinkSever(false),
+                       lockstepExternalLinkSever(true));
+}
+
+TEST(FastPathLockstep, ExternalWriteSeversTraceLinkVirtualized)
+{
+    expectDigestsEqual(lockstepExternalLinkSeverVirtual(false),
+                       lockstepExternalLinkSeverVirtual(true));
+}
+
+TEST(FastPathLockstep, TraceLinksDisabledMatchesEnabled)
+{
+    // Both runs use the fast path; only the trace tier differs.  The
+    // architectural digest (and every counter Stats::operator==
+    // compares) must be bit-identical either way.
+    expectDigestsEqual(
+        lockstepBranchPatchBare(false, false, /*links=*/true),
+        lockstepBranchPatchBare(false, false, /*links=*/false));
+}
+
+TEST(FastPathLockstep, EnvironmentVariableDisablesTraceLinks)
+{
+    {
+        RealMachine m;
+        EXPECT_TRUE(m.cpu().traceLinksEnabled())
+            << "trace links are the default";
+    }
+    setenv("VVAX_NO_TRACE_LINKS", "1", 1);
+    {
+        RealMachine m;
+        EXPECT_FALSE(m.cpu().traceLinksEnabled());
+    }
+    unsetenv("VVAX_NO_TRACE_LINKS");
+    setenv("VVAX_TRACE_THRESHOLD", "3", 1);
+    {
+        RealMachine m;
+        EXPECT_TRUE(m.cpu().traceLinksEnabled());
+        EXPECT_EQ(m.cpu().traceLinkThreshold(), 3u);
+    }
+    unsetenv("VVAX_TRACE_THRESHOLD");
 }
 
 TEST(FastPathLockstep, MiniUltrixBootVirtualized)

@@ -11,11 +11,16 @@
  *   vvax_run --vm --monitor "E 1000;SHOW" prog.s
  *                                   run console commands after the run
  *
+ * With VVAX_DUMP_HOT_BLOCKS=N in the environment, the N hottest
+ * superblocks and their trace-link graph are dumped after the run
+ * (any non-numeric value defaults to 20).
+ *
  * The program's console output (MTPR to TXDB, or KCALL console writes
  * in a VM) is printed, followed by the final register state.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -178,6 +183,15 @@ main(int argc, char **argv)
         std::ostringstream os;
         machine.stats().print(os);
         std::printf("--- cycle accounting ---\n%s", os.str().c_str());
+    }
+    if (const char *dump = std::getenv("VVAX_DUMP_HOT_BLOCKS")) {
+        int top_n = std::atoi(dump);
+        if (top_n <= 0)
+            top_n = 20;
+        std::ostringstream os;
+        machine.cpu().dumpHotBlocks(os, top_n);
+        std::printf("--- hot superblocks (top %d) ---\n%s", top_n,
+                    os.str().c_str());
     }
     return 0;
 }
