@@ -17,6 +17,7 @@
 #include "bench/common.h"
 #include "guest/microguests.h"
 #include "vasm/code_builder.h"
+#include "vmm/fleet.h"
 
 using namespace vvax;
 using namespace vvax::bench;
@@ -412,6 +413,66 @@ BM_MiniVmsBootToCompletion(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MiniVmsBootToCompletion)->Unit(benchmark::kMillisecond);
+
+/**
+ * Fleet scaling: N spin-loop VMs, each on its own (machine,
+ * hypervisor) member, dispatched onto a worker pool (vmm/fleet.h).
+ * Args are {vms, workers}; items are total guest instructions, so
+ * items_per_second across worker counts at a fixed VM count is the
+ * parallel-speedup curve (on a multi-core host; a 1-core container
+ * can only show pool overhead, which check_bench_regression.sh
+ * accounts for).
+ */
+void
+BM_HypervisorFleet(benchmark::State &state)
+{
+    const int n_vms = static_cast<int>(state.range(0));
+    const int workers = static_cast<int>(state.range(1));
+    // One fleet for the whole run: members host endless compute loops
+    // and every benchmark iteration grants each member a fresh
+    // instruction budget, so the loop measures steady-state dispatch,
+    // not fleet construction.
+    FleetConfig fc;
+    fc.workers = workers;
+    fc.machine.ramBytes = 16 * 1024 * 1024;
+    fc.machine.level = MicrocodeLevel::Modified;
+    HypervisorFleet fleet(fc);
+    for (int i = 0; i < n_vms; ++i) {
+        const int idx = fleet.addVm(VmConfig{});
+        CodeBuilder b(0x200);
+        b.clrl(Op::reg(R2));
+        Label loop = b.bindHere();
+        b.incl(Op::reg(R2));
+        b.addl2(Op::reg(R2), Op::reg(R3));
+        b.brb(loop);
+        auto image = b.finish();
+        fleet.loadVmImage(idx, b.origin(), image);
+        fleet.startVm(idx, b.origin());
+    }
+    const std::uint64_t budget = 200000; // instructions per VM per pass
+    for (auto _ : state) {
+        const std::uint64_t before =
+            fleet.totalMachineStats().instructions;
+        fleet.run(budget);
+        state.SetItemsProcessed(
+            state.items_processed() +
+            static_cast<std::int64_t>(
+                fleet.totalMachineStats().instructions - before));
+    }
+    state.counters["vms"] = benchmark::Counter(n_vms);
+    state.counters["workers"] = benchmark::Counter(workers);
+}
+BENCHMARK(BM_HypervisorFleet)
+    ->Unit(benchmark::kMillisecond)
+    // Wall clock, not main-thread CPU: the work happens on the pool's
+    // threads, which per-thread CPU timing cannot see.
+    ->UseRealTime()
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 4});
 
 /**
  * JSONReporter whose context block reports the *harness* build type.

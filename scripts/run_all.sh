@@ -23,6 +23,20 @@ env $SAN_ENV ctest --test-dir build-asan >test_asan_output.txt 2>&1 ||
     { cat test_asan_output.txt; exit 1; }
 tail -n 3 test_asan_output.txt
 
+# The threaded subsystems (hypervisor fleet worker pool, async disk
+# engine, cross-thread console mailbox) again under ThreadSanitizer:
+# the determinism contract rests on the documented ownership rules
+# (docs/ARCHITECTURE.md §7), so data races must be proven absent, not
+# assumed.  Only the threaded suites run here - TSan on the full
+# single-threaded suite costs minutes and can find nothing the ASan
+# tree didn't.
+cmake -B build-tsan -DVVAX_SANITIZE=thread
+cmake --build build-tsan -j "$(nproc)" --target test_fleet
+env TSAN_OPTIONS=halt_on_error=1 \
+    build-tsan/tests/test_fleet >test_tsan_output.txt 2>&1 ||
+    { cat test_tsan_output.txt; exit 1; }
+tail -n 2 test_tsan_output.txt
+
 # Deterministic fault sweep (ARCHITECTURE.md §6): drive the lockstep
 # and supervised-survival tests under an aggressive VVAX_FAULT_PLAN
 # for eight seeds, on both the regular and sanitizer trees.  Any
@@ -36,6 +50,12 @@ tail -n 3 test_asan_output.txt
           VVAX_FAULT_PLAN="seed=$s;disk-transient:every=3;torn:every=2;ecc:every=16;spurious:every=9" \
           "$tree/tests/test_fault_injection" \
           --gtest_filter='FaultSweep.*'
+      # The same plan under the worker pool: N-worker lockstep and
+      # healthy-member containment must survive every seed.
+      env $SAN_ENV \
+          VVAX_FAULT_PLAN="seed=$s;disk-transient:every=3;torn:every=2;ecc:every=16;spurious:every=9" \
+          "$tree/tests/test_fleet" \
+          --gtest_filter='FleetSweep.*'
     done
   done
 } >fault_sweep_output.txt 2>&1 ||

@@ -631,7 +631,23 @@ buildMiniVms(const MiniVmsConfig &cfg)
             b.mtpr(Op::lit(kcallabi::kDiskBatch), Ipr::KCALL);
             b.tstl(Op::reg(R0));
             b.bneq(batch_failed);
+            {
+                // Async VMM (feature bit 2): kOk in R0 acknowledged
+                // the submission only.  The flags cell was written
+                // with its status bits clear (kBatchStatusNone), so
+                // poll flags<31:16> until the VMM posts the real
+                // status at the completion tick (kcall.h).  A sync
+                // VMM already posted it, making the poll a single
+                // pass.
+                Label await = b.bindHere();
+                b.ashl(Op::imm(static_cast<Longword>(-16)),
+                       Op::absRef(d_ring, kS + 12), Op::reg(R0));
+                b.beql(await); // kBatchStatusNone: still in flight
+            }
+            b.cmpl(Op::reg(R0), Op::lit(kcallabi::kBatchStatusOk));
+            b.bneq(batch_failed);
             b.popr(Op::imm(0xFC));
+            b.clrl(Op::reg(R0));
             b.brw(svc_epilogue);
             // A torn or faulted ring degrades to per-block transfers
             // (kcall.h): reload the request from the ring descriptor -

@@ -51,6 +51,44 @@ Stats::clear()
     *this = Stats{};
 }
 
+Stats &
+Stats::operator+=(const Stats &other)
+{
+    instructions += other.instructions;
+    for (int i = 0; i < kNumCycleCategories; ++i)
+        cycles[i] += other.cycles[i];
+    for (std::size_t i = 0; i < dispatches.size(); ++i)
+        dispatches[i] += other.dispatches[i];
+    tlbHits += other.tlbHits;
+    tlbMisses += other.tlbMisses;
+    hardwareModifySets += other.hardwareModifySets;
+    modifyFaults += other.modifyFaults;
+    translationFaults += other.translationFaults;
+    accessViolations += other.accessViolations;
+    vmEmulationTraps += other.vmEmulationTraps;
+    interruptsTaken += other.interruptsTaken;
+    waitInstructions += other.waitInstructions;
+    tlbFlushAll += other.tlbFlushAll;
+    tlbFlushProcess += other.tlbFlushProcess;
+    tlbFlushSingle += other.tlbFlushSingle;
+    tlbContextSwitches += other.tlbContextSwitches;
+    for (std::size_t i = 0; i < vmTrapOpcodes.size(); ++i)
+        vmTrapOpcodes[i] += other.vmTrapOpcodes[i];
+    for (int i = 0; i < kNumFaultClasses; ++i)
+        faultsInjected[i] += other.faultsInjected[i];
+    machineChecksDelivered += other.machineChecksDelivered;
+    diskRetries += other.diskRetries;
+    vmRestarts += other.vmRestarts;
+    blockBuilds += other.blockBuilds;
+    blockExecutions += other.blockExecutions;
+    blockInstructions += other.blockInstructions;
+    blockInvalidations += other.blockInvalidations;
+    traceLinksFormed += other.traceLinksFormed;
+    traceLinksTaken += other.traceLinksTaken;
+    traceLinksSevered += other.traceLinksSevered;
+    return *this;
+}
+
 bool
 Stats::operator==(const Stats &other) const
 {

@@ -117,6 +117,14 @@ struct Stats
     /** Reset every counter to zero. */
     void clear();
 
+    /**
+     * Accumulate another machine's counters (HypervisorFleet merges
+     * per-member machines at run barriers).  Sums everything,
+     * host-side counters included: an aggregate describes total work,
+     * not lockstep equality.
+     */
+    Stats &operator+=(const Stats &other);
+
     /** Pretty-print a summary table. */
     void print(std::ostream &os) const;
 

@@ -1,0 +1,69 @@
+#include "vmm/async_disk.h"
+
+#include <cstring>
+
+namespace vvax {
+
+AsyncDiskEngine::~AsyncDiskEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    if (worker_.joinable())
+        worker_.join();
+}
+
+std::uint64_t
+AsyncDiskEngine::submit(std::vector<Copy> copies)
+{
+    std::uint64_t ticket;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ticket = nextTicket_++;
+        queue_.emplace_back(ticket, std::move(copies));
+        if (!worker_.joinable())
+            worker_ = std::thread([this] { workerLoop(); });
+    }
+    workCv_.notify_one();
+    return ticket;
+}
+
+void
+AsyncDiskEngine::wait(std::uint64_t ticket)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [&] { return completed_ >= ticket; });
+}
+
+bool
+AsyncDiskEngine::done(std::uint64_t ticket)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completed_ >= ticket;
+}
+
+void
+AsyncDiskEngine::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        workCv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stop_)
+                return;
+            continue;
+        }
+        auto job = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        for (const Copy &c : job.second)
+            std::memcpy(c.dst, c.src, c.bytes);
+        lock.lock();
+        completed_ = job.first; // FIFO: tickets finish in order
+        doneCv_.notify_all();
+    }
+}
+
+} // namespace vvax

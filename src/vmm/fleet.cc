@@ -1,0 +1,264 @@
+/**
+ * @file
+ * HypervisorFleet implementation: member construction and the
+ * round-dispatch worker pool (threading model in fleet.h and
+ * docs/ARCHITECTURE.md §7).
+ */
+
+#include "vmm/fleet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <utility>
+
+namespace vvax {
+
+HypervisorFleet::HypervisorFleet(FleetConfig config)
+    : config_(std::move(config))
+{
+}
+
+HypervisorFleet::~HypervisorFleet() = default;
+
+int
+HypervisorFleet::addVm(const VmConfig &config)
+{
+    const int index = static_cast<int>(members_.size());
+    auto member = std::make_unique<Member>();
+    member->machine = std::make_unique<RealMachine>(config_.machine);
+    member->hv = std::make_unique<Hypervisor>(*member->machine,
+                                              config_.hypervisor);
+    VmConfig vm_config = config;
+    if (vm_config.faultVmId < 0) {
+        // Every member's only VM has local id 0; the fleet index is
+        // the identity plan `vm=` selectors address.
+        vm_config.faultVmId = index;
+    }
+    member->hv->createVm(vm_config);
+    if (config_.supervise) {
+        member->supervisor = std::make_unique<VmSupervisor>(
+            *member->hv, config_.supervisor);
+    }
+    members_.push_back(std::move(member));
+    return index;
+}
+
+void
+HypervisorFleet::loadVmImage(int i, PhysAddr vm_pa,
+                             std::span<const Byte> image)
+{
+    members_[i]->hv->loadVmImage(vm(i), vm_pa, image);
+}
+
+void
+HypervisorFleet::loadVmDisk(int i, Longword block,
+                            std::span<const Byte> data)
+{
+    members_[i]->hv->loadVmDisk(vm(i), block, data);
+}
+
+void
+HypervisorFleet::startVm(int i, VirtAddr start_pc)
+{
+    Member &m = *members_[i];
+    m.hv->startVm(vm(i), start_pc);
+    if (m.supervisor) {
+        // The baseline snapshot is taken now, when the VM is in a
+        // state worth restoring to.
+        m.supervisor->watch(vm(i));
+    }
+}
+
+void
+HypervisorFleet::setFaultPlan(int i, const FaultPlan *plan)
+{
+    Member &m = *members_[i];
+    if (plan != nullptr) {
+        m.plan = std::make_unique<FaultPlan>(*plan);
+        m.machine->setFaultPlan(m.plan.get());
+    } else {
+        m.plan.reset();
+        m.machine->setFaultPlan(nullptr);
+    }
+}
+
+void
+HypervisorFleet::postConsoleInput(int i, std::string text,
+                                  Longword at_tick)
+{
+    members_[i]->hv->postConsoleInput(vm(i), std::move(text), at_tick);
+}
+
+bool
+HypervisorFleet::memberLive(const Member &m) const
+{
+    Hypervisor &hv = *m.hv;
+    for (int v = 0; v < hv.numVms(); ++v) {
+        const VirtualMachine &vm = hv.vm(v);
+        if (vm.started && !vm.halted())
+            return true;
+    }
+    return false;
+}
+
+void
+HypervisorFleet::runSlice(Member &m)
+{
+    const std::uint64_t slice =
+        std::min(config_.sliceInstructions, m.budgetLeft);
+    if (slice == 0) {
+        m.done = true;
+        return;
+    }
+    const std::uint64_t before = m.machine->stats().instructions;
+    m.hv->run(slice);
+    const std::uint64_t used = m.machine->stats().instructions - before;
+    m.budgetLeft -= std::min(used, m.budgetLeft);
+    if (m.supervisor) {
+        // Supervisor work (snapshot refresh, fault-halt restart)
+        // happens at the slice boundary on the thread that owns the
+        // member this round - the only thread touching its state.
+        m.supervisor->poll();
+    }
+    if (m.budgetLeft == 0 || !memberLive(m))
+        m.done = true;
+}
+
+void
+HypervisorFleet::mergeAtBarrier()
+{
+    Stats merged;
+    for (const auto &m : members_)
+        merged += m->machine->stats();
+    std::lock_guard<std::mutex> lock(mergeMutex_);
+    barrierStats_ = merged;
+}
+
+void
+HypervisorFleet::run(std::uint64_t max_instructions_per_vm)
+{
+    for (auto &m : members_) {
+        m->budgetLeft = max_instructions_per_vm;
+        m->done = !memberLive(*m);
+    }
+
+    const int workers = std::clamp(config_.workers, 1,
+                                   std::max(1, size()));
+
+    auto any_live = [&] {
+        for (const auto &m : members_) {
+            if (!m->done)
+                return true;
+        }
+        return false;
+    };
+
+    if (workers <= 1) {
+        // Degenerate pool: same slice granularity and member order as
+        // one worker draining the queue, with the same barrier merge.
+        while (any_live()) {
+            for (auto &m : members_) {
+                if (!m->done)
+                    runSlice(*m);
+            }
+            mergeAtBarrier();
+        }
+        return;
+    }
+
+    // Round-dispatch pool: each round, workers claim members off a
+    // shared index and run one slice each; the round barrier is where
+    // stats merge and the liveness check happen.  Member state is
+    // published worker -> coordinator by the mutex (slice writes
+    // happen before the pending-count decrement under the lock).
+    std::mutex pool_mutex;
+    std::condition_variable pool_cv;
+    std::atomic<std::size_t> next_member{0};
+    std::uint64_t round = 0;
+    int pending_workers = 0;
+    bool stop = false;
+
+    auto worker_fn = [&] {
+        std::uint64_t my_round = 1;
+        std::unique_lock<std::mutex> lock(pool_mutex);
+        while (true) {
+            pool_cv.wait(lock,
+                         [&] { return stop || round >= my_round; });
+            if (stop)
+                return;
+            lock.unlock();
+            std::size_t i;
+            while ((i = next_member.fetch_add(1)) < members_.size()) {
+                Member &m = *members_[i];
+                if (!m.done)
+                    runSlice(m);
+            }
+            lock.lock();
+            if (--pending_workers == 0)
+                pool_cv.notify_all();
+            my_round++;
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (int w = 0; w < workers; ++w)
+        threads.emplace_back(worker_fn);
+
+    {
+        std::unique_lock<std::mutex> lock(pool_mutex);
+        while (any_live()) {
+            next_member.store(0);
+            pending_workers = workers;
+            round++;
+            pool_cv.notify_all();
+            pool_cv.wait(lock, [&] { return pending_workers == 0; });
+            // Barrier point: every worker is parked, the coordinator
+            // owns all members.
+            mergeAtBarrier();
+        }
+        stop = true;
+        pool_cv.notify_all();
+    }
+    for (auto &t : threads)
+        t.join();
+}
+
+Stats
+HypervisorFleet::totalMachineStats() const
+{
+    Stats total;
+    for (const auto &m : members_)
+        total += m->machine->stats();
+    return total;
+}
+
+VmStats
+HypervisorFleet::totalVmStats() const
+{
+    VmStats total;
+    for (const auto &m : members_)
+        total += m->hv->totalStats();
+    return total;
+}
+
+std::uint64_t
+HypervisorFleet::restarts() const
+{
+    std::uint64_t total = 0;
+    for (const auto &m : members_) {
+        if (m->supervisor)
+            total += m->supervisor->restarts();
+    }
+    return total;
+}
+
+Stats
+HypervisorFleet::barrierStats() const
+{
+    std::lock_guard<std::mutex> lock(mergeMutex_);
+    return barrierStats_;
+}
+
+} // namespace vvax

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * HypervisorFleet: run many VMs on a host worker pool
+ * (docs/ARCHITECTURE.md §7).
+ *
+ * The Hypervisor multiplexes VMs onto one RealMachine with one host
+ * thread; VMs share no mutable state except that scheduler, so the
+ * parallelism unit is the (machine, hypervisor) pair.  The fleet
+ * gives every VM its own pair - a "member" - and dispatches runnable
+ * members onto N worker threads in fixed instruction slices with a
+ * barrier between rounds, merging per-member Stats/VmStats at each
+ * barrier.
+ *
+ * Determinism is by construction: a member's execution is a pure
+ * function of its own machine state, fault plan, and virtual clock,
+ * so an N-worker run retires exactly the same per-VM instruction
+ * stream as a 1-worker run, and per-VM memory/disk/console digests
+ * and Stats are bit-identical across worker counts - including under
+ * fault injection, whose decisions key on per-VM architectural
+ * ordinals (VmConfig::faultVmId keeps `vm=` plan selectors meaningful
+ * when every member's only VM has local id 0).
+ *
+ * Ownership rules (threading model):
+ *  - During run(), a member belongs to exactly one worker per round;
+ *    nothing else may touch its machine, hypervisor, or VM.
+ *  - Between rounds (the barrier) the coordinating thread owns all
+ *    members: stats merging and supervisor polls happen there or on
+ *    the worker that just ran the slice, never concurrently.
+ *  - Cross-thread input goes through Hypervisor's mailbox
+ *    (postConsoleInput / postInterruptFromHost), which any thread may
+ *    call at any time; delivery happens on the owning worker at timer
+ *    ticks.
+ */
+
+#ifndef VVAX_VMM_FLEET_H
+#define VVAX_VMM_FLEET_H
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/machine.h"
+#include "fault/fault_plan.h"
+#include "vmm/hypervisor.h"
+#include "vmm/vm_monitor.h"
+
+namespace vvax {
+
+struct FleetConfig
+{
+    /** Host worker threads (clamped to [1, members]). */
+    int workers = 1;
+    /**
+     * Instructions per member per round.  Rounds are the barrier
+     * points: stats merge and supervisor polls happen between them.
+     * The slice is in instructions, not wall time, so scheduling is
+     * identical for every worker count.
+     */
+    std::uint64_t sliceInstructions = 50000;
+    /** Configuration applied to every member's RealMachine. */
+    MachineConfig machine;
+    /** Configuration applied to every member's Hypervisor. */
+    HypervisorConfig hypervisor;
+    /**
+     * Supervise members with VmSupervisor: snapshot healthy VMs and
+     * restart fault-halted ones at round barriers (vm_monitor.h).
+     */
+    bool supervise = false;
+    VmSupervisorConfig supervisor;
+};
+
+class HypervisorFleet
+{
+  public:
+    explicit HypervisorFleet(FleetConfig config = {});
+    ~HypervisorFleet();
+
+    HypervisorFleet(const HypervisorFleet &) = delete;
+    HypervisorFleet &operator=(const HypervisorFleet &) = delete;
+
+    /**
+     * Add a member hosting one VM.  The VM's fault identity defaults
+     * to the member index so plan `vm=` selectors address fleet
+     * members exactly as they address VMs of a single hypervisor.
+     * Returns the member index.
+     */
+    int addVm(const VmConfig &config);
+
+    int size() const { return static_cast<int>(members_.size()); }
+    RealMachine &machine(int i) { return *members_[i]->machine; }
+    Hypervisor &hypervisor(int i) { return *members_[i]->hv; }
+    VirtualMachine &vm(int i) { return members_[i]->hv->vm(0); }
+
+    // Convenience pass-throughs to the member's hypervisor.
+    void loadVmImage(int i, PhysAddr vm_pa, std::span<const Byte> image);
+    void loadVmDisk(int i, Longword block, std::span<const Byte> data);
+    void startVm(int i, VirtAddr start_pc);
+
+    /**
+     * Arm a member-owned copy of @p plan on member @p i (replacing
+     * any VVAX_FAULT_PLAN-installed one); pass nullptr to run the
+     * member fault-free.
+     */
+    void setFaultPlan(int i, const FaultPlan *plan);
+
+    /** Thread-safe console input to member @p i (mailbox; see above). */
+    void postConsoleInput(int i, std::string text, Longword at_tick = 0);
+
+    /**
+     * Run every started member for up to @p max_instructions_per_vm
+     * instructions on the configured worker pool.  Returns when every
+     * member halted or exhausted its budget.  Call from one thread at
+     * a time.
+     */
+    void run(std::uint64_t max_instructions_per_vm);
+
+    /** Aggregate machine counters over all members (Stats::operator+=). */
+    Stats totalMachineStats() const;
+    /** Aggregate per-VM counters over all members (VmStats::operator+=). */
+    VmStats totalVmStats() const;
+    /** Supervisor restarts performed across the fleet. */
+    std::uint64_t restarts() const;
+    /**
+     * Stats merged at the last round barrier - a consistent mid-run
+     * view for monitoring threads (guarded by the merge mutex).
+     */
+    Stats barrierStats() const;
+
+  private:
+    struct Member
+    {
+        std::unique_ptr<RealMachine> machine;
+        std::unique_ptr<Hypervisor> hv;
+        std::unique_ptr<FaultPlan> plan; //!< member-owned, if armed
+        std::unique_ptr<VmSupervisor> supervisor;
+        std::uint64_t budgetLeft = 0;
+        bool done = false;
+    };
+
+    void runSlice(Member &m);
+    bool memberLive(const Member &m) const;
+    void mergeAtBarrier();
+
+    FleetConfig config_;
+    std::vector<std::unique_ptr<Member>> members_;
+
+    mutable std::mutex mergeMutex_;
+    Stats barrierStats_;
+};
+
+} // namespace vvax
+
+#endif // VVAX_VMM_FLEET_H

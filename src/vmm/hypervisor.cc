@@ -8,8 +8,10 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <utility>
 
 #include "fault/fault_plan.h"
+#include "vmm/async_disk.h"
 #include "vmm/kcall.h"
 
 namespace vvax {
@@ -143,7 +145,13 @@ Hypervisor::Hypervisor(RealMachine &machine, HypervisorConfig config)
     cpu_.enterIdleWait();
 }
 
-Hypervisor::~Hypervisor() = default;
+Hypervisor::~Hypervisor()
+{
+    // Apply pending async completions before the engine joins: the
+    // disk and memory images inspected after teardown must be final.
+    for (auto &vm : vms_)
+        drainAsyncDisk(*vm);
+}
 
 PhysAddr
 Hypervisor::allocPages(Longword pages)
@@ -346,6 +354,61 @@ Hypervisor::injectConsoleInput(VirtualMachine &vm, std::string_view text)
     }
 }
 
+void
+Hypervisor::postConsoleInput(VirtualMachine &vm, std::string text,
+                             Longword at_tick)
+{
+    {
+        std::lock_guard<std::mutex> lock(mailboxMutex_);
+        mailbox_.push_back(MailboxEntry{vm.id(), /*isInterrupt=*/false,
+                                        std::move(text), 0, 0, at_tick});
+    }
+    mailboxArmed_.store(true, std::memory_order_release);
+}
+
+void
+Hypervisor::postInterruptFromHost(VirtualMachine &vm, Byte ipl,
+                                  Word vector, Longword at_tick)
+{
+    {
+        std::lock_guard<std::mutex> lock(mailboxMutex_);
+        mailbox_.push_back(MailboxEntry{vm.id(), /*isInterrupt=*/true,
+                                        std::string(), ipl, vector,
+                                        at_tick});
+    }
+    mailboxArmed_.store(true, std::memory_order_release);
+}
+
+void
+Hypervisor::drainMailbox()
+{
+    std::lock_guard<std::mutex> lock(mailboxMutex_);
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < mailbox_.size(); ++i) {
+        MailboxEntry &e = mailbox_[i];
+        if (e.atTick > tickCount_) {
+            // Not due yet: delivery keys on the virtual tick so a
+            // message posted against tick T lands at the same guest
+            // instruction on every worker count.
+            if (kept != i)
+                mailbox_[kept] = std::move(e);
+            kept++;
+            continue;
+        }
+        VirtualMachine &vm = *vms_[e.vmIndex];
+        if (e.isInterrupt) {
+            vm.postInterrupt(e.ipl, e.vector);
+            if (currentVm_ == vm.id())
+                updatePendingIplHint(vm);
+        } else {
+            injectConsoleInput(vm, e.text);
+        }
+    }
+    mailbox_.resize(kept);
+    if (mailbox_.empty())
+        mailboxArmed_.store(false, std::memory_order_release);
+}
+
 RunState
 Hypervisor::run(std::uint64_t max_instructions)
 {
@@ -369,43 +432,11 @@ Hypervisor::run(std::uint64_t max_instructions)
 VmStats
 Hypervisor::totalStats() const
 {
+    // The merge is generated from VVAX_VM_STATS_FIELDS (vm_state.h),
+    // so a newly added counter is aggregated the day it is declared.
     VmStats total;
-    for (const auto &vm : vms_) {
-        const VmStats &s = vm->stats;
-        total.vmEntries += s.vmEntries;
-        total.emulationTraps += s.emulationTraps;
-        total.chmEmulations += s.chmEmulations;
-        total.reiEmulations += s.reiEmulations;
-        total.mtprEmulations += s.mtprEmulations;
-        total.mtprIplEmulations += s.mtprIplEmulations;
-        total.mfprEmulations += s.mfprEmulations;
-        total.ldpctxEmulations += s.ldpctxEmulations;
-        total.svpctxEmulations += s.svpctxEmulations;
-        total.probeEmulations += s.probeEmulations;
-        total.shadowFills += s.shadowFills;
-        total.shadowFaults += s.shadowFaults;
-        total.modifyFaults += s.modifyFaults;
-        total.reflectedExceptions += s.reflectedExceptions;
-        total.privilegedForwards += s.privilegedForwards;
-        total.virtualInterrupts += s.virtualInterrupts;
-        total.kcalls += s.kcalls;
-        total.kcallIos += s.kcallIos;
-        total.mmioEmulations += s.mmioEmulations;
-        total.waits += s.waits;
-        total.contextSwitches += s.contextSwitches;
-        total.shadowCacheHits += s.shadowCacheHits;
-        total.shadowCacheMisses += s.shadowCacheMisses;
-        total.consoleChars += s.consoleChars;
-        total.mmioExits += s.mmioExits;
-        total.diskKcallBatches += s.diskKcallBatches;
-        total.batchedDiskBlocks += s.batchedDiskBlocks;
-        total.coalescedConsoleChars += s.coalescedConsoleChars;
-        total.diskOps += s.diskOps;
-        total.faultedDiskOps += s.faultedDiskOps;
-        total.diskRetries += s.diskRetries;
-        total.machineChecks += s.machineChecks;
-        total.watchdogHalts += s.watchdogHalts;
-    }
+    for (const auto &vm : vms_)
+        total += vm->stats;
     return total;
 }
 
@@ -421,7 +452,11 @@ Hypervisor::vmRunnable(const VirtualMachine &vm) const
     if (!vm.waiting)
         return true;
     // WAIT wakes on a deliverable virtual interrupt or on timeout
-    // (paper footnote: "WAIT times out after some seconds").
+    // (paper footnote: "WAIT times out after some seconds").  A due
+    // async disk completion is a wake event too: loadAndRun applies
+    // it and the completion interrupt gets delivered on entry.
+    if (asyncDiskDue(vm))
+        return true;
     if (vm.highestPendingIpl() > Psl(vm.vmpsl).ipl())
         return true;
     return tickCount_ >= vm.waitDeadline;
@@ -491,6 +526,11 @@ Hypervisor::loadAndRun(VirtualMachine &vm)
                                             config_.tickCycles));
     }
 
+    // A completion that came due while the VM was off-processor is
+    // applied on entry, before the first guest instruction runs.
+    if (asyncDiskDue(vm))
+        applyAsyncDiskCompletion(vm);
+
     vm.stats.vmEntries++;
     continueVm(vm, vm.savedPc, Psl(vm.savedRealPsl));
 }
@@ -503,6 +543,10 @@ Hypervisor::suspendAll()
         suspendCurrent(cpu_.pc(), cpu_.psl());
         enterIdle();
     }
+    // Inspection/snapshot barrier: every VM's disk and memory must be
+    // final, so pending async batches complete now.
+    for (auto &vm : vms_)
+        drainAsyncDisk(*vm);
 }
 
 void
@@ -527,6 +571,7 @@ Hypervisor::suspendCurrent(VirtAddr pc, Psl real_psl)
 void
 Hypervisor::haltVm(VirtualMachine &vm, VmHaltReason reason)
 {
+    drainAsyncDisk(vm); // post-mortem state must be final
     flushConsoleOutput(vm);
     vm.haltReason = reason;
     if (currentVm_ == vm.id()) {
@@ -563,11 +608,22 @@ Hypervisor::hookTimer(const HostFrame &frame)
     cpu_.writeIprInternal(Ipr::ICCS, iccs::kInterrupt | iccs::kRun |
                                          iccs::kInterruptEnable);
 
+    // Cross-thread mailbox: one relaxed-ish atomic load per tick when
+    // idle, a locked drain only when another thread posted something.
+    if (mailboxArmed_.load(std::memory_order_acquire))
+        drainMailbox();
+
     if (frame.savedPsl.vm() && currentVm_ >= 0) {
         VirtualMachine &vm = *vms_[currentVm_];
         // Virtual timer interrupts are delivered only while the VM is
         // actually running (paper Section 5).
         accrueVirtualClock(vm, config_.tickCycles);
+
+        // Async disk completion lands at its virtual-tick deadline
+        // while the VM is resident, so the charge and the interrupt
+        // stay inside the owning VM's quantum.
+        if (asyncDiskDue(vm))
+            applyAsyncDiskCompletion(vm);
 
         // Fault injection against the resident VM, keyed on the tick
         // ordinal (architectural: both execution paths tick at the
@@ -575,7 +631,7 @@ Hypervisor::hookTimer(const HostFrame &frame)
         FaultPlan *plan = machine_.faultPlan();
         if (plan != nullptr) {
             if (plan->shouldInject(FaultClass::SpuriousInterrupt,
-                                   vm.id(), tickCount_)) {
+                                   vm.faultId(), tickCount_)) {
                 machine_.stats().faultsInjected[static_cast<int>(
                     FaultClass::SpuriousInterrupt)]++;
                 charge(CycleCategory::VmmInterrupt,
@@ -584,7 +640,7 @@ Hypervisor::hookTimer(const HostFrame &frame)
                                  kcallabi::kDiskVector);
                 updatePendingIplHint(vm);
             }
-            if (plan->shouldInject(FaultClass::Ecc, vm.id(),
+            if (plan->shouldInject(FaultClass::Ecc, vm.faultId(),
                                    tickCount_)) {
                 // A physical-memory ECC event while the VM is
                 // resident: reflect a machine check into the guest
@@ -602,7 +658,7 @@ Hypervisor::hookTimer(const HostFrame &frame)
                               (frame.savedPsl.raw() & Psl::kPswMask));
                 const Longword params[3] = {
                     kMcheckParamBytes, kMcheckCodeEcc,
-                    plan->eccAddress(vm.id(), tickCount_,
+                    plan->eccAddress(vm.faultId(), tickCount_,
                                      vm.memPages * kPageSize)};
                 // Machine checks are unmaskable: deliver at IPL 31.
                 // On a bad guest SCB/stack this halts the VM -

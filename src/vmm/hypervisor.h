@@ -18,8 +18,11 @@
 #ifndef VVAX_VMM_HYPERVISOR_H
 #define VVAX_VMM_HYPERVISOR_H
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/machine.h"
@@ -27,6 +30,8 @@
 #include "vmm/vm_state.h"
 
 namespace vvax {
+
+class AsyncDiskEngine;
 
 struct HypervisorConfig
 {
@@ -66,6 +71,21 @@ struct HypervisorConfig
      * guest-visible console synchronization point.
      */
     bool consoleCoalescing = true;
+    /**
+     * Service kDiskBatch asynchronously (docs/ARCHITECTURE.md §7):
+     * the exit validates the ring, resolves every per-descriptor
+     * status and fault decision, snapshots write data, and enqueues
+     * the host-side byte movement to an I/O worker thread; the guest
+     * resumes immediately and observes completion - statuses posted
+     * into the ring plus the vector-0x100 interrupt - when the VM
+     * reaches the completion tick.  Advertised to guests as
+     * kcallabi::kFeatureDiskAsync.  Architecturally deterministic:
+     * every decision and the completion point key on per-VM ordinals
+     * and virtual ticks, never on wall-clock I/O timing.
+     */
+    bool asyncDiskIo = false;
+    /** Virtual ticks between async submit and completion (>= 1). */
+    Longword asyncDiskLatencyTicks = 1;
     /**
      * No-forward-progress watchdog: a VM that stays at or above
      * watchdogIplThreshold with no deliverable virtual interrupt for
@@ -107,8 +127,28 @@ class Hypervisor
     /** Run the machine until all VMs halt or the instruction budget. */
     RunState run(std::uint64_t max_instructions);
 
-    /** Type into a VM's virtual console. */
+    /** Type into a VM's virtual console.  Owning-thread only. */
     void injectConsoleInput(VirtualMachine &vm, std::string_view text);
+
+    /**
+     * Thread-safe console input: callable from any host thread while
+     * the VM runs on a worker.  The text lands in a mailbox the
+     * owning thread drains at timer ticks; delivery waits until the
+     * hypervisor's tick count reaches @p at_tick (0 = next tick).
+     * Posting against a virtual tick makes cross-thread input
+     * deterministic: a message posted before the run with at_tick = T
+     * is delivered at the same guest instruction whatever the worker
+     * count or wall-clock interleaving.
+     */
+    void postConsoleInput(VirtualMachine &vm, std::string text,
+                          Longword at_tick = 0);
+
+    /**
+     * Thread-safe virtual interrupt posting, same mailbox contract as
+     * postConsoleInput.
+     */
+    void postInterruptFromHost(VirtualMachine &vm, Byte ipl, Word vector,
+                               Longword at_tick = 0);
 
     /**
      * Bank the currently executing VM's context into its state block
@@ -219,6 +259,38 @@ class Hypervisor
     void hookModifyFault(const HostFrame &frame);
     void hookMachineCheck(const HostFrame &frame);
 
+    // ----- Asynchronous disk batches (vmm_memory.cc) -------------------------
+    /**
+     * Bounds-check one transfer and resolve its fault-injection
+     * outcome, advancing the VM's architectural disk-op ordinal and
+     * charging exactly as the synchronous path does - without moving
+     * any data.  Shared by vmDiskTransfer and the async submit path
+     * so both fail the exact same operations.
+     */
+    bool planDiskOp(VirtualMachine &vm, Longword block, Longword count,
+                    PhysAddr vm_addr);
+    /**
+     * Async kDiskBatch submit: validate + snapshot the ring, resolve
+     * every status, stage write data, enqueue the host copies.
+     * Returns false if the ring itself is malformed (the KCALL then
+     * fails synchronously).
+     */
+    bool submitAsyncDiskBatch(VirtualMachine &vm, PhysAddr ring,
+                              Longword n_desc);
+    /**
+     * Apply a pending completion on the owning thread: block on the
+     * engine if the copies are still in flight, post statuses into
+     * the guest ring, copy read data in through the store funnel, and
+     * raise the completion interrupt.
+     */
+    void applyAsyncDiskCompletion(VirtualMachine &vm);
+    /** Force a pending completion now (architectural sync points). */
+    void drainAsyncDisk(VirtualMachine &vm);
+    bool asyncDiskDue(const VirtualMachine &vm) const
+    {
+        return vm.asyncBatch.pending && tickCount_ >= vm.asyncBatch.dueTick;
+    }
+
     // ----- VM virtual memory access helpers ---------------------------------
     bool vmReadVirt32(VirtualMachine &vm, VirtAddr va, Longword &out);
     bool vmWriteVirt32(VirtualMachine &vm, VirtAddr va, Longword value);
@@ -302,6 +374,29 @@ class Hypervisor
     Longword tickCount_ = 0;
     Longword quantumStartTick_ = 0;
     std::uint64_t slotUseCounter_ = 0;
+
+    /** Lazily created when the first async batch is submitted. */
+    std::unique_ptr<AsyncDiskEngine> asyncEngine_;
+
+    // ----- Cross-thread mailbox ---------------------------------------------
+    // Everything else in the hypervisor is owned by the one thread
+    // running it; these members are the only cross-thread surface.
+    // post* appends under the mutex and arms the flag; hookTimer
+    // checks the flag (cheap atomic load on every tick) and drains
+    // due entries on the owning thread.
+    struct MailboxEntry
+    {
+        int vmIndex;
+        bool isInterrupt;
+        std::string text; //!< console input when !isInterrupt
+        Byte ipl = 0;
+        Word vector = 0;
+        Longword atTick = 0;
+    };
+    void drainMailbox();
+    std::atomic<bool> mailboxArmed_{false};
+    std::mutex mailboxMutex_;
+    std::vector<MailboxEntry> mailbox_;
 };
 
 } // namespace vvax

@@ -10,6 +10,7 @@
 #define VVAX_VMM_VM_STATE_H
 
 #include <array>
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "arch/psl.h"
 #include "arch/types.h"
 #include "dev/console.h"
+#include "vmm/kcall.h"
 
 namespace vvax {
 
@@ -38,6 +40,15 @@ struct VmConfig
      * "WAIT times out after some seconds").
      */
     Longword waitTimeoutQuanta = 50;
+    /**
+     * Identity used by fault-injection plans (fault/fault_plan.h
+     * `vm=` selectors).  Defaults to the VM's hypervisor-local id;
+     * a HypervisorFleet overrides it with the fleet-wide index so a
+     * plan targets the same VM whether the fleet runs on one machine
+     * or one machine per member (every member's only VM has local
+     * id 0).
+     */
+    int faultVmId = -1;
 };
 
 /** Why a VM stopped (Section 5: errors halt the virtual machine). */
@@ -58,48 +69,94 @@ struct VirtualInterrupt
     Word vector;
 };
 
-/** Per-VM statistics the benchmarks report. */
+/**
+ * Per-VM statistics the benchmarks report, generated from one field
+ * list so the declaration, the merge (operator+=) and equality can
+ * never drift apart: Hypervisor::totalStats once hand-listed every
+ * field and silently dropped newly added counters.  Field groups:
+ *
+ *   vmEntries .. consoleChars      - emulation/exit accounting
+ *   mmioExits .. coalescedConsoleChars - batched virtual-I/O layer
+ *                                    (docs/ARCHITECTURE.md §4b):
+ *                                    device-register exits, kDiskBatch
+ *                                    invocations / blocks moved, TXDB
+ *                                    chars buffered
+ *   diskOps .. watchdogHalts       - fault injection and recovery
+ *                                    (fault/fault_plan.h): transfer
+ *                                    attempts, injected failures, disk
+ *                                    KCALLs re-issued after a failure,
+ *                                    machine checks reflected in,
+ *                                    no-forward-progress halts
+ *   asyncDiskBatches / asyncDiskCompletions - kDiskBatch rings
+ *                                    submitted to / completed by the
+ *                                    asynchronous I/O engine
+ *                                    (vmm/async_disk.h)
+ */
+#define VVAX_VM_STATS_FIELDS(X)                                        \
+    X(vmEntries)                                                       \
+    X(emulationTraps)                                                  \
+    X(chmEmulations)                                                   \
+    X(reiEmulations)                                                   \
+    X(mtprEmulations)                                                  \
+    X(mtprIplEmulations)                                               \
+    X(mfprEmulations)                                                  \
+    X(ldpctxEmulations)                                                \
+    X(svpctxEmulations)                                                \
+    X(probeEmulations)                                                 \
+    X(shadowFills)                                                     \
+    X(shadowFaults)                                                    \
+    X(modifyFaults)                                                    \
+    X(reflectedExceptions)                                             \
+    X(privilegedForwards)                                              \
+    X(virtualInterrupts)                                               \
+    X(kcalls)                                                          \
+    X(kcallIos)                                                        \
+    X(mmioEmulations)                                                  \
+    X(waits)                                                           \
+    X(contextSwitches)                                                 \
+    X(shadowCacheHits)                                                 \
+    X(shadowCacheMisses)                                               \
+    X(consoleChars)                                                    \
+    X(mmioExits)                                                       \
+    X(diskKcallBatches)                                                \
+    X(batchedDiskBlocks)                                               \
+    X(coalescedConsoleChars)                                           \
+    X(diskOps)                                                         \
+    X(faultedDiskOps)                                                  \
+    X(diskRetries)                                                     \
+    X(machineChecks)                                                   \
+    X(watchdogHalts)                                                   \
+    X(asyncDiskBatches)                                                \
+    X(asyncDiskCompletions)
+
 struct VmStats
 {
-    std::uint64_t vmEntries = 0;
-    std::uint64_t emulationTraps = 0;
-    std::uint64_t chmEmulations = 0;
-    std::uint64_t reiEmulations = 0;
-    std::uint64_t mtprEmulations = 0;
-    std::uint64_t mtprIplEmulations = 0;
-    std::uint64_t mfprEmulations = 0;
-    std::uint64_t ldpctxEmulations = 0;
-    std::uint64_t svpctxEmulations = 0;
-    std::uint64_t probeEmulations = 0;
-    std::uint64_t shadowFills = 0;
-    std::uint64_t shadowFaults = 0;
-    std::uint64_t modifyFaults = 0;
-    std::uint64_t reflectedExceptions = 0;
-    std::uint64_t privilegedForwards = 0;
-    std::uint64_t virtualInterrupts = 0;
-    std::uint64_t kcalls = 0;
-    std::uint64_t kcallIos = 0;
-    std::uint64_t mmioEmulations = 0;
-    std::uint64_t waits = 0;
-    std::uint64_t contextSwitches = 0; //!< guest LDPCTX count
-    std::uint64_t shadowCacheHits = 0;
-    std::uint64_t shadowCacheMisses = 0;
-    std::uint64_t consoleChars = 0;
+#define VVAX_VM_STATS_DECLARE(name) std::uint64_t name = 0;
+    VVAX_VM_STATS_FIELDS(VVAX_VM_STATS_DECLARE)
+#undef VVAX_VM_STATS_DECLARE
 
-    // Exit-class accounting for the batched virtual-I/O layer
-    // (docs/ARCHITECTURE.md §4b).
-    std::uint64_t mmioExits = 0;        //!< device-register exits taken
-    std::uint64_t diskKcallBatches = 0; //!< kDiskBatch invocations
-    std::uint64_t batchedDiskBlocks = 0; //!< blocks moved by kDiskBatch
-    std::uint64_t coalescedConsoleChars = 0; //!< TXDB chars buffered
+    VmStats &
+    operator+=(const VmStats &other)
+    {
+#define VVAX_VM_STATS_ADD(name) name += other.name;
+        VVAX_VM_STATS_FIELDS(VVAX_VM_STATS_ADD)
+#undef VVAX_VM_STATS_ADD
+        return *this;
+    }
 
-    // Fault injection and recovery (fault/fault_plan.h).
-    std::uint64_t diskOps = 0;        //!< vmDiskTransfer attempts
-    std::uint64_t faultedDiskOps = 0; //!< failed by injection
-    std::uint64_t diskRetries = 0;    //!< disk KCALL after a failed one
-    std::uint64_t machineChecks = 0;  //!< machine checks reflected in
-    std::uint64_t watchdogHalts = 0;  //!< no-forward-progress halts
+    bool operator==(const VmStats &other) const = default;
 };
+
+// A field that bypasses the X-macro would compile but silently skip
+// the merge; the size check makes the mistake a build error instead.
+namespace detail {
+#define VVAX_VM_STATS_COUNT(name) +1
+constexpr int kNumVmStatsFields = VVAX_VM_STATS_FIELDS(VVAX_VM_STATS_COUNT);
+#undef VVAX_VM_STATS_COUNT
+} // namespace detail
+static_assert(sizeof(VmStats) ==
+                  detail::kNumVmStatsFields * sizeof(std::uint64_t),
+              "every VmStats field must come from VVAX_VM_STATS_FIELDS");
 
 /** One cached set of shadow process page tables (Section 7.2). */
 struct ShadowSlot
@@ -143,6 +200,11 @@ class VirtualMachine
     int id() const { return id_; }
     const VmConfig &config() const { return config_; }
     const std::string &name() const { return config_.name; }
+    /** Identity fault-injection plans key on (VmConfig::faultVmId). */
+    int faultId() const
+    {
+        return config_.faultVmId >= 0 ? config_.faultVmId : id_;
+    }
 
     // ----- VM-physical memory -------------------------------------------
     Pfn basePfn = 0;       //!< first real page of the VM's memory
@@ -200,6 +262,35 @@ class VirtualMachine
     // Fault-recovery bookkeeping.
     bool lastDiskOpFailed = false; //!< previous disk KCALL failed
     Longword watchdogTicks = 0;    //!< consecutive no-progress ticks
+
+    /**
+     * The VM's one in-flight asynchronous kDiskBatch
+     * (HypervisorConfig::asyncDiskIo; docs/ARCHITECTURE.md §7).
+     * Everything architectural - per-descriptor statuses, fault
+     * decisions, the completion tick - is resolved at submit time on
+     * the thread that owns the VM; the I/O worker only moves bytes
+     * between the virtual disk and the staging buffer.  While
+     * `pending`, the VM's disk and this struct belong to the engine
+     * and the owning thread must drain before touching either.
+     */
+    struct AsyncDiskBatch
+    {
+        bool pending = false;
+        std::uint64_t job = 0;   //!< AsyncDiskEngine ticket
+        PhysAddr ring = 0;       //!< VM-physical descriptor ring
+        Longword nDesc = 0;
+        Longword dueTick = 0;    //!< virtual tick the completion lands
+        bool allOk = false;      //!< every descriptor kBatchStatusOk
+        /** Descriptor snapshot taken at submit (guest-owned bits). */
+        std::array<Byte, kcallabi::kMaxBatchDescriptors *
+                             kcallabi::kBatchDescriptorBytes>
+            descs{};
+        /** Per-descriptor status resolved at submit (kcall.h). */
+        std::array<Longword, kcallabi::kMaxBatchDescriptors> status{};
+        /** Host-side bounce buffer the I/O worker copies through. */
+        std::vector<Byte> staging;
+    };
+    AsyncDiskBatch asyncBatch;
 
     // ----- Virtual interrupts ----------------------------------------------
     std::vector<VirtualInterrupt> pendingInts;

@@ -1,0 +1,754 @@
+/**
+ * @file
+ * Parallel hypervisor tests: the HypervisorFleet worker pool
+ * (vmm/fleet.h) and asynchronous kDiskBatch completions
+ * (vmm/async_disk.h, docs/ARCHITECTURE.md §7).
+ *
+ * The headline property is the determinism contract of this PR: an
+ * N-worker fleet run retires exactly the same per-VM instruction
+ * stream as a 1-worker run, so per-VM memory, disk and console
+ * digests - and per-VM stats - are bit-identical across worker
+ * counts, including under deterministic fault injection and with
+ * asynchronous disk I/O enabled.  Async completions are likewise
+ * keyed on virtual time only, so sync and async runs agree on every
+ * guest-visible byte and repeated async runs agree bit for bit.
+ *
+ * The FleetSweep.* tests additionally honour VVAX_FAULT_PLAN, which
+ * scripts/run_all.sh sets to sweep seeds (including a TSan tree).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "guest/miniultrix.h"
+#include "guest/minivms.h"
+#include "tests/harness.h"
+#include "vmm/fleet.h"
+#include "vmm/hypervisor.h"
+#include "vmm/kcall.h"
+
+namespace vvax {
+namespace {
+
+std::uint64_t
+fnv1a(std::span<const Byte> bytes)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (Byte b : bytes) {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** FNV-1a over a VM's memory slice with the uptime mailbox longword
+ *  zeroed (it holds VMM wall-clock time; in a fleet each member owns
+ *  its clock, but zeroing it keeps the digest comparable to
+ *  single-hypervisor runs too). */
+std::uint64_t
+vmMemoryDigest(RealMachine &m, const VirtualMachine &vm)
+{
+    const std::span<const Byte> ram = m.memory().ram();
+    const std::size_t base = static_cast<std::size_t>(vm.basePfn)
+                             << kPageShift;
+    const std::size_t size =
+        static_cast<std::size_t>(vm.memPages) * kPageSize;
+    std::vector<Byte> copy(ram.begin() + base, ram.begin() + base + size);
+    if (vm.uptimeMailbox != 0 && vm.uptimeMailbox + 4 <= size) {
+        for (int i = 0; i < 4; ++i)
+            copy[vm.uptimeMailbox + i] = 0;
+    }
+    return fnv1a(copy);
+}
+
+// ---------------------------------------------------------------------------
+// Stats merging: the X-macro keeps aggregation complete by
+// construction - a new VmStats field is summed (and counted by the
+// static_assert in vm_state.h) without touching any merge site.
+// ---------------------------------------------------------------------------
+
+TEST(StatsMerge, VmStatsOperatorSumsEveryField)
+{
+    VmStats a, b;
+    std::uint64_t v = 1;
+#define VVAX_TEST_FILL(name)                                                 \
+    a.name = v;                                                              \
+    b.name = 1000 + v;                                                       \
+    v++;
+    VVAX_VM_STATS_FIELDS(VVAX_TEST_FILL)
+#undef VVAX_TEST_FILL
+    a += b;
+    v = 1;
+#define VVAX_TEST_CHECK(name)                                                \
+    EXPECT_EQ(a.name, 1000 + 2 * v) << #name;                                \
+    v++;
+    VVAX_VM_STATS_FIELDS(VVAX_TEST_CHECK)
+#undef VVAX_TEST_CHECK
+}
+
+TEST(StatsMerge, MachineStatsOperatorSumsCounters)
+{
+    Stats a, b;
+    a.instructions = 10;
+    b.instructions = 32;
+    a.tlbMisses = 3;
+    b.tlbMisses = 4;
+    a.diskRetries = 1;
+    b.diskRetries = 2;
+    a.cycles[static_cast<int>(CycleCategory::VmmIo)] = 7;
+    b.cycles[static_cast<int>(CycleCategory::VmmIo)] = 11;
+    a.faultsInjected[0] = 5;
+    b.faultsInjected[0] = 6;
+    a += b;
+    EXPECT_EQ(a.instructions, 42u);
+    EXPECT_EQ(a.tlbMisses, 7u);
+    EXPECT_EQ(a.diskRetries, 3u);
+    EXPECT_EQ(a.cycles[static_cast<int>(CycleCategory::VmmIo)], 18u);
+    EXPECT_EQ(a.faultsInjected[0], 11u);
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous disk batches (single hypervisor)
+// ---------------------------------------------------------------------------
+
+MiniVmsConfig
+diskHeavyVms()
+{
+    MiniVmsConfig cfg;
+    cfg.numProcesses = 2;
+    cfg.workloads = {Workload::Transaction, Workload::Edit};
+    cfg.iterations = 6;
+    cfg.dataPagesPerProcess = 8;
+    return cfg;
+}
+
+/** Guest-visible outcome of a virtualized MiniVMS run. */
+struct GuestOutcome
+{
+    std::uint64_t vmMemory = 0;
+    std::uint64_t vmDisk = 0;
+    std::string console;
+    Longword magic = 0;
+    Longword guestRetries = 0;
+    VmStats vmStats;
+    Stats stats;
+
+    bool operator==(const GuestOutcome &other) const = default;
+};
+
+GuestOutcome
+runMiniVms(bool async, const FaultPlan *spec_plan = nullptr,
+           bool reference = false)
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.mmu().setReferencePath(reference);
+    FaultPlan plan; // fresh per run: rules carry firing budgets
+    if (spec_plan != nullptr) {
+        plan = *spec_plan;
+        m.setFaultPlan(&plan);
+    }
+
+    HypervisorConfig hc;
+    hc.tickCycles = 2000;
+    hc.ticksPerQuantum = 2;
+    hc.asyncDiskIo = async;
+    Hypervisor hv(m, hc);
+    MiniVmsConfig cfg = diskHeavyVms();
+    VmConfig vc;
+    vc.memBytes = cfg.memBytes;
+    VirtualMachine &vm = hv.createVm(vc);
+    MiniVmsImage img = buildMiniVms(cfg);
+    hv.loadVmImage(vm, 0, img.image);
+    hv.startVm(vm, img.entry);
+    hv.run(400000000);
+
+    GuestOutcome out;
+    out.vmMemory = vmMemoryDigest(m, vm);
+    out.vmDisk = fnv1a(vm.disk);
+    out.console = vm.console.output();
+    out.magic = m.memory().read32(vm.vmPhysToReal(img.resultBase));
+    out.guestRetries =
+        m.memory().read32(vm.vmPhysToReal(img.resultBase + 16));
+    out.vmStats = vm.stats;
+    out.stats = m.stats();
+    return out;
+}
+
+TEST(AsyncDisk, SyncAndAsyncRunsAgreeOnEveryGuestVisibleByte)
+{
+    const GuestOutcome sync = runMiniVms(false);
+    const GuestOutcome async = runMiniVms(true);
+    ASSERT_EQ(sync.magic, MiniVmsImage::kResultMagic);
+    ASSERT_EQ(async.magic, MiniVmsImage::kResultMagic);
+    EXPECT_GT(async.vmStats.asyncDiskBatches, 0u)
+        << "the driver must actually take the async path";
+    EXPECT_EQ(async.vmStats.asyncDiskBatches,
+              async.vmStats.asyncDiskCompletions)
+        << "every submitted batch must complete";
+    EXPECT_EQ(sync.vmStats.asyncDiskBatches, 0u);
+    // Guest data is identical; memory digests legitimately differ
+    // because async completion adds latency ticks, shifting the
+    // virtual clock values the guest records (tick counters,
+    // scheduler state).  Data integrity - the disk image, the
+    // console transcript, the driver's retry counter - must match.
+    EXPECT_EQ(sync.vmDisk, async.vmDisk);
+    EXPECT_EQ(sync.console, async.console);
+    EXPECT_EQ(sync.guestRetries, async.guestRetries);
+}
+
+TEST(AsyncDisk, RepeatedAsyncRunsAreBitIdentical)
+{
+    const GuestOutcome a = runMiniVms(true);
+    const GuestOutcome b = runMiniVms(true);
+    EXPECT_EQ(a.magic, MiniVmsImage::kResultMagic);
+    EXPECT_GT(a.vmStats.asyncDiskBatches, 0u);
+    EXPECT_TRUE(a == b)
+        << "async completion timing is virtual, so runs reproduce "
+           "bit for bit";
+}
+
+FaultPlan
+aggressivePlan()
+{
+    FaultPlan plan(97);
+    std::string error;
+    EXPECT_TRUE(FaultPlan::parse(
+        "seed=97;disk-transient:every=3;torn:every=2;ecc:every=16;"
+        "spurious:every=9",
+        &plan, &error))
+        << error;
+    return plan;
+}
+
+TEST(AsyncDisk, FastAndReferencePathsAgreeUnderFaults)
+{
+    const FaultPlan plan = aggressivePlan();
+    const GuestOutcome fast = runMiniVms(true, &plan, false);
+    const GuestOutcome ref = runMiniVms(true, &plan, true);
+    EXPECT_EQ(fast.magic, MiniVmsImage::kResultMagic);
+    EXPECT_TRUE(fast == ref)
+        << "async I/O must stay inside the lockstep envelope";
+}
+
+TEST(AsyncDisk, FaultedBatchDegradesToGuestRetry)
+{
+    FaultPlan plan(31);
+    std::string error;
+    ASSERT_TRUE(
+        FaultPlan::parse("seed=31;torn:every=2", &plan, &error))
+        << error;
+    const GuestOutcome out = runMiniVms(true, &plan);
+    EXPECT_EQ(out.magic, MiniVmsImage::kResultMagic)
+        << "a torn async batch must degrade, not wedge the poll loop";
+    EXPECT_GT(out.guestRetries, 0u)
+        << "the driver re-issued torn descriptors individually";
+    EXPECT_GT(out.stats.faultsInjected[static_cast<int>(
+                  FaultClass::TornBatch)],
+              0u);
+    EXPECT_GT(out.vmStats.asyncDiskBatches, 0u);
+}
+
+/** Hand-written guest that submits one async batch read and halts
+ *  without polling: completion must be forced by the drain at the
+ *  halt, not lost. */
+TEST(AsyncDisk, HaltDrainsAnInFlightBatch)
+{
+    using namespace kcallabi;
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    HypervisorConfig hc;
+    hc.asyncDiskIo = true;
+    hc.asyncDiskLatencyTicks = 1000000; // far past the guest's halt
+    Hypervisor hv(m, hc);
+    VirtualMachine &vm = hv.createVm(VmConfig{});
+
+    std::vector<Byte> block(512, 0xC3);
+    hv.loadVmDisk(vm, 4, block);
+
+    constexpr PhysAddr kRing = 0x4000;
+    constexpr PhysAddr kBuf = 0x5000;
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(4), Op::abs(kRing + kBatchDescBlock));
+    b.movl(Op::imm(1), Op::abs(kRing + kBatchDescCount));
+    b.movl(Op::imm(kBuf), Op::abs(kRing + kBatchDescVmPa));
+    b.clrl(Op::abs(kRing + kBatchDescFlags)); // read, status None
+    b.movl(Op::imm(kRing), Op::reg(R1));
+    b.movl(Op::lit(1), Op::reg(R2));
+    b.mtpr(Op::lit(kDiskBatch), Ipr::KCALL);
+    b.movl(Op::reg(R0), Op::reg(R6)); // remember the submit status
+    b.halt();
+
+    auto image = b.finish();
+    hv.loadVmImage(vm, 0x200, image);
+    hv.startVm(vm, 0x200);
+    hv.run(1000000);
+
+    EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(R6), static_cast<Longword>(kOk))
+        << "the submit itself was acknowledged";
+    EXPECT_EQ(vm.stats.asyncDiskBatches, 1u);
+    EXPECT_EQ(vm.stats.asyncDiskCompletions, 1u)
+        << "halting the VM drains the in-flight batch";
+    EXPECT_EQ(m.memory().read8(vm.vmPhysToReal(kBuf)), 0xC3u)
+        << "the read data landed before the VM wound down";
+    const Longword flags =
+        m.memory().read32(vm.vmPhysToReal(kRing + kBatchDescFlags));
+    EXPECT_EQ(flags >> kBatchStatusShift, kBatchStatusOk)
+        << "the terminal status was posted into the ring";
+}
+
+TEST(AsyncDisk, QueryFeaturesAdvertisesAsyncCompletion)
+{
+    using namespace kcallabi;
+    for (bool async : {false, true}) {
+        MachineConfig mc;
+        mc.ramBytes = 16 * 1024 * 1024;
+        mc.level = MicrocodeLevel::Modified;
+        RealMachine m(mc);
+        HypervisorConfig hc;
+        hc.asyncDiskIo = async;
+        Hypervisor hv(m, hc);
+        VirtualMachine &vm = hv.createVm(VmConfig{});
+
+        CodeBuilder b(0x200);
+        b.mtpr(Op::lit(kQueryFeatures), Ipr::KCALL);
+        b.movl(Op::reg(R0), Op::reg(R6));
+        b.halt();
+        auto image = b.finish();
+        hv.loadVmImage(vm, 0x200, image);
+        hv.startVm(vm, 0x200);
+        hv.run(1000000);
+
+        ASSERT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+        const Longword features = m.cpu().reg(R6);
+        EXPECT_NE(features & kFeatureDiskBatch, 0u);
+        EXPECT_EQ((features & kFeatureDiskAsync) != 0, async)
+            << "bit 2 must track HypervisorConfig::asyncDiskIo";
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet determinism across worker counts
+// ---------------------------------------------------------------------------
+
+/** Per-member outcome of a fleet run, for cross-worker-count
+ *  comparison. */
+struct MemberOutcome
+{
+    std::uint64_t vmMemory = 0;
+    std::uint64_t vmDisk = 0;
+    std::string console;
+    Longword magic = 0;
+    VmStats vmStats;
+    Stats stats;
+
+    bool operator==(const MemberOutcome &other) const = default;
+};
+
+struct FleetOutcome
+{
+    std::vector<MemberOutcome> members;
+    VmStats totalVm;
+    std::uint64_t restarts = 0;
+
+    bool operator==(const FleetOutcome &other) const = default;
+};
+
+/** Build the 4-VM mixed fleet: two MiniVMS mixes, one MiniUltrix,
+ *  one disk-heavy MiniVMS - all with async disk I/O on. */
+FleetOutcome
+runMixedFleet(int workers,
+              const std::vector<const FaultPlan *> *plans = nullptr)
+{
+    FleetConfig fc;
+    fc.workers = workers;
+    fc.sliceInstructions = 50000;
+    fc.machine.ramBytes = 16 * 1024 * 1024;
+    fc.machine.level = MicrocodeLevel::Modified;
+    fc.hypervisor.tickCycles = 2000;
+    fc.hypervisor.ticksPerQuantum = 2;
+    fc.hypervisor.asyncDiskIo = true;
+    HypervisorFleet fleet(fc);
+
+    std::vector<PhysAddr> resultBase(4, 0);
+    std::vector<Longword> magicWant(4, 0);
+
+    MiniVmsConfig vms_a = diskHeavyVms();
+    MiniVmsConfig vms_b;
+    vms_b.numProcesses = 3;
+    vms_b.workloads = {Workload::Transaction, Workload::PageStress,
+                       Workload::Edit};
+    vms_b.iterations = 8;
+    vms_b.dataPagesPerProcess = 16;
+    MiniUltrixConfig ux;
+    ux.diskReadsPerProcess = 4;
+    ux.iterations = 8;
+    MiniVmsConfig vms_c = diskHeavyVms();
+    vms_c.iterations = 4;
+
+    auto addVms = [&](const MiniVmsConfig &cfg) {
+        VmConfig vc;
+        vc.memBytes = cfg.memBytes;
+        const int i = fleet.addVm(vc);
+        MiniVmsImage img = buildMiniVms(cfg);
+        fleet.loadVmImage(i, 0, img.image);
+        fleet.startVm(i, img.entry);
+        resultBase[i] = img.resultBase;
+        magicWant[i] = MiniVmsImage::kResultMagic;
+        return i;
+    };
+    addVms(vms_a);
+    addVms(vms_b);
+    {
+        VmConfig vc;
+        vc.memBytes = ux.memBytes;
+        const int i = fleet.addVm(vc);
+        MiniUltrixImage img = buildMiniUltrix(ux);
+        fleet.loadVmImage(i, 0, img.image);
+        fleet.startVm(i, img.entry);
+        resultBase[i] = img.resultBase;
+        magicWant[i] = MiniUltrixImage::kResultMagic;
+    }
+    addVms(vms_c);
+
+    if (plans != nullptr) {
+        for (int i = 0; i < fleet.size(); ++i)
+            fleet.setFaultPlan(i, (*plans)[i]);
+    }
+
+    fleet.run(400000000);
+
+    FleetOutcome out;
+    for (int i = 0; i < fleet.size(); ++i) {
+        MemberOutcome mo;
+        RealMachine &m = fleet.machine(i);
+        VirtualMachine &vm = fleet.vm(i);
+        mo.vmMemory = vmMemoryDigest(m, vm);
+        mo.vmDisk = fnv1a(vm.disk);
+        mo.console = vm.console.output();
+        mo.magic = m.memory().read32(vm.vmPhysToReal(resultBase[i]));
+        if (m.faultPlan() == nullptr) {
+            EXPECT_EQ(mo.magic, magicWant[i]) << "member " << i;
+        } else {
+            // Under a plan the member either rode it out or halted on
+            // something the VMM contained (FaultSweep contract).
+            EXPECT_TRUE(mo.magic == magicWant[i] ||
+                        vm.haltReason != VmHaltReason::None)
+                << "member " << i;
+        }
+        mo.vmStats = vm.stats;
+        mo.stats = m.stats();
+        out.members.push_back(std::move(mo));
+    }
+    out.totalVm = fleet.totalVmStats();
+    out.restarts = fleet.restarts();
+    return out;
+}
+
+TEST(FleetDeterminism, FourVmMixIsBitIdenticalAcrossWorkerCounts)
+{
+    const FleetOutcome one = runMixedFleet(1);
+    const FleetOutcome two = runMixedFleet(2);
+    const FleetOutcome four = runMixedFleet(4);
+    ASSERT_EQ(one.members.size(), 4u);
+    EXPECT_GT(one.members[0].vmStats.asyncDiskBatches, 0u)
+        << "the mix must exercise async batches";
+    for (std::size_t i = 0; i < one.members.size(); ++i) {
+        EXPECT_TRUE(one.members[i] == four.members[i])
+            << "member " << i
+            << ": a 4-worker run must retire the same per-VM stream "
+               "as a 1-worker run";
+        EXPECT_TRUE(one.members[i] == two.members[i]) << "member " << i;
+    }
+    EXPECT_TRUE(one == four);
+}
+
+TEST(FleetDeterminism, TotalsEqualTheSumOfMembers)
+{
+    const FleetOutcome out = runMixedFleet(2);
+    VmStats vmSum;
+    for (const MemberOutcome &mo : out.members)
+        vmSum += mo.vmStats;
+    EXPECT_TRUE(vmSum == out.totalVm);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection under the pool: lockstep and containment
+// ---------------------------------------------------------------------------
+
+TEST(FleetFaults, VictimPlanIsContainedAndWorkerCountInvariant)
+{
+    const FaultPlan victim = aggressivePlan();
+    // Member 0 takes the aggressive plan; 1..3 run fault-free
+    // (explicit nullptr also clears any VVAX_FAULT_PLAN the
+    // environment installed, making this test self-contained).
+    const std::vector<const FaultPlan *> plans = {&victim, nullptr,
+                                                  nullptr, nullptr};
+    const std::vector<const FaultPlan *> clean = {nullptr, nullptr,
+                                                  nullptr, nullptr};
+
+    const FleetOutcome faulted1 = runMixedFleet(1, &plans);
+    const FleetOutcome faulted4 = runMixedFleet(4, &plans);
+    const FleetOutcome healthy = runMixedFleet(4, &clean);
+
+    EXPECT_TRUE(faulted1 == faulted4)
+        << "fault decisions key on per-VM ordinals, not host timing";
+    EXPECT_GT(faulted4.members[0].stats.faultsInjected[static_cast<int>(
+                  FaultClass::DiskTransient)],
+              0u)
+        << "the victim's plan must actually fire";
+    for (std::size_t i = 1; i < 4; ++i) {
+        EXPECT_TRUE(faulted4.members[i] == healthy.members[i])
+            << "member " << i
+            << ": faults against member 0 must not perturb siblings";
+        for (int c = 0; c < kNumFaultClasses; ++c)
+            EXPECT_EQ(faulted4.members[i].stats.faultsInjected[c], 0u);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread console input
+// ---------------------------------------------------------------------------
+
+/** Echo guest: enables RX interrupts and spins until @p chars have
+ *  been received, echoing each; then halts. */
+std::vector<Byte>
+buildEchoGuest(int chars, Longword *entry, Longword *scb_slot,
+               Longword *handler)
+{
+    CodeBuilder b(0x200);
+    Label isr = b.newLabel();
+    Label spin = b.newLabel();
+    b.mtpr(Op::imm(0xE00), Ipr::SCBB);
+    b.mtpr(Op::imm(0x8000), Ipr::KSP);
+    b.mtpr(Op::imm(0x8800), Ipr::ISP);
+    b.clrl(Op::reg(R5));
+    b.mtpr(Op::imm(consolecsr::kInterruptEnable), Ipr::RXCS);
+    b.mtpr(Op::lit(0), Ipr::IPL);
+    b.bind(spin);
+    b.cmpl(Op::reg(R5), Op::imm(chars));
+    b.blss(spin);
+    b.halt();
+    b.align(4);
+    b.bind(isr);
+    b.mfpr(Ipr::RXDB, Op::reg(R6));
+    b.mtpr(Op::reg(R6), Ipr::TXDB); // echo
+    b.incl(Op::reg(R5));
+    b.rei();
+
+    *entry = 0x200;
+    *scb_slot = 0xE00 + static_cast<Word>(ScbVector::ConsoleReceive);
+    *handler = b.labelAddress(isr) | 1; // interrupt stack
+    return b.finish();
+}
+
+FleetOutcome
+runEchoFleet(int workers, Longword at_tick)
+{
+    FleetConfig fc;
+    fc.workers = workers;
+    fc.machine.ramBytes = 16 * 1024 * 1024;
+    fc.machine.level = MicrocodeLevel::Modified;
+    fc.hypervisor.tickCycles = 2000;
+    HypervisorFleet fleet(fc);
+
+    for (int i = 0; i < 2; ++i) {
+        Longword entry, scb_slot, handler;
+        auto image = buildEchoGuest(2, &entry, &scb_slot, &handler);
+        const int idx = fleet.addVm(VmConfig{});
+        fleet.loadVmImage(idx, 0x200, image);
+        Byte e[4];
+        std::memcpy(e, &handler, 4);
+        fleet.loadVmImage(idx, scb_slot, std::span<const Byte>(e, 4));
+        fleet.startVm(idx, entry);
+        // Mid-quantum input: one char immediately, one at a virtual
+        // tick the members reach while running.  Delivery is keyed on
+        // the member's own tick count, so every worker count delivers
+        // at the same guest instruction boundary.
+        fleet.postConsoleInput(i, std::string(1, char('A' + i)));
+        fleet.postConsoleInput(i, std::string(1, char('a' + i)),
+                               at_tick);
+    }
+    fleet.run(50000000);
+
+    FleetOutcome out;
+    for (int i = 0; i < fleet.size(); ++i) {
+        MemberOutcome mo;
+        RealMachine &m = fleet.machine(i);
+        VirtualMachine &vm = fleet.vm(i);
+        EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction)
+            << "member " << i << " must receive both characters";
+        mo.vmMemory = vmMemoryDigest(m, vm);
+        mo.console = vm.console.output();
+        mo.vmStats = vm.stats;
+        mo.stats = m.stats();
+        out.members.push_back(std::move(mo));
+    }
+    return out;
+}
+
+TEST(FleetConsole, MidQuantumInputIsDeliveredInLockstep)
+{
+    const FleetOutcome one = runEchoFleet(1, 5);
+    const FleetOutcome two = runEchoFleet(2, 5);
+    ASSERT_EQ(one.members.size(), 2u);
+    EXPECT_EQ(one.members[0].console, "Aa");
+    EXPECT_EQ(one.members[1].console, "Bb");
+    for (std::size_t i = 0; i < one.members.size(); ++i) {
+        EXPECT_TRUE(one.members[i] == two.members[i])
+            << "member " << i
+            << ": tick-keyed mailbox delivery must not depend on the "
+               "worker count";
+    }
+}
+
+TEST(FleetConsole, ConcurrentPostsFromAnotherThreadAreSafe)
+{
+    FleetConfig fc;
+    fc.workers = 2;
+    fc.machine.ramBytes = 16 * 1024 * 1024;
+    fc.machine.level = MicrocodeLevel::Modified;
+    fc.hypervisor.tickCycles = 2000;
+    HypervisorFleet fleet(fc);
+
+    constexpr int kChars = 4;
+    for (int i = 0; i < 2; ++i) {
+        Longword entry, scb_slot, handler;
+        auto image = buildEchoGuest(kChars, &entry, &scb_slot, &handler);
+        const int idx = fleet.addVm(VmConfig{});
+        fleet.loadVmImage(idx, 0x200, image);
+        Byte e[4];
+        std::memcpy(e, &handler, 4);
+        fleet.loadVmImage(idx, scb_slot, std::span<const Byte>(e, 4));
+        fleet.startVm(idx, entry);
+    }
+
+    // The poster races the running workers: this is exactly the
+    // cross-thread entry point the mailbox exists for (and what the
+    // TSan tree checks).
+    std::thread poster([&] {
+        for (int c = 0; c < kChars; ++c) {
+            for (int i = 0; i < 2; ++i)
+                fleet.postConsoleInput(i, std::string(1, char('0' + c)));
+        }
+    });
+    fleet.run(400000000);
+    poster.join();
+
+    for (int i = 0; i < 2; ++i) {
+        VirtualMachine &vm = fleet.vm(i);
+        EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction)
+            << "member " << i;
+        EXPECT_EQ(vm.console.output(), "0123")
+            << "one poster, one member: arrival order is preserved";
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervised fleet members
+// ---------------------------------------------------------------------------
+
+TEST(FleetSupervisor, RestartsACrashingMemberAndLeavesSiblingsAlone)
+{
+    FleetConfig fc;
+    fc.workers = 2;
+    fc.sliceInstructions = 5000;
+    fc.machine.ramBytes = 16 * 1024 * 1024;
+    fc.machine.level = MicrocodeLevel::Modified;
+    fc.supervise = true;
+    fc.supervisor.restartBudget = 3;
+    HypervisorFleet fleet(fc);
+
+    // Member 0 crashes deterministically (reads past MEMSIZE after a
+    // little progress); member 1 halts cleanly.
+    CodeBuilder crash(0x200);
+    crash.incl(Op::abs(0x3000));
+    crash.movl(Op::abs(0x00F00000), Op::reg(R0));
+    crash.halt();
+
+    CodeBuilder clean(0x200);
+    clean.movl(Op::imm(0x600D), Op::abs(0x3000));
+    clean.halt();
+
+    VmConfig vc;
+    vc.memBytes = 256 * 1024;
+    const int bad = fleet.addVm(vc);
+    auto crash_img = crash.finish();
+    fleet.loadVmImage(bad, 0x200, crash_img);
+    fleet.startVm(bad, 0x200);
+
+    const int good = fleet.addVm(vc);
+    auto clean_img = clean.finish();
+    fleet.loadVmImage(good, 0x200, clean_img);
+    fleet.startVm(good, 0x200);
+
+    fleet.run(2000000);
+
+    EXPECT_EQ(fleet.restarts(), 3u) << "the budget bounds the restarts";
+    EXPECT_EQ(fleet.vm(bad).haltReason, VmHaltReason::NonExistentMemory);
+    EXPECT_EQ(fleet.machine(bad).memory().read32(
+                  fleet.vm(bad).vmPhysToReal(0x3000)),
+              1u)
+        << "each restart rolled the counter back to the snapshot";
+    EXPECT_EQ(fleet.vm(good).haltReason, VmHaltReason::HaltInstruction);
+    EXPECT_EQ(fleet.machine(good).memory().read32(
+                  fleet.vm(good).vmPhysToReal(0x3000)),
+              0x600Du);
+}
+
+// ---------------------------------------------------------------------------
+// VVAX_FAULT_PLAN sweep hooks (scripts/run_all.sh)
+// ---------------------------------------------------------------------------
+
+TEST(FleetSweep, WorkerCountLockstepHoldsUnderTheEnvironmentPlan)
+{
+    // Each member's RealMachine installs VVAX_FAULT_PLAN automatically
+    // (fault identities are the member indices); with the variable
+    // unset this is a plain (still valuable) lockstep check.
+    const FleetOutcome one = runMixedFleet(1);
+    const FleetOutcome four = runMixedFleet(4);
+    EXPECT_TRUE(one == four);
+}
+
+TEST(FleetSweep, HealthyMembersAreContainedUnderTheEnvironmentPlan)
+{
+    // Environment plan (if any) stays armed on member 0 only; the
+    // siblings must match a fully fault-free fleet bit for bit.
+    FaultPlan env_copy;
+    const bool have_env = [&] {
+        MachineConfig mc;
+        RealMachine probe(mc);
+        if (probe.faultPlan() == nullptr)
+            return false;
+        env_copy = *probe.faultPlan();
+        return true;
+    }();
+
+    const FaultPlan victim = have_env ? env_copy : aggressivePlan();
+    const std::vector<const FaultPlan *> plans = {&victim, nullptr,
+                                                  nullptr, nullptr};
+    const std::vector<const FaultPlan *> clean = {nullptr, nullptr,
+                                                  nullptr, nullptr};
+    const FleetOutcome faulted = runMixedFleet(4, &plans);
+    const FleetOutcome healthy = runMixedFleet(4, &clean);
+    for (std::size_t i = 1; i < 4; ++i) {
+        EXPECT_TRUE(faulted.members[i] == healthy.members[i])
+            << "member " << i;
+    }
+}
+
+} // namespace
+} // namespace vvax
