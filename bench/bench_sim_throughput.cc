@@ -233,7 +233,8 @@ branchLoop(Longword iterations)
  * unlinked one.
  */
 void
-runBareTraceBenchmark(benchmark::State &state, bool linked)
+runBareTraceBenchmark(benchmark::State &state, bool linked,
+                      ExecTier tier = ExecTier::Threaded)
 {
     const Longword iters = 20000;
     // Machine reuse as in BM_BareExecution: the pair measures the
@@ -241,6 +242,7 @@ runBareTraceBenchmark(benchmark::State &state, bool linked)
     // which is exactly the regime the trace tier targets.
     RealMachine m;
     m.cpu().setTraceLinksEnabled(linked);
+    m.cpu().setExecTier(tier);
     CodeBuilder b = branchLoop(iters);
     auto image = b.finish();
     m.loadImage(b.origin(), image);
@@ -269,6 +271,10 @@ runBareTraceBenchmark(benchmark::State &state, bool linked)
         static_cast<double>(m.stats().blockExecutions), avg);
     state.counters["guest_instructions"] = benchmark::Counter(
         static_cast<double>(m.stats().instructions), avg);
+    state.counters["threaded_executions"] = benchmark::Counter(
+        static_cast<double>(m.stats().threadedExecutions), avg);
+    state.counters["threaded_instructions"] = benchmark::Counter(
+        static_cast<double>(m.stats().threadedInstructions), avg);
 }
 
 void
@@ -284,6 +290,28 @@ BM_BareUnlinked(benchmark::State &state)
     runBareTraceBenchmark(state, false);
 }
 BENCHMARK(BM_BareUnlinked)->Unit(benchmark::kMillisecond);
+
+/**
+ * A/B pair for the threaded-code tier (docs/ARCHITECTURE.md §5c):
+ * the same branch-dense loop with trace links on in both runs, so
+ * the only difference is the dispatch mechanism - compiled handler
+ * chains versus re-entering the FusedKind switch per instruction.
+ * check_bench_regression.sh asserts the threaded run clears a fixed
+ * multiple of the switch run's instruction rate.
+ */
+void
+BM_BareThreaded(benchmark::State &state)
+{
+    runBareTraceBenchmark(state, true, ExecTier::Threaded);
+}
+BENCHMARK(BM_BareThreaded)->Unit(benchmark::kMillisecond);
+
+void
+BM_BareSwitch(benchmark::State &state)
+{
+    runBareTraceBenchmark(state, true, ExecTier::Blocks);
+}
+BENCHMARK(BM_BareSwitch)->Unit(benchmark::kMillisecond);
 
 void
 BM_VirtualizedExecution(benchmark::State &state)

@@ -155,14 +155,44 @@ if linked is not None and unlinked is not None:
               f"unlinked {unlinked / 1e6:.2f} M instr/s "
               f"({linked / unlinked:.2f}x)")
 
+# Threaded-tier gate: compiled handler chains exist to beat the
+# FusedKind switch on branch-dense code, so the A/B pair (identical
+# guest, identical trace links, only the dispatch mechanism differs)
+# must show the win, not just parity.  The 1.2x floor sits under the
+# measured ~1.3x so shared-host jitter doesn't flake the gate, while
+# still failing loudly if a change quietly routes hot blocks back
+# through the switch or bloats the driver past its advantage.
+THREADED_FLOOR = 1.2
+threaded = items_rate(fresh_path, "BM_BareThreaded")
+switch = items_rate(fresh_path, "BM_BareSwitch")
+if threaded is not None and switch is not None and switch > 0:
+    ratio = threaded / switch
+    if ratio < THREADED_FLOOR:
+        print(f"REGRESSED threaded tier: BM_BareThreaded "
+              f"{threaded / 1e6:.2f} M instr/s is only {ratio:.2f}x "
+              f"of BM_BareSwitch {switch / 1e6:.2f} "
+              f"(need >= {THREADED_FLOOR}x)")
+        failed = True
+    else:
+        print(f"ok       threaded tier: {ratio:.2f}x over the "
+              f"switch executor (need >= {THREADED_FLOOR}x)")
+
 # Fleet-scaling gate: on a host with enough cores, a 4-VM fleet on 4
 # workers must clear at least 2x the throughput of the same fleet on
 # 1 worker - the tentpole's measured win.  On a smaller host (CI
 # containers are often 1-2 cores) real parallel speedup is physically
 # unmeasurable, so the gate degrades to a pool-overhead check: the
-# 4-worker run must not fall more than the threshold below the
-# 1-worker run, and the measured ratio is printed for the record.
+# 4-worker run must not fall below 0.70x of the 1-worker run, and the
+# measured ratio is printed for the record.  The 0.70 floor is
+# deliberately loose: with 4 threads oversubscribing one core the
+# real_time ratio jitters (isolated runs measure ~0.9-1.0x, but at
+# the tail of a full suite run end-of-suite throttling on shared CI
+# hosts drags samples down to ~0.72-0.82x), while a genuine pool
+# regression -- e.g. a busy-wait creeping into the dispatch barrier --
+# craters the ratio to 0.5x or below and still trips the gate.
 import os
+
+POOL_OVERHEAD_FLOOR = 0.70
 
 fleet1 = items_rate(fresh_path, "BM_HypervisorFleet/4/1/real_time")
 fleet4 = items_rate(fresh_path, "BM_HypervisorFleet/4/4/real_time")
@@ -180,7 +210,7 @@ if fleet1 is not None and fleet4 is not None:
             print(f"ok       fleet scaling: {ratio:.2f}x on "
                   f"{cores} cores")
     else:
-        if ratio < 1.0 - threshold:
+        if ratio < POOL_OVERHEAD_FLOOR:
             print(f"REGRESSED fleet pool overhead: 4 workers at "
                   f"{ratio:.2f}x of 1 worker on a {cores}-core host")
             failed = True

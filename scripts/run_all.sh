@@ -4,9 +4,20 @@ set -e
 cd "$(dirname "$0")/.."
 cmake -B build
 cmake --build build -j "$(nproc)"
-ctest --test-dir build >test_output.txt 2>&1 ||
-    { cat test_output.txt; exit 1; }
-tail -n 3 test_output.txt
+# The whole suite once per host execution tier (VVAX_EXEC_TIER,
+# docs/ARCHITECTURE.md §5c): the lockstep digests must hold whether
+# hot code retires through the fast path alone, the superblock
+# switch executor, or the threaded-code driver.  The reference tier
+# needs no pass of its own - every equivalence test drives it
+# internally as the baseline half of its digest comparison.
+for tier in fast blocks threaded; do
+    echo "=== ctest: VVAX_EXEC_TIER=$tier"
+    env VVAX_EXEC_TIER="$tier" \
+        ctest --test-dir build >"test_output_$tier.txt" 2>&1 ||
+        { cat "test_output_$tier.txt"; exit 1; }
+    tail -n 3 "test_output_$tier.txt"
+done
+cp "test_output_threaded.txt" test_output.txt
 
 # The whole suite again under ASan+UBSan: fast-path, superblock, and
 # trace-link machinery dereferences raw host page pointers and cached
@@ -46,13 +57,16 @@ tail -n 2 test_tsan_output.txt
   for tree in build build-asan; do
     for s in 3 7 11 23 42 97 1234 99991; do
       echo "=== fault sweep: tree=$tree seed=$s"
-      env $SAN_ENV \
+      # Pin the threaded tier explicitly (it is also the default):
+      # faults must land identically when the victim retires hot code
+      # through compiled handler chains.
+      env $SAN_ENV VVAX_EXEC_TIER=threaded \
           VVAX_FAULT_PLAN="seed=$s;disk-transient:every=3;torn:every=2;ecc:every=16;spurious:every=9" \
           "$tree/tests/test_fault_injection" \
           --gtest_filter='FaultSweep.*'
       # The same plan under the worker pool: N-worker lockstep and
       # healthy-member containment must survive every seed.
-      env $SAN_ENV \
+      env $SAN_ENV VVAX_EXEC_TIER=threaded \
           VVAX_FAULT_PLAN="seed=$s;disk-transient:every=3;torn:every=2;ecc:every=16;spurious:every=9" \
           "$tree/tests/test_fleet" \
           --gtest_filter='FleetSweep.*'

@@ -471,7 +471,7 @@ Cpu::buildBlock(VirtAddr pc, const Byte *base)
         if (std::memcmp(base + off, ci.bytes.data(), ci.len) != 0)
             break; // stale predecode: the live bytes changed
         if (stopsBlock(ci.opcode)) {
-            if (blk.count <= Block::kMinInstrs) {
+            if (Block::belowMinRun(blk.count)) {
                 // Negative entry: the bytes validate but the run is
                 // too short to be worth executing as a block (see
                 // Block::kMinInstrs), so runBlocks retires the whole

@@ -29,11 +29,13 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "arch/types.h"
 #include "cpu/predecode.h"
+#include "cpu/threaded.h"
 #include "memory/tlb.h"
 
 namespace vvax {
@@ -192,6 +194,35 @@ struct Block
     std::uint32_t validGen = 0;
     Byte lastDir = kLinkTaken; //!< last exit direction (predictor)
 
+    // ----- Threaded tier (docs/ARCHITECTURE.md §5c) -------------------
+    /**
+     * Compiled threaded-code program, produced once the block crosses
+     * the trace threshold under VVAX_EXEC_TIER=threaded.  Owned by the
+     * block and discarded with it: every invalidation path funnels
+     * through Cpu::invalidateBlock -> clear(), so a program can never
+     * outlive the byte validation of the block it was compiled from.
+     */
+    std::unique_ptr<ThreadedProgram> prog;
+
+    /**
+     * Live, directly executable block - not a negative entry.  The
+     * single source of truth for the count == 0 test shared by the
+     * slow dispatch path, trace-link crossings, and the threaded
+     * compiler, so the tiers can never disagree about which blocks
+     * are eligible to run.
+     */
+    bool runnable() const { return count != 0; }
+    /**
+     * A harvest capped by a sensitive opcode after @p n instructions
+     * is below the profitability cutoff and becomes a negative entry
+     * (see kMinInstrs).
+     */
+    static constexpr bool
+    belowMinRun(int n)
+    {
+        return n <= kMinInstrs;
+    }
+
     void
     clear()
     {
@@ -205,6 +236,7 @@ struct Block
         hits = 0;
         validGen = 0;
         lastDir = kLinkTaken;
+        prog.reset();
     }
 };
 

@@ -48,6 +48,27 @@ enum class MicrocodeLevel : Byte { Standard, Modified };
 
 enum class RunState : Byte { Running, Waiting, Halted };
 
+/**
+ * Host execution strategy, ordered lowest to highest (each tier
+ * includes everything below it; docs/ARCHITECTURE.md §5c):
+ *
+ *  - Reference: byte-at-a-time interpreter through the full MMU walk
+ *    (the lockstep oracle; selecting it turns on Mmu's reference
+ *    path).
+ *  - Fast: pointer-carrying TLB + predecoded-instruction cache,
+ *    per-instruction dispatch only.
+ *  - Blocks: superblock translation cache with trace links, executed
+ *    through the fused-handler switch in executeBlock.
+ *  - Threaded: blocks past the trace threshold additionally compile
+ *    into threaded-code programs run by the computed-goto driver in
+ *    threaded.cc (the default).
+ *
+ * Selected at construction by VVAX_EXEC_TIER=ref|fast|blocks|threaded
+ * or at run time via Cpu::setExecTier.  Purely a host-side knob: every
+ * tier retires bit-identical architectural state and Stats.
+ */
+enum class ExecTier : Byte { Reference = 0, Fast, Blocks, Threaded };
+
 /** One decoded operand, as supplied to the VM-emulation trap. */
 struct DecodedOperand
 {
@@ -234,6 +255,20 @@ class Cpu
      */
     void setTraceLinksEnabled(bool on) { trace_links_enabled_ = on; }
     bool traceLinksEnabled() const { return trace_links_enabled_; }
+    /**
+     * Select the host execution tier (see ExecTier).  Selecting
+     * Reference also enables the MMU's reference path so the whole
+     * fast-path stack is bypassed; selecting any other tier leaves
+     * the MMU setting alone (tests drive it independently).
+     */
+    void
+    setExecTier(ExecTier tier)
+    {
+        exec_tier_ = tier;
+        if (tier == ExecTier::Reference)
+            mmu_.setReferencePath(true);
+    }
+    ExecTier execTier() const { return exec_tier_; }
     /** Slow-path dispatches of a source block before it may link. */
     void setTraceLinkThreshold(std::uint64_t n)
     {
@@ -378,13 +413,25 @@ class Cpu
     BlockExit executeBlock(Block &blk, Tlb::Entry *win_entry,
                            std::uint64_t limit);
     /**
-     * Follow @p src's link for exit direction @p slot if it validates
-     * against the current PC, mapping regime, latched TLB tag and the
-     * target's generation watermark (docs/ARCHITECTURE.md §5b).  On
+     * Threaded-code driver (threaded.cc, docs/ARCHITECTURE.md §5c):
+     * compile @p blk on first entry, then retire it - and any blocks
+     * reachable through validating trace links - via computed-goto
+     * handler chains, with accounting and hazard checks bit-identical
+     * to executeBlock.  @p blk is updated to the last block entered so
+     * the caller's link-formation bookkeeping stays accurate.  Falls
+     * back to executeBlock on compilers without labels-as-values.
+     */
+    BlockExit executeThreaded(Block *&blk, Tlb::Entry *win_entry,
+                              std::uint64_t limit);
+    /**
+     * Follow one of @p src's links if it validates against the
+     * current PC, mapping regime, latched TLB tag and the target's
+     * generation watermark (docs/ARCHITECTURE.md §5b).  Probes the
+     * slot Block::lastDir predicts first (likely-exit ordering; the
+     * architectural-PC guard makes either probe order correct).  On
      * success, *blk and *entry name the next block and its window.
      */
-    bool followLink(Block &src, int slot, Block **blk,
-                    Tlb::Entry **entry);
+    bool followLink(Block &src, Block **blk, Tlb::Entry **entry);
     /** Patch (or re-latch) the @p slot edge src -> target. */
     void formTraceLink(Block &src, int slot, Block &target,
                        Tlb::Entry *entry);
@@ -610,6 +657,9 @@ class Cpu
     // host-side knobs and never observable architecturally.
     bool trace_links_enabled_ = true;
     std::uint64_t trace_link_threshold_ = 8;
+    // Execution tier (docs/ARCHITECTURE.md §5c): host-side strategy
+    // selection, highest tier by default.
+    ExecTier exec_tier_ = ExecTier::Threaded;
 
     RunState run_state_ = RunState::Running;
     HaltReason halt_reason_ = HaltReason::None;

@@ -279,8 +279,10 @@ Cpu::run(std::uint64_t max_instructions)
     const std::uint64_t limit = stats_.instructions + max_instructions;
     std::uint64_t idle_steps = 0;
     // The superblock path is a host execution strategy: never used on
-    // the reference path, and tracing needs the per-instruction hook.
-    const bool use_blocks = !mmu_.referencePath() && !trace_;
+    // the reference path or below the Blocks tier, and tracing needs
+    // the per-instruction hook.
+    const bool use_blocks = exec_tier_ >= ExecTier::Blocks &&
+                            !mmu_.referencePath() && !trace_;
     while (run_state_ != RunState::Halted && stats_.instructions < limit) {
         if (use_blocks && run_state_ == RunState::Running) {
             // Mirrors step() for the Running state: deliver at most
@@ -328,18 +330,22 @@ Cpu::run(std::uint64_t max_instructions)
  * before following any link when one is deliverable.
  */
 bool
-Cpu::followLink(Block &src, int slot, Block **blk, Tlb::Entry **entry)
+Cpu::followLink(Block &src, Block **blk, Tlb::Entry **entry)
 {
     const VirtAddr pc = regs_[PC];
-    // Probe the predicted slot first, then the other: a disp-0 branch
-    // makes both successors the same PC, and indirect exits (which
-    // always report Fall) get a second cached target out of it.
+    // Probe the slot lastDir predicts first (the last observed exit
+    // direction - callers update it only after this call, so it is a
+    // genuine prediction), then the other.  The pc guard makes either
+    // order correct; ordering by likelihood means the common case
+    // touches one Link, and a disp-0 branch or indirect exit (which
+    // always reports Fall) still finds its second cached target.
+    const int first = src.lastDir;
     for (int probe = 0; probe < 2; ++probe) {
-        Block::Link &l = src.links[probe == 0 ? slot : slot ^ 1];
+        Block::Link &l = src.links[probe == 0 ? first : first ^ 1];
         Block *t = l.target;
         if (t == nullptr || l.pc != pc)
             continue;
-        if (t->pc != pc || t->count == 0 || *t->genCell != t->validGen)
+        if (t->pc != pc || !t->runnable() || *t->genCell != t->validGen)
             return false; // recycled slot or dirtied page: slow path
         if (mmu_.regs().mapen) {
             Tlb::Entry *e = l.entry;
@@ -419,6 +425,11 @@ Cpu::invalidateBlock(Block &blk)
     // hit must cut all of them, not just kill the block), then
     // retract this block's own outbound back-references so targets
     // don't keep a dangling (source, slot) pair for a recycled slot.
+    // A compiled program dies with its block (clear() releases it);
+    // count the discard so VVAX_DUMP_HOT_BLOCKS can show recompile
+    // churn.
+    if (blk.prog != nullptr)
+        stats_.threadedDiscards++;
     severInboundLinks(blk);
     for (int s = 0; s < 2; ++s) {
         if (Block *t = blk.links[s].target; t != nullptr)
@@ -475,7 +486,7 @@ Cpu::runBlocks(std::uint64_t limit)
             }
             if (blk == nullptr)
                 blk = buildBlock(pc, base);
-            if (blk == nullptr || blk->count == 0) {
+            if (blk == nullptr || !blk->runnable()) {
                 prev = nullptr;
                 if (blk == nullptr || blk->stepInstrs == 0)
                     break; // untranslatable here
@@ -511,8 +522,19 @@ Cpu::runBlocks(std::uint64_t limit)
             }
         }
         stats_.blockExecutions++;
-        Block *const src = blk;
-        const BlockExit exit = executeBlock(*blk, entry, limit);
+        // The threaded driver takes over once the block is hot enough
+        // to have (or deserve) a compiled program; colder blocks warm
+        // up through the switch executor exactly as the Blocks tier
+        // would.  The driver chains compiled programs internally and
+        // leaves src naming the last block it entered, so the link
+        // bookkeeping below applies to the real chain tail.
+        Block *src = blk;
+        const BlockExit exit =
+            (exec_tier_ == ExecTier::Threaded &&
+             (blk->prog != nullptr ||
+              blk->hits >= trace_link_threshold_))
+                ? executeThreaded(src, entry, limit)
+                : executeBlock(*blk, entry, limit);
         blk = nullptr;
         executed = true;
         if (run_state_ != RunState::Running || pendingDeliverable())
@@ -521,9 +543,15 @@ Cpu::runBlocks(std::uint64_t limit)
             continue;
         const int slot = exit == BlockExit::Taken ? Block::kLinkTaken
                                                   : Block::kLinkFall;
+        // lastDir ordered the link probe; score the prediction before
+        // updating it.  (After a threaded chain the driver has already
+        // scored and updated the tail block, so this is a no-op.)
+        if (static_cast<int>(src->lastDir) != slot)
+            stats_.traceLinkMispredicts++;
+        const bool chained =
+            trace_links_enabled_ && followLink(*src, &blk, &entry);
         src->lastDir = static_cast<Byte>(slot);
-        if (trace_links_enabled_ &&
-            followLink(*src, slot, &blk, &entry))
+        if (chained)
             continue; // chained: skip the slow dispatch entirely
         prev = src;
         prev_pc = src->pc;

@@ -11,6 +11,15 @@
  * PC-relative forms folded to absolute addresses.  Replaying the
  * template performs exactly the data accesses, register side effects
  * and counter updates the byte-level decode would.
+ *
+ * The threaded-code tier (threaded.{h,cc}, docs/ARCHITECTURE.md §5c)
+ * builds on the same invariant one level up: a compiled program's
+ * Generic steps carry a tmplIndex into the owning block's template
+ * vector and replay it exactly as the switch executor does, so a
+ * template is the unit of decode work shared by every tier above the
+ * reference interpreter.  Templates are embedded in the Block, never
+ * in the ThreadedProgram: invalidating the block (SMC, DMA, external
+ * pokes) drops program and templates together through one funnel.
  */
 
 #ifndef VVAX_CPU_PREDECODE_H

@@ -1,0 +1,731 @@
+/**
+ * @file
+ * Threaded-code tier: the per-block compiler and the computed-goto
+ * driver (docs/ARCHITECTURE.md §5c).
+ *
+ * executeThreaded() is a drop-in replacement for executeBlock() above
+ * the trace threshold.  Instead of re-entering the FusedKind switch
+ * for every instruction, the block is compiled once into a flat array
+ * of ThreadedStep records whose handler fields are labels-as-values
+ * inside the driver; execution is then `goto *s->handler` chains, one
+ * indirect jump per retired instruction, with each handler's operand
+ * closure (register numbers, immediates, displacements) pre-resolved
+ * at compile time.  Sub-variants the switch resolved at run time -
+ * memory-operand shape, condition-branch opcode, SOB/BLB sense - are
+ * distinct handlers, so the bodies are branch-free where the switch
+ * bodies were not.
+ *
+ * Everything architectural is copied verbatim from executeBlock and
+ * must stay bit-identical: per-instruction Stats counters and cycle
+ * charges (including the timer-off deferred batch, which now spans
+ * trace-link crossings - legal because ICCS writes stop blocks, so
+ * the batching predicate cannot flip mid-chain), the mid-block hazard
+ * checks (page generation + byte memcmp after stores, window-TLB tag
+ * after any data access, pending-interrupt re-check when the interval
+ * timer could fire), and the fault path (flush the retired prefix,
+ * then dispatch).  The lockstep suites in tests/test_equivalence.cc
+ * pin this equivalence against both the switch executor and the
+ * reference interpreter.
+ *
+ * Trace links chain compiled-program -> compiled-program inside the
+ * driver: at a completed block exit the driver scores the lastDir
+ * prediction, re-runs followLink's full guard set, and on success
+ * jumps straight to the target's program (compiling it first if
+ * needed) without returning to runBlocks.
+ */
+
+#include <cassert>
+#include <cstring>
+
+#include "cpu/cpu.h"
+
+namespace vvax {
+
+#if defined(__GNUC__) // labels-as-values: GCC and Clang
+
+namespace {
+
+// Shared with execute.cc / dispatch.cc (file-static there): overflow
+// predicates for the fused ALU handlers, which must set NZVC exactly
+// as the generic execute switch does.
+constexpr bool
+addOverflows(Longword a, Longword b, Longword sum)
+{
+    return ((~(a ^ b)) & (a ^ sum) & 0x80000000u) != 0;
+}
+
+constexpr bool
+subOverflows(Longword min, Longword sub, Longword dif)
+{
+    // dif = min - sub
+    return (((min ^ sub)) & (min ^ dif) & 0x80000000u) != 0;
+}
+
+/** Refine a BlockInstr's FusedKind into the handler label index. */
+TOp
+stepOp(const BlockInstr &bi)
+{
+    switch (bi.kind) {
+      case FusedKind::Generic: return kTopGeneric;
+      case FusedKind::MovRR: return kTopMovRR;
+      case FusedKind::MovIR: return kTopMovIR;
+      case FusedKind::MovMR:
+        return bi.b == 0xFF ? kTopMovMRabs : kTopMovMRreg;
+      case FusedKind::MovRM:
+        return bi.b == 0xFF ? kTopMovRMabs : kTopMovRMreg;
+      case FusedKind::MovIM:
+        return bi.b == 0xFF ? kTopMovIMabs : kTopMovIMreg;
+      case FusedKind::ClrR: return kTopClrR;
+      case FusedKind::TstR: return kTopTstR;
+      case FusedKind::IncR: return kTopIncR;
+      case FusedKind::DecR: return kTopDecR;
+      case FusedKind::AddRR: return kTopAddRR;
+      case FusedKind::AddIR: return kTopAddIR;
+      case FusedKind::SubRR: return kTopSubRR;
+      case FusedKind::SubIR: return kTopSubIR;
+      case FusedKind::BisRR: return kTopBisRR;
+      case FusedKind::BisIR: return kTopBisIR;
+      case FusedKind::BicRR: return kTopBicRR;
+      case FusedKind::BicIR: return kTopBicIR;
+      case FusedKind::XorRR: return kTopXorRR;
+      case FusedKind::XorIR: return kTopXorIR;
+      case FusedKind::CmpRR: return kTopCmpRR;
+      case FusedKind::CmpIR: return kTopCmpIR;
+      case FusedKind::CmpRI: return kTopCmpRI;
+      case FusedKind::Bra: return kTopBra;
+      case FusedKind::CondBr:
+        switch (static_cast<Opcode>(bi.a)) {
+          case Opcode::BNEQ: return kTopBneq;
+          case Opcode::BEQL: return kTopBeql;
+          case Opcode::BGTR: return kTopBgtr;
+          case Opcode::BLEQ: return kTopBleq;
+          case Opcode::BGEQ: return kTopBgeq;
+          case Opcode::BLSS: return kTopBlss;
+          case Opcode::BGTRU: return kTopBgtru;
+          case Opcode::BLEQU: return kTopBlequ;
+          case Opcode::BVC: return kTopBvc;
+          case Opcode::BVS: return kTopBvs;
+          case Opcode::BCC: return kTopBcc;
+          case Opcode::BCS: return kTopBcs;
+          default: break; // classify() never emits another opcode
+        }
+        return kTopGeneric;
+      case FusedKind::Sob:
+        return bi.b != 0 ? kTopSobGtr : kTopSobGeq;
+      case FusedKind::BlbR:
+        return bi.b != 0 ? kTopBlbs : kTopBlbc;
+    }
+    return kTopGeneric;
+}
+
+/** Exit classification for trace linking (executeBlock's final
+ *  switch), resolved once at compile time. */
+Byte
+exitKindOf(const Block &blk)
+{
+    switch (blk.instrs[blk.count - 1].kind) {
+      case FusedKind::Bra:
+        return kThreadedExitBra;
+      case FusedKind::CondBr:
+      case FusedKind::Sob:
+      case FusedKind::BlbR:
+        return kThreadedExitCond;
+      default:
+        return kThreadedExitFall;
+    }
+}
+
+/**
+ * Compile @p blk into a ThreadedProgram.  @p lab is the driver's
+ * label table (label addresses are only visible inside the driver
+ * function, so compilation happens on first entry there).  Never
+ * fails: every FusedKind has a handler, Generic included.
+ */
+void
+compileProgram(Block &blk, const void *const *lab, Stats &stats)
+{
+    assert(blk.runnable());
+    auto prog = std::make_unique<ThreadedProgram>();
+    prog->steps.resize(static_cast<std::size_t>(blk.count));
+    for (int i = 0; i < blk.count; ++i) {
+        const BlockInstr &bi = blk.instrs[i];
+        ThreadedStep &s = prog->steps[static_cast<std::size_t>(i)];
+        s.handler = lab[stepOp(bi)];
+        s.a = bi.a;
+        s.b = bi.b;
+        s.len = bi.len;
+        s.flags = bi.flags;
+        s.fetchesPre = bi.fetchesPre;
+        s.fetchesPost = bi.fetchesPost;
+        s.tmplIndex = bi.tmplIndex;
+        s.imm = bi.imm;
+        s.imm2 = bi.imm2;
+        s.charge = bi.charge;
+    }
+    prog->exitKind = exitKindOf(blk);
+    blk.prog = std::move(prog);
+    stats.threadedCompiles++;
+}
+
+} // namespace
+
+/*
+ * Per-instruction commit, identical to the accounting block after
+ * executeBlock's switch: with the timer off, sum into the deferred
+ * batch; with it live, count and charge immediately so ICR advances
+ * exactly where the reference path puts it.
+ */
+#define VVAX_ACCOUNT(charge_v)                                        \
+    do {                                                              \
+        if (defer) {                                                  \
+            ++done;                                                   \
+            if (run_state_ != RunState::Halted)                       \
+                acc += (charge_v);                                    \
+        } else {                                                      \
+            stats_.instructions++;                                    \
+            stats_.blockInstructions++;                               \
+            stats_.threadedInstructions++;                            \
+            if (run_state_ != RunState::Halted)                       \
+                chargeCycles(CycleCategory::GuestExec, (charge_v));   \
+        }                                                             \
+    } while (0)
+
+#define VVAX_DISPATCH()                                               \
+    do {                                                              \
+        if (++s == end)                                               \
+            goto block_done;                                          \
+        instr_pc = regs_[PC];                                         \
+        goto *s->handler;                                             \
+    } while (0)
+
+/* Epilogue for handlers that cannot touch memory (flags == 0 by
+ * construction): only the timer can make an interrupt deliverable. */
+#define VVAX_EPI_NOMEM()                                              \
+    do {                                                              \
+        VVAX_ACCOUNT(s->charge);                                      \
+        if (timer_live && pendingDeliverable())                       \
+            goto bail_interrupt;                                      \
+        VVAX_DISPATCH();                                              \
+    } while (0)
+
+/* Epilogue for loads (kTouchesMem): the data walk may have evicted
+ * the window's TLB entry. */
+#define VVAX_EPI_TOUCH()                                              \
+    do {                                                              \
+        VVAX_ACCOUNT(s->charge);                                      \
+        if (timer_live && pendingDeliverable())                       \
+            goto bail_interrupt;                                      \
+        if (win_entry && win_entry->tag != win_tag)                   \
+            goto bail_tlb;                                            \
+        VVAX_DISPATCH();                                              \
+    } while (0)
+
+/* Epilogue for stores (kWritesMem | kTouchesMem): re-check the page
+ * generation (the store may have rewritten this very program), the
+ * run state and pending summaries (MMIO can raise device lines
+ * synchronously), then the window tag. */
+#define VVAX_EPI_WRITE()                                              \
+    do {                                                              \
+        VVAX_ACCOUNT(s->charge);                                      \
+        if (*blk->genCell != gen) {                                   \
+            if (std::memcmp(blk->hostPage +                           \
+                                (blk->pc & kPageOffsetMask),          \
+                            blk->bytes.data(), blk->byteLen) != 0)    \
+                goto bail_smc;                                        \
+            gen = *blk->genCell;                                      \
+            blk->validGen = gen;                                      \
+        }                                                             \
+        if (run_state_ != RunState::Running || pendingDeliverable())  \
+            goto bail_interrupt;                                      \
+        if (win_entry && win_entry->tag != win_tag)                   \
+            goto bail_tlb;                                            \
+        VVAX_DISPATCH();                                              \
+    } while (0)
+
+/* Condition-branch handler: one label per Bxx opcode, the predicate
+ * baked in. */
+#define VVAX_CONDBR(label, expr)                                      \
+  label: {                                                            \
+    if (mapped)                                                       \
+        stats_.tlbHits += s->fetchesPre;                              \
+    const bool taken = (expr);                                        \
+    regs_[PC] = taken ? static_cast<VirtAddr>(s->imm)                 \
+                      : instr_pc + s->len;                            \
+    br_taken = taken;                                                 \
+    VVAX_EPI_NOMEM();                                                 \
+  }
+
+/* Dyadic ALU families, source pre-resolved as a register or an
+ * immediate. */
+#define VVAX_ADD(label, srcexpr)                                      \
+  label: {                                                            \
+    if (mapped)                                                       \
+        stats_.tlbHits += s->fetchesPre;                              \
+    const Longword a = (srcexpr);                                     \
+    const Longword b = regs_[s->b];                                   \
+    const Longword sum = a + b;                                       \
+    regs_[s->b] = sum;                                                \
+    regs_[PC] = instr_pc + s->len;                                    \
+    psl_.setNzvc((sum & 0x80000000u) != 0, sum == 0,                  \
+                 addOverflows(a, b, sum), sum < a);                   \
+    if (psl_.v() && psl_.flag(Psl::kIv)) {                            \
+        throw GuestFault::withParam(ScbVector::Arithmetic,            \
+                                    arithcode::kIntegerOverflow,      \
+                                    /*abort=*/false);                 \
+    }                                                                 \
+    VVAX_EPI_NOMEM();                                                 \
+  }
+
+#define VVAX_SUB(label, srcexpr)                                      \
+  label: {                                                            \
+    if (mapped)                                                       \
+        stats_.tlbHits += s->fetchesPre;                              \
+    const Longword sub = (srcexpr);                                   \
+    const Longword min = regs_[s->b];                                 \
+    const Longword dif = min - sub;                                   \
+    regs_[s->b] = dif;                                                \
+    regs_[PC] = instr_pc + s->len;                                    \
+    psl_.setNzvc((dif & 0x80000000u) != 0, dif == 0,                  \
+                 subOverflows(min, sub, dif), min < sub);             \
+    if (psl_.v() && psl_.flag(Psl::kIv)) {                            \
+        throw GuestFault::withParam(ScbVector::Arithmetic,            \
+                                    arithcode::kIntegerOverflow,      \
+                                    /*abort=*/false);                 \
+    }                                                                 \
+    VVAX_EPI_NOMEM();                                                 \
+  }
+
+#define VVAX_LOGI(label, rexpr)                                       \
+  label: {                                                            \
+    if (mapped)                                                       \
+        stats_.tlbHits += s->fetchesPre;                              \
+    const Longword r = (rexpr);                                       \
+    regs_[s->b] = r;                                                  \
+    regs_[PC] = instr_pc + s->len;                                    \
+    setCcLogical(r, OpSize::L);                                       \
+    VVAX_EPI_NOMEM();                                                 \
+  }
+
+#define VVAX_CMP(label, xexpr, yexpr)                                 \
+  label: {                                                            \
+    if (mapped)                                                       \
+        stats_.tlbHits += s->fetchesPre;                              \
+    const Longword x = (xexpr);                                       \
+    const Longword y = (yexpr);                                       \
+    regs_[PC] = instr_pc + s->len;                                    \
+    psl_.setNzvc(static_cast<std::int32_t>(x) <                       \
+                     static_cast<std::int32_t>(y),                    \
+                 x == y, false, x < y);                               \
+    VVAX_EPI_NOMEM();                                                 \
+  }
+
+#define VVAX_SOB(label, takenexpr)                                    \
+  label: {                                                            \
+    if (mapped)                                                       \
+        stats_.tlbHits += s->fetchesPre;                              \
+    const Longword orig = regs_[s->a];                                \
+    const Longword index = orig - 1;                                  \
+    regs_[s->a] = index;                                              \
+    const auto si = static_cast<std::int32_t>(index);                 \
+    const bool taken = (takenexpr);                                   \
+    regs_[PC] = taken ? static_cast<VirtAddr>(s->imm)                 \
+                      : instr_pc + s->len;                            \
+    br_taken = taken;                                                 \
+    psl_.setNzvc(si < 0, si == 0, subOverflows(orig, 1, index),       \
+                 psl_.c());                                           \
+    if (psl_.v() && psl_.flag(Psl::kIv)) {                            \
+        throw GuestFault::withParam(ScbVector::Arithmetic,            \
+                                    arithcode::kIntegerOverflow,      \
+                                    /*abort=*/false);                 \
+    }                                                                 \
+    VVAX_EPI_NOMEM();                                                 \
+  }
+
+#define VVAX_BLB(label, takenexpr)                                    \
+  label: {                                                            \
+    if (mapped)                                                       \
+        stats_.tlbHits += s->fetchesPre;                              \
+    const bool bit = (regs_[s->a] & 1) != 0;                          \
+    const bool taken = (takenexpr);                                   \
+    regs_[PC] = taken ? static_cast<VirtAddr>(s->imm)                 \
+                      : instr_pc + s->len;                            \
+    br_taken = taken;                                                 \
+    VVAX_EPI_NOMEM();                                                 \
+  }
+
+#define VVAX_MOVMR(label, addrexpr)                                   \
+  label: {                                                            \
+    if (mapped)                                                       \
+        stats_.tlbHits += s->fetchesPre;                              \
+    const VirtAddr addr = (addrexpr);                                 \
+    const Longword v = mmu_.readV32(addr, mode);                      \
+    if (mapped)                                                       \
+        stats_.tlbHits += s->fetchesPost;                             \
+    regs_[s->a] = v;                                                  \
+    regs_[PC] = instr_pc + s->len;                                    \
+    setCcLogical(v, OpSize::L);                                       \
+    VVAX_EPI_TOUCH();                                                 \
+  }
+
+#define VVAX_MOVxM(label, addrexpr, valexpr)                          \
+  label: {                                                            \
+    if (mapped)                                                       \
+        stats_.tlbHits += s->fetchesPre;                              \
+    const VirtAddr addr = (addrexpr);                                 \
+    validateOperandWrite(addr, OpSize::L, mode);                      \
+    const Longword v = (valexpr);                                     \
+    mmu_.writeV32(addr, v, mode);                                     \
+    regs_[PC] = instr_pc + s->len;                                    \
+    setCcLogical(v, OpSize::L);                                       \
+    VVAX_EPI_WRITE();                                                 \
+  }
+
+Cpu::BlockExit
+Cpu::executeThreaded(Block *&blk_ref, Tlb::Entry *win_entry,
+                     std::uint64_t limit)
+{
+    // Label table in TOp order; static because label addresses are
+    // stable for the process lifetime and the table must not be
+    // rebuilt per call.
+    static const void *const kLab[kTopCount] = {
+        &&L_Generic,  &&L_MovRR,    &&L_MovIR,    &&L_MovMRreg,
+        &&L_MovMRabs, &&L_MovRMreg, &&L_MovRMabs, &&L_MovIMreg,
+        &&L_MovIMabs, &&L_ClrR,     &&L_TstR,     &&L_IncR,
+        &&L_DecR,     &&L_AddRR,    &&L_AddIR,    &&L_SubRR,
+        &&L_SubIR,    &&L_BisRR,    &&L_BisIR,    &&L_BicRR,
+        &&L_BicIR,    &&L_XorRR,    &&L_XorIR,    &&L_CmpRR,
+        &&L_CmpIR,    &&L_CmpRI,    &&L_Bra,      &&L_Bneq,
+        &&L_Beql,     &&L_Bgtr,     &&L_Bleq,     &&L_Bgeq,
+        &&L_Blss,     &&L_Bgtru,    &&L_Blequ,    &&L_Bvc,
+        &&L_Bvs,      &&L_Bcc,      &&L_Bcs,      &&L_SobGeq,
+        &&L_SobGtr,   &&L_Blbc,     &&L_Blbs,
+    };
+
+    Block *blk = blk_ref;
+    // Invariants hoisted per chain: no in-block opcode can change the
+    // mode or ICCS (both live in the sensitive set stopsBlock()
+    // rejects), so the current mode and the batching predicate are
+    // stable across every trace-link crossing the driver makes.
+    const AccessMode mode = psl_.currentMode();
+    const bool defer = !(iccs_ & iccs::kRun);
+    int done = 0;   // instructions retired but not yet counted
+    Cycles acc = 0; // their cycle charges, not yet applied
+    const auto flush = [&] {
+        stats_.instructions += static_cast<std::uint64_t>(done);
+        stats_.blockInstructions += static_cast<std::uint64_t>(done);
+        stats_.threadedInstructions += static_cast<std::uint64_t>(done);
+        done = 0;
+        if (acc != 0) {
+            chargeCycles(CycleCategory::GuestExec, acc);
+            acc = 0;
+        }
+    };
+
+    // Per-block state, (re)established at `enter` for every block in
+    // the chain.  Declared up front: the computed gotos and the
+    // chain-crossing `goto enter` must not jump over initializations.
+    ThreadedProgram *prog = nullptr;
+    const ThreadedStep *s = nullptr;
+    const ThreadedStep *end = nullptr;
+    bool mapped = false;
+    std::uint64_t win_tag = 0;
+    bool timer_live = false;
+    std::uint32_t gen = 0;
+    bool br_taken = false;
+    bool truncated = false;
+    VirtAddr instr_pc = 0;
+
+    try {
+    enter:
+        if (blk->prog == nullptr)
+            compileProgram(*blk, kLab, stats_);
+        prog = blk->prog.get();
+        prog->runs++;
+        stats_.threadedExecutions++;
+        mapped = win_entry != nullptr;
+        win_tag = mapped ? win_entry->tag : 0;
+        // Can the timer fire inside this block?  icr_ only moves by
+        // our own charges, and totalCharge bounds them.
+        timer_live =
+            (iccs_ & iccs::kRun) &&
+            icr_ + static_cast<std::int64_t>(blk->totalCharge) >= 0;
+        gen = *blk->genCell;
+        br_taken = false;
+        {
+            // Remaining budget; the deferred batch is still on the
+            // books, so it counts against the limit here.
+            const std::uint64_t remaining =
+                limit - stats_.instructions -
+                static_cast<std::uint64_t>(done);
+            std::size_t n = prog->steps.size();
+            truncated = remaining < n;
+            if (truncated)
+                n = static_cast<std::size_t>(remaining);
+            s = prog->steps.data();
+            end = s + n;
+        }
+        if (s == end)
+            goto block_done;
+        instr_pc = regs_[PC];
+        goto *s->handler;
+
+    L_Generic: {
+        Decoded &d = decode_scratch_;
+        d.regsAfter = regs_scratch_;
+        std::memcpy(d.regsAfter, regs_, sizeof(Longword) * kNumRegs);
+        d.extraCharge = 0;
+        d.suppressBase = false;
+        replayTemplate(blk->tmpls[s->tmplIndex], instr_pc, mapped, d);
+        execute(d);
+        Cycles charge = d.extraCharge;
+        if (!d.suppressBase) {
+            charge +=
+                d.info->baseCycles * cost_.instructionScalePct / 100;
+        }
+        VVAX_ACCOUNT(charge);
+        // Hazard flags are dynamic only here: fused kinds bake their
+        // epilogue into the handler.
+        if (s->flags != 0) {
+            if (s->flags & BlockInstr::kWritesMem) {
+                if (*blk->genCell != gen) {
+                    if (std::memcmp(blk->hostPage +
+                                        (blk->pc & kPageOffsetMask),
+                                    blk->bytes.data(),
+                                    blk->byteLen) != 0)
+                        goto bail_smc;
+                    gen = *blk->genCell;
+                    blk->validGen = gen;
+                }
+                if (run_state_ != RunState::Running ||
+                    pendingDeliverable())
+                    goto bail_interrupt;
+            } else if (timer_live && pendingDeliverable()) {
+                goto bail_interrupt;
+            }
+            if (win_entry && win_entry->tag != win_tag)
+                goto bail_tlb;
+        } else if (timer_live && pendingDeliverable()) {
+            goto bail_interrupt;
+        }
+        VVAX_DISPATCH();
+    }
+
+    L_MovRR: {
+        if (mapped)
+            stats_.tlbHits += s->fetchesPre;
+        const Longword v = regs_[s->a];
+        regs_[s->b] = v;
+        regs_[PC] = instr_pc + s->len;
+        setCcLogical(v, OpSize::L);
+        VVAX_EPI_NOMEM();
+    }
+    L_MovIR: {
+        if (mapped)
+            stats_.tlbHits += s->fetchesPre;
+        const Longword v = s->imm;
+        regs_[s->b] = v;
+        regs_[PC] = instr_pc + s->len;
+        setCcLogical(v, OpSize::L);
+        VVAX_EPI_NOMEM();
+    }
+
+    VVAX_MOVMR(L_MovMRreg, regs_[s->b] + s->imm)
+    VVAX_MOVMR(L_MovMRabs, static_cast<VirtAddr>(s->imm))
+    VVAX_MOVxM(L_MovRMreg, regs_[s->b] + s->imm, regs_[s->a])
+    VVAX_MOVxM(L_MovRMabs, static_cast<VirtAddr>(s->imm), regs_[s->a])
+    VVAX_MOVxM(L_MovIMreg, regs_[s->b] + s->imm, s->imm2)
+    VVAX_MOVxM(L_MovIMabs, static_cast<VirtAddr>(s->imm), s->imm2)
+
+    L_ClrR: {
+        if (mapped)
+            stats_.tlbHits += s->fetchesPre;
+        regs_[s->b] = 0;
+        regs_[PC] = instr_pc + s->len;
+        psl_.setNzvc(false, true, false, psl_.c());
+        VVAX_EPI_NOMEM();
+    }
+    L_TstR: {
+        if (mapped)
+            stats_.tlbHits += s->fetchesPre;
+        const Longword v = regs_[s->a];
+        regs_[PC] = instr_pc + s->len;
+        setCcLogical(v, OpSize::L);
+        psl_.setFlag(Psl::kC, false);
+        VVAX_EPI_NOMEM();
+    }
+    L_IncR: {
+        if (mapped)
+            stats_.tlbHits += s->fetchesPre;
+        const Longword a = regs_[s->b];
+        const Longword r = a + 1;
+        regs_[s->b] = r;
+        regs_[PC] = instr_pc + s->len;
+        psl_.setNzvc((r & 0x80000000u) != 0, r == 0,
+                     addOverflows(a, 1, r), r < a);
+        if (psl_.v() && psl_.flag(Psl::kIv)) {
+            throw GuestFault::withParam(ScbVector::Arithmetic,
+                                        arithcode::kIntegerOverflow,
+                                        /*abort=*/false);
+        }
+        VVAX_EPI_NOMEM();
+    }
+    L_DecR: {
+        if (mapped)
+            stats_.tlbHits += s->fetchesPre;
+        const Longword a = regs_[s->b];
+        const Longword r = a - 1;
+        regs_[s->b] = r;
+        regs_[PC] = instr_pc + s->len;
+        psl_.setNzvc((r & 0x80000000u) != 0, r == 0,
+                     subOverflows(a, 1, r), a < 1);
+        if (psl_.v() && psl_.flag(Psl::kIv)) {
+            throw GuestFault::withParam(ScbVector::Arithmetic,
+                                        arithcode::kIntegerOverflow,
+                                        /*abort=*/false);
+        }
+        VVAX_EPI_NOMEM();
+    }
+
+    VVAX_ADD(L_AddRR, regs_[s->a])
+    VVAX_ADD(L_AddIR, s->imm)
+    VVAX_SUB(L_SubRR, regs_[s->a])
+    VVAX_SUB(L_SubIR, s->imm)
+    VVAX_LOGI(L_BisRR, regs_[s->a] | regs_[s->b])
+    VVAX_LOGI(L_BisIR, s->imm | regs_[s->b])
+    VVAX_LOGI(L_BicRR, ~regs_[s->a] & regs_[s->b])
+    VVAX_LOGI(L_BicIR, ~s->imm & regs_[s->b])
+    VVAX_LOGI(L_XorRR, regs_[s->a] ^ regs_[s->b])
+    VVAX_LOGI(L_XorIR, s->imm ^ regs_[s->b])
+    VVAX_CMP(L_CmpRR, regs_[s->a], regs_[s->b])
+    VVAX_CMP(L_CmpIR, s->imm, regs_[s->b])
+    VVAX_CMP(L_CmpRI, regs_[s->a], s->imm)
+
+    L_Bra: {
+        if (mapped)
+            stats_.tlbHits += s->fetchesPre;
+        regs_[PC] = s->imm;
+        br_taken = true;
+        VVAX_EPI_NOMEM();
+    }
+
+    VVAX_CONDBR(L_Bneq, !psl_.z())
+    VVAX_CONDBR(L_Beql, psl_.z())
+    VVAX_CONDBR(L_Bgtr, !(psl_.n() || psl_.z()))
+    VVAX_CONDBR(L_Bleq, psl_.n() || psl_.z())
+    VVAX_CONDBR(L_Bgeq, !psl_.n())
+    VVAX_CONDBR(L_Blss, psl_.n())
+    VVAX_CONDBR(L_Bgtru, !(psl_.c() || psl_.z()))
+    VVAX_CONDBR(L_Blequ, psl_.c() || psl_.z())
+    VVAX_CONDBR(L_Bvc, !psl_.v())
+    VVAX_CONDBR(L_Bvs, psl_.v())
+    VVAX_CONDBR(L_Bcc, !psl_.c())
+    VVAX_CONDBR(L_Bcs, psl_.c())
+
+    VVAX_SOB(L_SobGeq, si >= 0)
+    VVAX_SOB(L_SobGtr, si > 0)
+    VVAX_BLB(L_Blbc, !bit)
+    VVAX_BLB(L_Blbs, bit)
+
+    block_done:
+        if (truncated) {
+            // Ran out of instruction budget mid-program: exactly
+            // executeBlock's truncated-run Bailed.
+            flush();
+            prog->bails[static_cast<int>(ThreadedBail::Budget)]++;
+            stats_.threadedBails++;
+            blk_ref = blk;
+            return BlockExit::Bailed;
+        }
+        {
+            const BlockExit exit =
+                prog->exitKind == kThreadedExitBra
+                    ? BlockExit::Taken
+                    : prog->exitKind == kThreadedExitCond
+                          ? (br_taken ? BlockExit::Taken
+                                      : BlockExit::Fall)
+                          : BlockExit::Fall;
+            // Chain compiled-program -> compiled-program through the
+            // trace links.  Mirrors runBlocks' post-exit sequence:
+            // stop on anything deliverable, score the lastDir
+            // prediction, then re-run followLink's full guard set.
+            if (run_state_ != RunState::Running || pendingDeliverable()) {
+                flush();
+                blk_ref = blk;
+                return exit;
+            }
+            const int slot = exit == BlockExit::Taken
+                                 ? Block::kLinkTaken
+                                 : Block::kLinkFall;
+            if (static_cast<int>(blk->lastDir) != slot)
+                stats_.traceLinkMispredicts++;
+            Block *next = nullptr;
+            Tlb::Entry *nentry = nullptr;
+            const bool chained =
+                trace_links_enabled_ &&
+                stats_.instructions + static_cast<std::uint64_t>(done) <
+                    limit &&
+                followLink(*blk, &next, &nentry);
+            blk->lastDir = static_cast<Byte>(slot);
+            if (!chained) {
+                flush();
+                blk_ref = blk;
+                return exit;
+            }
+            stats_.blockExecutions++;
+            blk = next;
+            win_entry = nentry;
+        }
+        goto enter;
+
+    bail_smc:
+        // A store changed this program's own bytes: stop before the
+        // stale tail (the slow path will re-validate and rebuild).
+        flush();
+        prog->bails[static_cast<int>(ThreadedBail::Smc)]++;
+        stats_.threadedBails++;
+        blk_ref = blk;
+        return BlockExit::Bailed;
+
+    bail_interrupt:
+        flush();
+        prog->bails[static_cast<int>(ThreadedBail::Interrupt)]++;
+        stats_.threadedBails++;
+        blk_ref = blk;
+        return BlockExit::Bailed;
+
+    bail_tlb:
+        // A data-access walk evicted the entry the program's page is
+        // fetched through; the reference would take a TLB miss on the
+        // next instruction fetch.
+        flush();
+        prog->bails[static_cast<int>(ThreadedBail::TlbEvict)]++;
+        stats_.threadedBails++;
+        blk_ref = blk;
+        return BlockExit::Bailed;
+    } catch (const GuestFault &fault) {
+        // The faulting instruction never entered the batch; the
+        // retired prefix must be on the books before the fault
+        // dispatch charges its own cycles.
+        flush();
+        dispatchFault(fault, instr_pc, regs_[PC]);
+        prog->bails[static_cast<int>(ThreadedBail::Fault)]++;
+        stats_.threadedBails++;
+        blk_ref = blk;
+        return BlockExit::Bailed;
+    }
+}
+
+#else // !__GNUC__: no labels-as-values
+
+Cpu::BlockExit
+Cpu::executeThreaded(Block *&blk_ref, Tlb::Entry *win_entry,
+                     std::uint64_t limit)
+{
+    // Degrade gracefully: the switch executor is architecturally
+    // identical, just not threaded.
+    return executeBlock(*blk_ref, win_entry, limit);
+}
+
+#endif
+
+} // namespace vvax

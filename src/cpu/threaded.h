@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Threaded-code execution tier (docs/ARCHITECTURE.md §5c).
+ *
+ * When a superblock crosses the trace threshold the driver in
+ * threaded.cc compiles it once into a ThreadedProgram: a flat array of
+ * step records, each carrying a pre-resolved handler address (a
+ * computed-goto label inside the driver) plus the decoded operand
+ * closure - register numbers, literal values, precomputed
+ * displacements and branch targets - copied out of the BlockInstr it
+ * was compiled from.  Execution then chains handler to handler with
+ * one indirect goto per instruction, never re-dispatching through the
+ * big FusedKind switch in executeBlock.
+ *
+ * The tier reuses the PR-6 machinery wholesale: programs hang off
+ * their Block, are keyed and validated exactly like the block
+ * (host-page identity, per-page generation watermark, byte memcmp),
+ * and die with it through the single invalidateBlock severing funnel.
+ * Trace links jump compiled-program -> compiled-program inside the
+ * driver, re-running followLink's guard set at every crossing.
+ *
+ * Host-side machinery only: every Stats counter and CostModel cycle
+ * charge is applied per retired instruction, bit-identical to the
+ * switch executor and the reference interpreter (DESIGN.md §7h).
+ */
+
+#ifndef VVAX_CPU_THREADED_H
+#define VVAX_CPU_THREADED_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace vvax {
+
+/**
+ * Label index for one threaded step.  The set refines FusedKind: the
+ * sub-variants the switch executor resolves at run time (memory
+ * operand shape, condition-branch opcode, SOB/BLB sense) become
+ * distinct handlers, so the operand closure is fully pre-resolved and
+ * the handler body is branch-free where the switch body was not.
+ */
+enum TOp : Byte {
+    kTopGeneric = 0, //!< template replay through decode/execute
+    kTopMovRR,
+    kTopMovIR,
+    kTopMovMRreg, //!< MOVL disp(Rb), Rd
+    kTopMovMRabs, //!< MOVL @#abs, Rd
+    kTopMovRMreg,
+    kTopMovRMabs,
+    kTopMovIMreg,
+    kTopMovIMabs,
+    kTopClrR,
+    kTopTstR,
+    kTopIncR,
+    kTopDecR,
+    kTopAddRR,
+    kTopAddIR,
+    kTopSubRR,
+    kTopSubIR,
+    kTopBisRR,
+    kTopBisIR,
+    kTopBicRR,
+    kTopBicIR,
+    kTopXorRR,
+    kTopXorIR,
+    kTopCmpRR,
+    kTopCmpIR,
+    kTopCmpRI,
+    kTopBra,
+    kTopBneq,
+    kTopBeql,
+    kTopBgtr,
+    kTopBleq,
+    kTopBgeq,
+    kTopBlss,
+    kTopBgtru,
+    kTopBlequ,
+    kTopBvc,
+    kTopBvs,
+    kTopBcc,
+    kTopBcs,
+    kTopSobGeq,
+    kTopSobGtr,
+    kTopBlbc,
+    kTopBlbs,
+    kTopCount,
+};
+
+/** Why a program run ended early (per-program observability for
+ *  VVAX_DUMP_HOT_BLOCKS; the architectural effect of each bail is
+ *  identical to the switch executor's BlockExit::Bailed). */
+enum class ThreadedBail : Byte {
+    Fault = 0, //!< GuestFault dispatched mid-program
+    Smc,       //!< a store changed the program's own bytes
+    Interrupt, //!< deliverable interrupt / halt stopped the run
+    TlbEvict,  //!< the instruction window's TLB entry was evicted
+    Budget,    //!< instruction budget truncated the program
+    NumReasons,
+};
+
+constexpr int kNumThreadedBails =
+    static_cast<int>(ThreadedBail::NumReasons);
+
+/** How the (always block-final) last step classifies the exit. */
+enum ThreadedExit : Byte {
+    kThreadedExitFall = 0, //!< fall-through or indirect transfer
+    kThreadedExitBra,      //!< unconditional branch: always Taken
+    kThreadedExitCond,     //!< conditional: direction known at run time
+};
+
+/** One pre-resolved step of a compiled program. */
+struct ThreadedStep
+{
+    const void *handler = nullptr; //!< driver label for this step's TOp
+    Byte a = 0;                    //!< see FusedKind field comments
+    Byte b = 0;
+    Byte len = 0;
+    Byte flags = 0;       //!< BlockInstr hazard flags (Generic only
+                          //!< needs them at run time; fused kinds bake
+                          //!< the hazard checks into the handler)
+    Byte fetchesPre = 0;  //!< stream fetches before the data access
+    Byte fetchesPost = 0; //!< stream fetches after it (MovMR)
+    Word tmplIndex = 0;   //!< Generic: index into Block::tmpls
+    Longword imm = 0;     //!< immediate / displacement / branch target
+    Longword imm2 = 0;    //!< MovIM immediate value
+    Cycles charge = 0;    //!< base cycle charge (fused kinds only)
+};
+
+/**
+ * A compiled superblock: the steps plus per-program observability.
+ * Owned by the Block it was compiled from (Block::prog) and discarded
+ * with it - compileProgram never outlives a byte revalidation failure.
+ */
+struct ThreadedProgram
+{
+    std::vector<ThreadedStep> steps;
+    Byte exitKind = kThreadedExitFall;
+    std::uint64_t runs = 0; //!< program entries (slow-path + chained)
+    std::array<std::uint64_t, kNumThreadedBails> bails{};
+};
+
+} // namespace vvax
+
+#endif // VVAX_CPU_THREADED_H

@@ -86,6 +86,12 @@ Stats::operator+=(const Stats &other)
     traceLinksFormed += other.traceLinksFormed;
     traceLinksTaken += other.traceLinksTaken;
     traceLinksSevered += other.traceLinksSevered;
+    traceLinkMispredicts += other.traceLinkMispredicts;
+    threadedCompiles += other.threadedCompiles;
+    threadedExecutions += other.threadedExecutions;
+    threadedInstructions += other.threadedInstructions;
+    threadedBails += other.threadedBails;
+    threadedDiscards += other.threadedDiscards;
     return *this;
 }
 
@@ -142,7 +148,13 @@ Stats::print(std::ostream &os) const
     if (traceLinksFormed != 0 || traceLinksTaken != 0) {
         os << "trace links: " << traceLinksFormed << " formed, "
            << traceLinksTaken << " taken, " << traceLinksSevered
-           << " severed\n";
+           << " severed, " << traceLinkMispredicts << " mispredicted\n";
+    }
+    if (threadedCompiles != 0 || threadedExecutions != 0) {
+        os << "threaded tier: " << threadedCompiles << " compiled, "
+           << threadedExecutions << " executed, "
+           << threadedInstructions << " instructions, " << threadedBails
+           << " bails, " << threadedDiscards << " discarded\n";
     }
     std::uint64_t total_faults = 0;
     for (auto c : faultsInjected)

@@ -102,6 +102,18 @@ struct Stats
     std::uint64_t traceLinksFormed = 0;  //!< block->block edges patched in
     std::uint64_t traceLinksTaken = 0;   //!< crossings that bypassed dispatch
     std::uint64_t traceLinksSevered = 0; //!< edges cut by invalidation
+    /** Exits whose direction differed from Block::lastDir (the link
+     *  probe order's prediction).  Host-side. */
+    std::uint64_t traceLinkMispredicts = 0;
+
+    // Threaded-code tier observability (docs/ARCHITECTURE.md §5c).
+    // Host-side like the block counters above: excluded from
+    // operator==.
+    std::uint64_t threadedCompiles = 0;     //!< blocks compiled to programs
+    std::uint64_t threadedExecutions = 0;   //!< program entries run
+    std::uint64_t threadedInstructions = 0; //!< instructions retired threaded
+    std::uint64_t threadedBails = 0;        //!< abnormal program exits
+    std::uint64_t threadedDiscards = 0;     //!< programs dropped on invalidation
 
     void
     addCycles(CycleCategory cat, Cycles n)

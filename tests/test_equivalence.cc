@@ -448,12 +448,14 @@ lockstepTrapDenseVirtual(bool reference)
  * TLB/cycle accounting while invalidating.
  */
 MachineDigest
-lockstepSmcBare(bool cross_page, bool reference)
+lockstepSmcBare(bool cross_page, bool reference,
+                ExecTier tier = ExecTier::Threaded)
 {
     MachineConfig mc;
     mc.level = MicrocodeLevel::Modified;
     RealMachine m(mc);
     m.mmu().setReferencePath(reference);
+    m.cpu().setExecTier(tier);
     MicroGuestImage img = buildSmcPatchLoop(600, cross_page);
     m.loadImage(img.loadBase, img.image);
     m.cpu().setPc(img.entry);
@@ -467,13 +469,15 @@ lockstepSmcBare(bool cross_page, bool reference)
 
 /** The same self-modifying guest inside a virtual machine. */
 MachineDigest
-lockstepSmcVirtual(bool cross_page, bool reference)
+lockstepSmcVirtual(bool cross_page, bool reference,
+                   ExecTier tier = ExecTier::Threaded)
 {
     MachineConfig mc;
     mc.ramBytes = 16 * 1024 * 1024;
     mc.level = MicrocodeLevel::Modified;
     RealMachine m(mc);
     m.mmu().setReferencePath(reference);
+    m.cpu().setExecTier(tier);
     Hypervisor hv(m);
     VirtualMachine &vm = hv.createVm(VmConfig{});
     MicroGuestImage img = buildSmcPatchLoop(600, cross_page);
@@ -491,7 +495,8 @@ lockstepSmcVirtual(bool cross_page, bool reference)
  * The stale block must be dropped at its next entry validation.
  */
 MachineDigest
-lockstepExternalPatch(bool reference)
+lockstepExternalPatch(bool reference,
+                      ExecTier tier = ExecTier::Threaded)
 {
     CodeBuilder b(0x200);
     b.movl(Op::imm(100), Op::reg(R6));
@@ -506,6 +511,7 @@ lockstepExternalPatch(bool reference)
     mc.level = MicrocodeLevel::Modified;
     RealMachine m(mc);
     m.mmu().setReferencePath(reference);
+    m.cpu().setExecTier(tier);
     auto image = b.finish();
     m.loadImage(b.origin(), image);
     const VirtAddr lit_addr = b.labelAddress(loop) + 1;
@@ -538,13 +544,15 @@ lockstepExternalPatch(bool reference)
  */
 MachineDigest
 lockstepBranchPatchBare(bool cross_page, bool reference,
-                        bool links = true)
+                        bool links = true,
+                        ExecTier tier = ExecTier::Threaded)
 {
     MachineConfig mc;
     mc.level = MicrocodeLevel::Modified;
     RealMachine m(mc);
     m.mmu().setReferencePath(reference);
     m.cpu().setTraceLinksEnabled(links);
+    m.cpu().setExecTier(tier);
     MicroGuestImage img = buildBranchPatchLoop(600, cross_page);
     m.loadImage(img.loadBase, img.image);
     m.cpu().setPc(img.entry);
@@ -566,13 +574,15 @@ lockstepBranchPatchBare(bool cross_page, bool reference,
 
 /** The branch-patching guest inside a virtual machine. */
 MachineDigest
-lockstepBranchPatchVirtual(bool cross_page, bool reference)
+lockstepBranchPatchVirtual(bool cross_page, bool reference,
+                           ExecTier tier = ExecTier::Threaded)
 {
     MachineConfig mc;
     mc.ramBytes = 16 * 1024 * 1024;
     mc.level = MicrocodeLevel::Modified;
     RealMachine m(mc);
     m.mmu().setReferencePath(reference);
+    m.cpu().setExecTier(tier);
     Hypervisor hv(m);
     VirtualMachine &vm = hv.createVm(VmConfig{});
     MicroGuestImage img = buildBranchPatchLoop(600, cross_page);
@@ -597,7 +607,8 @@ lockstepBranchPatchVirtual(bool cross_page, bool reference)
  * stale block and sever every inbound edge.
  */
 MachineDigest
-lockstepExternalLinkSever(bool reference)
+lockstepExternalLinkSever(bool reference,
+                          ExecTier tier = ExecTier::Threaded)
 {
     CodeBuilder b(0x200);
     b.movl(Op::imm(400), Op::reg(R6));
@@ -616,6 +627,7 @@ lockstepExternalLinkSever(bool reference)
     mc.level = MicrocodeLevel::Modified;
     RealMachine m(mc);
     m.mmu().setReferencePath(reference);
+    m.cpu().setExecTier(tier);
     auto image = b.finish();
     m.loadImage(b.origin(), image);
     const VirtAddr lit_addr = b.labelAddress(next) + 1;
@@ -647,7 +659,8 @@ lockstepExternalLinkSever(bool reference)
 
 /** The external link-severing poke against a guest inside a VM. */
 MachineDigest
-lockstepExternalLinkSeverVirtual(bool reference)
+lockstepExternalLinkSeverVirtual(bool reference,
+                                 ExecTier tier = ExecTier::Threaded)
 {
     CodeBuilder b(0x200);
     b.movl(Op::imm(20000), Op::reg(R6));
@@ -667,6 +680,7 @@ lockstepExternalLinkSeverVirtual(bool reference)
     mc.level = MicrocodeLevel::Modified;
     RealMachine m(mc);
     m.mmu().setReferencePath(reference);
+    m.cpu().setExecTier(tier);
     Hypervisor hv(m);
     VirtualMachine &vm = hv.createVm(VmConfig{});
     auto image = b.finish();
@@ -887,6 +901,139 @@ TEST(FastPathLockstep, TraceLinksDisabledMatchesEnabled)
     expectDigestsEqual(
         lockstepBranchPatchBare(false, false, /*links=*/true),
         lockstepBranchPatchBare(false, false, /*links=*/false));
+}
+
+// ---------------------------------------------------------------------------
+// Threaded-code tier (docs/ARCHITECTURE.md §5c): the same adversarial
+// guests - self-modifying code, branches patched inside linked traces,
+// external pokes landing between run() calls - retired through
+// compiled handler chains.  The digests must match both the reference
+// interpreter (the tests above already pin that, since Threaded is the
+// default tier) and the switch executor, so the two host strategies
+// can never drift apart.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedTierLockstep, SmcPatchMatchesSwitchExecutorBare)
+{
+    expectDigestsEqual(
+        lockstepSmcBare(false, false, ExecTier::Threaded),
+        lockstepSmcBare(false, false, ExecTier::Blocks));
+}
+
+TEST(ThreadedTierLockstep, SmcPatchMatchesSwitchExecutorVirtualized)
+{
+    expectDigestsEqual(
+        lockstepSmcVirtual(true, false, ExecTier::Threaded),
+        lockstepSmcVirtual(true, false, ExecTier::Blocks));
+}
+
+TEST(ThreadedTierLockstep, BranchPatchMatchesSwitchExecutorBare)
+{
+    expectDigestsEqual(
+        lockstepBranchPatchBare(false, false, true,
+                                ExecTier::Threaded),
+        lockstepBranchPatchBare(false, false, true,
+                                ExecTier::Blocks));
+}
+
+TEST(ThreadedTierLockstep, BranchPatchMatchesReferenceBare)
+{
+    expectDigestsEqual(
+        lockstepBranchPatchBare(true, false, true,
+                                ExecTier::Threaded),
+        lockstepBranchPatchBare(true, true));
+}
+
+TEST(ThreadedTierLockstep, BranchPatchMatchesSwitchExecutorVirtualized)
+{
+    expectDigestsEqual(
+        lockstepBranchPatchVirtual(false, false, ExecTier::Threaded),
+        lockstepBranchPatchVirtual(false, false, ExecTier::Blocks));
+}
+
+TEST(ThreadedTierLockstep, ExternalPokeMatchesSwitchExecutor)
+{
+    expectDigestsEqual(
+        lockstepExternalLinkSever(false, ExecTier::Threaded),
+        lockstepExternalLinkSever(false, ExecTier::Blocks));
+}
+
+TEST(ThreadedTierLockstep, ExternalPokeMatchesSwitchExecutorVirtualized)
+{
+    expectDigestsEqual(
+        lockstepExternalLinkSeverVirtual(false, ExecTier::Threaded),
+        lockstepExternalLinkSeverVirtual(false, ExecTier::Blocks));
+}
+
+TEST(ThreadedTierLockstep, HotBlocksRetireThroughCompiledPrograms)
+{
+    // Guard against a silent fallback: the driver must actually
+    // compile and retire instructions, not quietly route everything
+    // back through the switch.
+    MachineConfig mc;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.cpu().setExecTier(ExecTier::Threaded);
+    CodeBuilder b(0x200);
+    b.movl(Op::imm(2000), Op::reg(R6));
+    b.clrl(Op::reg(R0));
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.addl2(Op::lit(1), Op::reg(R0));
+    b.sobgtr(Op::reg(R6), loop);
+    b.halt();
+    auto image = b.finish();
+    m.loadImage(b.origin(), image);
+    m.cpu().setPc(b.origin());
+    m.cpu().psl().setIpl(31);
+    m.run(100000);
+    EXPECT_EQ(m.cpu().haltReason(), HaltReason::HaltInstruction);
+    EXPECT_EQ(m.cpu().reg(0), 2000u);
+    EXPECT_GT(m.stats().threadedCompiles, 0u);
+    EXPECT_GT(m.stats().threadedExecutions, 0u);
+    EXPECT_GT(m.stats().threadedInstructions, 0u);
+}
+
+TEST(ThreadedTierLockstep, EnvironmentVariableSelectsExecTier)
+{
+    // The per-tier ctest sweep in run_all.sh presets VVAX_EXEC_TIER;
+    // stash it so this test checks the parser, not the sweep's pick.
+    const char *prior = getenv("VVAX_EXEC_TIER");
+    const std::string saved = prior != nullptr ? prior : "";
+    unsetenv("VVAX_EXEC_TIER");
+    {
+        RealMachine m;
+        EXPECT_EQ(m.cpu().execTier(), ExecTier::Threaded)
+            << "threaded is the default tier";
+    }
+    setenv("VVAX_EXEC_TIER", "blocks", 1);
+    {
+        RealMachine m;
+        EXPECT_EQ(m.cpu().execTier(), ExecTier::Blocks);
+    }
+    setenv("VVAX_EXEC_TIER", "fast", 1);
+    {
+        RealMachine m;
+        EXPECT_EQ(m.cpu().execTier(), ExecTier::Fast);
+    }
+    setenv("VVAX_EXEC_TIER", "ref", 1);
+    {
+        RealMachine m;
+        EXPECT_EQ(m.cpu().execTier(), ExecTier::Reference);
+        EXPECT_TRUE(m.mmu().referencePath())
+            << "the ref tier implies the MMU reference path";
+    }
+    setenv("VVAX_EXEC_TIER", "bogus", 1);
+    {
+        RealMachine m;
+        EXPECT_EQ(m.cpu().execTier(), ExecTier::Threaded)
+            << "unknown values keep the default";
+        EXPECT_FALSE(m.mmu().referencePath());
+    }
+    if (prior != nullptr)
+        setenv("VVAX_EXEC_TIER", saved.c_str(), 1);
+    else
+        unsetenv("VVAX_EXEC_TIER");
 }
 
 TEST(FastPathLockstep, EnvironmentVariableDisablesTraceLinks)

@@ -371,7 +371,8 @@ struct FleetOutcome
  *  one disk-heavy MiniVMS - all with async disk I/O on. */
 FleetOutcome
 runMixedFleet(int workers,
-              const std::vector<const FaultPlan *> *plans = nullptr)
+              const std::vector<const FaultPlan *> *plans = nullptr,
+              const std::vector<ExecTier> *tiers = nullptr)
 {
     FleetConfig fc;
     fc.workers = workers;
@@ -428,6 +429,10 @@ runMixedFleet(int workers,
         for (int i = 0; i < fleet.size(); ++i)
             fleet.setFaultPlan(i, (*plans)[i]);
     }
+    if (tiers != nullptr) {
+        for (int i = 0; i < fleet.size(); ++i)
+            fleet.machine(i).cpu().setExecTier((*tiers)[i]);
+    }
 
     fleet.run(400000000);
 
@@ -474,6 +479,30 @@ TEST(FleetDeterminism, FourVmMixIsBitIdenticalAcrossWorkerCounts)
         EXPECT_TRUE(one.members[i] == two.members[i]) << "member " << i;
     }
     EXPECT_TRUE(one == four);
+}
+
+TEST(FleetDeterminism, MixedExecTiersAreLockstepAndWorkerCountInvariant)
+{
+    // Each member retires hot code through a different host execution
+    // tier (docs/ARCHITECTURE.md §5c).  The tier is a host strategy,
+    // never an architectural input: every per-member digest, console
+    // stream, VmStats field, and architectural Stats counter must
+    // match the uniform-threaded fleet, and the mixed fleet must stay
+    // bit-identical across worker counts.
+    const std::vector<ExecTier> tiers = {
+        ExecTier::Threaded, ExecTier::Blocks, ExecTier::Fast,
+        ExecTier::Threaded};
+    const FleetOutcome uniform = runMixedFleet(2);
+    const FleetOutcome mixed2 = runMixedFleet(2, nullptr, &tiers);
+    const FleetOutcome mixed4 = runMixedFleet(4, nullptr, &tiers);
+    ASSERT_EQ(uniform.members.size(), mixed2.members.size());
+    for (std::size_t i = 0; i < uniform.members.size(); ++i) {
+        EXPECT_TRUE(uniform.members[i] == mixed2.members[i])
+            << "member " << i
+            << ": the exec tier must be architecturally invisible";
+    }
+    EXPECT_TRUE(mixed2 == mixed4)
+        << "a mixed-tier fleet must stay worker-count invariant";
 }
 
 TEST(FleetDeterminism, TotalsEqualTheSumOfMembers)
