@@ -18,6 +18,7 @@
 #include "guest/microguests.h"
 #include "vasm/code_builder.h"
 #include "vmm/fleet.h"
+#include "vmm/golden_image.h"
 
 using namespace vvax;
 using namespace vvax::bench;
@@ -501,6 +502,185 @@ BENCHMARK(BM_HypervisorFleet)
     ->Args({4, 1})
     ->Args({4, 2})
     ->Args({4, 4});
+
+// ---------------------------------------------------------------------------
+// Golden-image forking (vmm/golden_image.h)
+// ---------------------------------------------------------------------------
+
+/** Boot budget for the golden MiniVMS mix: mid-flight, after the
+ *  guest kernel is up but with work (including disk I/O) remaining. */
+constexpr std::uint64_t kGoldenBootBudget = 2000;
+
+MiniVmsConfig
+goldenMixConfig()
+{
+    MiniVmsConfig cfg;
+    cfg.numProcesses = 2;
+    cfg.workloads = {Workload::Transaction, Workload::Edit};
+    cfg.iterations = 6;
+    cfg.dataPagesPerProcess = 8;
+    return cfg;
+}
+
+MachineConfig
+goldenMachineConfig()
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    return mc;
+}
+
+HypervisorConfig
+goldenHvConfig()
+{
+    HypervisorConfig hc;
+    hc.tickCycles = 2000;
+    hc.ticksPerQuantum = 2;
+    hc.asyncDiskIo = true;
+    return hc;
+}
+
+/** The cold path BM_GoldenBootBaseline times and BM_ForkStorm skips:
+ *  build the machine stack and boot the mix to the seal point. */
+struct BootedGolden
+{
+    std::unique_ptr<RealMachine> machine;
+    std::unique_ptr<Hypervisor> hv;
+    VirtualMachine *vm = nullptr;
+};
+
+BootedGolden
+coldBootToSealPoint()
+{
+    BootedGolden b;
+    b.machine = std::make_unique<RealMachine>(goldenMachineConfig());
+    b.machine->setFaultPlan(nullptr);
+    b.hv = std::make_unique<Hypervisor>(*b.machine, goldenHvConfig());
+    MiniVmsConfig cfg = goldenMixConfig();
+    VmConfig vc;
+    vc.memBytes = cfg.memBytes;
+    b.vm = &b.hv->createVm(vc);
+    MiniVmsImage img = buildMiniVms(cfg);
+    b.hv->loadVmImage(*b.vm, 0, img.image);
+    b.hv->startVm(*b.vm, img.entry);
+    b.hv->run(kGoldenBootBudget);
+    return b;
+}
+
+GoldenImage
+makeGoldenImage()
+{
+    BootedGolden b = coldBootToSealPoint();
+    return GoldenImage::seal(*b.hv, *b.vm);
+}
+
+/**
+ * Time-to-Nth-VM via golden-image forking: each iteration stands up N
+ * ready-to-run VMs as CoW forks of one sealed image.  items/sec is
+ * VMs per second; check_bench_regression.sh asserts the 256-fork rate
+ * clears 10x the cold-boot rate (BM_GoldenBootBaseline) whenever the
+ * host provides kernel CoW.
+ */
+void
+BM_ForkStorm(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const GoldenImage gold = makeGoldenImage();
+    for (auto _ : state) {
+        std::vector<GoldenFork> fleet;
+        fleet.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i)
+            fleet.push_back(gold.fork(i));
+        benchmark::DoNotOptimize(fleet.back().vm);
+        // Teardown is not the measured product; keep it out of the
+        // timed region.
+        state.PauseTiming();
+        fleet.clear();
+        state.ResumeTiming();
+        state.SetItemsProcessed(state.items_processed() + n);
+    }
+    state.counters["kernel_cow"] =
+        benchmark::Counter(gold.kernelBacked() ? 1.0 : 0.0);
+    state.counters["ram_bytes"] =
+        benchmark::Counter(static_cast<double>(gold.ramBytes()));
+}
+BENCHMARK(BM_ForkStorm)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256);
+
+/**
+ * The re-boot path a fork replaces: construct the machine stack
+ * (16 MB RAM zeroed), load the guest and run it to the seal point.
+ * items/sec is boots per second - the denominator of the fork-storm
+ * speedup gate.
+ */
+void
+BM_GoldenBootBaseline(benchmark::State &state)
+{
+    for (auto _ : state) {
+        BootedGolden b = coldBootToSealPoint();
+        benchmark::DoNotOptimize(b.vm->haltReason);
+        state.PauseTiming();
+        b.hv.reset();
+        b.machine.reset();
+        state.ResumeTiming();
+        state.SetItemsProcessed(state.items_processed() + 1);
+    }
+}
+BENCHMARK(BM_GoldenBootBaseline)->Unit(benchmark::kMillisecond);
+
+/**
+ * Memory density: fork 16 VMs, give each a short idle slice, then
+ * account private vs shared bytes.  shared_fraction is the fraction
+ * of the machine image an idle fork still shares with its siblings;
+ * check_bench_regression.sh asserts it stays above 0.5 under kernel
+ * CoW (eager-copy hosts report kernel_cow=0 and are exempt).
+ */
+void
+BM_ResidentPerIdleVm(benchmark::State &state)
+{
+    constexpr int kForks = 16;
+    constexpr std::uint64_t kIdleSlice = 500;
+    const GoldenImage gold = makeGoldenImage();
+    double private_bytes = 0;
+    double shared_bytes = 0;
+    double pages_touched = 0;
+    for (auto _ : state) {
+        std::vector<GoldenFork> fleet;
+        fleet.reserve(kForks);
+        for (int i = 0; i < kForks; ++i) {
+            fleet.push_back(gold.fork(i));
+            GoldenFork &f = fleet.back();
+            f.machine->setFaultPlan(nullptr);
+            f.hv->run(kIdleSlice);
+        }
+        private_bytes = shared_bytes = pages_touched = 0;
+        for (GoldenFork &f : fleet) {
+            const CowStats cs = f.machine->memory().cowStats();
+            private_bytes += static_cast<double>(cs.privateBytes);
+            shared_bytes += static_cast<double>(cs.sharedBytes);
+            pages_touched += static_cast<double>(cs.pagesTouched);
+        }
+        benchmark::DoNotOptimize(private_bytes);
+        state.SetItemsProcessed(state.items_processed() + kForks);
+    }
+    state.counters["private_bytes_per_vm"] =
+        benchmark::Counter(private_bytes / kForks);
+    state.counters["pages_touched_per_vm"] =
+        benchmark::Counter(pages_touched / kForks);
+    state.counters["shared_fraction"] = benchmark::Counter(
+        private_bytes + shared_bytes == 0
+            ? 0.0
+            : shared_bytes / (private_bytes + shared_bytes));
+    state.counters["ram_bytes"] =
+        benchmark::Counter(static_cast<double>(gold.ramBytes()));
+    state.counters["kernel_cow"] =
+        benchmark::Counter(gold.kernelBacked() ? 1.0 : 0.0);
+}
+BENCHMARK(BM_ResidentPerIdleVm)->Unit(benchmark::kMillisecond);
 
 /**
  * JSONReporter whose context block reports the *harness* build type.

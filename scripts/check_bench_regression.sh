@@ -222,6 +222,67 @@ if single1 is not None:
     print(f"ok       single-VM fleet baseline: {single1 / 1e6:.2f} "
           f"M instr/s (gated by the per-benchmark comparison above)")
 
+
+# Golden-image forking gates (vmm/golden_image.h).  Both only bind
+# when the host provides kernel CoW (memfd + MAP_PRIVATE); on the
+# eager-copy fallback every fork pays a full RAM copy and physical
+# sharing is impossible, so the benchmarks publish kernel_cow=0 and
+# the gates degrade to informational lines.
+def counter(path, name, ctr):
+    with open(path) as f:
+        for b in json.load(f).get("benchmarks", []):
+            if b["name"] == name:
+                return b.get(ctr)
+    return None
+
+
+FORK_SPEEDUP_FLOOR = 10.0
+fork256 = items_rate(fresh_path, "BM_ForkStorm/256")
+boot = items_rate(fresh_path, "BM_GoldenBootBaseline")
+fork_kernel_cow = counter(fresh_path, "BM_ForkStorm/256", "kernel_cow")
+if fork256 is not None and boot is not None and boot > 0:
+    ratio = fork256 / boot
+    if fork_kernel_cow == 0:
+        print(f"ok       fork storm: {ratio:.1f}x over cold boot "
+              f"(eager-copy fallback; {FORK_SPEEDUP_FLOOR:.0f}x gate "
+              f"needs kernel CoW)")
+    elif ratio < FORK_SPEEDUP_FLOOR:
+        print(f"REGRESSED fork storm: 256-fork rate {fork256:.0f}/s "
+              f"is only {ratio:.1f}x the cold-boot rate {boot:.0f}/s "
+              f"(need >= {FORK_SPEEDUP_FLOOR:.0f}x)")
+        failed = True
+    else:
+        print(f"ok       fork storm: {ratio:.1f}x over cold boot "
+              f"(need >= {FORK_SPEEDUP_FLOOR:.0f}x)")
+
+SHARED_FRACTION_FLOOR = 0.5
+resident = "BM_ResidentPerIdleVm"
+shared_frac = counter(fresh_path, resident, "shared_fraction")
+priv_per_vm = counter(fresh_path, resident, "private_bytes_per_vm")
+ram_bytes = counter(fresh_path, resident, "ram_bytes")
+res_kernel_cow = counter(fresh_path, resident, "kernel_cow")
+if shared_frac is not None and priv_per_vm is not None and ram_bytes:
+    if res_kernel_cow == 0:
+        print(f"ok       idle-fork density: shared fraction "
+              f"{shared_frac:.3f} (eager-copy fallback; density gate "
+              f"needs kernel CoW)")
+    else:
+        if shared_frac <= SHARED_FRACTION_FLOOR:
+            print(f"REGRESSED idle-fork density: shared fraction "
+                  f"{shared_frac:.3f} (need > "
+                  f"{SHARED_FRACTION_FLOOR})")
+            failed = True
+        elif priv_per_vm >= 0.5 * ram_bytes:
+            print(f"REGRESSED idle-fork density: "
+                  f"{priv_per_vm:.0f} B private per idle VM >= half "
+                  f"of {ram_bytes:.0f} B RAM")
+            failed = True
+        else:
+            print(f"ok       idle-fork density: shared fraction "
+                  f"{shared_frac:.3f}, {priv_per_vm / 1024:.0f} KiB "
+                  f"private per idle VM of "
+                  f"{ram_bytes / 1048576:.0f} MiB RAM")
+
 # Zero-fault gate: the fault-injection machinery (fault/fault_plan.h)
 # must be provably inert when no plan is armed — a nonzero count here
 # means either a plan leaked into the benchmark environment or an

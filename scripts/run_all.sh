@@ -42,9 +42,18 @@ tail -n 3 test_asan_output.txt
 # single-threaded suite costs minutes and can find nothing the ASan
 # tree didn't.
 cmake -B build-tsan -DVVAX_SANITIZE=thread
-cmake --build build-tsan -j "$(nproc)" --target test_fleet
+cmake --build build-tsan -j "$(nproc)" --target test_fleet \
+    test_golden_image
 env TSAN_OPTIONS=halt_on_error=1 \
     build-tsan/tests/test_fleet >test_tsan_output.txt 2>&1 ||
+    { cat test_tsan_output.txt; exit 1; }
+tail -n 2 test_tsan_output.txt
+# The golden-image suite seals and forks VMs whose hypervisors run
+# the async disk engine (forks inherit asyncDiskIo=true), so the
+# seal's drain handshake and each fork's private engine threads get
+# the same proof-of-absence treatment as the fleet pool.
+env TSAN_OPTIONS=halt_on_error=1 \
+    build-tsan/tests/test_golden_image >>test_tsan_output.txt 2>&1 ||
     { cat test_tsan_output.txt; exit 1; }
 tail -n 2 test_tsan_output.txt
 

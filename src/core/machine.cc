@@ -8,13 +8,28 @@ RealMachine::RealMachine(const MachineConfig &config)
     : config_(config), cost_(CostModel::forModel(config.model))
 {
     memory_ = std::make_unique<PhysicalMemory>(config.ramBytes);
+    init();
+}
+
+RealMachine::RealMachine(const MachineConfig &config,
+                         const SealedRegion &ram_image, CowBacking backing)
+    : config_(config), cost_(CostModel::forModel(config.model))
+{
+    memory_ = std::make_unique<PhysicalMemory>(config.ramBytes, ram_image,
+                                               backing);
+    init();
+}
+
+void
+RealMachine::init()
+{
     mmu_ = std::make_unique<Mmu>(*memory_, cost_, stats_);
-    cpu_ = std::make_unique<Cpu>(*mmu_, cost_, stats_, config.level);
+    cpu_ = std::make_unique<Cpu>(*mmu_, cost_, stats_, config_.level);
     console_ = std::make_unique<ConsoleDevice>(*cpu_);
     cpu_->attachConsole(console_.get());
-    disk_ = std::make_unique<DiskDevice>(*memory_, config.diskBlocks,
-                                         cpu_.get(), config.diskVector);
-    memory_->addMmioWindow(config.diskCsrBase, DiskDevice::kWindowSize,
+    disk_ = std::make_unique<DiskDevice>(*memory_, config_.diskBlocks,
+                                         cpu_.get(), config_.diskVector);
+    memory_->addMmioWindow(config_.diskCsrBase, DiskDevice::kWindowSize,
                            disk_.get());
     envPlan_ = FaultPlan::fromEnv();
     if (envPlan_)

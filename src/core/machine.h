@@ -41,6 +41,16 @@ class RealMachine
 {
   public:
     explicit RealMachine(const MachineConfig &config = {});
+
+    /**
+     * Fork constructor: RAM starts as a private copy-on-write view of
+     * @p ram_image (a sealed golden image, vmm/golden_image.h) instead
+     * of zero-filled storage.  Everything else — devices, CPU, MMU —
+     * is built fresh exactly as the plain constructor does.
+     */
+    RealMachine(const MachineConfig &config, const SealedRegion &ram_image,
+                CowBacking backing = CowBacking::Auto);
+
     ~RealMachine();
 
     Cpu &cpu() { return *cpu_; }
@@ -68,6 +78,8 @@ class RealMachine
     void setFaultPlan(FaultPlan *plan);
 
   private:
+    void init(); //!< device/CPU wiring shared by both constructors
+
     MachineConfig config_;
     CostModel cost_;
     Stats stats_;

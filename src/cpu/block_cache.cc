@@ -444,6 +444,8 @@ Cpu::blockWindow(VirtAddr pc, Tlb::Entry **entry)
 Block *
 Cpu::buildBlock(VirtAddr pc, const Byte *base)
 {
+    if (icache_.empty())
+        return nullptr; // nothing decoded yet: warm up via step first
     const PredecodedInstr &first = icache_[icacheIndex(pc)];
     if (first.pc != pc)
         return nullptr; // never decoded here: warm up via step first

@@ -240,7 +240,15 @@ struct Block
     }
 };
 
-/** Direct-mapped block container, indexed by a hash of the start PC. */
+/**
+ * Direct-mapped block container, indexed by a hash of the start PC.
+ *
+ * The slot table (~800 KB of zeroed Blocks) is allocated on the first
+ * slotFor() call, not at construction: a machine that never reaches
+ * the block tier - a golden-image fork held in reserve, a monitor
+ * inspecting suspended state - costs no block-cache memory, which
+ * keeps VM cloning O(pages-touched) rather than O(metadata).
+ */
 class BlockCache
 {
   public:
@@ -249,13 +257,22 @@ class BlockCache
     Block *
     lookup(VirtAddr pc)
     {
+        if (slots_.empty())
+            return nullptr;
         Block &b = slots_[index(pc)];
         return b.pc == pc ? &b : nullptr;
     }
 
-    Block &slotFor(VirtAddr pc) { return slots_[index(pc)]; }
+    Block &
+    slotFor(VirtAddr pc)
+    {
+        if (slots_.empty())
+            slots_.resize(kEntries);
+        return slots_[index(pc)];
+    }
 
-    /** All slots, for observability dumps (VVAX_DUMP_HOT_BLOCKS). */
+    /** All slots, for observability dumps (VVAX_DUMP_HOT_BLOCKS).
+     *  Empty until the first block is built. */
     const std::vector<Block> &entries() const { return slots_; }
 
   private:
@@ -268,7 +285,7 @@ class BlockCache
                                 (kEntries - 1));
     }
 
-    std::vector<Block> slots_ = std::vector<Block>(kEntries);
+    std::vector<Block> slots_; //!< sized kEntries on first slotFor()
 };
 
 } // namespace vvax

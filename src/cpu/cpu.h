@@ -640,6 +640,11 @@ class Cpu
      * remapping need no explicit invalidation) and replays the
      * template, performing exactly the data accesses and counter
      * updates the byte-level decode would.
+     *
+     * Like BlockCache's slot table, the ~150 KB entry array is sized
+     * on the first decode rather than at construction, so a CPU that
+     * never executes (a golden-image fork held in reserve) costs
+     * nothing here.
      */
     static constexpr int kICacheEntries = 1024;
     static int
@@ -647,8 +652,7 @@ class Cpu
     {
         return static_cast<int>(pc & (kICacheEntries - 1));
     }
-    std::vector<PredecodedInstr> icache_ =
-        std::vector<PredecodedInstr>(kICacheEntries);
+    std::vector<PredecodedInstr> icache_; //!< sized on first decode
 
     /** Superblock translation cache (block_cache.cc, dispatch.cc). */
     BlockCache bcache_;

@@ -70,6 +70,8 @@ class DecodeContext
         d_.extraCharge = 0;
         d_.suppressBase = false;
 
+        if (cpu_.icache_.empty())
+            cpu_.icache_.resize(Cpu::kICacheEntries);
         PredecodedInstr &slot =
             cpu_.icache_[Cpu::icacheIndex(cursor_)];
         if (slot.pc == cursor_ && tryReplay(slot))

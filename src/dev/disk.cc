@@ -8,8 +8,7 @@ namespace vvax {
 
 DiskDevice::DiskDevice(PhysicalMemory &memory, Longword blocks, Cpu *cpu,
                        Word vector)
-    : memory_(memory), data_(blocks * kBlockSize, 0), cpu_(cpu),
-      vector_(vector)
+    : memory_(memory), blocks_(blocks), cpu_(cpu), vector_(vector)
 {
 }
 
@@ -92,6 +91,7 @@ DiskDevice::startTransfer(bool write, Longword block, Longword count,
         return false;
     if (addr + bytes > memory_.ramSize() || addr + bytes < addr)
         return false;
+    ensureStorage();
     Byte *disk = data_.data() + block * kBlockSize;
     if (write)
         memory_.readBlock(addr, {disk, bytes});

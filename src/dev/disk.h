@@ -53,11 +53,13 @@ class DiskDevice : public MmioHandler
     void mmioWrite(PhysAddr offset, Longword value, int size) override;
 
     /** Host-side access to the backing store (loaders, tests). */
-    std::vector<Byte> &data() { return data_; }
-    Longword blocks() const
+    std::vector<Byte> &
+    data()
     {
-        return static_cast<Longword>(data_.size() / kBlockSize);
+        ensureStorage();
+        return data_;
     }
+    Longword blocks() const { return blocks_; }
 
     /** Performed transfers (for the I/O virtualization benchmarks). */
     std::uint64_t transfersCompleted() const { return transfers_; }
@@ -80,8 +82,19 @@ class DiskDevice : public MmioHandler
     std::uint64_t transfersFaulted() const { return faulted_; }
 
   private:
+    /** Zero-fill the backing store on first touch: an idle machine
+     *  (a golden-image fork held in reserve) never allocates it. */
+    void
+    ensureStorage()
+    {
+        if (data_.empty() && blocks_ > 0)
+            data_.resize(static_cast<std::size_t>(blocks_) *
+                         kBlockSize);
+    }
+
     PhysicalMemory &memory_;
-    std::vector<Byte> data_;
+    Longword blocks_;
+    std::vector<Byte> data_; //!< sized on first data()/transfer
     Cpu *cpu_;
     Word vector_;
 

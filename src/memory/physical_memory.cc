@@ -1,14 +1,39 @@
 #include "memory/physical_memory.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
+#include "metrics/stats.h"
+
 namespace vvax {
+
+namespace {
+
+Longword roundToVaxPage(Longword bytes)
+{
+    return (bytes + kPageSize - 1) & ~kPageOffsetMask;
+}
+
+} // namespace
 
 PhysicalMemory::PhysicalMemory(Longword bytes)
 {
-    const Longword rounded = (bytes + kPageSize - 1) & ~kPageOffsetMask;
-    ram_.resize(rounded, 0);
+    const Longword rounded = roundToVaxPage(bytes);
+    ram_ = CowView::anonymous(rounded);
+    ramData_ = ram_.data();
+    page_gen_.resize(rounded / kPageSize, 0);
+}
+
+PhysicalMemory::PhysicalMemory(Longword bytes, const SealedRegion &base,
+                               CowBacking backing)
+{
+    const Longword rounded = roundToVaxPage(bytes);
+    if (base.size() != rounded)
+        throw std::invalid_argument(
+            "PhysicalMemory: sealed image size does not match RAM size");
+    ram_ = CowView::forkOf(base, backing);
+    ramData_ = ram_.data();
     page_gen_.resize(rounded / kPageSize, 0);
 }
 
@@ -46,7 +71,7 @@ Byte
 PhysicalMemory::read8(PhysAddr pa)
 {
     if (pa < ramSize())
-        return ram_[pa];
+        return ramData_[pa];
     const Window *w = findWindow(pa);
     assert(w);
     return static_cast<Byte>(w->handler->mmioRead(pa - w->base, 1));
@@ -57,7 +82,7 @@ PhysicalMemory::read16(PhysAddr pa)
 {
     if (pa + 1 < ramSize()) {
         Word value;
-        std::memcpy(&value, &ram_[pa], 2);
+        std::memcpy(&value, ramData_ + pa, 2);
         return value;
     }
     const Window *w = findWindow(pa);
@@ -70,7 +95,7 @@ PhysicalMemory::read32(PhysAddr pa)
 {
     if (pa + 3 < ramSize() && pa + 3 > pa) {
         Longword value;
-        std::memcpy(&value, &ram_[pa], 4);
+        std::memcpy(&value, ramData_ + pa, 4);
         return value;
     }
     const Window *w = findWindow(pa);
@@ -82,7 +107,7 @@ void
 PhysicalMemory::write8(PhysAddr pa, Byte value)
 {
     if (pa < ramSize()) {
-        ram_[pa] = value;
+        ramData_[pa] = value;
         page_gen_[pa >> kPageShift]++;
         return;
     }
@@ -95,7 +120,7 @@ void
 PhysicalMemory::write16(PhysAddr pa, Word value)
 {
     if (pa + 1 < ramSize()) {
-        std::memcpy(&ram_[pa], &value, 2);
+        std::memcpy(ramData_ + pa, &value, 2);
         page_gen_[pa >> kPageShift]++;
         page_gen_[(pa + 1) >> kPageShift]++;
         return;
@@ -109,7 +134,7 @@ void
 PhysicalMemory::write32(PhysAddr pa, Longword value)
 {
     if (pa + 3 < ramSize() && pa + 3 > pa) {
-        std::memcpy(&ram_[pa], &value, 4);
+        std::memcpy(ramData_ + pa, &value, 4);
         page_gen_[pa >> kPageShift]++;
         page_gen_[(pa + 3) >> kPageShift]++;
         return;
@@ -123,7 +148,7 @@ void
 PhysicalMemory::writeBlock(PhysAddr pa, std::span<const Byte> data)
 {
     assert(pa + data.size() <= ramSize());
-    std::memcpy(&ram_[pa], data.data(), data.size());
+    std::memcpy(ramData_ + pa, data.data(), data.size());
     if (!data.empty()) {
         const PhysAddr first = pa >> kPageShift;
         const PhysAddr last = (pa + data.size() - 1) >> kPageShift;
@@ -136,7 +161,55 @@ void
 PhysicalMemory::readBlock(PhysAddr pa, std::span<Byte> data)
 {
     assert(pa + data.size() <= ramSize());
-    std::memcpy(data.data(), &ram_[pa], data.size());
+    std::memcpy(data.data(), ramData_ + pa, data.size());
+}
+
+CowStats
+PhysicalMemory::cowStats() const
+{
+    CowStats cs;
+    cs.forked = ram_.forked();
+    cs.kernelCow = ram_.kernelCow();
+    for (std::uint32_t gen : page_gen_)
+        if (gen != 0)
+            cs.pagesTouched++;
+    if (!cs.kernelCow) {
+        // Owned or eager-copied storage: everything is private.
+        cs.privateBytes = ram_.size();
+        cs.sharedBytes = 0;
+        return cs;
+    }
+    // The kernel copies whole host pages; a host page is private as
+    // soon as any VAX page inside it has been written.
+    const std::size_t host_page = hostPageSize();
+    const std::size_t vax_per_host =
+        host_page >= kPageSize ? host_page / kPageSize : 1;
+    std::size_t private_host_pages = 0;
+    for (std::size_t i = 0; i < page_gen_.size(); i += vax_per_host) {
+        const std::size_t end = std::min(i + vax_per_host, page_gen_.size());
+        for (std::size_t j = i; j < end; ++j) {
+            if (page_gen_[j] != 0) {
+                private_host_pages++;
+                break;
+            }
+        }
+    }
+    cs.privateBytes = private_host_pages * host_page;
+    if (cs.privateBytes > ram_.size())
+        cs.privateBytes = ram_.size();
+    cs.sharedBytes = ram_.size() - cs.privateBytes;
+    return cs;
+}
+
+void
+PhysicalMemory::publishCowStats(Stats &stats) const
+{
+    const CowStats cs = cowStats();
+    stats.cowForkedRam = cs.forked ? 1 : 0;
+    stats.cowKernelBacked = cs.kernelCow ? 1 : 0;
+    stats.cowPagesTouched = cs.pagesTouched;
+    stats.cowPrivateBytes = cs.privateBytes;
+    stats.cowSharedBytes = cs.sharedBytes;
 }
 
 } // namespace vvax

@@ -8,6 +8,14 @@
  * addresses backed by neither RAM nor a device window report
  * non-existent memory, which the CPU turns into a machine check (and
  * which the VMM turns into a VM halt, Section 5 of the paper).
+ *
+ * RAM backing is a policy (CowView): a machine either owns plain
+ * zero-filled storage or is forked from a sealed golden image, in
+ * which case the host kernel copy-on-writes pages beneath a fixed
+ * MAP_PRIVATE mapping (docs/ARCHITECTURE.md §8).  Either way the
+ * contract callers rely on is *pointer stability*, not allocation
+ * strategy: the host address of every RAM byte is fixed for the life
+ * of the machine.
  */
 
 #ifndef VVAX_MEMORY_PHYSICAL_MEMORY_H
@@ -18,8 +26,11 @@
 #include <vector>
 
 #include "arch/types.h"
+#include "memory/cow_backing.h"
 
 namespace vvax {
+
+struct Stats;
 
 /** Interface for memory-mapped device registers. */
 class MmioHandler
@@ -32,11 +43,40 @@ class MmioHandler
     virtual void mmioWrite(PhysAddr offset, Longword value, int size) = 0;
 };
 
+/**
+ * Copy-on-write residency of a forked machine's RAM, computed from
+ * the per-page write-generation counters: because *every* store
+ * funnel bumps its page's counter and forks start with the counters
+ * zeroed, a nonzero counter is an exact "written since fork" bit.
+ * Private bytes are rounded up to host pages — the granularity the
+ * kernel actually copies at.  For non-forked or eager-copy machines
+ * all resident bytes are private and sharedBytes is 0.
+ */
+struct CowStats
+{
+    bool forked = false;        //!< RAM is a fork of a sealed image
+    bool kernelCow = false;     //!< untouched pages physically shared
+    Longword pagesTouched = 0;  //!< VAX pages written since the fork
+    std::uint64_t privateBytes = 0; //!< host-page-rounded private bytes
+    std::uint64_t sharedBytes = 0;  //!< bytes still shared with the image
+};
+
 class PhysicalMemory
 {
   public:
-    /** @param bytes RAM size; rounded up to a whole page. */
+    /** @param bytes RAM size; rounded up to a whole page.  Plain
+     *  zero-filled backing (the non-forked case). */
     explicit PhysicalMemory(Longword bytes);
+
+    /**
+     * Fork constructor: RAM starts as a private CoW view of @p base
+     * (which must be exactly the rounded size).  Page-generation
+     * counters start fresh at zero — the forked machine's SMC
+     * detection and CoW accounting begin at the fork point, identical
+     * no matter how many siblings exist or in what order they forked.
+     */
+    PhysicalMemory(Longword bytes, const SealedRegion &base,
+                   CowBacking backing = CowBacking::Auto);
 
     Longword ramSize() const { return static_cast<Longword>(ram_.size()); }
     Longword ramPages() const { return ramSize() / kPageSize; }
@@ -52,15 +92,19 @@ class PhysicalMemory
     /**
      * Host pointer to the start of the RAM page containing @p pa, or
      * nullptr when the page is not entirely RAM-backed (MMIO,
-     * non-existent).  RAM is allocated once at construction, so the
-     * pointer remains valid for the life of the machine.
+     * non-existent).  The backing (owned storage or a CoW fork of a
+     * golden image) never remaps, so the pointer remains valid for
+     * the life of the machine: under kernel CoW the *mapping address*
+     * is fixed and the kernel swaps physical pages beneath it on
+     * first write.  TLB entries, superblock records and threaded-tier
+     * programs all cache these pointers.
      */
     Byte *
     pageBase(PhysAddr pa)
     {
         const PhysAddr page = pa & ~kPageOffsetMask;
         if (static_cast<std::uint64_t>(page) + kPageSize <= ramSize())
-            return ram_.data() + page;
+            return ramData_ + page;
         return nullptr;
     }
 
@@ -70,8 +114,10 @@ class PhysicalMemory
      * Every store funnel (write8/16/32, writeBlock, the MMU's inline
      * fast paths) bumps the counter of each page it touches; the
      * superblock executor compares it to detect stores into the page
-     * its instructions came from (docs/ARCHITECTURE.md §5a).  Like
-     * RAM itself the counters are allocated once at construction.
+     * its instructions came from (docs/ARCHITECTURE.md §5a), and
+     * cowStats() reads `counter != 0` as "page written since fork".
+     * Like RAM pages the counter addresses are stable for the life of
+     * the machine; forked machines start them at zero.
      */
     std::uint32_t *
     pageGenCell(PhysAddr pa)
@@ -99,7 +145,17 @@ class PhysicalMemory
     void readBlock(PhysAddr pa, std::span<Byte> data);
 
     /** Direct RAM view (loaders, the VMM's VM-physical map). */
-    std::span<Byte> ram() { return ram_; }
+    std::span<Byte> ram() { return {ramData_, ram_.size()}; }
+
+    /** true when this RAM is a CoW fork of a sealed image. */
+    bool forkedFromImage() const { return ram_.forked(); }
+    /** true when untouched pages are physically shared with the image. */
+    bool kernelCowActive() const { return ram_.kernelCow(); }
+
+    /** Current CoW residency snapshot (O(ramPages) scan). */
+    CowStats cowStats() const;
+    /** Copy cowStats() into the cow* gauge fields of @p stats. */
+    void publishCowStats(Stats &stats) const;
 
   private:
     struct Window
@@ -111,7 +167,8 @@ class PhysicalMemory
 
     const Window *findWindow(PhysAddr pa) const;
 
-    std::vector<Byte> ram_;
+    CowView ram_;                         //!< backing policy (see @file)
+    Byte *ramData_ = nullptr;             //!< == ram_.data(); hot-path copy
     std::vector<std::uint32_t> page_gen_; //!< per-page write counter
     std::vector<Window> windows_;
 };

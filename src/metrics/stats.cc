@@ -92,6 +92,12 @@ Stats::operator+=(const Stats &other)
     threadedInstructions += other.threadedInstructions;
     threadedBails += other.threadedBails;
     threadedDiscards += other.threadedDiscards;
+    cowForkedRam += other.cowForkedRam;
+    cowKernelBacked += other.cowKernelBacked;
+    cowPagesTouched += other.cowPagesTouched;
+    cowPrivateBytes += other.cowPrivateBytes;
+    cowSharedBytes += other.cowSharedBytes;
+    cowDiskBlocksTouched += other.cowDiskBlocksTouched;
     return *this;
 }
 
@@ -155,6 +161,13 @@ Stats::print(std::ostream &os) const
            << threadedExecutions << " executed, "
            << threadedInstructions << " instructions, " << threadedBails
            << " bails, " << threadedDiscards << " discarded\n";
+    }
+    if (cowForkedRam != 0) {
+        os << "cow fork: " << cowPagesTouched << " pages touched, "
+           << cowPrivateBytes << " private bytes, " << cowSharedBytes
+           << " shared bytes"
+           << (cowKernelBacked != 0 ? " (kernel CoW)" : " (eager copy)")
+           << ", " << cowDiskBlocksTouched << " disk blocks touched\n";
     }
     std::uint64_t total_faults = 0;
     for (auto c : faultsInjected)

@@ -115,6 +115,20 @@ struct Stats
     std::uint64_t threadedBails = 0;        //!< abnormal program exits
     std::uint64_t threadedDiscards = 0;     //!< programs dropped on invalidation
 
+    // Golden-image CoW forking gauges (docs/ARCHITECTURE.md §8),
+    // published by PhysicalMemory::publishCowStats / the fleet at
+    // merge barriers.  Host-side like the block counters above:
+    // they describe where the host kernel keeps the fork's pages,
+    // not anything the simulated hardware did, so operator==
+    // excludes them (two forks of the same image are architecturally
+    // identical even when one has copied-up more pages).
+    std::uint64_t cowForkedRam = 0;    //!< 1 when RAM forked from an image
+    std::uint64_t cowKernelBacked = 0; //!< 1 when kernel CoW is active
+    std::uint64_t cowPagesTouched = 0; //!< VAX pages written since fork
+    std::uint64_t cowPrivateBytes = 0; //!< host-page-rounded private bytes
+    std::uint64_t cowSharedBytes = 0;  //!< bytes still shared with the image
+    std::uint64_t cowDiskBlocksTouched = 0; //!< disk blocks written since fork
+
     void
     addCycles(CycleCategory cat, Cycles n)
     {

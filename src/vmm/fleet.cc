@@ -21,11 +21,20 @@ HypervisorFleet::HypervisorFleet(FleetConfig config)
 
 HypervisorFleet::~HypervisorFleet() = default;
 
+void
+HypervisorFleet::checkSpawnBudget() const
+{
+    if (config_.spawnBudget > 0 && size() >= config_.spawnBudget)
+        throw std::runtime_error("HypervisorFleet: spawn budget exhausted");
+}
+
 int
 HypervisorFleet::addVm(const VmConfig &config)
 {
+    checkSpawnBudget();
     const int index = static_cast<int>(members_.size());
     auto member = std::make_unique<Member>();
+    member->index = index;
     member->machine = std::make_unique<RealMachine>(config_.machine);
     member->hv = std::make_unique<Hypervisor>(*member->machine,
                                               config_.hypervisor);
@@ -42,6 +51,44 @@ HypervisorFleet::addVm(const VmConfig &config)
     }
     members_.push_back(std::move(member));
     return index;
+}
+
+int
+HypervisorFleet::addForkedMember(const GoldenImage &image)
+{
+    checkSpawnBudget();
+    const int index = static_cast<int>(members_.size());
+    auto member = std::make_unique<Member>();
+    member->index = index;
+    member->image = &image;
+    member->forkRestartsLeft = config_.forkRestartBudget;
+    // The fork's fault identity is the member index, exactly as addVm
+    // assigns it.  No VmSupervisor: the golden image is the baseline,
+    // crash recovery re-forks (runSlice).
+    GoldenFork fork = image.fork(index);
+    member->machine = std::move(fork.machine);
+    member->hv = std::move(fork.hv);
+    members_.push_back(std::move(member));
+    return index;
+}
+
+int
+HypervisorFleet::addForkedMember(const GoldenImage &image, int n)
+{
+    const int first = size();
+    for (int i = 0; i < n; ++i)
+        addForkedMember(image);
+    return first;
+}
+
+void
+HypervisorFleet::killMember(int i)
+{
+    Member &m = *members_[i];
+    m.hv->suspendAll();
+    m.hv->vm(0).haltReason = VmHaltReason::VmmPolicy;
+    m.killed = true;
+    m.done = true;
 }
 
 void
@@ -121,17 +168,74 @@ HypervisorFleet::runSlice(Member &m)
         // member this round - the only thread touching its state.
         m.supervisor->poll();
     }
-    if (m.budgetLeft == 0 || !memberLive(m))
+    if (m.budgetLeft == 0 || !memberLive(m)) {
+        // Forked members recover by re-forking from the golden image
+        // (same restartable-reason policy as the supervisor).  The
+        // decision runs on the worker that owns the member this
+        // round, keyed only on the member's own state, so it is
+        // identical for every worker count.
+        if (m.budgetLeft > 0 && m.image != nullptr && !m.killed &&
+            m.forkRestartsLeft > 0 &&
+            VmSupervisor::restartable(m.hv->vm(0).haltReason)) {
+            refork(m);
+            return;
+        }
         m.done = true;
+    }
+}
+
+void
+HypervisorFleet::refork(Member &m)
+{
+    // The dying incarnation's counters must survive into the fleet
+    // aggregates; retire them before the machine goes away.  The cow*
+    // fields are gauges of a live member's backing, not counters -
+    // summing a retired machine's gauges would double-count against
+    // the live fleet view, so they retire as zero.
+    {
+        Stats dying = m.machine->stats();
+        dying.cowForkedRam = 0;
+        dying.cowKernelBacked = 0;
+        dying.cowPagesTouched = 0;
+        dying.cowPrivateBytes = 0;
+        dying.cowSharedBytes = 0;
+        dying.cowDiskBlocksTouched = 0;
+        std::lock_guard<std::mutex> lock(mergeMutex_);
+        retiredStats_ += dying;
+        retiredVmStats_ += m.hv->totalStats();
+        forkRestarts_++;
+    }
+    m.forkRestartsLeft--;
+    GoldenFork fork = m.image->fork(m.index);
+    m.machine = std::move(fork.machine);
+    m.hv = std::move(fork.hv);
+    // The member's armed plan survives the re-fork (its firing
+    // budgets carry over - the plan describes the member's world, not
+    // one incarnation of it).  This also *clears* any environment
+    // plan the fresh machine auto-installed: the first incarnation
+    // owned those budgets, a re-fork must not re-arm them from zero.
+    m.machine->setFaultPlan(m.plan.get());
+}
+
+void
+HypervisorFleet::publishCowGauges(Member &m) const
+{
+    Stats &stats = m.machine->stats();
+    m.machine->memory().publishCowStats(stats);
+    stats.cowDiskBlocksTouched = m.hv->vm(0).disk.blocksTouched();
 }
 
 void
 HypervisorFleet::mergeAtBarrier()
 {
-    Stats merged;
+    // Barrier context: every worker is parked, so member machines are
+    // safe to read and the cow gauges can be refreshed in place.
+    for (auto &m : members_)
+        publishCowGauges(*m);
+    std::lock_guard<std::mutex> lock(mergeMutex_);
+    Stats merged = retiredStats_;
     for (const auto &m : members_)
         merged += m->machine->stats();
-    std::lock_guard<std::mutex> lock(mergeMutex_);
     barrierStats_ = merged;
 }
 
@@ -228,7 +332,10 @@ HypervisorFleet::run(std::uint64_t max_instructions_per_vm)
 Stats
 HypervisorFleet::totalMachineStats() const
 {
-    Stats total;
+    for (const auto &m : members_)
+        publishCowGauges(*m);
+    std::lock_guard<std::mutex> lock(mergeMutex_);
+    Stats total = retiredStats_;
     for (const auto &m : members_)
         total += m->machine->stats();
     return total;
@@ -237,7 +344,8 @@ HypervisorFleet::totalMachineStats() const
 VmStats
 HypervisorFleet::totalVmStats() const
 {
-    VmStats total;
+    std::lock_guard<std::mutex> lock(mergeMutex_);
+    VmStats total = retiredVmStats_;
     for (const auto &m : members_)
         total += m->hv->totalStats();
     return total;
@@ -252,6 +360,13 @@ HypervisorFleet::restarts() const
             total += m->supervisor->restarts();
     }
     return total;
+}
+
+std::uint64_t
+HypervisorFleet::forkRestarts() const
+{
+    std::lock_guard<std::mutex> lock(mergeMutex_);
+    return forkRestarts_;
 }
 
 Stats

@@ -45,6 +45,7 @@
 
 #include "core/machine.h"
 #include "fault/fault_plan.h"
+#include "vmm/golden_image.h"
 #include "vmm/hypervisor.h"
 #include "vmm/vm_monitor.h"
 
@@ -68,9 +69,27 @@ struct FleetConfig
     /**
      * Supervise members with VmSupervisor: snapshot healthy VMs and
      * restart fault-halted ones at round barriers (vm_monitor.h).
+     * Forked members ignore this - their golden image *is* the
+     * baseline, so crash recovery re-forks instead (forkRestartBudget).
      */
     bool supervise = false;
     VmSupervisorConfig supervisor;
+    /**
+     * Re-fork budget per forked member: a member added with
+     * addForkedMember whose VM halts with a restartable reason
+     * (VmSupervisor::restartable) is replaced by a fresh fork of its
+     * golden image at the slice boundary, at most this many times.
+     * Re-forking is O(pages-touched) where a snapshot restore is
+     * O(memory); the member keeps its index, fault identity and armed
+     * fault plan across the re-fork.
+     */
+    int forkRestartBudget = 0;
+    /**
+     * Maximum members this fleet may ever host (its spawn budget);
+     * 0 means unbounded.  addVm/addForkedMember throw once reached -
+     * the density backstop for golden-image fork storms.
+     */
+    int spawnBudget = 0;
 };
 
 class HypervisorFleet
@@ -89,6 +108,26 @@ class HypervisorFleet
      * Returns the member index.
      */
     int addVm(const VmConfig &config);
+
+    /**
+     * Add a member forked from @p image (GoldenImage::fork) - the
+     * O(pages-touched) path: the new member's RAM and disk are CoW
+     * views of the sealed image.  The forked VM's fault identity is
+     * the member index, exactly as addVm assigns it, so fault-plan
+     * `vm=` selectors and containment guarantees are unchanged by how
+     * a member came to exist.  @p image must outlive the fleet.
+     * Returns the member index.
+     */
+    int addForkedMember(const GoldenImage &image);
+    /** Fork @p n members from @p image; returns the first index. */
+    int addForkedMember(const GoldenImage &image, int n);
+
+    /**
+     * Decommission member @p i (between runs): its VM halts with
+     * VmmPolicy and the member is never re-forked or restarted.
+     * Siblings are unaffected.
+     */
+    void killMember(int i);
 
     int size() const { return static_cast<int>(members_.size()); }
     RealMachine &machine(int i) { return *members_[i]->machine; }
@@ -124,6 +163,8 @@ class HypervisorFleet
     VmStats totalVmStats() const;
     /** Supervisor restarts performed across the fleet. */
     std::uint64_t restarts() const;
+    /** Golden-image re-forks performed across the fleet. */
+    std::uint64_t forkRestarts() const;
     /**
      * Stats merged at the last round barrier - a consistent mid-run
      * view for monitoring threads (guarded by the merge mutex).
@@ -133,15 +174,25 @@ class HypervisorFleet
   private:
     struct Member
     {
+        int index = 0; //!< fleet-wide index == the VM's fault identity
         std::unique_ptr<RealMachine> machine;
         std::unique_ptr<Hypervisor> hv;
         std::unique_ptr<FaultPlan> plan; //!< member-owned, if armed
         std::unique_ptr<VmSupervisor> supervisor;
+        const GoldenImage *image = nullptr; //!< non-null: forked member
+        int forkRestartsLeft = 0;
+        bool killed = false; //!< killMember: never restarted
         std::uint64_t budgetLeft = 0;
         bool done = false;
     };
 
+    void checkSpawnBudget() const;
     void runSlice(Member &m);
+    /** Replace a crashed forked member with a fresh fork; retires the
+     *  dead machine's counters into the aggregate first. */
+    void refork(Member &m);
+    /** Refresh the cow* gauge fields in the member's machine Stats. */
+    void publishCowGauges(Member &m) const;
     bool memberLive(const Member &m) const;
     void mergeAtBarrier();
 
@@ -150,6 +201,11 @@ class HypervisorFleet
 
     mutable std::mutex mergeMutex_;
     Stats barrierStats_;
+    /** Counters of machines retired by refork(), so aggregates cover
+     *  every incarnation.  Guarded by mergeMutex_. */
+    Stats retiredStats_;
+    VmStats retiredVmStats_;
+    std::uint64_t forkRestarts_ = 0;
 };
 
 } // namespace vvax

@@ -323,6 +323,7 @@ Hypervisor::loadVmDisk(VirtualMachine &vm, Longword block,
     if (offset + data.size() > vm.disk.size())
         throw std::out_of_range("data beyond VM disk");
     std::memcpy(vm.disk.data() + offset, data.data(), data.size());
+    vm.disk.markWritten(block, (data.size() + 511) / 512);
 }
 
 void

@@ -18,7 +18,7 @@ snapshotVm(Hypervisor &hv, const VirtualMachine &vm)
     s.memory.resize(vm.memPages * kPageSize);
     hv.machine().memory().readBlock(
         static_cast<PhysAddr>(vm.basePfn) << kPageShift, s.memory);
-    s.disk = vm.disk;
+    s.disk.assign(vm.disk.data(), vm.disk.data() + vm.disk.size());
 
     s.vSp = vm.vSp;
     s.vIsp = vm.vIsp;
@@ -52,15 +52,9 @@ snapshotVm(Hypervisor &hv, const VirtualMachine &vm)
     return s;
 }
 
-VirtualMachine &
-restoreVm(Hypervisor &hv, const VmSnapshot &s)
+void
+applyVmSnapshotState(VirtualMachine &vm, const VmSnapshot &s)
 {
-    VirtualMachine &vm = hv.createVm(s.config);
-
-    hv.machine().memory().writeBlock(
-        static_cast<PhysAddr>(vm.basePfn) << kPageShift, s.memory);
-    vm.disk = s.disk;
-
     vm.vSp = s.vSp;
     vm.vIsp = s.vIsp;
     vm.vmpsl = s.vmpsl;
@@ -89,6 +83,18 @@ restoreVm(Hypervisor &hv, const VmSnapshot &s)
     vm.haltReason = s.haltReason;
     vm.pendingInts = s.pendingInts;
     vm.uptimeMailbox = s.uptimeMailbox;
+}
+
+VirtualMachine &
+restoreVm(Hypervisor &hv, const VmSnapshot &s)
+{
+    VirtualMachine &vm = hv.createVm(s.config);
+
+    hv.machine().memory().writeBlock(
+        static_cast<PhysAddr>(vm.basePfn) << kPageShift, s.memory);
+    vm.disk.assign(s.disk);
+
+    applyVmSnapshotState(vm, s);
     // Replay the console transcript so the restored VM's output is a
     // superset continuation of the original's.
     for (char c : s.consoleOutput)
@@ -113,36 +119,9 @@ restoreVmInPlace(Hypervisor &hv, VirtualMachine &vm, const VmSnapshot &s)
 
     hv.machine().memory().writeBlock(
         static_cast<PhysAddr>(vm.basePfn) << kPageShift, s.memory);
-    vm.disk = s.disk;
+    vm.disk.overwrite(s.disk);
 
-    vm.vSp = s.vSp;
-    vm.vIsp = s.vIsp;
-    vm.vmpsl = s.vmpsl;
-    vm.vScbb = s.vScbb;
-    vm.vPcbb = s.vPcbb;
-    vm.vSbr = s.vSbr;
-    vm.vSlr = s.vSlr;
-    vm.vP0br = s.vP0br;
-    vm.vP0lr = s.vP0lr;
-    vm.vP1br = s.vP1br;
-    vm.vP1lr = s.vP1lr;
-    vm.vAstlvl = s.vAstlvl;
-    vm.vMapen = s.vMapen;
-    vm.vSisr = s.vSisr;
-    vm.vTodr = s.vTodr;
-    vm.vIccs = s.vIccs;
-    vm.vNicr = s.vNicr;
-    vm.vIcr = s.vIcr;
-
-    vm.savedPc = s.savedPc;
-    vm.savedRealPsl = s.savedRealPsl;
-    vm.savedRegs = s.savedRegs;
-    vm.started = s.started;
-    vm.waiting = s.waiting;
-    vm.waitDeadline = 0; // wake at the next quantum check
-    vm.haltReason = s.haltReason;
-    vm.pendingInts = s.pendingInts;
-    vm.uptimeMailbox = s.uptimeMailbox;
+    applyVmSnapshotState(vm, s);
 
     // Execution between snapshot and restore is being undone, so its
     // transient per-VM state must not leak into the replay: no failed

@@ -13,6 +13,14 @@
  *
  * Snapshots must be taken while the VM is suspended (between
  * Hypervisor::run calls, or after a VmMonitor HALT).
+ *
+ * Restore does not assume anything about how the target machine's RAM
+ * or the VM's disk are *backed*: both are policies (plain owned
+ * storage or a CoW fork of a golden image, memory/cow_backing.h), and
+ * restore only ever writes through the ordinary store funnels, which
+ * work identically over either backing.  A snapshot is also the
+ * source material for GoldenImage::seal (vmm/golden_image.h), which
+ * freezes it into an immutable image that forks share pages with.
  */
 
 #ifndef VVAX_VMM_SNAPSHOT_H
@@ -92,6 +100,16 @@ VirtualMachine &restoreVm(Hypervisor &hv, const VmSnapshot &snap);
  */
 void restoreVmInPlace(Hypervisor &hv, VirtualMachine &vm,
                       const VmSnapshot &snap);
+
+/**
+ * Copy @p snap's virtualized registers, execution context, run state,
+ * pending interrupts and uptime mailbox into @p vm — everything
+ * except the memory/disk payloads and the console transcript.  The
+ * shared core of restoreVm/restoreVmInPlace, also used by
+ * GoldenImage::fork (which gets memory and disk from the sealed image
+ * instead of snapshot vectors).
+ */
+void applyVmSnapshotState(VirtualMachine &vm, const VmSnapshot &snap);
 
 } // namespace vvax
 

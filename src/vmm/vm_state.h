@@ -9,18 +9,142 @@
 #ifndef VVAX_VMM_VM_STATE_H
 #define VVAX_VMM_VM_STATE_H
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <deque>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "arch/psl.h"
 #include "arch/types.h"
 #include "dev/console.h"
+#include "memory/cow_backing.h"
 #include "vmm/kcall.h"
 
 namespace vvax {
+
+/**
+ * The VM's virtual disk: a flat byte image (the async I/O engine and
+ * the KCALL paths hold raw data() pointers, so the storage address is
+ * stable for the life of the VM) whose backing is a policy, like RAM's.
+ * A plain VM owns zero-filled storage; a golden-image fork is a
+ * copy-on-write view of the sealed base disk, with a block-keyed dirty
+ * bitmap recording the fork's private overlay.  Every host-side write
+ * funnel into the image (KCALL transfers, batch submits, loadVmDisk)
+ * calls markWritten(), so blocksTouched()/privateBytes() account the
+ * overlay exactly.
+ */
+class VmDisk
+{
+  public:
+    /** Fresh zero-filled storage of @p bytes (drops any CoW backing). */
+    void
+    resize(std::size_t bytes)
+    {
+        view_ = CowView::anonymous(bytes);
+        resetDirty();
+    }
+
+    /** Back the disk with a private CoW view of the sealed @p base. */
+    void
+    adoptCow(const SealedRegion &base, CowBacking policy = CowBacking::Auto)
+    {
+        view_ = CowView::forkOf(base, policy);
+        resetDirty();
+    }
+
+    /** Replace the contents with a private copy of @p bytes. */
+    void
+    assign(std::span<const Byte> bytes)
+    {
+        resize(bytes.size());
+        std::memcpy(view_.data(), bytes.data(), bytes.size());
+    }
+
+    /**
+     * Overwrite the contents in place without moving the storage
+     * (restoreVmInPlace: the data() pointer must stay stable).  Sizes
+     * must match; every block becomes part of the private overlay.
+     */
+    void
+    overwrite(std::span<const Byte> bytes)
+    {
+        std::memcpy(view_.data(), bytes.data(),
+                    std::min(bytes.size(), view_.size()));
+        markWritten(0, dirty_.size());
+    }
+
+    std::size_t size() const { return view_.size(); }
+    Byte *data() { return view_.data(); }
+    const Byte *data() const { return view_.data(); }
+    operator std::span<const Byte>() const { return {data(), size()}; }
+
+    /** Record a host-side write of @p count blocks starting at @p block. */
+    void
+    markWritten(std::size_t block, std::size_t count)
+    {
+        const std::size_t end = std::min(block + count, dirty_.size());
+        for (std::size_t b = block; b < end; ++b) {
+            if (!dirty_[b]) {
+                dirty_[b] = 1;
+                touched_++;
+            }
+        }
+    }
+
+    bool forked() const { return view_.forked(); }
+    bool kernelCow() const { return view_.kernelCow(); }
+    /** Distinct blocks written since resize/adoptCow. */
+    std::size_t blocksTouched() const { return touched_; }
+
+    /**
+     * Host-page-rounded private resident bytes: under kernel CoW, the
+     * host pages containing at least one dirty block; otherwise the
+     * whole image.
+     */
+    std::size_t
+    privateBytes() const
+    {
+        if (!kernelCow())
+            return view_.size();
+        const std::size_t host_page = hostPageSize();
+        const std::size_t blocks_per_host =
+            host_page >= 512 ? host_page / 512 : 1;
+        std::size_t private_pages = 0;
+        for (std::size_t i = 0; i < dirty_.size(); i += blocks_per_host) {
+            const std::size_t end = std::min(i + blocks_per_host,
+                                             dirty_.size());
+            for (std::size_t b = i; b < end; ++b) {
+                if (dirty_[b]) {
+                    private_pages++;
+                    break;
+                }
+            }
+        }
+        return std::min(private_pages * host_page, view_.size());
+    }
+
+    std::size_t
+    sharedBytes() const
+    {
+        return kernelCow() ? view_.size() - privateBytes() : 0;
+    }
+
+  private:
+    void
+    resetDirty()
+    {
+        dirty_.assign((view_.size() + 511) / 512, 0);
+        touched_ = 0;
+    }
+
+    CowView view_;
+    std::vector<Byte> dirty_; //!< per-block "written since fork" bits
+    std::size_t touched_ = 0; //!< count of set bits in dirty_
+};
 
 /** How the VM's disk I/O is virtualized (paper Section 4.4.3). */
 enum class VmIoMode : Byte {
@@ -338,7 +462,7 @@ class VirtualMachine
 
     // ----- Virtual devices ---------------------------------------------------
     ConsoleDevice console;      //!< detached (VMM-serviced) console
-    std::vector<Byte> disk;
+    VmDisk disk;                //!< flat image; CoW-forkable (see VmDisk)
     bool consoleRxIe = false;
     bool consoleTxIe = false;
     /**

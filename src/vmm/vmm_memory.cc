@@ -324,14 +324,26 @@ void
 Hypervisor::fillNullPtes(PhysAddr pa, Longword count)
 {
     // Wide batch fill through the host pointer: two PTEs per store.
+    // Compare before writing: on a golden-image fork most of these
+    // entries are already null in the CoW-shared image, and skipping
+    // the no-op store keeps the host page physically shared instead
+    // of dirtying a private copy just to rewrite identical bytes.
     Byte *p = mem_.ram().data() + pa;
     const std::uint64_t pair =
         (static_cast<std::uint64_t>(kNullPteRaw) << 32) | kNullPteRaw;
     Longword i = 0;
-    for (; i + 2 <= count; i += 2, p += 8)
-        std::memcpy(p, &pair, 8);
-    if (i < count)
-        std::memcpy(p, &kNullPteRaw, 4);
+    for (; i + 2 <= count; i += 2, p += 8) {
+        std::uint64_t cur;
+        std::memcpy(&cur, p, 8);
+        if (cur != pair)
+            std::memcpy(p, &pair, 8);
+    }
+    if (i < count) {
+        Longword cur;
+        std::memcpy(&cur, p, 4);
+        if (cur != kNullPteRaw)
+            std::memcpy(p, &kNullPteRaw, 4);
+    }
 }
 
 void
@@ -615,10 +627,12 @@ Hypervisor::vmDiskTransfer(VirtualMachine &vm, bool write, Longword block,
     Byte *disk = vm.disk.data() + static_cast<std::uint64_t>(block) * 512;
     const PhysAddr real = vm.vmPhysToReal(vm_addr);
     const Longword len = static_cast<Longword>(bytes);
-    if (write)
+    if (write) {
         mem_.readBlock(real, {disk, len});
-    else
+        vm.disk.markWritten(block, count);
+    } else {
         mem_.writeBlock(real, {disk, len});
+    }
     return true;
 }
 
@@ -792,6 +806,7 @@ Hypervisor::submitAsyncDiskBatch(VirtualMachine &vm, PhysAddr ring,
                     mem_.readBlock(vm.vmPhysToReal(vm_pa),
                                    {stage, static_cast<Longword>(bytes)});
                     copies.push_back({disk, stage, bytes});
+                    vm.disk.markWritten(block, count);
                 } else {
                     copies.push_back({stage, disk, bytes});
                 }

@@ -739,6 +739,168 @@ TEST(FleetSupervisor, RestartsACrashingMemberAndLeavesSiblingsAlone)
 }
 
 // ---------------------------------------------------------------------------
+// Golden-image forked members (vmm/golden_image.h)
+// ---------------------------------------------------------------------------
+
+/** Boot the disk-heavy MiniVMS mix partway (fault-free) and seal it.
+ *  The source machine is discarded; the image owns everything. */
+GoldenImage
+sealedMiniVmsImage(std::uint64_t boot_budget)
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.setFaultPlan(nullptr); // golden boots are reproducible
+    HypervisorConfig hc;
+    hc.tickCycles = 2000;
+    hc.ticksPerQuantum = 2;
+    hc.asyncDiskIo = true;
+    Hypervisor hv(m, hc);
+    MiniVmsConfig cfg = diskHeavyVms();
+    VmConfig vc;
+    vc.memBytes = cfg.memBytes;
+    VirtualMachine &vm = hv.createVm(vc);
+    MiniVmsImage img = buildMiniVms(cfg);
+    hv.loadVmImage(vm, 0, img.image);
+    hv.startVm(vm, img.entry);
+    hv.run(boot_budget);
+    return GoldenImage::seal(hv, vm);
+}
+
+/** Four forks of @p image on @p workers threads, with optional
+ *  per-member plans and exec tiers (mirrors runMixedFleet). */
+FleetOutcome
+runForkedFleet(int workers, const GoldenImage &image,
+               const std::vector<const FaultPlan *> *plans = nullptr,
+               const std::vector<ExecTier> *tiers = nullptr)
+{
+    FleetConfig fc;
+    fc.workers = workers;
+    fc.sliceInstructions = 50000;
+    fc.machine = image.machineConfig();
+    HypervisorFleet fleet(fc);
+    fleet.addForkedMember(image, 4);
+
+    if (plans != nullptr) {
+        for (int i = 0; i < fleet.size(); ++i)
+            fleet.setFaultPlan(i, (*plans)[i]);
+    }
+    if (tiers != nullptr) {
+        for (int i = 0; i < fleet.size(); ++i)
+            fleet.machine(i).cpu().setExecTier((*tiers)[i]);
+    }
+
+    fleet.run(400000000);
+
+    const PhysAddr result_base = buildMiniVms(diskHeavyVms()).resultBase;
+    FleetOutcome out;
+    for (int i = 0; i < fleet.size(); ++i) {
+        MemberOutcome mo;
+        RealMachine &m = fleet.machine(i);
+        VirtualMachine &vm = fleet.vm(i);
+        mo.vmMemory = vmMemoryDigest(m, vm);
+        mo.vmDisk = fnv1a(vm.disk);
+        mo.console = vm.console.output();
+        mo.magic = m.memory().read32(vm.vmPhysToReal(result_base));
+        if (m.faultPlan() == nullptr) {
+            EXPECT_EQ(mo.magic, MiniVmsImage::kResultMagic)
+                << "fork " << i;
+        } else {
+            EXPECT_TRUE(mo.magic == MiniVmsImage::kResultMagic ||
+                        vm.haltReason != VmHaltReason::None)
+                << "fork " << i;
+        }
+        mo.vmStats = vm.stats;
+        mo.stats = m.stats();
+        out.members.push_back(std::move(mo));
+    }
+    out.totalVm = fleet.totalVmStats();
+    out.restarts = fleet.restarts();
+    return out;
+}
+
+TEST(FleetFork, ForkedFleetIsBitIdenticalAcrossWorkerCounts)
+{
+    const GoldenImage gold = sealedMiniVmsImage(400);
+    const FleetOutcome one = runForkedFleet(1, gold);
+    const FleetOutcome two = runForkedFleet(2, gold);
+    const FleetOutcome four = runForkedFleet(4, gold);
+    ASSERT_EQ(one.members.size(), 4u);
+    for (std::size_t i = 0; i < one.members.size(); ++i) {
+        EXPECT_TRUE(one.members[i] == four.members[i])
+            << "fork " << i
+            << ": forked members obey the same lockstep contract as "
+               "booted ones";
+        EXPECT_TRUE(one.members[i] == two.members[i]) << "fork " << i;
+    }
+    EXPECT_TRUE(one == four);
+}
+
+TEST(FleetFork, MixedExecTiersOverForksAreLockstep)
+{
+    // The exec tier is a host strategy over CoW-shared pages exactly
+    // as over owned pages: per-fork digests must not depend on it,
+    // nor on the worker count.
+    const GoldenImage gold = sealedMiniVmsImage(400);
+    const std::vector<ExecTier> tiers = {
+        ExecTier::Threaded, ExecTier::Blocks, ExecTier::Fast,
+        ExecTier::Reference};
+    const FleetOutcome uniform = runForkedFleet(2, gold);
+    const FleetOutcome mixed2 = runForkedFleet(2, gold, nullptr, &tiers);
+    const FleetOutcome mixed4 = runForkedFleet(4, gold, nullptr, &tiers);
+    for (std::size_t i = 0; i < uniform.members.size(); ++i) {
+        EXPECT_TRUE(uniform.members[i].vmMemory ==
+                        mixed2.members[i].vmMemory &&
+                    uniform.members[i].vmDisk ==
+                        mixed2.members[i].vmDisk &&
+                    uniform.members[i].console ==
+                        mixed2.members[i].console &&
+                    uniform.members[i].magic == mixed2.members[i].magic &&
+                    uniform.members[i].vmStats == mixed2.members[i].vmStats)
+            << "fork " << i
+            << ": the tier must stay architecturally invisible over "
+               "CoW backing";
+    }
+    EXPECT_TRUE(mixed2 == mixed4);
+}
+
+TEST(FleetFork, FaultedForkIsContainedAndSiblingsMatchUnfaulted)
+{
+    const GoldenImage gold = sealedMiniVmsImage(400);
+    const FaultPlan victim = aggressivePlan();
+    const std::vector<const FaultPlan *> plans = {&victim, nullptr,
+                                                  nullptr, nullptr};
+    const std::vector<const FaultPlan *> clean = {nullptr, nullptr,
+                                                  nullptr, nullptr};
+
+    const FleetOutcome faulted1 = runForkedFleet(1, gold, &plans);
+    const FleetOutcome faulted4 = runForkedFleet(4, gold, &plans);
+    const FleetOutcome healthy = runForkedFleet(4, gold, &clean);
+
+    EXPECT_TRUE(faulted1 == faulted4)
+        << "fault ordinals are per-VM; fork order and workers are "
+           "irrelevant";
+    EXPECT_GT(faulted4.members[0].stats.faultsInjected[static_cast<int>(
+                  FaultClass::DiskTransient)],
+              0u)
+        << "the victim fork's plan must actually fire";
+    for (std::size_t i = 1; i < 4; ++i) {
+        EXPECT_TRUE(faulted4.members[i] == healthy.members[i])
+            << "fork " << i
+            << ": faults against fork 0 must not leak through the "
+               "shared image";
+        for (int c = 0; c < kNumFaultClasses; ++c)
+            EXPECT_EQ(faulted4.members[i].stats.faultsInjected[c], 0u);
+    }
+    // Identical clean forks of one image are pairwise bit-identical:
+    // nothing about the shared backing is order- or index-dependent.
+    for (std::size_t i = 1; i < 4; ++i)
+        EXPECT_TRUE(healthy.members[i] == healthy.members[0])
+            << "fork " << i;
+}
+
+// ---------------------------------------------------------------------------
 // VVAX_FAULT_PLAN sweep hooks (scripts/run_all.sh)
 // ---------------------------------------------------------------------------
 

@@ -10,10 +10,21 @@
  *   vvax_run --stats prog.s         dump the full cycle accounting
  *   vvax_run --vm --monitor "E 1000;SHOW" prog.s
  *                                   run console commands after the run
+ *   vvax_run --forks=8 prog.s       boot once, seal a golden image,
+ *                                   fork 8 CoW clones and run each
+ *   vvax_run --forks=8 --golden=minivms
+ *                                   same, from the built-in MiniVMS
+ *                                   guest instead of an assembly file
+ *
+ * Fork mode boots the guest for --max instructions (or until it
+ * halts), seals it into a golden image (vmm/golden_image.h), then
+ * forks and runs each clone, printing per-fork CoW accounting: pages
+ * touched, private/shared bytes, and disk blocks written.
  *
  * With VVAX_DUMP_HOT_BLOCKS=N in the environment, the N hottest
  * superblocks and their trace-link graph are dumped after the run
- * (any non-numeric value defaults to 20).
+ * (any non-numeric value defaults to 20; in fork mode the dump is
+ * fork 0's, demonstrating the tiers run unchanged over CoW backing).
  *
  * The program's console output (MTPR to TXDB, or KCALL console writes
  * in a VM) is printed, followed by the final register state.
@@ -26,9 +37,13 @@
 #include <sstream>
 #include <string>
 
+#include <vector>
+
 #include "core/machine.h"
+#include "guest/minivms.h"
 #include "vasm/assembler.h"
 #include "vasm/disasm.h"
+#include "vmm/golden_image.h"
 #include "vmm/hypervisor.h"
 #include "vmm/vm_monitor.h"
 
@@ -54,6 +69,102 @@ printRegs(Cpu &cpu)
                 psl.ipl(), psl.n(), psl.z(), psl.v(), psl.c());
 }
 
+/** Boot a guest once, seal it, then fork and run @p forks CoW clones,
+ *  printing per-fork CoW accounting.  @p golden selects a built-in
+ *  guest ("minivms"); otherwise @p image is the assembled program. */
+int
+runForkStorm(int forks, const char *golden,
+             const std::vector<Byte> &image, VirtAddr origin,
+             std::uint64_t max_instr, bool stats)
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine machine(mc);
+    Hypervisor hv(machine);
+    VmConfig vc;
+    vc.memBytes = 1024 * 1024;
+    VirtAddr entry = origin;
+    std::vector<Byte> guest = image;
+    PhysAddr load_at = origin;
+    if (golden != nullptr) {
+        if (std::strcmp(golden, "minivms") != 0) {
+            std::fprintf(stderr,
+                         "unknown --golden guest '%s' (try minivms)\n",
+                         golden);
+            return 2;
+        }
+        MiniVmsConfig cfg;
+        cfg.dataPagesPerProcess = 16;
+        vc.memBytes = cfg.memBytes;
+        MiniVmsImage img = buildMiniVms(cfg);
+        guest = std::move(img.image);
+        entry = img.entry;
+        load_at = 0;
+    }
+    VirtualMachine &vm = hv.createVm(vc);
+    hv.loadVmImage(vm, load_at, guest);
+    hv.startVm(vm, entry);
+    hv.run(max_instr);
+    std::printf("boot: %llu instructions, halt reason %d\n",
+                static_cast<unsigned long long>(
+                    machine.stats().instructions),
+                static_cast<int>(vm.haltReason));
+
+    const GoldenImage gold = GoldenImage::seal(hv, vm);
+    std::printf("golden image: %zu B ram + %zu B disk, %s\n",
+                gold.ramBytes(), gold.diskBytes(),
+                gold.kernelBacked() ? "kernel CoW" : "eager copy");
+
+    std::vector<GoldenFork> fleet;
+    fleet.reserve(forks);
+    for (int i = 0; i < forks; ++i)
+        fleet.push_back(gold.fork(i));
+    for (int i = 0; i < forks; ++i) {
+        GoldenFork &f = fleet[i];
+        f.hv->run(max_instr);
+        const CowStats cs = f.machine->memory().cowStats();
+        std::printf(
+            "fork %3d: %5u pages touched, %8llu B private, "
+            "%8llu B shared (%4.1f%% shared), %zu disk blocks, "
+            "halt reason %d\n",
+            i, static_cast<unsigned>(cs.pagesTouched),
+            static_cast<unsigned long long>(cs.privateBytes),
+            static_cast<unsigned long long>(cs.sharedBytes),
+            cs.privateBytes + cs.sharedBytes == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(cs.sharedBytes) /
+                      static_cast<double>(cs.privateBytes +
+                                          cs.sharedBytes),
+            f.vm->disk.blocksTouched(),
+            static_cast<int>(f.vm->haltReason));
+    }
+    if (forks > 0) {
+        GoldenFork &f0 = fleet[0];
+        std::printf("--- fork 0 console ---\n%s\n",
+                    f0.vm->console.output().c_str());
+        if (stats) {
+            Stats &s = f0.machine->stats();
+            f0.machine->memory().publishCowStats(s);
+            s.cowDiskBlocksTouched = f0.vm->disk.blocksTouched();
+            std::ostringstream os;
+            s.print(os);
+            std::printf("--- fork 0 cycle accounting ---\n%s",
+                        os.str().c_str());
+        }
+        if (const char *dump = std::getenv("VVAX_DUMP_HOT_BLOCKS")) {
+            int top_n = std::atoi(dump);
+            if (top_n <= 0)
+                top_n = 20;
+            std::ostringstream os;
+            f0.machine->cpu().dumpHotBlocks(os, top_n);
+            std::printf("--- fork 0 hot superblocks (top %d) ---\n%s",
+                        top_n, os.str().c_str());
+        }
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -66,6 +177,8 @@ main(int argc, char **argv)
     VirtAddr origin = 0x200;
     std::uint64_t max_instr = 10000000;
     const char *path = nullptr;
+    int forks = 0;
+    const char *golden = nullptr;
 
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--vm")) {
@@ -81,6 +194,10 @@ main(int argc, char **argv)
                 std::stoul(argv[++i], nullptr, 0));
         } else if (!std::strcmp(argv[i], "--max") && i + 1 < argc) {
             max_instr = std::stoull(argv[++i]);
+        } else if (!std::strncmp(argv[i], "--forks=", 8)) {
+            forks = std::atoi(argv[i] + 8);
+        } else if (!std::strncmp(argv[i], "--golden=", 9)) {
+            golden = argv[i] + 9;
         } else if (argv[i][0] != '-') {
             path = argv[i];
         } else {
@@ -88,10 +205,16 @@ main(int argc, char **argv)
             return 2;
         }
     }
+    if (forks > 0 && golden != nullptr) {
+        // Built-in guest: no assembly file needed.
+        return runForkStorm(forks, golden, {}, origin, max_instr,
+                            stats);
+    }
     if (!path) {
         std::fprintf(stderr,
                      "usage: vvax_run [--vm] [--trace] [--origin A] "
-                     "[--max N] prog.s\n");
+                     "[--max N] [--forks=N [--golden=minivms]] "
+                     "prog.s\n");
         return 2;
     }
 
@@ -111,6 +234,11 @@ main(int argc, char **argv)
     }
     std::printf("assembled %zu bytes at %08X\n", prog.image.size(),
                 origin);
+
+    if (forks > 0) {
+        return runForkStorm(forks, nullptr, prog.image, origin,
+                            max_instr, stats);
+    }
 
     MachineConfig mc;
     mc.ramBytes = 16 * 1024 * 1024;
