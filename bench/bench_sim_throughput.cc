@@ -682,6 +682,118 @@ BM_ResidentPerIdleVm(benchmark::State &state)
 }
 BENCHMARK(BM_ResidentPerIdleVm)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Crash-only supervision (FleetConfig::fleetSupervision)
+// ---------------------------------------------------------------------------
+
+/**
+ * Supervision overhead on the clean path: four healthy forks run to
+ * completion under the health state machine.  A correct run performs
+ * zero microreboots and zero quarantines - check_bench_regression.sh
+ * gates both counters at exactly their expected_* values.
+ */
+void
+BM_SupervisedFleet(benchmark::State &state)
+{
+    const GoldenImage gold = makeGoldenImage();
+    double microreboots = 0;
+    double quarantines = 0;
+    for (auto _ : state) {
+        FleetConfig fc;
+        fc.workers = 2;
+        fc.sliceInstructions = 50000;
+        fc.machine = gold.machineConfig();
+        fc.fleetSupervision.enabled = true;
+        HypervisorFleet fleet(fc);
+        fleet.addForkedMember(gold, 4);
+        fleet.run(400000000);
+        microreboots = static_cast<double>(fleet.microreboots());
+        quarantines = static_cast<double>(fleet.quarantines());
+        state.SetItemsProcessed(
+            state.items_processed() +
+            static_cast<std::int64_t>(
+                fleet.totalMachineStats().instructions));
+    }
+    state.counters["microreboots"] = benchmark::Counter(microreboots);
+    state.counters["expected_microreboots"] = benchmark::Counter(0);
+    state.counters["quarantines"] = benchmark::Counter(quarantines);
+}
+BENCHMARK(BM_SupervisedFleet)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/** Seal a crash-looping guest (reads past MEMSIZE), started but not
+ *  yet run: every fork of it crashes within a few instructions. */
+GoldenImage
+makeCrashImage()
+{
+    RealMachine m(goldenMachineConfig());
+    m.setFaultPlan(nullptr);
+    Hypervisor hv(m, goldenHvConfig());
+    VmConfig vc;
+    vc.memBytes = 256 * 1024;
+    VirtualMachine &vm = hv.createVm(vc);
+    CodeBuilder crash(0x200);
+    crash.incl(Op::abs(0x3000));
+    crash.movl(Op::abs(0x00F00000), Op::reg(R0));
+    crash.halt();
+    auto image = crash.finish();
+    hv.loadVmImage(vm, 0x200, image);
+    hv.startVm(vm, 0x200);
+    return GoldenImage::seal(hv, vm);
+}
+
+/**
+ * Microreboot storm: two permanently crashing forks burn their whole
+ * restart budget every iteration, so items/sec is microreboots per
+ * second.  mean_pages_recopied is the measured recovery cost (the
+ * fresh fork's CoW floor); full_restore_pages is what the PR-5
+ * snapshot-restore path would copy instead - the regression gate
+ * asserts the microreboot stays well under it, and that the budget
+ * arithmetic holds exactly (microreboots == expected_microreboots).
+ */
+void
+BM_MicrorebootStorm(benchmark::State &state)
+{
+    constexpr int kCrashForks = 2;
+    constexpr int kRestartBudget = 3;
+    const GoldenImage gold = makeCrashImage();
+    double microreboots = 0;
+    double quarantines = 0;
+    double pages_recopied = 0;
+    for (auto _ : state) {
+        FleetConfig fc;
+        fc.workers = 2;
+        fc.sliceInstructions = 5000;
+        fc.machine = gold.machineConfig();
+        fc.fleetSupervision.enabled = true;
+        fc.fleetSupervision.restartBudget = kRestartBudget;
+        fc.fleetSupervision.backoffSlices = 1;
+        HypervisorFleet fleet(fc);
+        fleet.addForkedMember(gold, kCrashForks);
+        fleet.run(4000000);
+        microreboots = static_cast<double>(fleet.microreboots());
+        quarantines = static_cast<double>(fleet.quarantines());
+        pages_recopied = static_cast<double>(fleet.pagesRecopied());
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<std::int64_t>(
+                                    fleet.microreboots()));
+    }
+    state.counters["microreboots"] = benchmark::Counter(microreboots);
+    state.counters["expected_microreboots"] =
+        benchmark::Counter(kCrashForks * kRestartBudget);
+    state.counters["quarantines"] = benchmark::Counter(quarantines);
+    state.counters["mean_pages_recopied"] = benchmark::Counter(
+        microreboots == 0 ? 0.0 : pages_recopied / microreboots);
+    state.counters["full_restore_pages"] = benchmark::Counter(
+        static_cast<double>(gold.ramBytes() / kPageSize));
+    state.counters["kernel_cow"] =
+        benchmark::Counter(gold.kernelBacked() ? 1.0 : 0.0);
+}
+BENCHMARK(BM_MicrorebootStorm)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 /**
  * JSONReporter whose context block reports the *harness* build type.
  * The stock reporter stamps `library_build_type` with how the system

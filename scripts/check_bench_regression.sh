@@ -283,6 +283,57 @@ if shared_frac is not None and priv_per_vm is not None and ram_bytes:
                   f"private per idle VM of "
                   f"{ram_bytes / 1048576:.0f} MiB RAM")
 
+# Crash-only supervision gates (vmm/fleet.h, docs/ARCHITECTURE.md
+# §6d).  Supervision counters are deterministic, so they gate exactly:
+# the clean supervised fleet performs zero microreboots and zero
+# quarantines, and the storm benchmark's restart-budget arithmetic
+# must hold to the reboot (microreboots == expected_microreboots).
+# The recovery-cost gate only binds under kernel CoW, where the
+# pages-recopied gauge measures real copy-up work.
+for bench in ("BM_SupervisedFleet/real_time",
+              "BM_MicrorebootStorm/real_time"):
+    reboots = counter(fresh_path, bench, "microreboots")
+    expected = counter(fresh_path, bench, "expected_microreboots")
+    if reboots is None or expected is None:
+        continue
+    if reboots != expected:
+        print(f"REGRESSED {bench}: {reboots:.0f} microreboots "
+              f"(expected exactly {expected:.0f})")
+        failed = True
+    else:
+        print(f"ok       {bench}: {reboots:.0f} microreboots "
+              f"(= expected)")
+
+clean_quar = counter(fresh_path, "BM_SupervisedFleet/real_time",
+                     "quarantines")
+if clean_quar is not None:
+    if clean_quar != 0:
+        print(f"REGRESSED BM_SupervisedFleet: {clean_quar:.0f} "
+              f"quarantines in a clean run (must be 0)")
+        failed = True
+    else:
+        print("ok       BM_SupervisedFleet: 0 quarantines")
+
+storm = "BM_MicrorebootStorm/real_time"
+mean_recopied = counter(fresh_path, storm, "mean_pages_recopied")
+full_restore = counter(fresh_path, storm, "full_restore_pages")
+storm_kernel_cow = counter(fresh_path, storm, "kernel_cow")
+if mean_recopied is not None and full_restore:
+    if storm_kernel_cow == 0:
+        print(f"ok       microreboot cost: {mean_recopied:.0f} pages "
+              f"recopied vs {full_restore:.0f} full-restore pages "
+              f"(eager-copy fallback; cost gate needs kernel CoW)")
+    elif mean_recopied >= 0.5 * full_restore:
+        print(f"REGRESSED microreboot cost: {mean_recopied:.0f} "
+              f"pages recopied per reboot vs {full_restore:.0f} for "
+              f"a full restore (need < half)")
+        failed = True
+    else:
+        print(f"ok       microreboot cost: {mean_recopied:.0f} pages "
+              f"per reboot vs {full_restore:.0f} full-restore pages "
+              f"({full_restore / max(mean_recopied, 1.0):.0f}x "
+              f"cheaper)")
+
 # Zero-fault gate: the fault-injection machinery (fault/fault_plan.h)
 # must be provably inert when no plan is armed — a nonzero count here
 # means either a plan leaked into the benchmark environment or an

@@ -59,9 +59,14 @@ tail -n 2 test_tsan_output.txt
 
 # Deterministic fault sweep (ARCHITECTURE.md §6): drive the lockstep
 # and supervised-survival tests under an aggressive VVAX_FAULT_PLAN
-# for eight seeds, on both the regular and sanitizer trees.  Any
-# seed that breaks fast/reference agreement, crashes the host, or
-# trips ASan fails the run.
+# for eight seeds, on both the regular and sanitizer trees.  The plan
+# covers the async/fork-era classes too (late and corrupted async
+# completions, delayed mailbox delivery).  Any seed that breaks
+# fast/reference agreement, crashes the host, or trips a sanitizer
+# fails the run.
+SWEEP_PLAN_FOR_SEED() {
+  echo "seed=$1;disk-transient:every=3;torn:every=2;ecc:every=16;spurious:every=9;async-late:every=4;async-corrupt:every=7;mailbox-delay:every=2"
+}
 {
   for tree in build build-asan; do
     for s in 3 7 11 23 42 97 1234 99991; do
@@ -70,16 +75,29 @@ tail -n 2 test_tsan_output.txt
       # faults must land identically when the victim retires hot code
       # through compiled handler chains.
       env $SAN_ENV VVAX_EXEC_TIER=threaded \
-          VVAX_FAULT_PLAN="seed=$s;disk-transient:every=3;torn:every=2;ecc:every=16;spurious:every=9" \
+          VVAX_FAULT_PLAN="$(SWEEP_PLAN_FOR_SEED "$s")" \
           "$tree/tests/test_fault_injection" \
           --gtest_filter='FaultSweep.*'
       # The same plan under the worker pool: N-worker lockstep and
       # healthy-member containment must survive every seed.
       env $SAN_ENV VVAX_EXEC_TIER=threaded \
-          VVAX_FAULT_PLAN="seed=$s;disk-transient:every=3;torn:every=2;ecc:every=16;spurious:every=9" \
+          VVAX_FAULT_PLAN="$(SWEEP_PLAN_FOR_SEED "$s")" \
           "$tree/tests/test_fleet" \
           --gtest_filter='FleetSweep.*'
     done
+  done
+  # The same seeds on the ThreadSanitizer tree: the async engine and
+  # the fleet worker pool absorb every injected class while TSan
+  # watches the cross-thread traffic.  (The plan-free supervision and
+  # microreboot suites - which assert exact injection counts and so
+  # cannot run with an environment plan armed - already ran above in
+  # the full TSan test_fleet pass.)
+  for s in 3 7 11 23 42 97 1234 99991; do
+    echo "=== fault sweep: tree=build-tsan seed=$s"
+    env TSAN_OPTIONS=halt_on_error=1 VVAX_EXEC_TIER=threaded \
+        VVAX_FAULT_PLAN="$(SWEEP_PLAN_FOR_SEED "$s")" \
+        build-tsan/tests/test_fleet \
+        --gtest_filter='FleetSweep.*'
   done
 } >fault_sweep_output.txt 2>&1 ||
     { cat fault_sweep_output.txt; exit 1; }

@@ -41,6 +41,10 @@ faultClassName(FaultClass cls)
       case FaultClass::TornBatch: return "torn";
       case FaultClass::Ecc: return "ecc";
       case FaultClass::SpuriousInterrupt: return "spurious";
+      case FaultClass::AsyncLate: return "async-late";
+      case FaultClass::AsyncCorrupt: return "async-corrupt";
+      case FaultClass::MailboxDelay: return "mailbox-delay";
+      case FaultClass::HostAlloc: return "host-alloc";
       case FaultClass::NumClasses: break;
     }
     return "?";
@@ -114,6 +118,19 @@ FaultPlan::eccAddress(int vm_id, std::uint64_t ordinal,
     const std::uint64_t h =
         hashDecision(seed_, FaultClass::Ecc, vm_id, ordinal);
     return static_cast<Longword>(h % mem_bytes) & ~Longword{3};
+}
+
+std::uint64_t
+FaultPlan::delayTicks(FaultClass cls, int vm_id, std::uint64_t ordinal,
+                      std::uint64_t max_ticks) const
+{
+    if (max_ticks == 0)
+        return 0;
+    // Salt the ordinal so the delay draw never correlates with the
+    // fire/no-fire draw of a prob= rule on the same key.
+    const std::uint64_t h =
+        hashDecision(seed_, cls, vm_id, ordinal ^ 0x5DE1A7ull << 40);
+    return 1 + h % max_ticks;
 }
 
 namespace {

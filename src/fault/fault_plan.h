@@ -30,16 +30,35 @@
  *    frame instead of halting the VM.
  *  - SpuriousInterrupt: an unexpected disk-device interrupt posted to
  *    the resident VM.
+ *  - AsyncLate: an async kDiskBatch completion arrives late — the
+ *    submit path stretches the batch's dueTick by a deterministic
+ *    1..kMaxAsyncLateTicks extra virtual ticks (per-VM batch ordinal).
+ *  - AsyncCorrupt: the staging snapshot of an async batch is
+ *    corrupted in flight; the VMM detects it, drops the data copies
+ *    and posts terminal kBatchStatusError on every serviced
+ *    descriptor, so the guest's async retry path runs.
+ *  - MailboxDelay: a due cross-thread mailbox entry (console input or
+ *    host interrupt) is held back a deterministic 1..kMaxMailboxDelay
+ *    extra ticks before delivery (per-VM delivery ordinal) — delivery
+ *    still happens at a deterministic virtual tick, so N-worker runs
+ *    stay bit-identical to 1-worker runs.
+ *  - HostAlloc: a host-resource failure (memfd_create/mmap/F_SEAL_*)
+ *    while sealing or forking a golden image, forcing the documented
+ *    heap/eager-copy fallback (memory/cow_backing.h).  Architecturally
+ *    invisible by design: the fallback is bit-identical.
  *
  * Plans come from the programmatic API (addRule) or from the
  * VVAX_FAULT_PLAN environment variable, a semicolon-separated spec:
  *
  *   VVAX_FAULT_PLAN="seed=7;disk-transient:vm=0,every=3;ecc:every=16;
  *                    torn:vm=0,every=2;spurious:prob=64;
- *                    disk-hard:vm=1,block=96,nblocks=4,count=2"
+ *                    disk-hard:vm=1,block=96,nblocks=4,count=2;
+ *                    async-late:every=5;async-corrupt:every=7;
+ *                    mailbox-delay:every=3;host-alloc:at=0"
  *
  * Clause grammar: `class:key=value,key=value,...` with classes
- * disk-transient | disk-hard | torn | ecc | spurious and keys
+ * disk-transient | disk-hard | torn | ecc | spurious | async-late |
+ * async-corrupt | mailbox-delay | host-alloc and keys
  *   vm=N      only this VM id (-1 / absent: any VM, and the bare disk)
  *   at=N      fire at exactly ordinal N
  *   every=N   fire when (ordinal + 1) % N == 0
@@ -69,6 +88,10 @@ enum class FaultClass : Byte {
     TornBatch,         //!< kDiskBatch ring only partially serviced
     Ecc,               //!< physical-memory error while a VM is resident
     SpuriousInterrupt, //!< unexpected device interrupt into the VM
+    AsyncLate,         //!< async batch completion past its dueTick
+    AsyncCorrupt,      //!< async staging corrupted; batch fails whole
+    MailboxDelay,      //!< cross-thread mailbox entry delivered late
+    HostAlloc,         //!< memfd/mmap/seal failure; heap-eager fallback
     NumClasses,
 };
 
@@ -94,6 +117,13 @@ std::string_view faultClassName(FaultClass cls);
  */
 constexpr Longword kMcheckCodeEcc = 1;
 constexpr Longword kMcheckParamBytes = 8;
+
+/** Bounds on the deterministic delays the late-delivery classes add.
+ *  Small on purpose: a delayed completion/delivery must stay well
+ *  inside the virtual-time horizon of a quantum so guests' timeout
+ *  loops ride it out rather than declare the device dead. */
+constexpr std::uint64_t kMaxAsyncLateTicks = 8;
+constexpr std::uint64_t kMaxMailboxDelayTicks = 4;
 
 /** One injection rule.  Unset selectors never match (see fault_plan.h
  *  header comment for the spec grammar they mirror). */
@@ -134,6 +164,15 @@ class FaultPlan
     /** Deterministic "failing" physical address for an ECC report. */
     Longword eccAddress(int vm_id, std::uint64_t ordinal,
                         Longword mem_bytes) const;
+
+    /**
+     * Deterministic delay in [1, max_ticks] for a late-delivery fault
+     * (AsyncLate, MailboxDelay).  Pure in (seed, cls, vm_id, ordinal),
+     * like every other decision.
+     */
+    std::uint64_t delayTicks(FaultClass cls, int vm_id,
+                             std::uint64_t ordinal,
+                             std::uint64_t max_ticks) const;
 
     /**
      * Parse a VVAX_FAULT_PLAN-style spec into @p out.  Returns false

@@ -44,7 +44,28 @@ bool eagerForced()
     return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
+int simulated_host_alloc_failures = 0;
+
+/** Consume one armed simulated failure, if any. */
+bool claimSimulatedHostAllocFailure()
+{
+    if (simulated_host_alloc_failures <= 0)
+        return false;
+    simulated_host_alloc_failures--;
+    return true;
+}
+
 } // namespace
+
+void setSimulatedHostAllocFailures(int n)
+{
+    simulated_host_alloc_failures = n;
+}
+
+int simulatedHostAllocFailuresRemaining()
+{
+    return simulated_host_alloc_failures;
+}
 
 // ---------------------------------------------------------------- SealedRegion
 
@@ -96,8 +117,11 @@ SealedRegion SealedRegion::seal(std::span<const Byte> bytes)
     region.size_ = bytes.size();
 
 #if defined(__linux__)
-    int fd = static_cast<int>(
-        ::syscall(SYS_memfd_create, "vvax-golden", MFD_CLOEXEC | MFD_ALLOW_SEALING));
+    int fd = claimSimulatedHostAllocFailure()
+                 ? -1
+                 : static_cast<int>(::syscall(
+                       SYS_memfd_create, "vvax-golden",
+                       MFD_CLOEXEC | MFD_ALLOW_SEALING));
     if (fd >= 0) {
         bool ok = true;
         std::size_t written = 0;
@@ -205,7 +229,8 @@ CowView CowView::forkOf(const SealedRegion &base, CowBacking policy)
     view.forked_ = true;
 
 #if defined(__linux__)
-    if (want_kernel && base.kernelBacked()) {
+    if (want_kernel && base.kernelBacked() &&
+        !claimSimulatedHostAllocFailure()) {
         std::size_t map_len = roundToHostPage(base.size());
         if (map_len == 0)
             map_len = hostPageSize();

@@ -43,6 +43,19 @@ enum class CowBacking : Byte {
 std::size_t hostPageSize();
 
 /**
+ * Simulated host-resource failures (FaultClass::HostAlloc and the
+ * sealing-failure tests): the next @p n memfd_create/mmap attempts
+ * inside SealedRegion::seal / CowView::forkOf behave as if the host
+ * call failed, exercising the documented heap/eager fallback without
+ * needing a genuinely resource-starved host.  Setup-time only: the
+ * counter is a plain global, not synchronized against concurrent
+ * seals/forks.
+ */
+void setSimulatedHostAllocFailures(int n);
+/** Failures still armed (0 when the hook is quiescent). */
+int simulatedHostAllocFailuresRemaining();
+
+/**
  * An immutable byte image.  Sealing copies the source bytes once;
  * afterwards nothing - not even this process - can change them
  * through the region, which is what makes handing the same region to

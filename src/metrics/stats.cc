@@ -98,6 +98,11 @@ Stats::operator+=(const Stats &other)
     cowPrivateBytes += other.cowPrivateBytes;
     cowSharedBytes += other.cowSharedBytes;
     cowDiskBlocksTouched += other.cowDiskBlocksTouched;
+    supHealthTransitions += other.supHealthTransitions;
+    supMicroreboots += other.supMicroreboots;
+    supQuarantines += other.supQuarantines;
+    supPagesRecopied += other.supPagesRecopied;
+    supTimeInDegraded += other.supTimeInDegraded;
     return *this;
 }
 
@@ -168,6 +173,14 @@ Stats::print(std::ostream &os) const
            << " shared bytes"
            << (cowKernelBacked != 0 ? " (kernel CoW)" : " (eager copy)")
            << ", " << cowDiskBlocksTouched << " disk blocks touched\n";
+    }
+    if (supMicroreboots != 0 || supQuarantines != 0 ||
+        supHealthTransitions != 0) {
+        os << "supervision: " << supHealthTransitions
+           << " health transitions, " << supMicroreboots
+           << " microreboots, " << supQuarantines << " quarantines, "
+           << supPagesRecopied << " pages recopied, "
+           << supTimeInDegraded << " slices degraded\n";
     }
     std::uint64_t total_faults = 0;
     for (auto c : faultsInjected)

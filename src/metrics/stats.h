@@ -40,7 +40,7 @@ std::string_view cycleCategoryName(CycleCategory cat);
  * src/fault/fault_plan.h).  Declared here so Stats can size its
  * per-class counter array without a metrics -> fault dependency.
  */
-constexpr int kNumFaultClasses = 5;
+constexpr int kNumFaultClasses = 9;
 
 /** Counters maintained by the machine as it runs. */
 struct Stats
@@ -128,6 +128,19 @@ struct Stats
     std::uint64_t cowPrivateBytes = 0; //!< host-page-rounded private bytes
     std::uint64_t cowSharedBytes = 0;  //!< bytes still shared with the image
     std::uint64_t cowDiskBlocksTouched = 0; //!< disk blocks written since fork
+
+    // Crash-only fleet supervision (docs/ARCHITECTURE.md §6d),
+    // published by HypervisorFleet when it aggregates member stats.
+    // Host-side like the cow gauges: they describe the *recovery
+    // machinery's* work (reboots, state-machine churn), which is
+    // keyed on per-member architectural state and therefore
+    // worker-count-invariant, but is no business of the lockstep
+    // digest — operator== excludes them.
+    std::uint64_t supHealthTransitions = 0; //!< health state changes
+    std::uint64_t supMicroreboots = 0;      //!< golden-image re-forks
+    std::uint64_t supQuarantines = 0;       //!< members taken out of rotation
+    std::uint64_t supPagesRecopied = 0;     //!< CoW pages discarded by reboots
+    std::uint64_t supTimeInDegraded = 0;    //!< member-slices spent Degraded
 
     void
     addCycles(CycleCategory cat, Cycles n)

@@ -38,6 +38,22 @@ AsyncDiskEngine::wait(std::uint64_t ticket)
 }
 
 bool
+AsyncDiskEngine::waitFor(std::uint64_t ticket,
+                         std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return doneCv_.wait_for(lock, timeout,
+                            [&] { return completed_ >= ticket; });
+}
+
+void
+AsyncDiskEngine::stallForTesting(std::chrono::milliseconds ms)
+{
+    stallMs_.store(static_cast<int>(ms.count()),
+                   std::memory_order_relaxed);
+}
+
+bool
 AsyncDiskEngine::done(std::uint64_t ticket)
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -58,6 +74,10 @@ AsyncDiskEngine::workerLoop()
         auto job = std::move(queue_.front());
         queue_.pop_front();
         lock.unlock();
+        const int stall_ms = stallMs_.load(std::memory_order_relaxed);
+        if (stall_ms > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(stall_ms));
         for (const Copy &c : job.second)
             std::memcpy(c.dst, c.src, c.bytes);
         lock.lock();

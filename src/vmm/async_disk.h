@@ -21,6 +21,8 @@
 #ifndef VVAX_VMM_ASYNC_DISK_H
 #define VVAX_VMM_ASYNC_DISK_H
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -61,11 +63,30 @@ class AsyncDiskEngine
     /** Block until the job holding @p ticket has finished its copies. */
     void wait(std::uint64_t ticket);
 
+    /**
+     * Bounded wait: true when the job finished within @p timeout,
+     * false when it is still in flight.  Shutdown paths (haltVm,
+     * hypervisor destruction) use this instead of wait() so a wedged
+     * or deliberately stalled engine cannot wedge the round barrier —
+     * the timed-out batch stays pending and its staging stays alive
+     * until the engine is joined.
+     */
+    bool waitFor(std::uint64_t ticket, std::chrono::milliseconds timeout);
+
     /** True once the job holding @p ticket has finished (non-blocking). */
     bool done(std::uint64_t ticket);
 
+    /**
+     * Test hook: make the worker sleep @p ms before executing each
+     * job, simulating a wedged host I/O path so the bounded-drain
+     * guarantees can be exercised.  0 restores normal behaviour.
+     */
+    void stallForTesting(std::chrono::milliseconds ms);
+
   private:
     void workerLoop();
+
+    std::atomic<int> stallMs_{0}; //!< test-only worker delay per job
 
     std::mutex mutex_;
     std::condition_variable workCv_; //!< signals the worker: new job/stop

@@ -14,6 +14,18 @@
 
 namespace vvax {
 
+const char *
+memberHealthName(MemberHealth health)
+{
+    switch (health) {
+      case MemberHealth::Healthy:     return "healthy";
+      case MemberHealth::Degraded:    return "degraded";
+      case MemberHealth::Restarting:  return "restarting";
+      case MemberHealth::Quarantined: return "quarantined";
+    }
+    return "?";
+}
+
 HypervisorFleet::HypervisorFleet(FleetConfig config)
     : config_(std::move(config))
 {
@@ -44,6 +56,9 @@ HypervisorFleet::addVm(const VmConfig &config)
         // the identity plan `vm=` selectors address.
         vm_config.faultVmId = index;
     }
+    member->faultVmId = vm_config.faultVmId;
+    member->microrebootsLeft = config_.fleetSupervision.restartBudget;
+    member->nextBackoff = std::max(1, config_.fleetSupervision.backoffSlices);
     member->hv->createVm(vm_config);
     if (config_.supervise) {
         member->supervisor = std::make_unique<VmSupervisor>(
@@ -62,10 +77,26 @@ HypervisorFleet::addForkedMember(const GoldenImage &image)
     member->index = index;
     member->image = &image;
     member->forkRestartsLeft = config_.forkRestartBudget;
-    // The fork's fault identity is the member index, exactly as addVm
-    // assigns it.  No VmSupervisor: the golden image is the baseline,
-    // crash recovery re-forks (runSlice).
-    GoldenFork fork = image.fork(index);
+    member->microrebootsLeft = config_.fleetSupervision.restartBudget;
+    member->nextBackoff = std::max(1, config_.fleetSupervision.backoffSlices);
+    // The fork's fault identity is its lineage - the image's base
+    // lineage plus its sibling ordinal among this fleet's forks of
+    // that image - so the identity survives microreboots and does not
+    // depend on what else joined the fleet first.  No VmSupervisor:
+    // the golden image is the baseline, crash recovery re-forks.
+    int sibling = 0;
+    bool seen = false;
+    for (auto &entry : imageForks_) {
+        if (entry.first == &image) {
+            sibling = entry.second++;
+            seen = true;
+            break;
+        }
+    }
+    if (!seen)
+        imageForks_.emplace_back(&image, 1);
+    member->faultVmId = image.lineage() + sibling;
+    GoldenFork fork = image.fork(member->faultVmId);
     member->machine = std::move(fork.machine);
     member->hv = std::move(fork.hv);
     members_.push_back(std::move(member));
@@ -123,9 +154,13 @@ HypervisorFleet::setFaultPlan(int i, const FaultPlan *plan)
     Member &m = *members_[i];
     if (plan != nullptr) {
         m.plan = std::make_unique<FaultPlan>(*plan);
+        // Kept pristine for microreboots: a fresh incarnation re-arms
+        // from this copy and replays the same schedule from zero.
+        m.planPristine = std::make_unique<FaultPlan>(*plan);
         m.machine->setFaultPlan(m.plan.get());
     } else {
         m.plan.reset();
+        m.planPristine.reset();
         m.machine->setFaultPlan(nullptr);
     }
 }
@@ -168,6 +203,15 @@ HypervisorFleet::runSlice(Member &m)
         // member this round - the only thread touching its state.
         m.supervisor->poll();
     }
+    if (config_.fleetSupervision.enabled && !m.killed) {
+        // Crash-only supervision path (§6d): health classification
+        // and microreboot recovery, on the worker that owns the
+        // member this round, keyed only on the member's own state.
+        superviseSlice(m, used);
+        if (m.budgetLeft == 0)
+            m.done = true;
+        return;
+    }
     if (m.budgetLeft == 0 || !memberLive(m)) {
         // Forked members recover by re-forking from the golden image
         // (same restartable-reason policy as the supervisor).  The
@@ -185,28 +229,40 @@ HypervisorFleet::runSlice(Member &m)
 }
 
 void
+HypervisorFleet::clearRetiredGauges(Stats &stats)
+{
+    // Gauge-style fields describe a live member's current backing or
+    // its slot's lifetime supervision history; summing a retired
+    // machine's values would double-count against the live fleet
+    // view, so they retire as zero.
+    stats.cowForkedRam = 0;
+    stats.cowKernelBacked = 0;
+    stats.cowPagesTouched = 0;
+    stats.cowPrivateBytes = 0;
+    stats.cowSharedBytes = 0;
+    stats.cowDiskBlocksTouched = 0;
+    stats.supHealthTransitions = 0;
+    stats.supMicroreboots = 0;
+    stats.supQuarantines = 0;
+    stats.supPagesRecopied = 0;
+    stats.supTimeInDegraded = 0;
+}
+
+void
 HypervisorFleet::refork(Member &m)
 {
     // The dying incarnation's counters must survive into the fleet
-    // aggregates; retire them before the machine goes away.  The cow*
-    // fields are gauges of a live member's backing, not counters -
-    // summing a retired machine's gauges would double-count against
-    // the live fleet view, so they retire as zero.
+    // aggregates; retire them before the machine goes away.
     {
         Stats dying = m.machine->stats();
-        dying.cowForkedRam = 0;
-        dying.cowKernelBacked = 0;
-        dying.cowPagesTouched = 0;
-        dying.cowPrivateBytes = 0;
-        dying.cowSharedBytes = 0;
-        dying.cowDiskBlocksTouched = 0;
+        clearRetiredGauges(dying);
         std::lock_guard<std::mutex> lock(mergeMutex_);
         retiredStats_ += dying;
         retiredVmStats_ += m.hv->totalStats();
         forkRestarts_++;
     }
     m.forkRestartsLeft--;
-    GoldenFork fork = m.image->fork(m.index);
+    GoldenFork fork = m.image->fork(m.faultVmId);
     m.machine = std::move(fork.machine);
     m.hv = std::move(fork.hv);
     // The member's armed plan survives the re-fork (its firing
@@ -218,20 +274,192 @@ HypervisorFleet::refork(Member &m)
 }
 
 void
-HypervisorFleet::publishCowGauges(Member &m) const
+HypervisorFleet::transition(Member &m, MemberHealth to)
+{
+    if (m.health == to)
+        return;
+    m.health = to;
+    m.healthTransitions++;
+}
+
+void
+HypervisorFleet::superviseSlice(Member &m, std::uint64_t retired)
+{
+    const FleetSupervisionConfig &sup = config_.fleetSupervision;
+    // Per-slice deltas of the member's own architectural counters are
+    // the state machine's only inputs (plus the round count implicit
+    // in being called once per round), so every classification below
+    // is a pure function of the member's own history - identical on
+    // every worker count.
+    const VmStats now = m.hv->totalStats();
+    const std::uint64_t d_faulted = now.faultedDiskOps - m.lastFaultedDiskOps;
+    const std::uint64_t d_ops = now.diskOps - m.lastDiskOps;
+    const std::uint64_t d_mchk = now.machineChecks - m.lastMachineChecks;
+    m.lastFaultedDiskOps = now.faultedDiskOps;
+    m.lastDiskOps = now.diskOps;
+    m.lastMachineChecks = now.machineChecks;
+
+    if (m.health == MemberHealth::Degraded)
+        m.slicesDegraded++;
+
+    if (m.health == MemberHealth::Restarting) {
+        // Exponential backoff, counted in rounds: the member idles
+        // (halted, run() is a no-op) while siblings keep running, and
+        // the barrier never waits on it.
+        if (--m.backoffLeft <= 0)
+            microreboot(m);
+        return;
+    }
+
+    if (memberLive(m)) {
+        // Heartbeat backstop: a live member that retires nothing for
+        // heartbeatSlices consecutive rounds is wedged in a way the
+        // guest-level watchdog cannot see; halt it into the normal
+        // crash path below.
+        if (retired == 0 && m.budgetLeft > 0) {
+            if (++m.idleSlices >= std::max(1, sup.heartbeatSlices)) {
+                m.hv->suspendAll();
+                m.hv->vm(0).haltReason = VmHaltReason::VmmPolicy;
+            }
+        } else {
+            m.idleSlices = 0;
+        }
+    }
+
+    if (memberLive(m)) {
+        // Healthy <-> Degraded on fault pressure: an injected-disk-
+        // fault share above num/den of the slice's disk ops, or a
+        // machine-check storm, are the precursors the crash-only
+        // design watches instead of trying to repair in place.
+        const bool storm =
+            (d_faulted > 0 &&
+             d_faulted * sup.degradeFaultDen > d_ops * sup.degradeFaultNum) ||
+            (sup.degradeMachineChecks > 0 &&
+             d_mchk >= sup.degradeMachineChecks);
+        if (storm) {
+            m.cleanSlices = 0;
+            if (m.health == MemberHealth::Healthy)
+                transition(m, MemberHealth::Degraded);
+        } else if (m.health == MemberHealth::Degraded &&
+                   ++m.cleanSlices >= sup.recoverSlices) {
+            transition(m, MemberHealth::Healthy);
+        }
+        return;
+    }
+
+    // Halted.  A clean exit (HaltInstruction) or a non-restartable
+    // reason ends the member; a restartable crash arms a microreboot
+    // - or quarantines the slot once its error budget is spent (or it
+    // has no golden image to reboot from).
+    if (!VmSupervisor::restartable(m.hv->vm(0).haltReason)) {
+        m.done = true;
+        return;
+    }
+    if (m.image == nullptr || m.microrebootsLeft <= 0) {
+        transition(m, MemberHealth::Quarantined);
+        m.done = true;
+        std::lock_guard<std::mutex> lock(mergeMutex_);
+        quarantines_++;
+        return;
+    }
+    transition(m, MemberHealth::Restarting);
+    m.backoffLeft = m.nextBackoff;
+    m.nextBackoff = std::min(m.nextBackoff * 2,
+                             std::max(1, sup.backoffCapSlices));
+}
+
+void
+HypervisorFleet::microreboot(Member &m)
+{
+    // Crash-only recovery: throw the incarnation away and re-fork the
+    // golden image under the same fault identity - O(pages-touched)
+    // against a snapshot restore's O(memory).  The dying counters
+    // retire into the fleet aggregate first.
+    {
+        Stats dying = m.machine->stats();
+        clearRetiredGauges(dying);
+        std::lock_guard<std::mutex> lock(mergeMutex_);
+        retiredStats_ += dying;
+        retiredVmStats_ += m.hv->totalStats();
+        microreboots_++;
+    }
+    m.microrebootsLeft--;
+    m.incarnation++;
+    m.microreboots++;
+
+    // Fresh plan copy before the fork so a host-alloc rule can fail
+    // the fork's kernel-CoW mapping (heap-eager fallback, counted,
+    // architecturally invisible).  Ordinal 0, like seal: with a fresh
+    // copy per incarnation the decision replays identically on every
+    // microreboot of this slot.
+    if (m.planPristine != nullptr)
+        m.plan = std::make_unique<FaultPlan>(*m.planPristine);
+    else
+        m.plan.reset();
+    const bool host_fault =
+        m.plan != nullptr &&
+        m.plan->shouldInject(FaultClass::HostAlloc, m.faultVmId, 0);
+    if (host_fault)
+        setSimulatedHostAllocFailures(2); // RAM + disk CoW views
+    GoldenFork fork = m.image->fork(m.faultVmId);
+    if (host_fault)
+        setSimulatedHostAllocFailures(0);
+    m.machine = std::move(fork.machine);
+    m.hv = std::move(fork.hv);
+    // Re-arming also clears any environment plan the fresh machine
+    // auto-installed.  Unlike legacy refork(), consumed firing
+    // budgets do NOT carry over: the new incarnation replays the same
+    // injection schedule from ordinal zero.
+    m.machine->setFaultPlan(m.plan.get());
+    if (host_fault)
+        m.machine->stats().faultsInjected[static_cast<int>(
+            FaultClass::HostAlloc)]++;
+
+    // What the microreboot physically copied: the fresh fork's CoW
+    // floor (the VMM metadata pages reconstruction rewrote).
+    const std::uint64_t floor =
+        m.machine->memory().cowStats().pagesTouched;
+    m.pagesRecopied += floor;
+    {
+        std::lock_guard<std::mutex> lock(mergeMutex_);
+        pagesRecopied_ += floor;
+    }
+
+    // Slice baselines and streak counters restart with the
+    // incarnation; the backoff schedule deliberately does not - a
+    // flapping slot keeps waiting longer.
+    m.lastFaultedDiskOps = 0;
+    m.lastDiskOps = 0;
+    m.lastMachineChecks = 0;
+    m.cleanSlices = 0;
+    m.idleSlices = 0;
+    transition(m, MemberHealth::Healthy);
+}
+
+void
+HypervisorFleet::publishMemberGauges(Member &m) const
 {
     Stats &stats = m.machine->stats();
     m.machine->memory().publishCowStats(stats);
     stats.cowDiskBlocksTouched = m.hv->vm(0).disk.blocksTouched();
+    // Supervision history lives on the member slot so it survives
+    // machine replacement; publishing it into the live machine's
+    // Stats lets plain Stats aggregation carry it (clearRetiredGauges
+    // keeps retiring incarnations from double-counting it).
+    stats.supHealthTransitions = m.healthTransitions;
+    stats.supMicroreboots = m.microreboots;
+    stats.supQuarantines = m.health == MemberHealth::Quarantined ? 1 : 0;
+    stats.supPagesRecopied = m.pagesRecopied;
+    stats.supTimeInDegraded = m.slicesDegraded;
 }
 
 void
 HypervisorFleet::mergeAtBarrier()
 {
     // Barrier context: every worker is parked, so member machines are
-    // safe to read and the cow gauges can be refreshed in place.
+    // safe to read and the gauges can be refreshed in place.
     for (auto &m : members_)
-        publishCowGauges(*m);
+        publishMemberGauges(*m);
     std::lock_guard<std::mutex> lock(mergeMutex_);
     Stats merged = retiredStats_;
     for (const auto &m : members_)
@@ -333,7 +561,7 @@ Stats
 HypervisorFleet::totalMachineStats() const
 {
     for (const auto &m : members_)
-        publishCowGauges(*m);
+        publishMemberGauges(*m);
     std::lock_guard<std::mutex> lock(mergeMutex_);
     Stats total = retiredStats_;
     for (const auto &m : members_)
@@ -374,6 +602,33 @@ HypervisorFleet::barrierStats() const
 {
     std::lock_guard<std::mutex> lock(mergeMutex_);
     return barrierStats_;
+}
+
+MemberHealth
+HypervisorFleet::health(int i) const
+{
+    return members_[i]->health;
+}
+
+std::uint64_t
+HypervisorFleet::microreboots() const
+{
+    std::lock_guard<std::mutex> lock(mergeMutex_);
+    return microreboots_;
+}
+
+std::uint64_t
+HypervisorFleet::quarantines() const
+{
+    std::lock_guard<std::mutex> lock(mergeMutex_);
+    return quarantines_;
+}
+
+std::uint64_t
+HypervisorFleet::pagesRecopied() const
+{
+    std::lock_guard<std::mutex> lock(mergeMutex_);
+    return pagesRecopied_;
 }
 
 } // namespace vvax

@@ -30,6 +30,22 @@
  *    (postConsoleInput / postInterruptFromHost), which any thread may
  *    call at any time; delivery happens on the owning worker at timer
  *    ticks.
+ *
+ * Crash-only supervision (FleetConfig::fleetSupervision, §6d): each
+ * member carries a health state machine - Healthy -> Degraded (fault
+ * pressure) -> Restarting (crash, waiting out backoff) -> back to
+ * Healthy via golden-image microreboot, or Quarantined once the
+ * restart error budget is gone.  Every decision is made at the slice
+ * boundary on the worker that owns the member that round, keyed only
+ * on the member's own architectural counters and the global round
+ * number, so health histories and healthy-member digests are
+ * bit-identical for every worker count.  Recovery is a re-fork of the
+ * member's golden image (O(pages-touched), golden_image.h) with a
+ * fresh copy of its armed fault plan - the member replays the same
+ * injection schedule in its next incarnation - never a PR-style
+ * snapshot restore of accumulated state.  A member in restart backoff
+ * stays halted but not done, so the round barrier never stalls on it;
+ * quarantine marks it done and the fleet moves on.
  */
 
 #ifndef VVAX_VMM_FLEET_H
@@ -50,6 +66,53 @@
 #include "vmm/vm_monitor.h"
 
 namespace vvax {
+
+/**
+ * Per-member health, evaluated at slice boundaries by the worker that
+ * owns the member that round (docs/ARCHITECTURE.md §6d).
+ */
+enum class MemberHealth : Byte {
+    Healthy = 0,
+    Degraded,    //!< fault pressure above thresholds; watched closely
+    Restarting,  //!< crashed; waiting out microreboot backoff
+    Quarantined, //!< restart budget exhausted; permanently done
+};
+
+const char *memberHealthName(MemberHealth health);
+
+/** Crash-only supervision knobs (FleetConfig::fleetSupervision). */
+struct FleetSupervisionConfig
+{
+    bool enabled = false;
+    /**
+     * Degrade when a slice's injected-disk-fault share exceeds
+     * num/den of its disk ops (faulted*den > ops*num), or when a
+     * single slice absorbs degradeMachineChecks machine checks - the
+     * "storm" signals that precede most guest crashes.
+     */
+    std::uint32_t degradeFaultNum = 1;
+    std::uint32_t degradeFaultDen = 4;
+    std::uint64_t degradeMachineChecks = 4;
+    /** Clean slices a Degraded member needs to return to Healthy. */
+    int recoverSlices = 2;
+    /** Microreboots allowed per member before Quarantined. */
+    int restartBudget = 3;
+    /**
+     * Slices of backoff before the first microreboot; doubles after
+     * every crash of the slot (flapping members wait longer), capped.
+     * Backoff is counted in rounds - a member in backoff is halted
+     * but not done, so siblings keep running and the barrier never
+     * waits on it.
+     */
+    int backoffSlices = 1;
+    int backoffCapSlices = 8;
+    /**
+     * Heartbeat backstop: a live member retiring zero instructions
+     * for this many consecutive slices is declared wedged, halted
+     * with VmmPolicy and sent through the normal crash path.
+     */
+    int heartbeatSlices = 4;
+};
 
 struct FleetConfig
 {
@@ -90,6 +153,14 @@ struct FleetConfig
      * the density backstop for golden-image fork storms.
      */
     int spawnBudget = 0;
+    /**
+     * Crash-only supervision of forked members: health state machine
+     * plus golden-image microreboot with backoff and an error budget
+     * (see the file comment).  Supersedes forkRestartBudget for fleets
+     * that enable it; addVm members without a golden image quarantine
+     * on crash instead of microrebooting.
+     */
+    FleetSupervisionConfig fleetSupervision;
 };
 
 class HypervisorFleet
@@ -113,9 +184,13 @@ class HypervisorFleet
      * Add a member forked from @p image (GoldenImage::fork) - the
      * O(pages-touched) path: the new member's RAM and disk are CoW
      * views of the sealed image.  The forked VM's fault identity is
-     * the member index, exactly as addVm assigns it, so fault-plan
-     * `vm=` selectors and containment guarantees are unchanged by how
-     * a member came to exist.  @p image must outlive the fleet.
+     * its fork lineage - image.lineage() plus the count of forks this
+     * fleet has already taken from that image - not its member index,
+     * so the identity is stable across fleet composition and across
+     * microreboots: a re-forked member replays exactly the injection
+     * schedule of the incarnation it replaces.  (For the common case
+     * of a fleet forked entirely from one lineage-0 image the two
+     * numberings coincide.)  @p image must outlive the fleet.
      * Returns the member index.
      */
     int addForkedMember(const GoldenImage &image);
@@ -165,6 +240,18 @@ class HypervisorFleet
     std::uint64_t restarts() const;
     /** Golden-image re-forks performed across the fleet. */
     std::uint64_t forkRestarts() const;
+
+    // ----- Crash-only supervision observability (§6d) -----------------------
+    /** Member @p i's current health (call between runs). */
+    MemberHealth health(int i) const;
+    /** Golden-image microreboots performed by the supervision layer. */
+    std::uint64_t microreboots() const;
+    /** Members quarantined after exhausting their restart budget. */
+    std::uint64_t quarantines() const;
+    /** Pages physically copied by all microreboots (the CoW floor of
+     *  each fresh incarnation) - divide by microreboots() for the
+     *  mean; compare against a full snapshot restore's page count. */
+    std::uint64_t pagesRecopied() const;
     /**
      * Stats merged at the last round barrier - a consistent mid-run
      * view for monitoring threads (guarded by the merge mutex).
@@ -174,16 +261,43 @@ class HypervisorFleet
   private:
     struct Member
     {
-        int index = 0; //!< fleet-wide index == the VM's fault identity
+        int index = 0;     //!< fleet-wide index (slot number)
+        int faultVmId = 0; //!< fault identity: fork lineage, stable
+                           //!< across microreboots (addVm: the index)
         std::unique_ptr<RealMachine> machine;
         std::unique_ptr<Hypervisor> hv;
         std::unique_ptr<FaultPlan> plan; //!< member-owned, if armed
+        /** Pristine copy of the armed plan: each microreboot re-arms
+         *  from this, so a fresh incarnation replays the same
+         *  schedule instead of inheriting consumed firing budgets. */
+        std::unique_ptr<FaultPlan> planPristine;
         std::unique_ptr<VmSupervisor> supervisor;
         const GoldenImage *image = nullptr; //!< non-null: forked member
         int forkRestartsLeft = 0;
         bool killed = false; //!< killMember: never restarted
         std::uint64_t budgetLeft = 0;
         bool done = false;
+
+        // --- Crash-only supervision state (owned per the threading
+        //     model above: the worker running the slice this round,
+        //     the coordinator at barriers) ---------------------------
+        MemberHealth health = MemberHealth::Healthy;
+        int incarnation = 0;       //!< microreboots of this slot
+        int microrebootsLeft = 0;  //!< restart error budget remaining
+        int backoffLeft = 0;       //!< rounds until pending microreboot
+        int nextBackoff = 0;       //!< doubling backoff schedule
+        int cleanSlices = 0;       //!< consecutive clean while Degraded
+        int idleSlices = 0;        //!< heartbeat: zero-progress slices
+        // Previous-slice counter baselines for per-slice deltas.
+        std::uint64_t lastFaultedDiskOps = 0;
+        std::uint64_t lastDiskOps = 0;
+        std::uint64_t lastMachineChecks = 0;
+        // Member-lifetime supervision counters; published into the
+        // machine's Stats sup* gauges at barriers.
+        std::uint64_t healthTransitions = 0;
+        std::uint64_t microreboots = 0;
+        std::uint64_t pagesRecopied = 0;
+        std::uint64_t slicesDegraded = 0;
     };
 
     void checkSpawnBudget() const;
@@ -191,21 +305,40 @@ class HypervisorFleet
     /** Replace a crashed forked member with a fresh fork; retires the
      *  dead machine's counters into the aggregate first. */
     void refork(Member &m);
-    /** Refresh the cow* gauge fields in the member's machine Stats. */
-    void publishCowGauges(Member &m) const;
+    // ----- Crash-only supervision (fleet.cc §6d) ----------------------------
+    /** Health state machine + recovery, run at the slice boundary by
+     *  the worker owning @p m this round. */
+    void superviseSlice(Member &m, std::uint64_t retired);
+    void transition(Member &m, MemberHealth to);
+    /** Crash-only recovery: retire the incarnation, re-fork the
+     *  golden image under the same fault identity, re-arm a pristine
+     *  plan copy. */
+    void microreboot(Member &m);
+    /** Zero the gauge-style fields (cow*, sup*) of a dying
+     *  incarnation's Stats so retiring them cannot double-count
+     *  against the live fleet view. */
+    static void clearRetiredGauges(Stats &stats);
+    /** Refresh the cow* and sup* gauge fields in the member's machine
+     *  Stats. */
+    void publishMemberGauges(Member &m) const;
     bool memberLive(const Member &m) const;
     void mergeAtBarrier();
 
     FleetConfig config_;
     std::vector<std::unique_ptr<Member>> members_;
+    /** Forks taken per golden image, for lineage-based fault ids. */
+    std::vector<std::pair<const GoldenImage *, int>> imageForks_;
 
     mutable std::mutex mergeMutex_;
     Stats barrierStats_;
-    /** Counters of machines retired by refork(), so aggregates cover
-     *  every incarnation.  Guarded by mergeMutex_. */
+    /** Counters of machines retired by refork()/microreboot(), so
+     *  aggregates cover every incarnation.  Guarded by mergeMutex_. */
     Stats retiredStats_;
     VmStats retiredVmStats_;
     std::uint64_t forkRestarts_ = 0;
+    std::uint64_t microreboots_ = 0;
+    std::uint64_t quarantines_ = 0;
+    std::uint64_t pagesRecopied_ = 0;
 };
 
 } // namespace vvax

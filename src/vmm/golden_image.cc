@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "fault/fault_plan.h"
+
 namespace vvax {
 
 GoldenImage
@@ -22,8 +24,25 @@ GoldenImage::seal(Hypervisor &hv, VirtualMachine &vm)
     image.hvConfig_ = hv.config();
     image.basePfn_ = vm.basePfn;
     image.memPages_ = vm.memPages;
+    // Host-resource fault (FaultClass::HostAlloc): a plan rule firing
+    // at the seal (one decision per seal, ordinal 0) fails the memfd
+    // path for both regions, forcing the heap fallback the forks then
+    // see as a non-kernel-backed image.  Architecturally invisible —
+    // the fallback is bit-identical — but counted, so sweeps can
+    // assert the fallback really ran.
+    FaultPlan *plan = hv.machine().faultPlan();
+    const bool host_fault =
+        plan != nullptr &&
+        plan->shouldInject(FaultClass::HostAlloc, vm.faultId(), 0);
+    if (host_fault) {
+        hv.machine().stats().faultsInjected[static_cast<int>(
+            FaultClass::HostAlloc)]++;
+        setSimulatedHostAllocFailures(2);
+    }
     image.ram_ = SealedRegion::seal(hv.machine().memory().ram());
     image.disk_ = SealedRegion::seal(vm.disk);
+    if (host_fault)
+        setSimulatedHostAllocFailures(0);
     snap.memory.clear();
     snap.memory.shrink_to_fit();
     snap.disk.clear();

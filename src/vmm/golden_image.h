@@ -63,10 +63,27 @@ class GoldenImage
      * every fork).  Suspends and drains the VM via snapshotVm; the
      * source machine can be discarded afterwards, the image owns
      * copies of everything.
+     *
+     * If the source machine carries a FaultPlan with a HostAlloc rule
+     * firing at the seal (ordinal 0, keyed on the sealed VM's fault
+     * id), the memfd path is forced to fail and the image comes back
+     * heap-backed — the documented fallback, counted in
+     * Stats::faultsInjected.
      */
     static GoldenImage seal(Hypervisor &hv, VirtualMachine &vm);
 
     bool sealed() const { return ram_.valid(); }
+
+    /**
+     * Fork-lineage identity (satellite of docs/ARCHITECTURE.md §6d):
+     * the j-th fork of this image taken by HypervisorFleet::
+     * addForkedMember gets fault-plan identity lineage()+j, stable
+     * across fleet composition and across microreboots — a re-forked
+     * member replays the same injection schedule no matter what else
+     * joined the fleet before it.  Defaults to 0.
+     */
+    int lineage() const { return lineage_; }
+    void setLineage(int lineage) { lineage_ = lineage; }
 
     /**
      * Fork a new VM.  @p fault_vm_id overrides the forked VM's
@@ -85,6 +102,7 @@ class GoldenImage
     const MachineConfig &machineConfig() const { return machineConfig_; }
 
   private:
+    int lineage_ = 0;
     MachineConfig machineConfig_;
     HypervisorConfig hvConfig_;
     VmSnapshot state_; //!< registers/devices only; memory+disk cleared

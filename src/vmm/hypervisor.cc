@@ -149,8 +149,14 @@ Hypervisor::~Hypervisor()
 {
     // Apply pending async completions before the engine joins: the
     // disk and memory images inspected after teardown must be final.
+    // Bounded, so a wedged engine cannot wedge destruction; a batch
+    // that times out stays pending with its staging alive, and the
+    // explicit engine reset below joins the worker — which finishes
+    // its copies into that still-alive staging/disk storage — before
+    // the VMs (and their disks) are destroyed.
     for (auto &vm : vms_)
-        drainAsyncDisk(*vm);
+        drainAsyncDisk(*vm, /*bounded=*/true);
+    asyncEngine_.reset();
 }
 
 PhysAddr
@@ -397,6 +403,33 @@ Hypervisor::drainMailbox()
             continue;
         }
         VirtualMachine &vm = *vms_[e.vmIndex];
+        if (!e.delayed) {
+            // Mailbox-delay fault (FaultClass::MailboxDelay): a due
+            // entry is held 1..kMaxMailboxDelayTicks extra virtual
+            // ticks.  Ordinal is the per-VM delivery counter, bumped
+            // exactly once per entry at its first due tick, so the
+            // decision (and the reschedule) is a pure function of the
+            // VM's own architectural history — identical on every
+            // worker count.  Delivery still lands on a deterministic
+            // virtual tick; an entry is delayed at most once.
+            const std::uint64_t ordinal = vm.stats.mailboxDeliveries++;
+            if (FaultPlan *plan = machine_.faultPlan()) {
+                if (plan->shouldInject(FaultClass::MailboxDelay,
+                                       vm.faultId(), ordinal)) {
+                    machine_.stats().faultsInjected[static_cast<int>(
+                        FaultClass::MailboxDelay)]++;
+                    e.delayed = true;
+                    e.atTick = tickCount_ +
+                               static_cast<Longword>(plan->delayTicks(
+                                   FaultClass::MailboxDelay, vm.faultId(),
+                                   ordinal, kMaxMailboxDelayTicks));
+                    if (kept != i)
+                        mailbox_[kept] = std::move(e);
+                    kept++;
+                    continue;
+                }
+            }
+        }
         if (e.isInterrupt) {
             vm.postInterrupt(e.ipl, e.vector);
             if (currentVm_ == vm.id())
@@ -551,6 +584,14 @@ Hypervisor::suspendAll()
 }
 
 void
+Hypervisor::stallAsyncDiskForTesting(std::chrono::milliseconds ms)
+{
+    if (!asyncEngine_)
+        asyncEngine_ = std::make_unique<AsyncDiskEngine>();
+    asyncEngine_->stallForTesting(ms);
+}
+
+void
 Hypervisor::suspendCurrent(VirtAddr pc, Psl real_psl)
 {
     VirtualMachine &vm = *vms_[currentVm_];
@@ -572,7 +613,11 @@ Hypervisor::suspendCurrent(VirtAddr pc, Psl real_psl)
 void
 Hypervisor::haltVm(VirtualMachine &vm, VmHaltReason reason)
 {
-    drainAsyncDisk(vm); // post-mortem state must be final
+    // Post-mortem state should be final, but a halt must never hang
+    // on a wedged engine: bounded drain, and if it times out the
+    // batch simply stays pending (a later architectural sync point or
+    // the destructor's engine join finishes the byte movement).
+    drainAsyncDisk(vm, /*bounded=*/true);
     flushConsoleOutput(vm);
     vm.haltReason = reason;
     if (currentVm_ == vm.id()) {

@@ -19,6 +19,7 @@
 #define VVAX_VMM_HYPERVISOR_H
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -86,6 +87,17 @@ struct HypervisorConfig
     bool asyncDiskIo = false;
     /** Virtual ticks between async submit and completion (>= 1). */
     Longword asyncDiskLatencyTicks = 1;
+    /**
+     * Wall-clock bound on the async-engine drain performed by haltVm
+     * and the hypervisor destructor.  A wedged (or deliberately
+     * stalled — AsyncDiskEngine::stallForTesting) engine can then
+     * never wedge shutdown or a fleet's round barrier: the timed-out
+     * batch stays pending with its staging alive and the engine is
+     * joined before VM storage dies.  Architectural sync points
+     * (vmDiskTransfer, a new batch, suspendAll, the due tick) still
+     * drain unboundedly — they are part of guest-visible time.
+     */
+    Longword asyncDiskDrainTimeoutMs = 2000;
     /**
      * No-forward-progress watchdog: a VM that stays at or above
      * watchdogIplThreshold with no deliverable virtual interrupt for
@@ -157,6 +169,13 @@ class Hypervisor
      * scheduling exit already leaves every VM suspended).
      */
     void suspendAll();
+
+    /**
+     * Test hook: stall the async-disk worker @p ms per job (0 resets),
+     * simulating a wedged host I/O path so the bounded shutdown
+     * drains can be exercised.  Creates the engine if needed.
+     */
+    void stallAsyncDiskForTesting(std::chrono::milliseconds ms);
 
     RealMachine &machine() { return machine_; }
     const HypervisorConfig &config() const { return config_; }
@@ -281,11 +300,13 @@ class Hypervisor
      * Apply a pending completion on the owning thread: block on the
      * engine if the copies are still in flight, post statuses into
      * the guest ring, copy read data in through the store funnel, and
-     * raise the completion interrupt.
+     * raise the completion interrupt.  With @p bounded, give up after
+     * config_.asyncDiskDrainTimeoutMs and leave the batch pending
+     * (shutdown paths only; see HypervisorConfig).
      */
-    void applyAsyncDiskCompletion(VirtualMachine &vm);
+    void applyAsyncDiskCompletion(VirtualMachine &vm, bool bounded = false);
     /** Force a pending completion now (architectural sync points). */
-    void drainAsyncDisk(VirtualMachine &vm);
+    void drainAsyncDisk(VirtualMachine &vm, bool bounded = false);
     bool asyncDiskDue(const VirtualMachine &vm) const
     {
         return vm.asyncBatch.pending && tickCount_ >= vm.asyncBatch.dueTick;
@@ -392,6 +413,7 @@ class Hypervisor
         Byte ipl = 0;
         Word vector = 0;
         Longword atTick = 0;
+        bool delayed = false; //!< already hit by a mailbox-delay fault
     };
     void drainMailbox();
     std::atomic<bool> mailboxArmed_{false};

@@ -215,6 +215,10 @@ struct VirtualInterrupt
  *                                    submitted to / completed by the
  *                                    asynchronous I/O engine
  *                                    (vmm/async_disk.h)
+ *   mailboxDeliveries              - cross-thread mailbox entries that
+ *                                    reached their delivery tick; the
+ *                                    per-VM ordinal mailbox-delay
+ *                                    fault rules key on
  */
 #define VVAX_VM_STATS_FIELDS(X)                                        \
     X(vmEntries)                                                       \
@@ -251,7 +255,8 @@ struct VirtualInterrupt
     X(machineChecks)                                                   \
     X(watchdogHalts)                                                   \
     X(asyncDiskBatches)                                                \
-    X(asyncDiskCompletions)
+    X(asyncDiskCompletions)                                            \
+    X(mailboxDeliveries)
 
 struct VmStats
 {

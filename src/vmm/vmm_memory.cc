@@ -760,6 +760,29 @@ Hypervisor::submitAsyncDiskBatch(VirtualMachine &vm, PhysAddr ring,
         }
     }
 
+    // Async-specific fault decisions key on the per-VM batch ordinal
+    // (the value asyncDiskBatches holds before this submit bumps it),
+    // resolved here on the owning thread like everything else
+    // architectural.  Staging corruption (FaultClass::AsyncCorrupt)
+    // fails every descriptor terminally - the completion posts
+    // kBatchStatusError across the ring and moves no bytes, and the
+    // guest driver recovers by re-issuing descriptors individually.
+    // Note it skips planDiskOp, so the disk-op ordinal stream shifts
+    // versus an unfaulted run - deterministically, since the decision
+    // itself is a pure function of (seed, vm, batch ordinal).
+    const std::uint64_t batch_ord = vm.stats.asyncDiskBatches;
+    bool corrupt = false;
+    if (FaultPlan *plan = machine_.faultPlan()) {
+        if (plan->shouldInject(FaultClass::AsyncCorrupt, vm.faultId(),
+                               batch_ord)) {
+            corrupt = true;
+            machine_.stats().faultsInjected[static_cast<int>(
+                FaultClass::AsyncCorrupt)]++;
+            charge(CycleCategory::VmmIo,
+                   machine_.costModel().vmmFaultDiskService);
+        }
+    }
+
     // Size the staging buffer for every descriptor that will move
     // data, then resolve statuses and queue the copies.
     ab.staging.clear();
@@ -789,7 +812,7 @@ Hypervisor::submitAsyncDiskBatch(VirtualMachine &vm, PhysAddr ring,
         // never be a final answer (kcall.h).  Error and None demand
         // the same recovery - re-issue the descriptor individually.
         Longword status = kBatchStatusError;
-        if (i < tear) {
+        if (i < tear && !corrupt) {
             if (planDiskOp(vm, block, count, vm_pa)) {
                 vm.stats.batchedDiskBlocks += count;
                 status = kBatchStatusOk;
@@ -824,6 +847,20 @@ Hypervisor::submitAsyncDiskBatch(VirtualMachine &vm, PhysAddr ring,
                                  ? config_.asyncDiskLatencyTicks
                                  : 1;
     ab.dueTick = tickCount_ + latency;
+    // Late completion (FaultClass::AsyncLate): stretch the latency by
+    // 1..kMaxAsyncLateTicks extra virtual ticks.  The completion
+    // still lands on a deterministic tick — guests see a slow disk,
+    // not a nondeterministic one.
+    if (FaultPlan *plan = machine_.faultPlan()) {
+        if (plan->shouldInject(FaultClass::AsyncLate, vm.faultId(),
+                               batch_ord)) {
+            machine_.stats().faultsInjected[static_cast<int>(
+                FaultClass::AsyncLate)]++;
+            ab.dueTick += static_cast<Longword>(
+                plan->delayTicks(FaultClass::AsyncLate, vm.faultId(),
+                                 batch_ord, kMaxAsyncLateTicks));
+        }
+    }
     if (!asyncEngine_)
         asyncEngine_ = std::make_unique<AsyncDiskEngine>();
     ab.job = asyncEngine_->submit(std::move(copies));
@@ -833,7 +870,7 @@ Hypervisor::submitAsyncDiskBatch(VirtualMachine &vm, PhysAddr ring,
 }
 
 void
-Hypervisor::applyAsyncDiskCompletion(VirtualMachine &vm)
+Hypervisor::applyAsyncDiskCompletion(VirtualMachine &vm, bool bounded)
 {
     using namespace kcallabi;
     VirtualMachine::AsyncDiskBatch &ab = vm.asyncBatch;
@@ -841,7 +878,19 @@ Hypervisor::applyAsyncDiskCompletion(VirtualMachine &vm)
         return;
     // The engine usually finished long ago; a forced drain may block
     // here, but only on host copy latency - never on guest state.
-    asyncEngine_->wait(ab.job);
+    if (bounded) {
+        // Shutdown paths only (haltVm, ~Hypervisor): give up after
+        // the configured timeout rather than wedge on a stuck worker.
+        // The batch stays pending and its staging stays alive, so the
+        // in-flight copies keep valid targets until the engine is
+        // joined; nothing guest-visible was mutated.
+        if (!asyncEngine_->waitFor(
+                ab.job, std::chrono::milliseconds(
+                            config_.asyncDiskDrainTimeoutMs)))
+            return;
+    } else {
+        asyncEngine_->wait(ab.job);
+    }
 
     std::size_t off = 0;
     for (Longword i = 0; i < ab.nDesc; ++i) {
@@ -885,10 +934,10 @@ Hypervisor::applyAsyncDiskCompletion(VirtualMachine &vm)
 }
 
 void
-Hypervisor::drainAsyncDisk(VirtualMachine &vm)
+Hypervisor::drainAsyncDisk(VirtualMachine &vm, bool bounded)
 {
     if (vm.asyncBatch.pending)
-        applyAsyncDiskCompletion(vm);
+        applyAsyncDiskCompletion(vm, bounded);
 }
 
 void

@@ -82,6 +82,55 @@ TEST(FaultPlanSpec, RejectsMalformedSpecs)
     EXPECT_TRUE(FaultPlan::parse(";;ecc:every=4;;", &plan, &error));
 }
 
+TEST(FaultPlanSpec, ParsesTheAsyncEraClasses)
+{
+    // The async/fork-era classes added with crash-only supervision
+    // (docs/ARCHITECTURE.md §6): late and corrupted async batch
+    // completions, delayed cross-thread mailbox delivery, and host
+    // allocation failure during golden-image sealing/forking.
+    FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(FaultPlan::parse(
+        "seed=3;async-late:every=2;async-corrupt:vm=1,every=5;"
+        "mailbox-delay:prob=128;host-alloc:at=0",
+        &plan, &error))
+        << error;
+    ASSERT_EQ(plan.rules().size(), 4u);
+    EXPECT_EQ(plan.rules()[0].cls, FaultClass::AsyncLate);
+    EXPECT_EQ(plan.rules()[0].every, 2u);
+    EXPECT_EQ(plan.rules()[1].cls, FaultClass::AsyncCorrupt);
+    EXPECT_EQ(plan.rules()[1].vmId, 1);
+    EXPECT_EQ(plan.rules()[2].cls, FaultClass::MailboxDelay);
+    EXPECT_EQ(plan.rules()[2].prob, 128u);
+    EXPECT_EQ(plan.rules()[3].cls, FaultClass::HostAlloc);
+    EXPECT_EQ(plan.rules()[3].at, 0u);
+}
+
+TEST(FaultPlanRules, DelayTicksAreBoundedAndSeedDeterministic)
+{
+    // delayTicks picks how far a late completion or held mailbox
+    // entry slips: always in [1, max], a pure function of
+    // (seed, class, vm, ordinal), and decorrelated from the fire/
+    // no-fire decision on the same ordinal.
+    FaultPlan a(42), b(42), c(43);
+    bool varied = false;
+    for (std::uint64_t ord = 0; ord < 256; ++ord) {
+        const std::uint64_t d = a.delayTicks(FaultClass::AsyncLate, 0,
+                                             ord, kMaxAsyncLateTicks);
+        EXPECT_GE(d, 1u);
+        EXPECT_LE(d, kMaxAsyncLateTicks);
+        EXPECT_EQ(d, b.delayTicks(FaultClass::AsyncLate, 0, ord,
+                                  kMaxAsyncLateTicks))
+            << "same seed, same slip";
+        if (d != c.delayTicks(FaultClass::AsyncLate, 0, ord,
+                              kMaxAsyncLateTicks))
+            varied = true;
+    }
+    EXPECT_TRUE(varied) << "the seed must matter";
+    EXPECT_EQ(a.delayTicks(FaultClass::MailboxDelay, 0, 0, 0), 0u)
+        << "a zero bound disables the slip";
+}
+
 TEST(FaultPlanRules, EveryAtAndCountSemantics)
 {
     FaultPlan plan(1);
@@ -751,6 +800,74 @@ TEST(FaultDeterminism, FastAndReferencePathsAgreeUnderFaults)
     EXPECT_TRUE(fast.stats == ref.stats)
         << "injected faults must stay inside the lockstep envelope";
     EXPECT_TRUE(fast == ref);
+}
+
+/** runFaultedMiniVms with the async disk engine on, for the
+ *  async-era fault classes (their ordinals are batch counters). */
+FaultedRunOutcome
+runAsyncFaultedMiniVms(const FaultPlan *spec_plan)
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    FaultPlan plan; // fresh per run: rules carry firing budgets
+    if (spec_plan != nullptr) {
+        plan = *spec_plan;
+        m.setFaultPlan(&plan);
+    }
+
+    HypervisorConfig hc;
+    hc.tickCycles = 2000;
+    hc.ticksPerQuantum = 2;
+    hc.asyncDiskIo = true;
+    Hypervisor hv(m, hc);
+    MiniVmsConfig cfg = mediumMixVms();
+    VmConfig vc;
+    vc.memBytes = cfg.memBytes;
+    VirtualMachine &vm = hv.createVm(vc);
+    MiniVmsImage img = buildMiniVms(cfg);
+    hv.loadVmImage(vm, 0, img.image);
+    hv.startVm(vm, img.entry);
+    hv.run(400000000);
+
+    FaultedRunOutcome out;
+    out.stats = m.stats();
+    out.vmMemory = vmMemoryDigest(m, vm);
+    out.vmDisk = fnv1a(vm.disk);
+    out.console = vm.console.output();
+    out.magic = m.memory().read32(vm.vmPhysToReal(img.resultBase));
+    out.guestRetries =
+        m.memory().read32(vm.vmPhysToReal(img.resultBase + 16));
+    out.guestMchecks =
+        m.memory().read32(vm.vmPhysToReal(img.resultBase + 20));
+    return out;
+}
+
+TEST(FaultDeterminism, AsyncEraClassesFireAndReproduceBitForBit)
+{
+    FaultPlan plan(53);
+    std::string error;
+    ASSERT_TRUE(FaultPlan::parse(
+        "seed=53;async-late:every=2;async-corrupt:every=5", &plan,
+        &error))
+        << error;
+    const FaultedRunOutcome a = runAsyncFaultedMiniVms(&plan);
+    const FaultedRunOutcome b = runAsyncFaultedMiniVms(&plan);
+
+    EXPECT_EQ(a.magic, MiniVmsImage::kResultMagic)
+        << "late and corrupted completions must degrade, not wedge";
+    EXPECT_GT(a.stats.faultsInjected[static_cast<int>(
+                  FaultClass::AsyncLate)],
+              0u);
+    EXPECT_GT(a.stats.faultsInjected[static_cast<int>(
+                  FaultClass::AsyncCorrupt)],
+              0u);
+    EXPECT_GT(a.guestRetries, 0u)
+        << "a corrupted batch falls back to per-descriptor retries";
+    EXPECT_TRUE(a.stats == b.stats)
+        << "batch-ordinal keying makes the classes reproducible";
+    EXPECT_TRUE(a == b) << "memory, disk and console too";
 }
 
 // ---------------------------------------------------------------------------

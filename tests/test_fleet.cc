@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -939,6 +940,484 @@ TEST(FleetSweep, HealthyMembersAreContainedUnderTheEnvironmentPlan)
         EXPECT_TRUE(faulted.members[i] == healthy.members[i])
             << "member " << i;
     }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-only supervision: health machine + golden-image microreboot
+// (FleetConfig::fleetSupervision, docs/ARCHITECTURE.md §6d)
+// ---------------------------------------------------------------------------
+
+/** Seal a crash-looping guest (bumps a counter, then reads past
+ *  MEMSIZE), started but not yet run: every fork of it crashes with
+ *  NonExistentMemory on its third instruction. */
+GoldenImage
+sealedCrashImage()
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    m.setFaultPlan(nullptr);
+    HypervisorConfig hc;
+    hc.tickCycles = 2000;
+    hc.ticksPerQuantum = 2;
+    Hypervisor hv(m, hc);
+    VmConfig vc;
+    vc.memBytes = 256 * 1024;
+    VirtualMachine &vm = hv.createVm(vc);
+
+    CodeBuilder crash(0x200);
+    crash.incl(Op::abs(0x3000));
+    crash.movl(Op::abs(0x00F00000), Op::reg(R0));
+    crash.halt();
+    auto image = crash.finish();
+    hv.loadVmImage(vm, 0x200, image);
+    hv.startVm(vm, 0x200);
+    return GoldenImage::seal(hv, vm);
+}
+
+/** FleetOutcome plus the supervision-layer observables. */
+struct SupervisedOutcome
+{
+    FleetOutcome base;
+    std::vector<MemberHealth> health;
+    std::uint64_t microreboots = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t pagesRecopied = 0;
+
+    bool operator==(const SupervisedOutcome &other) const = default;
+};
+
+/** Four supervised forks of @p image (mirrors runForkedFleet with
+ *  FleetConfig::fleetSupervision enabled). */
+SupervisedOutcome
+runSupervisedForkedFleet(int workers, const GoldenImage &image,
+                         const std::vector<const FaultPlan *> *plans =
+                             nullptr)
+{
+    FleetConfig fc;
+    fc.workers = workers;
+    fc.sliceInstructions = 50000;
+    fc.machine = image.machineConfig();
+    fc.fleetSupervision.enabled = true;
+    HypervisorFleet fleet(fc);
+    fleet.addForkedMember(image, 4);
+
+    if (plans != nullptr) {
+        for (int i = 0; i < fleet.size(); ++i)
+            fleet.setFaultPlan(i, (*plans)[i]);
+    }
+
+    fleet.run(400000000);
+
+    const PhysAddr result_base = buildMiniVms(diskHeavyVms()).resultBase;
+    SupervisedOutcome out;
+    for (int i = 0; i < fleet.size(); ++i) {
+        MemberOutcome mo;
+        RealMachine &m = fleet.machine(i);
+        VirtualMachine &vm = fleet.vm(i);
+        mo.vmMemory = vmMemoryDigest(m, vm);
+        mo.vmDisk = fnv1a(vm.disk);
+        mo.console = vm.console.output();
+        mo.magic = m.memory().read32(vm.vmPhysToReal(result_base));
+        if (m.faultPlan() == nullptr) {
+            EXPECT_EQ(mo.magic, MiniVmsImage::kResultMagic)
+                << "fork " << i;
+        } else {
+            EXPECT_TRUE(mo.magic == MiniVmsImage::kResultMagic ||
+                        vm.haltReason != VmHaltReason::None)
+                << "fork " << i;
+        }
+        mo.vmStats = vm.stats;
+        mo.stats = m.stats();
+        out.base.members.push_back(std::move(mo));
+        out.health.push_back(fleet.health(i));
+    }
+    out.base.totalVm = fleet.totalVmStats();
+    out.base.restarts = fleet.restarts();
+    out.microreboots = fleet.microreboots();
+    out.quarantines = fleet.quarantines();
+    out.pagesRecopied = fleet.pagesRecopied();
+    return out;
+}
+
+TEST(FleetSupervision, CrashingForksAreMicrorebootedThenQuarantined)
+{
+    const GoldenImage gold = sealedCrashImage();
+
+    auto runCrashFleet = [&](int workers) {
+        FleetConfig fc;
+        fc.workers = workers;
+        fc.sliceInstructions = 5000;
+        fc.machine = gold.machineConfig();
+        fc.fleetSupervision.enabled = true;
+        fc.fleetSupervision.restartBudget = 2;
+        fc.fleetSupervision.backoffSlices = 1;
+        HypervisorFleet fleet(fc);
+        const int first = fleet.addForkedMember(gold, 2);
+
+        // A healthy booted sibling shares the fleet: backoff is
+        // counted in rounds on a halted-but-not-done member, so the
+        // barrier must never wait out another member's backoff.
+        CodeBuilder clean(0x200);
+        clean.movl(Op::imm(0x600D), Op::abs(0x3000));
+        clean.halt();
+        VmConfig vc;
+        vc.memBytes = 256 * 1024;
+        const int good = fleet.addVm(vc);
+        auto clean_img = clean.finish();
+        fleet.loadVmImage(good, 0x200, clean_img);
+        fleet.startVm(good, 0x200);
+
+        fleet.run(4000000);
+
+        EXPECT_EQ(fleet.microreboots(), 4u)
+            << "2 crashing forks x restartBudget 2";
+        EXPECT_EQ(fleet.quarantines(), 2u);
+        EXPECT_GT(fleet.pagesRecopied(), 0u)
+            << "each microreboot recopies the fresh fork's CoW floor";
+        SupervisedOutcome out;
+        for (int i = first; i < first + 2; ++i) {
+            EXPECT_EQ(fleet.health(i), MemberHealth::Quarantined)
+                << "fork " << i;
+            EXPECT_EQ(fleet.vm(i).haltReason,
+                      VmHaltReason::NonExistentMemory);
+            EXPECT_EQ(fleet.machine(i).memory().read32(
+                          fleet.vm(i).vmPhysToReal(0x3000)),
+                      1u)
+                << "each microreboot starts over from the image, not "
+                   "from the crashed incarnation";
+            MemberOutcome mo;
+            mo.vmMemory =
+                vmMemoryDigest(fleet.machine(i), fleet.vm(i));
+            mo.vmStats = fleet.vm(i).stats;
+            mo.stats = fleet.machine(i).stats();
+            out.base.members.push_back(std::move(mo));
+            out.health.push_back(fleet.health(i));
+        }
+        EXPECT_EQ(fleet.health(good), MemberHealth::Healthy);
+        EXPECT_EQ(fleet.vm(good).haltReason,
+                  VmHaltReason::HaltInstruction);
+        EXPECT_EQ(fleet.machine(good).memory().read32(
+                      fleet.vm(good).vmPhysToReal(0x3000)),
+                  0x600Du)
+            << "the healthy sibling ran to completion";
+
+        // The gauges surface through the live members' Stats.
+        const Stats total = fleet.totalMachineStats();
+        EXPECT_EQ(total.supMicroreboots, 4u);
+        EXPECT_EQ(total.supQuarantines, 2u);
+        EXPECT_GT(total.supPagesRecopied, 0u);
+        // Each fork: ->Restarting, ->Healthy (x2 reboots), then
+        // ->Quarantined: five transitions.
+        EXPECT_EQ(total.supHealthTransitions, 10u);
+
+        out.microreboots = fleet.microreboots();
+        out.quarantines = fleet.quarantines();
+        out.pagesRecopied = fleet.pagesRecopied();
+        return out;
+    };
+
+    const SupervisedOutcome one = runCrashFleet(1);
+    const SupervisedOutcome two = runCrashFleet(2);
+    const SupervisedOutcome rerun = runCrashFleet(2);
+    EXPECT_TRUE(one == two)
+        << "microreboot scheduling is keyed on rounds, not threads";
+    EXPECT_TRUE(two == rerun)
+        << "crash recovery replays bit for bit";
+}
+
+TEST(FleetSupervision, ForkLineageKeepsFaultIdentityStable)
+{
+    // Satellite: fault identity follows the image's fork lineage, not
+    // the member index, so a `vm=` selector pins the same fork no
+    // matter how the fleet is composed (and so a microrebooted member
+    // replays its own schedule, not a neighbour's).
+    GoldenImage gold = sealedMiniVmsImage(400);
+    gold.setLineage(10);
+    FaultPlan plan(5);
+    std::string error;
+    ASSERT_TRUE(FaultPlan::parse("seed=5;disk-transient:vm=11,every=3",
+                                 &plan, &error))
+        << error;
+
+    auto runForks = [&](bool with_leading_member) {
+        FleetConfig fc;
+        fc.workers = 2;
+        fc.sliceInstructions = 50000;
+        fc.machine = gold.machineConfig();
+        HypervisorFleet fleet(fc);
+        if (with_leading_member) {
+            // An unrelated booted member shifts the fork indices by
+            // one; the lineage identities must not move with them.
+            MiniVmsConfig cfg = diskHeavyVms();
+            VmConfig vc;
+            vc.memBytes = cfg.memBytes;
+            const int lead = fleet.addVm(vc);
+            MiniVmsImage img = buildMiniVms(cfg);
+            fleet.loadVmImage(lead, 0, img.image);
+            fleet.startVm(lead, img.entry);
+        }
+        const int first = fleet.addForkedMember(gold, 2);
+        FaultPlan p0 = plan; // fresh copies: rules carry firing budgets
+        FaultPlan p1 = plan;
+        fleet.setFaultPlan(first, &p0);
+        fleet.setFaultPlan(first + 1, &p1);
+        fleet.run(400000000);
+
+        std::vector<MemberOutcome> forks;
+        for (int i = first; i < first + 2; ++i) {
+            MemberOutcome mo;
+            RealMachine &m = fleet.machine(i);
+            VirtualMachine &vm = fleet.vm(i);
+            mo.vmMemory = vmMemoryDigest(m, vm);
+            mo.vmDisk = fnv1a(vm.disk);
+            mo.console = vm.console.output();
+            mo.vmStats = vm.stats;
+            mo.stats = m.stats();
+            forks.push_back(std::move(mo));
+        }
+        return forks;
+    };
+
+    const std::vector<MemberOutcome> alone = runForks(false);
+    const std::vector<MemberOutcome> shifted = runForks(true);
+
+    const int dt = static_cast<int>(FaultClass::DiskTransient);
+    EXPECT_EQ(alone[0].stats.faultsInjected[dt], 0u)
+        << "fork 0 has lineage identity 10; the vm=11 rule must miss";
+    EXPECT_GT(alone[1].stats.faultsInjected[dt], 0u)
+        << "fork 1 has lineage identity 11; the rule must fire";
+    for (std::size_t i = 0; i < 2; ++i)
+        EXPECT_TRUE(alone[i] == shifted[i])
+            << "fork " << i
+            << ": identity and schedule are independent of the "
+               "member index";
+}
+
+TEST(FleetSupervision, AsyncFaultClassesAreContainedAndWorkerInvariant)
+{
+    // The acceptance fleet: four supervised forks, the victim under
+    // the async-era fault classes, digests bit-identical across
+    // worker counts and the siblings untouched.
+    const GoldenImage gold = sealedMiniVmsImage(400);
+    FaultPlan victim(41);
+    std::string error;
+    ASSERT_TRUE(FaultPlan::parse(
+        "seed=41;async-late:every=2;async-corrupt:every=5;"
+        "disk-transient:every=7",
+        &victim, &error))
+        << error;
+    const std::vector<const FaultPlan *> plans = {&victim, nullptr,
+                                                  nullptr, nullptr};
+    const std::vector<const FaultPlan *> clean = {nullptr, nullptr,
+                                                  nullptr, nullptr};
+
+    const SupervisedOutcome f1 = runSupervisedForkedFleet(1, gold, &plans);
+    const SupervisedOutcome f2 = runSupervisedForkedFleet(2, gold, &plans);
+    const SupervisedOutcome f4 = runSupervisedForkedFleet(4, gold, &plans);
+    const SupervisedOutcome healthy =
+        runSupervisedForkedFleet(4, gold, &clean);
+
+    EXPECT_TRUE(f1 == f4 && f1 == f2)
+        << "async fault ordinals are per-VM architectural counters; "
+           "the worker count must be invisible";
+    EXPECT_GT(f4.base.members[0].stats.faultsInjected[static_cast<int>(
+                  FaultClass::AsyncLate)],
+              0u)
+        << "the victim's late-completion rule must actually fire";
+    EXPECT_GT(f4.base.members[0].stats.faultsInjected[static_cast<int>(
+                  FaultClass::AsyncCorrupt)],
+              0u)
+        << "the victim's staging-corruption rule must actually fire";
+    for (std::size_t i = 1; i < 4; ++i) {
+        EXPECT_TRUE(f4.base.members[i] == healthy.base.members[i])
+            << "fork " << i
+            << ": async faults against fork 0 must not leak through "
+               "the shared image or the engine";
+        for (int c = 0; c < kNumFaultClasses; ++c)
+            EXPECT_EQ(f4.base.members[i].stats.faultsInjected[c], 0u);
+        EXPECT_EQ(f4.health[i], MemberHealth::Healthy) << "fork " << i;
+    }
+    EXPECT_EQ(healthy.microreboots, 0u);
+    EXPECT_EQ(healthy.quarantines, 0u);
+    EXPECT_EQ(healthy.pagesRecopied, 0u);
+}
+
+TEST(FleetSupervision, MachineCheckStormDegradesThenRecovers)
+{
+    // Three ECC machine checks land in distinct slices (the rule is
+    // tick-keyed and the 256-instruction slice spans about one tick),
+    // each one a storm under degradeMachineChecks=1; after the rule's
+    // budget is spent the member must walk back to Healthy - no
+    // microreboot, no quarantine.
+    const GoldenImage gold = sealedMiniVmsImage(400);
+    FaultPlan plan(13);
+    std::string error;
+    ASSERT_TRUE(
+        FaultPlan::parse("seed=13;ecc:every=4,count=3", &plan, &error))
+        << error;
+
+    FleetConfig fc;
+    fc.workers = 2;
+    fc.sliceInstructions = 256;
+    fc.machine = gold.machineConfig();
+    fc.fleetSupervision.enabled = true;
+    fc.fleetSupervision.degradeMachineChecks = 1;
+    fc.fleetSupervision.recoverSlices = 2;
+    HypervisorFleet fleet(fc);
+    fleet.addForkedMember(gold, 2);
+    fleet.setFaultPlan(0, &plan);
+    fleet.run(400000000);
+
+    EXPECT_GT(fleet.vm(0).stats.machineChecks, 0u)
+        << "the storm must actually be delivered";
+    EXPECT_EQ(fleet.health(0), MemberHealth::Healthy)
+        << "clean slices after the storm recover the member";
+    EXPECT_EQ(fleet.health(1), MemberHealth::Healthy);
+    EXPECT_EQ(fleet.microreboots(), 0u)
+        << "Degraded watches; only a crash reboots";
+    EXPECT_EQ(fleet.quarantines(), 0u);
+    const Stats total = fleet.totalMachineStats();
+    EXPECT_GE(total.supHealthTransitions, 2u)
+        << "at least Healthy->Degraded->Healthy";
+    EXPECT_GE(total.supTimeInDegraded, 1u);
+}
+
+TEST(FleetSupervision, MailboxDelayFaultsDelayButNeverDrop)
+{
+    // mailbox-delay holds a due cross-thread console entry for a
+    // bounded, hash-picked number of extra ticks, keyed on the VM's
+    // own delivery ordinal: the transcript survives and the worker
+    // count stays invisible.
+    auto runFaultedEchoFleet = [](int workers) {
+        FleetConfig fc;
+        fc.workers = workers;
+        fc.machine.ramBytes = 16 * 1024 * 1024;
+        fc.machine.level = MicrocodeLevel::Modified;
+        fc.hypervisor.tickCycles = 2000;
+        HypervisorFleet fleet(fc);
+
+        FaultPlan plan(19);
+        std::string error;
+        EXPECT_TRUE(FaultPlan::parse("seed=19;mailbox-delay:every=1",
+                                     &plan, &error))
+            << error;
+
+        for (int i = 0; i < 2; ++i) {
+            Longword entry, scb_slot, handler;
+            auto image = buildEchoGuest(2, &entry, &scb_slot, &handler);
+            const int idx = fleet.addVm(VmConfig{});
+            fleet.loadVmImage(idx, 0x200, image);
+            Byte e[4];
+            std::memcpy(e, &handler, 4);
+            fleet.loadVmImage(idx, scb_slot,
+                              std::span<const Byte>(e, 4));
+            fleet.startVm(idx, entry);
+            fleet.postConsoleInput(i, std::string(1, char('A' + i)));
+            fleet.postConsoleInput(i, std::string(1, char('a' + i)),
+                                   /*at_tick=*/8);
+        }
+        // Member 0 is the victim; member 1 keeps a clean mailbox.
+        fleet.setFaultPlan(0, &plan);
+        fleet.run(50000000);
+
+        FleetOutcome out;
+        for (int i = 0; i < fleet.size(); ++i) {
+            MemberOutcome mo;
+            RealMachine &m = fleet.machine(i);
+            VirtualMachine &vm = fleet.vm(i);
+            EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction)
+                << "member " << i
+                << ": a delayed entry must still be delivered";
+            mo.vmMemory = vmMemoryDigest(m, vm);
+            mo.console = vm.console.output();
+            mo.vmStats = vm.stats;
+            mo.stats = m.stats();
+            out.members.push_back(std::move(mo));
+        }
+        return out;
+    };
+
+    const FleetOutcome one = runFaultedEchoFleet(1);
+    const FleetOutcome two = runFaultedEchoFleet(2);
+    ASSERT_EQ(one.members.size(), 2u);
+    EXPECT_EQ(one.members[0].console, "Aa")
+        << "delay within the tick bound must not reorder delivery";
+    EXPECT_EQ(one.members[1].console, "Bb");
+    const int md = static_cast<int>(FaultClass::MailboxDelay);
+    EXPECT_EQ(one.members[0].stats.faultsInjected[md], 2u)
+        << "every=1 delays each of the victim's two deliveries once";
+    EXPECT_EQ(one.members[1].stats.faultsInjected[md], 0u);
+    EXPECT_EQ(one.members[0].vmStats.mailboxDeliveries, 2u);
+    for (std::size_t i = 0; i < one.members.size(); ++i)
+        EXPECT_TRUE(one.members[i] == two.members[i])
+            << "member " << i
+            << ": the delay is virtual-tick-keyed, so worker counts "
+               "agree bit for bit";
+}
+
+// ---------------------------------------------------------------------------
+// Bounded async-disk drain on halt/teardown (satellite of §6d)
+// ---------------------------------------------------------------------------
+
+/** A wedged engine thread must not hang VM halt or fleet teardown:
+ *  the halt-path drain gives up after asyncDiskDrainTimeoutMs and the
+ *  hypervisor destructor joins the engine *before* the VMs (and their
+ *  staging buffers) go away - ASan/TSan in the sweep tree watch the
+ *  lifetime. */
+TEST(AsyncDisk, HaltAndTeardownDrainsAreBoundedUnderAStalledEngine)
+{
+    using namespace kcallabi;
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine m(mc);
+    VmStats before;
+    const auto start = std::chrono::steady_clock::now();
+    {
+        HypervisorConfig hc;
+        hc.asyncDiskIo = true;
+        hc.asyncDiskLatencyTicks = 1000000; // far past the guest's halt
+        hc.asyncDiskDrainTimeoutMs = 50;
+        Hypervisor hv(m, hc);
+        hv.stallAsyncDiskForTesting(std::chrono::milliseconds(400));
+        VirtualMachine &vm = hv.createVm(VmConfig{});
+
+        std::vector<Byte> block(512, 0xC3);
+        hv.loadVmDisk(vm, 4, block);
+
+        constexpr PhysAddr kRing = 0x4000;
+        constexpr PhysAddr kBuf = 0x5000;
+        CodeBuilder b(0x200);
+        b.movl(Op::imm(4), Op::abs(kRing + kBatchDescBlock));
+        b.movl(Op::imm(1), Op::abs(kRing + kBatchDescCount));
+        b.movl(Op::imm(kBuf), Op::abs(kRing + kBatchDescVmPa));
+        b.clrl(Op::abs(kRing + kBatchDescFlags));
+        b.movl(Op::imm(kRing), Op::reg(R1));
+        b.movl(Op::lit(1), Op::reg(R2));
+        b.mtpr(Op::lit(kDiskBatch), Ipr::KCALL);
+        b.halt();
+
+        auto image = b.finish();
+        hv.loadVmImage(vm, 0x200, image);
+        hv.startVm(vm, 0x200);
+        hv.run(1000000);
+
+        EXPECT_EQ(vm.haltReason, VmHaltReason::HaltInstruction);
+        EXPECT_EQ(vm.stats.asyncDiskBatches, 1u);
+        EXPECT_EQ(vm.stats.asyncDiskCompletions, 0u)
+            << "the halt drain must give up on the stalled job, not "
+               "spin forever";
+        before = vm.stats;
+    } // ~Hypervisor: bounded drain again, then engine join before VMs
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                  elapsed)
+                  .count(),
+              5000)
+        << "teardown waits out at most the stall, never indefinitely";
+    EXPECT_EQ(before.asyncDiskBatches, 1u);
 }
 
 } // namespace

@@ -22,7 +22,9 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "guest/minivms.h"
+#include "memory/cow_backing.h"
 #include "tests/harness.h"
 #include "vmm/fleet.h"
 #include "vmm/golden_image.h"
@@ -508,6 +510,80 @@ TEST(GoldenFleet, SpawnBudgetBoundsFleetDensity)
     EXPECT_THROW(fleet.addVm(vc), std::runtime_error)
         << "the spawn budget covers both member kinds";
     EXPECT_EQ(fleet.size(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Host-resource fault paths: sealing/forking without memfd or mmap
+// (FaultClass::HostAlloc, docs/ARCHITECTURE.md §6)
+// ---------------------------------------------------------------------------
+
+TEST(GoldenHostFaults, HostAllocPlanAtSealForcesBitIdenticalHeapFallback)
+{
+    // Reference image sealed on the happy path.
+    GoldenSource a = bootMiniVms(400);
+    const GoldenImage healthy = GoldenImage::seal(*a.hv, *a.vm);
+
+    // Identical boot, but a host-alloc rule fires at the seal
+    // (ordinal 0): memfd/seal fails, the image degrades to heap
+    // backing - counted, and architecturally invisible to forks.
+    GoldenSource b = bootMiniVms(400);
+    FaultPlan plan(3);
+    std::string error;
+    ASSERT_TRUE(FaultPlan::parse("seed=3;host-alloc:at=0", &plan, &error))
+        << error;
+    b.machine->setFaultPlan(&plan);
+    const GoldenImage degraded = GoldenImage::seal(*b.hv, *b.vm);
+    b.machine->setFaultPlan(nullptr);
+
+    EXPECT_FALSE(degraded.kernelBacked())
+        << "the simulated memfd failure must take the heap path";
+    EXPECT_EQ(b.machine->stats().faultsInjected[static_cast<int>(
+                  FaultClass::HostAlloc)],
+              1u)
+        << "one decision per seal";
+    EXPECT_EQ(simulatedHostAllocFailuresRemaining(), 0)
+        << "the failure window must not leak past the seal";
+
+    GoldenFork fk = healthy.fork();
+    GoldenFork fh = degraded.fork();
+    const ForkOutcome kernel_out = runForkOut(fk, a.resultBase);
+    const ForkOutcome heap_out = runForkOut(fh, b.resultBase);
+    EXPECT_TRUE(kernel_out == heap_out)
+        << "heap-backed forks are bit-identical to kernel-CoW forks";
+}
+
+TEST(GoldenHostFaults, ForkTimeMapFailureDegradesToEagerCopy)
+{
+    // The microreboot path arms the same window around image.fork():
+    // an mmap failure during reconstruction must fall back to an
+    // eager copy with identical guest-visible behaviour.
+    GoldenSource src = bootMiniVms(400);
+    const GoldenImage gold = GoldenImage::seal(*src.hv, *src.vm);
+
+    GoldenFork normal = gold.fork();
+    const ForkOutcome want = runForkOut(normal, src.resultBase);
+
+    setSimulatedHostAllocFailures(2);
+    GoldenFork degraded = gold.fork();
+    setSimulatedHostAllocFailures(0);
+    const ForkOutcome got = runForkOut(degraded, src.resultBase);
+    EXPECT_TRUE(want == got)
+        << "CowBacking::Auto degrades, never diverges";
+}
+
+TEST(GoldenHostFaults, ExplicitEagerBackingMatchesAuto)
+{
+    // VVAX_GOLDEN_EAGER=1 routes CowBacking::Auto to EagerCopy; the
+    // explicit enumerator is the same code path, testable without
+    // mutating the environment.
+    GoldenSource src = bootMiniVms(400);
+    const GoldenImage gold = GoldenImage::seal(*src.hv, *src.vm);
+
+    GoldenFork cow = gold.fork(-1, CowBacking::Auto);
+    GoldenFork eager = gold.fork(-1, CowBacking::EagerCopy);
+    const ForkOutcome cow_out = runForkOut(cow, src.resultBase);
+    const ForkOutcome eager_out = runForkOut(eager, src.resultBase);
+    EXPECT_TRUE(cow_out == eager_out);
 }
 
 TEST(GoldenFleet, KilledForkStaysDownDespiteReforkBudget)

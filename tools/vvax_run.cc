@@ -15,6 +15,14 @@
  *   vvax_run --forks=8 --golden=minivms
  *                                   same, from the built-in MiniVMS
  *                                   guest instead of an assembly file
+ *   vvax_run --forks=4 --golden=minivms --supervise
+ *            [--workers=N] [--plan "seed=7;disk-transient:every=3"]
+ *                                   run the forks as a crash-only
+ *                                   supervised HypervisorFleet:
+ *                                   health state machine + golden-
+ *                                   image microreboot (fleet.h §6d),
+ *                                   printing per-member health and
+ *                                   the supervision counters
  *
  * Fork mode boots the guest for --max instructions (or until it
  * halts), seals it into a golden image (vmm/golden_image.h), then
@@ -40,9 +48,11 @@
 #include <vector>
 
 #include "core/machine.h"
+#include "fault/fault_plan.h"
 #include "guest/minivms.h"
 #include "vasm/assembler.h"
 #include "vasm/disasm.h"
+#include "vmm/fleet.h"
 #include "vmm/golden_image.h"
 #include "vmm/hypervisor.h"
 #include "vmm/vm_monitor.h"
@@ -165,6 +175,104 @@ runForkStorm(int forks, const char *golden,
     return 0;
 }
 
+/** Boot + seal like runForkStorm, then run the forks as a crash-only
+ *  supervised HypervisorFleet (fleet.h §6d) and print per-member
+ *  health plus the supervision counters. */
+int
+runSupervisedFleet(int forks, const char *golden,
+                   const std::vector<Byte> &image, VirtAddr origin,
+                   std::uint64_t max_instr, bool stats, int workers,
+                   const char *plan_spec)
+{
+    MachineConfig mc;
+    mc.ramBytes = 16 * 1024 * 1024;
+    mc.level = MicrocodeLevel::Modified;
+    RealMachine machine(mc);
+    HypervisorConfig hc;
+    hc.asyncDiskIo = true;
+    Hypervisor hv(machine, hc);
+    VmConfig vc;
+    vc.memBytes = 1024 * 1024;
+    VirtAddr entry = origin;
+    std::vector<Byte> guest = image;
+    PhysAddr load_at = origin;
+    if (golden != nullptr) {
+        if (std::strcmp(golden, "minivms") != 0) {
+            std::fprintf(stderr,
+                         "unknown --golden guest '%s' (try minivms)\n",
+                         golden);
+            return 2;
+        }
+        MiniVmsConfig cfg;
+        cfg.dataPagesPerProcess = 16;
+        vc.memBytes = cfg.memBytes;
+        MiniVmsImage img = buildMiniVms(cfg);
+        guest = std::move(img.image);
+        entry = img.entry;
+        load_at = 0;
+    }
+    VirtualMachine &vm = hv.createVm(vc);
+    hv.loadVmImage(vm, load_at, guest);
+    hv.startVm(vm, entry);
+    hv.run(max_instr);
+    std::printf("boot: %llu instructions, halt reason %d\n",
+                static_cast<unsigned long long>(
+                    machine.stats().instructions),
+                static_cast<int>(vm.haltReason));
+
+    const GoldenImage gold = GoldenImage::seal(hv, vm);
+    std::printf("golden image: %zu B ram + %zu B disk, %s\n",
+                gold.ramBytes(), gold.diskBytes(),
+                gold.kernelBacked() ? "kernel CoW" : "eager copy");
+
+    FaultPlan plan;
+    bool have_plan = false;
+    if (plan_spec != nullptr) {
+        std::string error;
+        if (!FaultPlan::parse(plan_spec, &plan, &error)) {
+            std::fprintf(stderr, "bad --plan: %s\n", error.c_str());
+            return 2;
+        }
+        have_plan = true;
+    }
+
+    FleetConfig fc;
+    fc.machine = mc;
+    fc.hypervisor = hc;
+    fc.workers = workers > 0 ? workers : 1;
+    fc.fleetSupervision.enabled = true;
+    HypervisorFleet fleet(fc);
+    fleet.addForkedMember(gold, forks);
+    for (int i = 0; i < forks; ++i) {
+        if (have_plan)
+            fleet.setFaultPlan(i, &plan);
+    }
+    fleet.run(max_instr);
+
+    for (int i = 0; i < forks; ++i) {
+        std::printf("member %3d: %-11s halt reason %d\n", i,
+                    memberHealthName(fleet.health(i)),
+                    static_cast<int>(fleet.vm(i).haltReason));
+    }
+    const std::uint64_t reboots = fleet.microreboots();
+    std::printf("supervision: %llu microreboots, %llu quarantines, "
+                "%llu pages recopied (%.1f / reboot)\n",
+                static_cast<unsigned long long>(reboots),
+                static_cast<unsigned long long>(fleet.quarantines()),
+                static_cast<unsigned long long>(fleet.pagesRecopied()),
+                reboots == 0 ? 0.0
+                             : static_cast<double>(fleet.pagesRecopied()) /
+                                   static_cast<double>(reboots));
+    if (stats) {
+        Stats total = fleet.totalMachineStats();
+        std::ostringstream os;
+        total.print(os);
+        std::printf("--- fleet cycle accounting ---\n%s",
+                    os.str().c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -179,6 +287,9 @@ main(int argc, char **argv)
     const char *path = nullptr;
     int forks = 0;
     const char *golden = nullptr;
+    bool supervise = false;
+    int workers = 1;
+    const char *plan_spec = nullptr;
 
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--vm")) {
@@ -198,6 +309,12 @@ main(int argc, char **argv)
             forks = std::atoi(argv[i] + 8);
         } else if (!std::strncmp(argv[i], "--golden=", 9)) {
             golden = argv[i] + 9;
+        } else if (!std::strcmp(argv[i], "--supervise")) {
+            supervise = true;
+        } else if (!std::strncmp(argv[i], "--workers=", 10)) {
+            workers = std::atoi(argv[i] + 10);
+        } else if (!std::strcmp(argv[i], "--plan") && i + 1 < argc) {
+            plan_spec = argv[++i];
         } else if (argv[i][0] != '-') {
             path = argv[i];
         } else {
@@ -207,13 +324,18 @@ main(int argc, char **argv)
     }
     if (forks > 0 && golden != nullptr) {
         // Built-in guest: no assembly file needed.
+        if (supervise)
+            return runSupervisedFleet(forks, golden, {}, origin,
+                                      max_instr, stats, workers,
+                                      plan_spec);
         return runForkStorm(forks, golden, {}, origin, max_instr,
                             stats);
     }
     if (!path) {
         std::fprintf(stderr,
                      "usage: vvax_run [--vm] [--trace] [--origin A] "
-                     "[--max N] [--forks=N [--golden=minivms]] "
+                     "[--max N] [--forks=N [--golden=minivms] "
+                     "[--supervise] [--workers=N] [--plan SPEC]] "
                      "prog.s\n");
         return 2;
     }
@@ -236,6 +358,10 @@ main(int argc, char **argv)
                 origin);
 
     if (forks > 0) {
+        if (supervise)
+            return runSupervisedFleet(forks, nullptr, prog.image,
+                                      origin, max_instr, stats,
+                                      workers, plan_spec);
         return runForkStorm(forks, nullptr, prog.image, origin,
                             max_instr, stats);
     }
